@@ -1,0 +1,53 @@
+"""Shared fixtures for the figure benchmarks.
+
+Every benchmark file reproduces one figure of the paper's evaluation.  The
+experiment tables are computed once per session (the underlying ADSs are
+cached inside :mod:`repro.bench.figures`), the pytest-benchmark fixture
+times a representative operation of that figure, and the reproduced tables
+are printed in the terminal summary so ``pytest benchmarks/
+--benchmark-only`` leaves a readable record of every figure.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the scales (CI smoke run).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import BenchConfig
+from repro.bench.reporting import format_table
+
+#: Tables collected by the benchmark tests, printed in the terminal summary.
+_TABLES: list[str] = []
+
+
+def record_table(result) -> None:
+    """Register an experiment table for the end-of-run summary."""
+    _TABLES.append(format_table(result))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    """Scales used by every figure benchmark."""
+    if os.environ.get("REPRO_BENCH_QUICK"):
+        return BenchConfig(
+            n_values=(8, 12, 16),
+            fixed_n=16,
+            result_sizes=(2, 4, 8),
+            queries_per_point=2,
+            signature_algorithm="hmac",
+            key_bits=None,
+        )
+    return BenchConfig()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # pragma: no cover
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "reproduced paper figures")
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)

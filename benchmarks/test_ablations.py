@@ -1,0 +1,78 @@
+"""Ablation benchmarks for the design choices documented in DESIGN.md.
+
+These are not figures of the paper; they quantify the reproduction's own
+design decisions: the choice of geometry engine, the one- versus
+multi-signature trade-off, the hardened intersection binding, the mesh's
+shared-signature optimization and the end-to-end attack-detection matrix
+backing the paper's security analysis (section 4.1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record_table
+from repro.bench.figures import (
+    ablation_geometry_engine,
+    ablation_intersection_binding,
+    ablation_mesh_sharing,
+    ablation_signing_modes,
+    security_attack_matrix,
+)
+from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
+
+
+def test_ablation_geometry_engine(bench_config, benchmark):
+    """A1: the interval engine builds the univariate I-tree far faster than the LP engine."""
+    result = benchmark.pedantic(
+        ablation_geometry_engine, args=(bench_config, 12), rounds=1, iterations=1
+    )
+    record_table(result)
+    rows = {row["engine"]: row for row in result.rows}
+    assert rows["interval"]["subdomains"] == rows["lp"]["subdomains"]
+    assert rows["interval"]["insertion_checks"] == rows["lp"]["insertion_checks"]
+    assert rows["interval"]["build_seconds"] < rows["lp"]["build_seconds"]
+
+
+def test_ablation_signing_modes(bench_config, benchmark):
+    """A2: multi-signature ships smaller VOs, one-signature signs only once."""
+    result = benchmark.pedantic(ablation_signing_modes, args=(bench_config,), rounds=1, iterations=1)
+    record_table(result)
+    rows = {row["approach"]: row for row in result.rows}
+    assert rows[ONE_SIGNATURE]["owner_signatures"] == 1
+    assert rows[MULTI_SIGNATURE]["owner_signatures"] > 1
+    assert rows[MULTI_SIGNATURE]["vo_bytes"] <= rows[ONE_SIGNATURE]["vo_bytes"]
+    assert rows[MULTI_SIGNATURE]["client_hashes"] <= rows[ONE_SIGNATURE]["client_hashes"]
+
+
+def test_ablation_intersection_binding(bench_config, benchmark):
+    """A3: binding the intersections changes the root but not the hash count."""
+    result = benchmark.pedantic(
+        ablation_intersection_binding, args=(bench_config, 16), rounds=1, iterations=1
+    )
+    record_table(result)
+    rows = {row["bind_intersections"]: row for row in result.rows}
+    assert rows[True]["root_hash_prefix"] != rows[False]["root_hash_prefix"]
+    assert rows[True]["owner_hashes"] == rows[False]["owner_hashes"]
+
+
+def test_ablation_mesh_sharing(bench_config, benchmark):
+    """A4: the shared-signature optimization cuts the mesh's signature count."""
+    result = benchmark.pedantic(
+        ablation_mesh_sharing, args=(bench_config, 16), rounds=1, iterations=1
+    )
+    record_table(result)
+    rows = {row["share_signatures"]: row for row in result.rows}
+    assert rows[True]["signatures"] < rows[False]["signatures"]
+    assert rows[True]["cells"] == rows[False]["cells"]
+
+
+def test_security_attack_matrix(bench_config, benchmark):
+    """Section 4.1: every applicable attack is detected under every scheme."""
+    result = benchmark.pedantic(security_attack_matrix, args=(bench_config,), rounds=1, iterations=1)
+    record_table(result)
+    assert result.rows
+    for row in result.rows:
+        assert row["detected"] in (True, "n/a"), (
+            f"{row['attack']} went undetected under {row['approach']}"
+        )

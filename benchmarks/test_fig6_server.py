@@ -1,0 +1,99 @@
+"""Fig. 6 -- server overhead.
+
+The paper's Fig. 6 reports the number of ADS nodes (or mesh cells) the
+server traverses to process a query and build its verification object:
+(a) top-3 queries, (b) 3NN queries, (c) range queries with 3 results, each
+as a function of the database size, and (d) as a function of the result
+length at a fixed database size.  Expected shape: the mesh's linear scan
+over the cells makes it grow super-linearly in ``n`` and always the worst at
+scale, while both IFMH modes stay near-logarithmic and close to each other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record_table
+from repro.bench.figures import fig6_server_fixed_result, fig6d_result_length, _systems
+from repro.bench.harness import queries_with_result_size
+from repro.core.owner import SIGNATURE_MESH
+from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
+from repro.metrics.counters import Counters
+
+
+def _assert_mesh_grows_fastest(result, bench_config):
+    """The mesh's traversal count must grow faster than the IFMH modes'."""
+    smallest = min(bench_config.n_values)
+    largest = max(bench_config.n_values)
+    mesh = result.series("n", "nodes_traversed", SIGNATURE_MESH)
+    one = result.series("n", "nodes_traversed", ONE_SIGNATURE)
+    multi = result.series("n", "nodes_traversed", MULTI_SIGNATURE)
+    mesh_growth = mesh[largest] / max(mesh[smallest], 1)
+    one_growth = one[largest] / max(one[smallest], 1)
+    assert mesh_growth > one_growth
+    # At the largest scale the linear scan has overtaken both tree searches
+    # (only meaningful once the arrangement has clearly more cells than the
+    # tree is deep, i.e. beyond the quick smoke scales).
+    if largest >= 30:
+        assert mesh[largest] > one[largest]
+        assert mesh[largest] > multi[largest]
+
+
+def _benchmark_one_query(benchmark, bench_config, kind, approach):
+    systems = _systems(bench_config, bench_config.fixed_n)
+    handle = systems[approach]
+    query = queries_with_result_size(systems, kind, 3, 1, seed=9)[0]
+
+    def run():
+        counters = Counters()
+        return handle.server.execute(query, counters=counters).nodes_traversed
+
+    nodes = benchmark(run)
+    assert nodes > 0
+
+
+def test_fig6a_topk(bench_config, benchmark):
+    """Fig. 6a: top-3 queries."""
+    result = fig6_server_fixed_result(bench_config, kind="topk", result_size=3)
+    record_table(result)
+    _assert_mesh_grows_fastest(result, bench_config)
+    _benchmark_one_query(benchmark, bench_config, "topk", ONE_SIGNATURE)
+
+
+def test_fig6b_knn(bench_config, benchmark):
+    """Fig. 6b: 3NN queries."""
+    result = fig6_server_fixed_result(bench_config, kind="knn", result_size=3)
+    record_table(result)
+    _assert_mesh_grows_fastest(result, bench_config)
+    _benchmark_one_query(benchmark, bench_config, "knn", MULTI_SIGNATURE)
+
+
+def test_fig6c_range(bench_config, benchmark):
+    """Fig. 6c: range queries with 3 results."""
+    result = fig6_server_fixed_result(bench_config, kind="range", result_size=3)
+    record_table(result)
+    _assert_mesh_grows_fastest(result, bench_config)
+    _benchmark_one_query(benchmark, bench_config, "range", ONE_SIGNATURE)
+
+
+def test_fig6d_result_length(bench_config, benchmark):
+    """Fig. 6d: traversal cost grows with the result length for every approach."""
+    result = fig6d_result_length(bench_config)
+    record_table(result)
+    smallest = min(bench_config.result_sizes)
+    largest = max(bench_config.result_sizes)
+    # The IFMH traversal grows with |q| (the FV covers the whole window); the
+    # mesh's count is dominated by where the linear scan stops, so only a
+    # positivity check is meaningful for it.
+    for approach in (ONE_SIGNATURE, MULTI_SIGNATURE):
+        series = result.series("result_size", "nodes_traversed", approach)
+        assert series[largest] >= series[smallest]
+    mesh_series = result.series("result_size", "nodes_traversed", SIGNATURE_MESH)
+    assert all(value > 0 for value in mesh_series.values())
+    # The mesh stays the most expensive constructor at the largest |q|
+    # (meaningful once the arrangement dominates the tree depth).
+    if bench_config.fixed_n >= 30:
+        mesh = result.series("result_size", "nodes_traversed", SIGNATURE_MESH)
+        one = result.series("result_size", "nodes_traversed", ONE_SIGNATURE)
+        assert mesh[largest] >= one[largest]
+    _benchmark_one_query(benchmark, bench_config, "range", SIGNATURE_MESH)

@@ -1,0 +1,100 @@
+"""Fig. 7 -- user (client) overhead.
+
+The paper's Fig. 7 reports, as a function of the result length, (a) the
+number of hashing operations, (b) the time spent hashing, (c) the time spent
+verifying signatures under RSA and DSA, and (d) the total verification time.
+Expected shape: the mesh performs the *fewest* hash operations (it only
+hashes record pairs) but has to verify ``O(|q|)`` signatures, so its total
+verification time is the worst and the gap grows with the result length; the
+two IFMH modes verify exactly one signature each and stay close together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record_table
+from repro.bench.figures import _systems, fig7_user_verification, fig7c_signature_algorithms
+from repro.bench.harness import queries_with_result_size
+from repro.core.owner import SIGNATURE_MESH
+from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
+
+
+@pytest.fixture(scope="module")
+def fig7(bench_config):
+    result = fig7_user_verification(bench_config)
+    record_table(result)
+    return result
+
+
+def _verify_benchmark(benchmark, bench_config, approach, result_size):
+    systems = _systems(bench_config, bench_config.fixed_n)
+    handle = systems[approach]
+    query = queries_with_result_size(systems, "range", result_size, 1, seed=17)[0]
+    execution = handle.server.execute(query)
+
+    def run():
+        report = handle.client.verify(query, execution.result, execution.verification_object)
+        assert report.is_valid
+        return report
+
+    benchmark(run)
+
+
+def test_fig7a_hash_count(fig7, bench_config, benchmark):
+    """Fig. 7a: hash counts grow with |q|; one signature verified for IFMH."""
+    largest = max(bench_config.result_sizes)
+    smallest = min(bench_config.result_sizes)
+    for approach in (SIGNATURE_MESH, ONE_SIGNATURE, MULTI_SIGNATURE):
+        series = fig7.series("result_size", "hash_operations", approach)
+        assert series[largest] > series[smallest]
+    # IFMH verifies exactly one signature; the mesh verifies O(|q|).
+    mesh_signatures = fig7.series("result_size", "signatures_verified", SIGNATURE_MESH)
+    one_signatures = fig7.series("result_size", "signatures_verified", ONE_SIGNATURE)
+    assert one_signatures[largest] == 1
+    assert mesh_signatures[largest] >= largest
+    _verify_benchmark(benchmark, bench_config, ONE_SIGNATURE, largest)
+
+
+def test_fig7b_hash_time(fig7, bench_config, benchmark):
+    """Fig. 7b: hashing time grows with |q| and stays tiny for every approach."""
+    largest = max(bench_config.result_sizes)
+    smallest = min(bench_config.result_sizes)
+    for approach in (SIGNATURE_MESH, ONE_SIGNATURE, MULTI_SIGNATURE):
+        series = fig7.series("result_size", "hash_seconds", approach)
+        assert series[largest] >= 0.0
+        assert series[largest] >= series[smallest] * 0.5  # monotone up to noise
+    _verify_benchmark(benchmark, bench_config, MULTI_SIGNATURE, largest)
+
+
+def test_fig7c_signature_algorithms(bench_config, benchmark):
+    """Fig. 7c: signature verification measured under both RSA and DSA."""
+    result = fig7c_signature_algorithms(bench_config)
+    record_table(result)
+    largest = max(bench_config.result_sizes)
+    algorithms = {row["algorithm"] for row in result.rows}
+    assert algorithms == {"rsa", "dsa"}
+    # The mesh's signature-verification time grows with |q| under both
+    # algorithms; the IFMH modes' does not (one signature regardless of |q|).
+    for algorithm in ("rsa", "dsa"):
+        mesh = {
+            row["result_size"]: row["signature_seconds"]
+            for row in result.rows
+            if row["approach"] == SIGNATURE_MESH and row["algorithm"] == algorithm
+        }
+        assert mesh[largest] > mesh[min(bench_config.result_sizes)] * 1.2
+    _verify_benchmark(benchmark, bench_config, SIGNATURE_MESH, largest)
+
+
+def test_fig7d_total_verification_time(fig7, bench_config, benchmark):
+    """Fig. 7d: with real signatures the mesh's total verification time is worst."""
+    largest = max(bench_config.result_sizes)
+    mesh = fig7.series("result_size", "total_seconds", SIGNATURE_MESH)
+    one = fig7.series("result_size", "total_seconds", ONE_SIGNATURE)
+    multi = fig7.series("result_size", "total_seconds", MULTI_SIGNATURE)
+    assert mesh[largest] > 0 and one[largest] > 0 and multi[largest] > 0
+    if bench_config.signature_algorithm != "hmac":
+        # O(|q|) signature verifications versus exactly one.
+        assert mesh[largest] > one[largest]
+        assert mesh[largest] > multi[largest]
+    _verify_benchmark(benchmark, bench_config, MULTI_SIGNATURE, min(bench_config.result_sizes))

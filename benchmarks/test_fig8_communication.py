@@ -1,0 +1,93 @@
+"""Fig. 8 -- communication overhead (verification object size).
+
+The paper's Fig. 8 reports the VO size (a) as a function of the result
+length at a fixed database size and (b) as a function of the database size
+at a fixed result length.  Expected shape: the mesh's VO grows linearly with
+the result length (one signature per consecutive pair) and is insensitive to
+the database size; the IFMH VOs grow only logarithmically with both and the
+one-signature VO is slightly larger than the multi-signature VO (it carries
+the IMH search path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record_table
+from repro.bench.figures import (
+    _systems,
+    fig8a_vo_size_vs_result_length,
+    fig8b_vo_size_vs_database_size,
+)
+from repro.bench.harness import queries_with_result_size
+from repro.core.owner import SIGNATURE_MESH
+from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
+
+
+def _vo_size_benchmark(benchmark, bench_config, approach):
+    systems = _systems(bench_config, bench_config.fixed_n)
+    handle = systems[approach]
+    dimension = systems.template.dimension
+    query = queries_with_result_size(systems, "range", 4, 1, seed=23)[0]
+    execution = handle.server.execute(query)
+
+    def run():
+        return execution.verification_object.size_bytes(dimension, bench_config.size_model)
+
+    size = benchmark(run)
+    assert size > 0
+
+
+def test_fig8a_vo_size_vs_result_length(bench_config, benchmark):
+    """Fig. 8a: mesh VO grows linearly with |q|; IFMH VOs grow sub-linearly."""
+    result = fig8a_vo_size_vs_result_length(bench_config)
+    record_table(result)
+    sizes = bench_config.result_sizes
+    smallest, largest = min(sizes), max(sizes)
+    scale = largest / smallest
+
+    mesh = result.series("result_size", "vo_bytes", SIGNATURE_MESH)
+    one = result.series("result_size", "vo_bytes", ONE_SIGNATURE)
+    multi = result.series("result_size", "vo_bytes", MULTI_SIGNATURE)
+
+    mesh_growth = mesh[largest] / mesh[smallest]
+    one_growth = one[largest] / one[smallest]
+    multi_growth = multi[largest] / multi[smallest]
+    # Linear growth for the mesh (within a factor of the |q| scale), much
+    # slower growth for the IFMH modes.
+    assert mesh_growth > 0.5 * scale
+    assert one_growth < mesh_growth
+    assert multi_growth < mesh_growth
+    # At the largest result length the mesh ships by far the biggest VO.
+    assert mesh[largest] > one[largest]
+    assert mesh[largest] > multi[largest]
+    # One signature per consecutive pair versus exactly one.
+    mesh_signatures = result.series("result_size", "vo_signatures", SIGNATURE_MESH)
+    assert mesh_signatures[largest] == largest + 1
+    _vo_size_benchmark(benchmark, bench_config, SIGNATURE_MESH)
+
+
+def test_fig8b_vo_size_vs_database_size(bench_config, benchmark):
+    """Fig. 8b: mesh VO size is flat in n; IFMH VOs grow slowly with n."""
+    result = fig8b_vo_size_vs_database_size(bench_config, result_size=8)
+    record_table(result)
+    smallest, largest = min(bench_config.n_values), max(bench_config.n_values)
+
+    mesh = result.series("n", "vo_bytes", SIGNATURE_MESH)
+    one = result.series("n", "vo_bytes", ONE_SIGNATURE)
+    multi = result.series("n", "vo_bytes", MULTI_SIGNATURE)
+
+    # Flat curve for the mesh: the VO depends on |q|, not on n.  The very
+    # smallest scale is excluded because there the per-pair subdomain
+    # descriptions (the B_i constraint sets) are still shorter than usual.
+    n_values = sorted(mesh)
+    reference = n_values[1] if len(n_values) > 1 else n_values[0]
+    assert mesh[largest] <= mesh[reference] * 1.25
+    # The IFMH VOs grow (slowly) with the database size: deeper IMH path and
+    # taller FMH trees.
+    assert one[largest] >= one[smallest]
+    assert multi[largest] >= multi[smallest]
+    # One-signature carries the IMH path, so it is at least as large as
+    # multi-signature at the same scale.
+    assert one[largest] >= multi[largest]
+    _vo_size_benchmark(benchmark, bench_config, ONE_SIGNATURE)

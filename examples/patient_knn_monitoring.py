@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Patient-risk monitoring: verifiable KNN queries and a baseline comparison.
+
+A clinic outsources a patient risk table.  Clinicians tune the weight of the
+modifiable risk factors and retrieve the k patients whose scores are nearest
+to a screening threshold (a KNN-on-score query), verifying every answer.
+The example runs the same workload against the IFMH one-signature scheme and
+against the signature-mesh baseline, and prints the head-to-head costs the
+paper's evaluation reports: server nodes/cells traversed, verification-object
+size and client verification time.
+
+Run with::
+
+    python examples/patient_knn_monitoring.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import KNNQuery, OutsourcedSystem
+from repro.metrics import Counters
+from repro.workloads import patient_risk_scenario
+
+
+def main() -> None:
+    scenario = patient_risk_scenario(n_patients=45, seed=3)
+    print(f"scenario: {scenario.name} -- {scenario.description}")
+    print(f"patients: {len(scenario.dataset)}\n")
+
+    screenings = [
+        KNNQuery(weights=(0.8,), k=5, target=6.0),
+        KNNQuery(weights=(1.2,), k=5, target=8.0),
+        KNNQuery(weights=(1.8,), k=7, target=10.0),
+    ]
+
+    systems = {}
+    for scheme in ("one-signature", "signature-mesh"):
+        systems[scheme] = OutsourcedSystem.setup(
+            scenario.dataset,
+            scenario.template,
+            scheme=scheme,
+            signature_algorithm="rsa",
+            key_bits=1024,
+            rng=random.Random(11),
+        )
+
+    print(f"{'scheme':16s} {'owner sigs':>10s} {'ADS bytes':>12s}")
+    for scheme, system in systems.items():
+        print(
+            f"{scheme:16s} {system.owner.signature_count:>10,d} "
+            f"{system.owner.ads_size_bytes():>12,d}"
+        )
+
+    print("\nper-screening comparison (server nodes, VO bytes, client verification):")
+    header = f"   {'query':40s} {'scheme':16s} {'nodes':>6s} {'VO B':>8s} {'verify ms':>10s}"
+    print(header)
+    print("   " + "-" * (len(header) - 3))
+    dimension = scenario.template.dimension
+    for query in screenings:
+        reference_ids = None
+        for scheme, system in systems.items():
+            server_counters = Counters()
+            client_counters = Counters()
+            execution, report = system.query_and_verify(
+                query, server_counters=server_counters, client_counters=client_counters
+            )
+            report.raise_if_invalid()
+            ids = execution.result.record_ids()
+            if reference_ids is None:
+                reference_ids = ids
+            else:
+                assert ids == reference_ids, "both schemes must return the same patients"
+            vo_bytes = execution.verification_object.size_bytes(dimension)
+            print(
+                f"   {query.describe():40s} {scheme:16s} "
+                f"{server_counters.nodes_traversed:>6d} {vo_bytes:>8,d} "
+                f"{report.total_time * 1000:>10.2f}"
+            )
+    print("\nBoth schemes return identical patients; the IFMH-tree does it with a")
+    print("logarithmic search and a single signature to verify, while the mesh")
+    print("scans its cells linearly and ships one signature per consecutive pair.")
+
+
+if __name__ == "__main__":
+    main()

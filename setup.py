@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but not the ``wheel`` package, so
+PEP 660 editable installs (which need ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work; all metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""repro -- Verifiable analytic query results.
+
+Reproduction of Nosrati & Cai, *"Verifying the Correctness of Analytic Query
+Results"* (TKDE 2020 / ICDE 2023): the IFMH-tree authenticated data
+structure (one-signature and multi-signature modes) for verifying top-k,
+score-range and KNN query results over outsourced databases, plus the
+signature-mesh baseline it is compared against.
+
+Quick start
+-----------
+>>> from repro import Dataset, UtilityTemplate, OutsourcedSystem, TopKQuery
+>>> dataset = Dataset.from_rows(("gpa", "award", "paper"),
+...                             [(3.9, 2, 4), (3.5, 1, 7), (3.2, 0, 2)])
+>>> template = UtilityTemplate(attributes=("gpa", "award"))
+>>> system = OutsourcedSystem.setup(dataset, template, scheme="one-signature",
+...                                 signature_algorithm="hmac")
+>>> execution, report = system.query_and_verify(TopKQuery(weights=(0.6, 0.4), k=2))
+>>> report.is_valid
+True
+"""
+
+from repro.core import (
+    AnalyticQuery,
+    Client,
+    ConstructionError,
+    DataOwner,
+    Dataset,
+    InvalidQueryError,
+    KNNQuery,
+    OutsourcedSystem,
+    PublicParameters,
+    QueryExecution,
+    QueryProcessingError,
+    QueryResult,
+    RangeQuery,
+    Record,
+    ReproError,
+    SCHEMES,
+    SIGNATURE_MESH,
+    Server,
+    ServerPackage,
+    TopKQuery,
+    UtilityTemplate,
+    VerificationError,
+    VerificationReport,
+)
+from repro.geometry.domain import Domain
+from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AnalyticQuery",
+    "Client",
+    "ConstructionError",
+    "DataOwner",
+    "Dataset",
+    "Domain",
+    "InvalidQueryError",
+    "KNNQuery",
+    "MULTI_SIGNATURE",
+    "ONE_SIGNATURE",
+    "OutsourcedSystem",
+    "PublicParameters",
+    "QueryExecution",
+    "QueryProcessingError",
+    "QueryResult",
+    "RangeQuery",
+    "Record",
+    "ReproError",
+    "SCHEMES",
+    "SIGNATURE_MESH",
+    "Server",
+    "ServerPackage",
+    "TopKQuery",
+    "UtilityTemplate",
+    "VerificationError",
+    "VerificationReport",
+]

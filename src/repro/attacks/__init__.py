@@ -1,0 +1,42 @@
+"""Adversary simulation: tampering with query results and verification objects.
+
+The paper's adversary model (section 2.2) allows the server -- or anyone on
+the network path -- to return an arbitrary incorrect result.  This package
+provides concrete tampering transforms so tests, examples and the security
+analysis can demonstrate that every such manipulation is detected by the
+verification step:
+
+* completeness attacks: dropping or truncating records of the result;
+* soundness attacks: forging attribute values, injecting records that are
+  not in the database, reordering the result;
+* verification-object attacks: tampering with signatures, sibling hashes or
+  boundary records.
+"""
+
+from repro.attacks.tamper import (
+    Attack,
+    ATTACK_REGISTRY,
+    all_attacks,
+    drop_record,
+    truncate_result,
+    forge_attribute,
+    inject_record,
+    reorder_result,
+    substitute_record,
+    tamper_signature,
+    tamper_boundary,
+)
+
+__all__ = [
+    "Attack",
+    "ATTACK_REGISTRY",
+    "all_attacks",
+    "drop_record",
+    "truncate_result",
+    "forge_attribute",
+    "inject_record",
+    "reorder_result",
+    "substitute_record",
+    "tamper_signature",
+    "tamper_boundary",
+]

@@ -1,0 +1,189 @@
+"""Concrete tampering transforms on query results and verification objects.
+
+Every attack takes the honest ``(result, verification_object)`` pair the
+server produced and returns a tampered pair; attacks never mutate their
+inputs.  An attack may be *inapplicable* to a particular result (for
+example, dropping a record from an empty result); in that case it returns
+``None`` and callers skip it.
+
+The attacks are deliberately written from the adversary's point of view:
+they only use information the compromised server actually has (the records,
+the VO it built, other genuine records of the database) and never the
+owner's private key -- which is exactly why the verification must catch
+them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Union
+
+from repro.core.records import Record
+from repro.core.results import QueryResult
+from repro.ifmh.vo import VerificationObject
+from repro.merkle.fmh_tree import BoundaryEntry
+from repro.mesh.structures import MeshVerificationObject
+
+__all__ = [
+    "Attack",
+    "ATTACK_REGISTRY",
+    "all_attacks",
+    "drop_record",
+    "truncate_result",
+    "forge_attribute",
+    "inject_record",
+    "reorder_result",
+    "substitute_record",
+    "tamper_signature",
+    "tamper_boundary",
+]
+
+AnyVO = Union[VerificationObject, MeshVerificationObject]
+TamperedPair = Optional[tuple[QueryResult, AnyVO]]
+
+
+@dataclass(frozen=True)
+class Attack:
+    """A named tampering transform.
+
+    ``violates`` records which correctness property the attack breaks
+    (``"completeness"``, ``"soundness"`` or ``"authenticity"``), so tests can
+    assert that the right class of check catches it.
+    """
+
+    name: str
+    violates: str
+    apply: Callable[[QueryResult, AnyVO, random.Random], TamperedPair]
+
+    def __call__(
+        self, result: QueryResult, vo: AnyVO, rng: Optional[random.Random] = None
+    ) -> TamperedPair:
+        return self.apply(result, vo, rng or random.Random(0))
+
+
+# ---------------------------------------------------------------- helpers
+def _flip_byte(data: bytes, position: int = 0) -> bytes:
+    if not data:
+        return b"\x01"
+    position %= len(data)
+    return data[:position] + bytes([data[position] ^ 0xFF]) + data[position + 1 :]
+
+
+def _forged_record(record: Record, rng: random.Random) -> Record:
+    """A record with one attribute nudged -- not present in the database."""
+    values = list(record.values)
+    position = rng.randrange(len(values))
+    values[position] = values[position] + 1.0 + rng.random()
+    return Record(record_id=record.record_id, values=tuple(values), label=record.label)
+
+
+# ---------------------------------------------------------------- attacks
+def drop_record(result: QueryResult, vo: AnyVO, rng: random.Random) -> TamperedPair:
+    """Completeness: silently omit one record from the middle of the result."""
+    if len(result) < 2:
+        return None
+    records = list(result.records)
+    del records[len(records) // 2]
+    return QueryResult(records=tuple(records)), vo
+
+
+def truncate_result(result: QueryResult, vo: AnyVO, rng: random.Random) -> TamperedPair:
+    """Completeness: return only a prefix of the true result."""
+    if len(result) < 2:
+        return None
+    records = list(result.records)[:-1]
+    return QueryResult(records=tuple(records)), vo
+
+
+def forge_attribute(result: QueryResult, vo: AnyVO, rng: random.Random) -> TamperedPair:
+    """Soundness: alter an attribute value of a returned record."""
+    if len(result) == 0:
+        return None
+    records = list(result.records)
+    position = rng.randrange(len(records))
+    records[position] = _forged_record(records[position], rng)
+    return QueryResult(records=tuple(records)), vo
+
+
+def inject_record(result: QueryResult, vo: AnyVO, rng: random.Random) -> TamperedPair:
+    """Soundness: insert a record that does not exist in the database."""
+    if len(result) == 0:
+        return None
+    records = list(result.records)
+    template_record = records[rng.randrange(len(records))]
+    fake = Record(
+        record_id=max(record.record_id for record in records) + 1_000_000,
+        values=tuple(value + 0.5 for value in template_record.values),
+        label="forged",
+    )
+    records.insert(len(records) // 2, fake)
+    return QueryResult(records=tuple(records)), vo
+
+
+def reorder_result(result: QueryResult, vo: AnyVO, rng: random.Random) -> TamperedPair:
+    """Soundness: swap two records so the claimed score order is wrong."""
+    if len(result) < 2:
+        return None
+    records = list(result.records)
+    records[0], records[-1] = records[-1], records[0]
+    return QueryResult(records=tuple(records)), vo
+
+
+def substitute_record(result: QueryResult, vo: AnyVO, rng: random.Random) -> TamperedPair:
+    """Soundness: replace a returned record with a duplicate of another one."""
+    if len(result) < 2:
+        return None
+    records = list(result.records)
+    records[0] = records[-1]
+    return QueryResult(records=tuple(records)), vo
+
+
+def tamper_signature(result: QueryResult, vo: AnyVO, rng: random.Random) -> TamperedPair:
+    """Authenticity: corrupt a signature inside the verification object."""
+    if isinstance(vo, VerificationObject):
+        if vo.root_signature is not None:
+            return result, replace(vo, root_signature=_flip_byte(vo.root_signature))
+        tampered_iv = replace(
+            vo.multi_signature_iv, signature=_flip_byte(vo.multi_signature_iv.signature)
+        )
+        return result, replace(vo, multi_signature_iv=tampered_iv)
+    if not vo.pair_signatures:
+        return None
+    pairs = list(vo.pair_signatures)
+    pairs[0] = dataclasses.replace(pairs[0], signature=_flip_byte(pairs[0].signature))
+    return result, dataclasses.replace(vo, pair_signatures=tuple(pairs))
+
+
+def tamper_boundary(result: QueryResult, vo: AnyVO, rng: random.Random) -> TamperedPair:
+    """Completeness: forge the left boundary so a dropped prefix looks legal."""
+    left = vo.left if isinstance(vo, MeshVerificationObject) else vo.fv.left
+    if left.is_token:
+        return None
+    forged = BoundaryEntry(leaf_index=left.leaf_index, item=_forged_record(left.item, rng))
+    if isinstance(vo, MeshVerificationObject):
+        return result, dataclasses.replace(vo, left=forged)
+    tampered_fv = dataclasses.replace(vo.fv, left=forged)
+    return result, dataclasses.replace(vo, fv=tampered_fv)
+
+
+#: Registry used by tests, examples and the security-analysis benchmark.
+ATTACK_REGISTRY: Dict[str, Attack] = {
+    attack.name: attack
+    for attack in (
+        Attack("drop-record", "completeness", drop_record),
+        Attack("truncate-result", "completeness", truncate_result),
+        Attack("forge-attribute", "soundness", forge_attribute),
+        Attack("inject-record", "soundness", inject_record),
+        Attack("reorder-result", "soundness", reorder_result),
+        Attack("substitute-record", "soundness", substitute_record),
+        Attack("tamper-signature", "authenticity", tamper_signature),
+        Attack("tamper-boundary", "completeness", tamper_boundary),
+    )
+}
+
+
+def all_attacks() -> list[Attack]:
+    """Every registered attack, in a stable order."""
+    return [ATTACK_REGISTRY[name] for name in sorted(ATTACK_REGISTRY)]

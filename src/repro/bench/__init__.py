@@ -1,0 +1,30 @@
+"""Benchmark harness: one experiment per figure of the paper's evaluation.
+
+:mod:`repro.bench.figures` defines the experiments (Fig. 5a-5c data-owner
+overhead, Fig. 6a-6d server overhead, Fig. 7a-7d user overhead, Fig. 8a-8b
+communication overhead, plus ablations); :mod:`repro.bench.harness` provides
+the shared machinery (building the three ADSs for a scale, running query
+workloads against them, collecting counters and timings) and
+:mod:`repro.bench.reporting` renders the resulting tables.
+
+Run every experiment and print the tables with::
+
+    python -m repro.bench
+
+The pytest-benchmark targets under ``benchmarks/`` wrap the same experiment
+functions.
+"""
+
+from repro.bench.harness import BenchConfig, SystemsUnderTest, build_systems, ExperimentResult
+from repro.bench.reporting import format_table, render_results
+from repro.bench import figures
+
+__all__ = [
+    "BenchConfig",
+    "SystemsUnderTest",
+    "build_systems",
+    "ExperimentResult",
+    "format_table",
+    "render_results",
+    "figures",
+]

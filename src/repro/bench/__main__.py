@@ -1,0 +1,78 @@
+"""Run every figure experiment and print the tables.
+
+Usage::
+
+    python -m repro.bench                 # default (laptop-friendly) scales
+    python -m repro.bench --n 20 40 60    # custom database-size sweep
+    python -m repro.bench --quick         # smallest scales, hmac signatures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import all_experiments
+from repro.bench.harness import BenchConfig
+from repro.bench.reporting import render_results
+
+
+def _parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce every figure of the paper's evaluation as a table.",
+    )
+    parser.add_argument("--n", type=int, nargs="+", default=None, help="database-size sweep")
+    parser.add_argument("--fixed-n", type=int, default=None, help="database size for |q| sweeps")
+    parser.add_argument(
+        "--result-sizes", type=int, nargs="+", default=None, help="result-length sweep"
+    )
+    parser.add_argument("--queries", type=int, default=None, help="queries per data point")
+    parser.add_argument(
+        "--algorithm", choices=("rsa", "dsa", "hmac"), default=None, help="signature algorithm"
+    )
+    parser.add_argument("--key-bits", type=int, default=None, help="signature key size")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--quick", action="store_true", help="smallest scales and hmac signatures (CI smoke run)"
+    )
+    return parser.parse_args(argv)
+
+
+def build_config(args: argparse.Namespace) -> BenchConfig:
+    defaults = BenchConfig()
+    if args.quick:
+        defaults = BenchConfig(
+            n_values=(8, 12, 16),
+            fixed_n=16,
+            result_sizes=(2, 4, 8),
+            queries_per_point=2,
+            signature_algorithm="hmac",
+            key_bits=None,
+        )
+    return BenchConfig(
+        n_values=tuple(args.n) if args.n else defaults.n_values,
+        fixed_n=args.fixed_n or defaults.fixed_n,
+        result_sizes=tuple(args.result_sizes) if args.result_sizes else defaults.result_sizes,
+        dimension=defaults.dimension,
+        seed=args.seed,
+        queries_per_point=args.queries or defaults.queries_per_point,
+        signature_algorithm=args.algorithm or defaults.signature_algorithm,
+        key_bits=args.key_bits if args.key_bits is not None else defaults.key_bits,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    config = build_config(args)
+    started = time.perf_counter()
+    results = all_experiments(config)
+    elapsed = time.perf_counter() - started
+    print(render_results(results))
+    print(f"\ncompleted {len(results)} experiments in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

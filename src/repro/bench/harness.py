@@ -1,0 +1,230 @@
+"""Shared machinery for the figure experiments.
+
+The paper compares three approaches -- the signature-mesh baseline and the
+two IFMH modes (one-signature, multi-signature) -- on the same workload.
+:func:`build_systems` constructs all three for a given scale, and
+:class:`SystemsUnderTest` exposes the per-approach handles the experiment
+functions iterate over.
+
+Scale note.  The paper runs 1,000-10,000 records on native code; both the
+mesh and the IFMH-tree enumerate the ``O(n^2)`` univariate arrangement, so a
+pure-Python reproduction sweeps smaller ``n`` (tens to low hundreds) by
+default.  Every experiment takes its scale from a :class:`BenchConfig`, so
+larger sweeps are one argument away; the qualitative shapes reported in
+``EXPERIMENTS.md`` are scale-invariant (they follow from the complexity
+analysis in section 4.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.client import Client
+from repro.core.owner import DataOwner, SIGNATURE_MESH
+from repro.core.queries import AnalyticQuery, KNNQuery, RangeQuery, TopKQuery
+from repro.core.server import Server
+from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
+from repro.metrics.counters import Counters
+from repro.metrics.sizes import SizeModel
+from repro.workloads.generator import (
+    WorkloadConfig,
+    make_dataset,
+    make_template,
+    make_weight_vector,
+)
+
+__all__ = [
+    "APPROACHES",
+    "BenchConfig",
+    "SystemsUnderTest",
+    "ApproachHandle",
+    "ExperimentResult",
+    "build_systems",
+    "queries_with_result_size",
+]
+
+#: The three approaches compared throughout the paper's evaluation.
+APPROACHES = (SIGNATURE_MESH, ONE_SIGNATURE, MULTI_SIGNATURE)
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Scales and crypto settings shared by the experiments.
+
+    The defaults keep a full run of every figure in the low minutes on a
+    laptop; pass larger ``n_values`` / ``result_sizes`` to push towards the
+    paper's original scale.
+    """
+
+    n_values: tuple[int, ...] = (10, 20, 30, 40)
+    fixed_n: int = 40
+    result_sizes: tuple[int, ...] = (4, 8, 16, 32)
+    dimension: int = 1
+    seed: int = 0
+    queries_per_point: int = 5
+    signature_algorithm: str = "rsa"
+    key_bits: Optional[int] = 512
+    #: The paper's measured mesh signs every consecutive pair per subdomain
+    #: (no sharing); keep that configuration for the figures and study the
+    #: sharing optimization separately in an ablation.
+    mesh_share_signatures: bool = False
+    #: Size model used for byte-size figures; the 256-byte signature matches
+    #: RSA-2048 regardless of the (smaller) benchmarking key.
+    size_model: SizeModel = field(default_factory=lambda: SizeModel(signature_size=256))
+
+    def workload(self, n_records: int) -> WorkloadConfig:
+        return WorkloadConfig(
+            n_records=n_records,
+            dimension=self.dimension,
+            distribution="uniform",
+            seed=self.seed,
+        )
+
+
+@dataclass
+class ApproachHandle:
+    """One approach instantiated over one workload scale."""
+
+    approach: str
+    owner: DataOwner
+    server: Server
+    client: Client
+    build_seconds: float
+
+    @property
+    def signature_count(self) -> int:
+        return self.owner.signature_count
+
+    def ads_size_bytes(self, size_model: SizeModel) -> int:
+        return self.owner.ads.size_bytes(size_model)
+
+
+@dataclass
+class SystemsUnderTest:
+    """All three approaches built over the same dataset/template."""
+
+    n_records: int
+    dataset: object
+    template: object
+    handles: Dict[str, ApproachHandle]
+
+    def __getitem__(self, approach: str) -> ApproachHandle:
+        return self.handles[approach]
+
+    def __iter__(self):
+        return iter(self.handles.values())
+
+
+def build_systems(
+    config: BenchConfig,
+    n_records: int,
+    approaches: Sequence[str] = APPROACHES,
+    signature_algorithm: Optional[str] = None,
+    key_bits: Optional[int] = None,
+) -> SystemsUnderTest:
+    """Build every requested approach over the same generated workload."""
+    workload = config.workload(n_records)
+    dataset = make_dataset(workload)
+    template = make_template(workload)
+    algorithm = signature_algorithm or config.signature_algorithm
+    bits = key_bits if key_bits is not None else config.key_bits
+    keypair_rng = random.Random(config.seed + 12345)
+
+    handles: Dict[str, ApproachHandle] = {}
+    for approach in approaches:
+        started = time.perf_counter()
+        owner = DataOwner(
+            dataset,
+            template,
+            scheme=approach,
+            signature_algorithm=algorithm,
+            key_bits=bits,
+            share_signatures=config.mesh_share_signatures,
+            rng=random.Random(keypair_rng.random()),
+        )
+        build_seconds = time.perf_counter() - started
+        server = Server(owner.outsource())
+        client = Client(owner.public_parameters())
+        handles[approach] = ApproachHandle(
+            approach=approach,
+            owner=owner,
+            server=server,
+            client=client,
+            build_seconds=build_seconds,
+        )
+    return SystemsUnderTest(
+        n_records=n_records, dataset=dataset, template=template, handles=handles
+    )
+
+
+def queries_with_result_size(
+    systems: SystemsUnderTest,
+    kind: str,
+    result_size: int,
+    count: int,
+    seed: int = 0,
+) -> List[AnalyticQuery]:
+    """Queries of one kind whose results have exactly ``result_size`` records.
+
+    The scores of the generated dataset are consulted so range boundaries and
+    KNN targets land on windows of the requested length -- the paper fixes
+    the result length (3 for Fig. 6a-6c, a sweep for Fig. 6d-8a) and measures
+    cost as a function of it.
+    """
+    rng = random.Random(seed)
+    template = systems.template
+    functions = template.functions_for(systems.dataset)
+    result_size = min(result_size, len(functions))
+    queries: List[AnalyticQuery] = []
+    for _ in range(count):
+        weights = make_weight_vector(template, rng)
+        scores = sorted(function.evaluate(weights) for function in functions)
+        if kind == "topk":
+            queries.append(TopKQuery(weights=weights, k=result_size))
+        elif kind == "knn":
+            anchor = rng.randrange(0, len(scores) - result_size + 1)
+            window = scores[anchor : anchor + result_size]
+            target = sum(window) / len(window)
+            queries.append(KNNQuery(weights=weights, k=result_size, target=target))
+        elif kind == "range":
+            anchor = rng.randrange(0, len(scores) - result_size + 1)
+            low = scores[anchor]
+            high = scores[anchor + result_size - 1]
+            queries.append(RangeQuery(weights=weights, low=low, high=high))
+        else:
+            raise ValueError(f"unknown query kind {kind!r}")
+    return queries
+
+
+@dataclass
+class ExperimentResult:
+    """A figure reproduced as a table."""
+
+    experiment_id: str
+    title: str
+    parameters: Dict[str, object]
+    columns: tuple[str, ...]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str, where: Optional[Dict[str, object]] = None) -> list:
+        """All values of one column, optionally filtered by other columns."""
+        selected = []
+        for row in self.rows:
+            if where and any(row.get(key) != value for key, value in where.items()):
+                continue
+            selected.append(row[name])
+        return selected
+
+    def series(self, key_column: str, value_column: str, approach: str) -> Dict[object, object]:
+        """``{x: y}`` series for one approach (used by shape assertions)."""
+        return {
+            row[key_column]: row[value_column]
+            for row in self.rows
+            if row.get("approach") == approach
+        }

@@ -1,0 +1,55 @@
+"""Plain-text rendering of experiment tables.
+
+The paper reports its evaluation as figures; this reproduction reports the
+same quantities as tables (one row per x-axis point and approach).  The
+formatting here is intentionally dependency-free so the benchmark output is
+readable in CI logs and can be pasted into ``EXPERIMENTS.md`` verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bench.harness import ExperimentResult
+
+__all__ = ["format_value", "format_table", "render_results"]
+
+
+def format_value(value: object) -> str:
+    """Human-friendly scalar formatting (times in ms where sensible)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value * 1000:.3f}e-3"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render one experiment as a fixed-width text table."""
+    columns = list(result.columns)
+    widths = {column: len(column) for column in columns}
+    rendered_rows = []
+    for row in result.rows:
+        rendered = {column: format_value(row.get(column, "")) for column in columns}
+        rendered_rows.append(rendered)
+        for column in columns:
+            widths[column] = max(widths[column], len(rendered[column]))
+
+    def line(values: dict[str, str]) -> str:
+        return "  ".join(values[column].rjust(widths[column]) for column in columns)
+
+    header = line({column: column for column in columns})
+    separator = "  ".join("-" * widths[column] for column in columns)
+    body = "\n".join(line(row) for row in rendered_rows)
+    parameters = ", ".join(f"{key}={value}" for key, value in result.parameters.items())
+    title = f"{result.experiment_id}: {result.title}"
+    if parameters:
+        title += f"  [{parameters}]"
+    return "\n".join([title, header, separator, body]) if body else "\n".join([title, header, separator])
+
+
+def render_results(results: Iterable[ExperimentResult]) -> str:
+    """Render a sequence of experiments separated by blank lines."""
+    return "\n\n".join(format_table(result) for result in results)

@@ -1,0 +1,96 @@
+"""The data user (client): query-result verification.
+
+The client holds only public information (the
+:class:`~repro.core.owner.PublicParameters` published by the data owner) and
+verifies every query result it receives from the untrusted server.  The
+verification cost -- hash operations, signature verifications, wall-clock
+time -- is the paper's Fig. 7 metric and is recorded on the returned
+:class:`~repro.core.results.VerificationReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.errors import VerificationError
+from repro.core.owner import PublicParameters, SIGNATURE_MESH
+from repro.core.queries import AnalyticQuery
+from repro.core.results import QueryResult, VerificationReport
+from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
+from repro.ifmh.verify import verify_result
+from repro.ifmh.vo import VerificationObject
+from repro.mesh.structures import MeshVerificationObject
+from repro.mesh.verify import verify_mesh_result
+from repro.metrics.counters import Counters
+
+__all__ = ["Client"]
+
+
+class Client:
+    """A data user that verifies the correctness of analytic query results."""
+
+    def __init__(self, parameters: PublicParameters):
+        self.parameters = parameters
+        self.counters = Counters()
+
+    # --------------------------------------------------------------- verify
+    def verify(
+        self,
+        query: AnalyticQuery,
+        result: QueryResult,
+        verification_object: Union[VerificationObject, MeshVerificationObject],
+        counters: Optional[Counters] = None,
+    ) -> VerificationReport:
+        """Verify a query result; returns a report, never raises."""
+        per_query = counters if counters is not None else Counters()
+        params = self.parameters
+        if params.scheme == SIGNATURE_MESH:
+            if not isinstance(verification_object, MeshVerificationObject):
+                report = VerificationReport()
+                report.record(
+                    "vo-type",
+                    False,
+                    "expected a signature-mesh verification object",
+                )
+                return report
+            report = verify_mesh_result(
+                query,
+                result,
+                verification_object,
+                template=params.template,
+                attribute_names=params.attribute_names,
+                verifier=params.verifier,
+                counters=per_query,
+            )
+        elif params.scheme in (ONE_SIGNATURE, MULTI_SIGNATURE):
+            if not isinstance(verification_object, VerificationObject):
+                report = VerificationReport()
+                report.record("vo-type", False, "expected an IFMH verification object")
+                return report
+            report = verify_result(
+                query,
+                result,
+                verification_object,
+                template=params.template,
+                attribute_names=params.attribute_names,
+                verifier=params.verifier,
+                bind_intersections=params.bind_intersections,
+                counters=per_query,
+            )
+        else:  # pragma: no cover - PublicParameters are built by DataOwner
+            report = VerificationReport()
+            report.record("scheme", False, f"unknown scheme {params.scheme!r}")
+            return report
+        self.counters.merge(per_query)
+        return report
+
+    def verify_or_raise(
+        self,
+        query: AnalyticQuery,
+        result: QueryResult,
+        verification_object: Union[VerificationObject, MeshVerificationObject],
+    ) -> VerificationReport:
+        """Like :meth:`verify` but raises :class:`VerificationError` on failure."""
+        report = self.verify(query, result, verification_object)
+        report.raise_if_invalid()
+        return report

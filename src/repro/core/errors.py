@@ -1,0 +1,41 @@
+"""Exception hierarchy for the verification library.
+
+Every error raised by the public API derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing configuration mistakes from verification
+failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidQueryError",
+    "ConstructionError",
+    "QueryProcessingError",
+    "VerificationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A query object is malformed (bad k, inverted range, wrong dimension)."""
+
+
+class ConstructionError(ReproError):
+    """The authenticated data structure could not be built."""
+
+
+class QueryProcessingError(ReproError):
+    """The server failed to process a query (e.g. X outside the domain)."""
+
+
+class VerificationError(ReproError):
+    """Raised by strict verification entry points when a check fails.
+
+    The default client API returns a :class:`VerificationReport` instead of
+    raising; this exception backs the ``verify_or_raise`` convenience path.
+    """

@@ -1,0 +1,169 @@
+"""The data owner: key generation, ADS construction and outsourcing.
+
+The data owner holds the only private key in the system.  It builds the
+authenticated data structure for its chosen scheme (one-signature IFMH,
+multi-signature IFMH or the signature-mesh baseline), packages the database
+plus the ADS for the cloud server, and publishes the public parameters
+(template, schema, public key, scheme configuration) that any data user
+needs in order to verify query results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.errors import ConstructionError
+from repro.core.records import Dataset, UtilityTemplate
+from repro.crypto.hashing import HashFunction
+from repro.crypto.signer import KeyPair, Verifier, make_signer
+from repro.geometry.engine import SplitEngine
+from repro.ifmh.ifmh_tree import IFMHTree, MULTI_SIGNATURE, ONE_SIGNATURE
+from repro.mesh.builder import SignatureMesh
+from repro.metrics.counters import Counters
+from repro.metrics.sizes import DEFAULT_SIZE_MODEL, SizeModel
+
+__all__ = [
+    "SIGNATURE_MESH",
+    "SCHEMES",
+    "PublicParameters",
+    "ServerPackage",
+    "DataOwner",
+]
+
+#: Scheme name of the baseline (the two IFMH scheme names live in repro.ifmh).
+SIGNATURE_MESH = "signature-mesh"
+
+#: All supported verification schemes.
+SCHEMES = (ONE_SIGNATURE, MULTI_SIGNATURE, SIGNATURE_MESH)
+
+
+@dataclass(frozen=True)
+class PublicParameters:
+    """Everything a data user needs to verify query results.
+
+    This is public information: the utility-function template (with its
+    weight domain), the table schema, the scheme configuration and the data
+    owner's *public* verification key.
+    """
+
+    template: UtilityTemplate
+    attribute_names: tuple[str, ...]
+    scheme: str
+    signature_algorithm: str
+    verifier: Verifier
+    bind_intersections: bool = True
+
+
+@dataclass
+class ServerPackage:
+    """What the data owner uploads to the cloud server."""
+
+    dataset: Dataset
+    ads: Union[IFMHTree, SignatureMesh]
+    public_parameters: PublicParameters
+
+
+class DataOwner:
+    """The data owner of the three-party outsourcing model.
+
+    Parameters
+    ----------
+    dataset / template:
+        The table to outsource and its published utility-function template.
+    scheme:
+        ``"one-signature"``, ``"multi-signature"`` or ``"signature-mesh"``.
+    signature_algorithm:
+        ``"rsa"`` (default), ``"dsa"`` or ``"hmac"`` (test-only).
+    key_bits:
+        Key-size override passed to the signature scheme.
+    bind_intersections:
+        IFMH hardening switch (see :class:`repro.ifmh.IFMHTree`).
+    share_signatures:
+        Mesh-only: enable the shared-signature optimization.
+    engine:
+        Geometry engine override.
+    rng:
+        Seeded random source for reproducible key generation.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        template: UtilityTemplate,
+        *,
+        scheme: str = ONE_SIGNATURE,
+        signature_algorithm: str = "rsa",
+        key_bits: Optional[int] = None,
+        bind_intersections: bool = True,
+        share_signatures: bool = True,
+        engine: Optional[SplitEngine] = None,
+        rng: Optional[random.Random] = None,
+        counters: Optional[Counters] = None,
+        keypair: Optional[KeyPair] = None,
+    ):
+        if scheme not in SCHEMES:
+            raise ConstructionError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+        self.dataset = dataset
+        self.template = template
+        self.scheme = scheme
+        self.bind_intersections = bind_intersections
+        self.counters = counters or Counters()
+        self.keypair = keypair or make_signer(signature_algorithm, rng=rng, key_bits=key_bits)
+        self.hash_function = HashFunction(self.counters)
+
+        if scheme in (ONE_SIGNATURE, MULTI_SIGNATURE):
+            self.ads: Union[IFMHTree, SignatureMesh] = IFMHTree(
+                dataset,
+                template,
+                mode=scheme,
+                signer=self.keypair.signer,
+                hash_function=self.hash_function,
+                engine=engine,
+                counters=self.counters,
+                bind_intersections=bind_intersections,
+            )
+        else:
+            self.ads = SignatureMesh(
+                dataset,
+                template,
+                signer=self.keypair.signer,
+                hash_function=self.hash_function,
+                engine=engine,
+                counters=self.counters,
+                share_signatures=share_signatures,
+            )
+
+    # ------------------------------------------------------------ publishing
+    def public_parameters(self) -> PublicParameters:
+        """The public verification parameters handed to data users."""
+        return PublicParameters(
+            template=self.template,
+            attribute_names=self.dataset.attribute_names,
+            scheme=self.scheme,
+            signature_algorithm=self.keypair.scheme,
+            verifier=self.keypair.verifier,
+            bind_intersections=self.bind_intersections,
+        )
+
+    def outsource(self) -> ServerPackage:
+        """The upload package (database + ADS + public parameters)."""
+        return ServerPackage(
+            dataset=self.dataset,
+            ads=self.ads,
+            public_parameters=self.public_parameters(),
+        )
+
+    # --------------------------------------------------------------- metrics
+    @property
+    def signature_count(self) -> int:
+        """Signatures created while building the ADS (Fig. 5a)."""
+        return self.ads.signature_count
+
+    def ads_size_bytes(self, size_model: Optional[SizeModel] = None) -> int:
+        """Serialized ADS size in bytes (Fig. 5c)."""
+        model = size_model or DEFAULT_SIZE_MODEL.with_signature_size(
+            self.keypair.signature_size
+        )
+        return self.ads.size_bytes(model)

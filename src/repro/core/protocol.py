@@ -1,0 +1,86 @@
+"""End-to-end orchestration of the three-party outsourcing protocol.
+
+:class:`OutsourcedSystem` wires a data owner, a cloud server and a client
+together for the common case (one owner, one server, one verifying user) so
+examples, tests and benchmarks can run the whole pipeline in two lines:
+
+>>> system = OutsourcedSystem.setup(dataset, template, scheme="one-signature")
+>>> execution, report = system.query_and_verify(TopKQuery(weights=(0.5,), k=3))
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.client import Client
+from repro.core.owner import DataOwner
+from repro.core.queries import AnalyticQuery
+from repro.core.records import Dataset, UtilityTemplate
+from repro.core.results import VerificationReport
+from repro.core.server import QueryExecution, Server
+from repro.geometry.engine import SplitEngine
+from repro.metrics.counters import Counters
+
+__all__ = ["OutsourcedSystem"]
+
+
+@dataclass
+class OutsourcedSystem:
+    """A wired-up owner / server / client triple."""
+
+    owner: DataOwner
+    server: Server
+    client: Client
+
+    @classmethod
+    def setup(
+        cls,
+        dataset: Dataset,
+        template: UtilityTemplate,
+        *,
+        scheme: str = "one-signature",
+        signature_algorithm: str = "rsa",
+        key_bits: Optional[int] = None,
+        bind_intersections: bool = True,
+        share_signatures: bool = True,
+        engine: Optional[SplitEngine] = None,
+        rng: Optional[random.Random] = None,
+    ) -> "OutsourcedSystem":
+        """Build the owner's ADS, hand it to a server and create a client."""
+        owner = DataOwner(
+            dataset,
+            template,
+            scheme=scheme,
+            signature_algorithm=signature_algorithm,
+            key_bits=key_bits,
+            bind_intersections=bind_intersections,
+            share_signatures=share_signatures,
+            engine=engine,
+            rng=rng,
+        )
+        server = Server(owner.outsource())
+        client = Client(owner.public_parameters())
+        return cls(owner=owner, server=server, client=client)
+
+    # ------------------------------------------------------------- pipeline
+    def query_and_verify(
+        self,
+        query: AnalyticQuery,
+        server_counters: Optional[Counters] = None,
+        client_counters: Optional[Counters] = None,
+    ) -> tuple[QueryExecution, VerificationReport]:
+        """Run one query through the server and verify it at the client."""
+        execution = self.server.execute(query, counters=server_counters)
+        report = self.client.verify(
+            query,
+            execution.result,
+            execution.verification_object,
+            counters=client_counters,
+        )
+        return execution, report
+
+    @property
+    def scheme(self) -> str:
+        return self.owner.scheme

@@ -1,0 +1,96 @@
+"""Analytic query types: top-k, score-range and KNN-on-score.
+
+All three query types carry a weight vector ``X`` (the utility-function
+input).  Inside the subdomain containing ``X`` the score functions are
+totally ordered, so each query's result is a *contiguous window* of the
+sorted function list (paper section 3.2); the window selection itself lives
+in :mod:`repro.queryproc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import InvalidQueryError
+
+__all__ = ["AnalyticQuery", "TopKQuery", "RangeQuery", "KNNQuery"]
+
+
+@dataclass(frozen=True)
+class AnalyticQuery:
+    """Base class: any query carrying a weight vector ``X``."""
+
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "weights", tuple(float(w) for w in self.weights))
+        if len(self.weights) == 0:
+            raise InvalidQueryError("query weight vector must not be empty")
+
+    @property
+    def dimension(self) -> int:
+        return len(self.weights)
+
+    def validate(self, dimension: int) -> None:
+        """Check that the query matches the template dimension."""
+        if self.dimension != dimension:
+            raise InvalidQueryError(
+                f"query has {self.dimension} weights but the template has {dimension} variables"
+            )
+
+    def describe(self) -> str:
+        """Human-readable one-line description (used in logs and examples)."""
+        return f"{type(self).__name__}(X={self.weights})"
+
+
+@dataclass(frozen=True)
+class TopKQuery(AnalyticQuery):
+    """``q = (X, k)``: the k records with the highest scores under ``X``."""
+
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.k < 1:
+            raise InvalidQueryError(f"top-k requires k >= 1, got {self.k}")
+
+    def describe(self) -> str:
+        return f"TopKQuery(X={self.weights}, k={self.k})"
+
+
+@dataclass(frozen=True)
+class RangeQuery(AnalyticQuery):
+    """``q = (X, l, u)``: the records whose score lies in ``[l, u]``."""
+
+    low: float = 0.0
+    high: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "low", float(self.low))
+        object.__setattr__(self, "high", float(self.high))
+        if self.low > self.high:
+            raise InvalidQueryError(
+                f"range query lower boundary {self.low} exceeds upper boundary {self.high}"
+            )
+
+    def describe(self) -> str:
+        return f"RangeQuery(X={self.weights}, [{self.low}, {self.high}])"
+
+
+@dataclass(frozen=True)
+class KNNQuery(AnalyticQuery):
+    """``q = (X, k, y)``: the k records whose scores are nearest to ``y``."""
+
+    k: int = 1
+    target: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "target", float(self.target))
+        if self.k < 1:
+            raise InvalidQueryError(f"KNN requires k >= 1, got {self.k}")
+
+    def describe(self) -> str:
+        return f"KNNQuery(X={self.weights}, k={self.k}, y={self.target})"

@@ -1,0 +1,130 @@
+"""Query re-execution checks shared by every verification scheme.
+
+After the cryptographic part of a verification has established that the
+returned records and the two boundary entries are authentic and form a
+contiguous window of the correct subdomain's sorted list, the client still
+has to *mimic the server's query processing* (paper section 3.3, step 2):
+recompute the scores, confirm the window is sorted and bracketed by the
+boundaries, and confirm that the window is exactly the set of records that
+satisfies the query.  Both the IFMH verifier and the signature-mesh verifier
+delegate that logic to :func:`recheck_query`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.queries import AnalyticQuery, KNNQuery, RangeQuery, TopKQuery
+from repro.core.records import UtilityTemplate
+from repro.core.results import QueryResult, VerificationReport
+from repro.merkle.fmh_tree import BoundaryEntry
+
+__all__ = ["recheck_query", "boundary_score", "SCORE_TOLERANCE"]
+
+#: Numerical slack used when re-checking score conditions.
+SCORE_TOLERANCE = 1e-9
+
+
+def boundary_score(
+    boundary: BoundaryEntry,
+    template: UtilityTemplate,
+    attribute_names: Sequence[str],
+    weights: Sequence[float],
+) -> float:
+    """Score of a boundary entry at ``weights`` (+/- infinity for tokens)."""
+    if boundary.token == "min":
+        return float("-inf")
+    if boundary.token == "max":
+        return float("inf")
+    return template.function_from_schema(boundary.item, attribute_names).evaluate(weights)
+
+
+def recheck_query(
+    query: AnalyticQuery,
+    result: QueryResult,
+    left: BoundaryEntry,
+    right: BoundaryEntry,
+    template: UtilityTemplate,
+    attribute_names: Sequence[str],
+    report: VerificationReport,
+) -> None:
+    """Mimic the server's query processing over the authenticated window.
+
+    Every conclusion is recorded on ``report``; the function never raises.
+    """
+    weights = query.weights
+    scores = [
+        template.function_from_schema(record, attribute_names).evaluate(weights)
+        for record in result.records
+    ]
+    ascending = all(
+        earlier <= later + SCORE_TOLERANCE for earlier, later in zip(scores, scores[1:])
+    )
+    report.record(
+        "result-sorted",
+        ascending,
+        "returned records are not in ascending score order",
+    )
+
+    left_score = boundary_score(left, template, attribute_names, weights)
+    right_score = boundary_score(right, template, attribute_names, weights)
+    if scores:
+        brackets = (
+            left_score <= scores[0] + SCORE_TOLERANCE
+            and scores[-1] <= right_score + SCORE_TOLERANCE
+        )
+    else:
+        brackets = left_score <= right_score + SCORE_TOLERANCE
+    report.record(
+        "boundaries-bracket-result",
+        brackets,
+        "boundary records do not bracket the returned window",
+    )
+
+    if isinstance(query, RangeQuery):
+        inside = all(
+            query.low - SCORE_TOLERANCE <= score <= query.high + SCORE_TOLERANCE
+            for score in scores
+        )
+        report.record("range-soundness", inside, "a returned record falls outside [l, u]")
+        report.record(
+            "range-completeness-left",
+            left_score < query.low + SCORE_TOLERANCE,
+            "the left boundary record also satisfies the range; records were dropped",
+        )
+        report.record(
+            "range-completeness-right",
+            right_score > query.high - SCORE_TOLERANCE,
+            "the right boundary record also satisfies the range; records were dropped",
+        )
+    elif isinstance(query, TopKQuery):
+        report.record(
+            "topk-ends-at-maximum",
+            right.token == "max",
+            "a top-k result must extend to the top of the sorted list",
+        )
+        expected_full = len(result) == query.k
+        whole_database = left.token == "min" and len(result) < query.k
+        report.record(
+            "topk-cardinality",
+            expected_full or whole_database,
+            f"expected {query.k} records (or the whole database), got {len(result)}",
+        )
+    elif isinstance(query, KNNQuery):
+        expected_full = len(result) == query.k
+        whole_database = left.token == "min" and right.token == "max" and len(result) < query.k
+        report.record(
+            "knn-cardinality",
+            expected_full or whole_database,
+            f"expected {query.k} records (or the whole database), got {len(result)}",
+        )
+        if scores:
+            worst = max(abs(score - query.target) for score in scores)
+            left_distance = abs(left_score - query.target)
+            right_distance = abs(right_score - query.target)
+            report.record(
+                "knn-window-optimal",
+                worst <= left_distance + SCORE_TOLERANCE
+                and worst <= right_distance + SCORE_TOLERANCE,
+                "an excluded neighbour is closer to the target than a returned record",
+            )

@@ -1,0 +1,217 @@
+"""Records, datasets and the utility-function template.
+
+The data owner outsources a relational table.  Together with the table it
+publishes a *utility-function template* (paper section 2.1, Fig. 1): the
+declaration of which attributes act as coefficients of the query-supplied
+weight variables.  The template turns every record into a
+:class:`~repro.geometry.functions.LinearFunction` over the weight space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.crypto.serialization import (
+    encode_float,
+    encode_float_vector,
+    encode_int,
+    encode_sequence,
+    encode_str,
+)
+from repro.geometry.domain import Domain
+from repro.geometry.functions import LinearFunction
+
+__all__ = ["Record", "Dataset", "UtilityTemplate"]
+
+
+@dataclass(frozen=True)
+class Record:
+    """One row of the outsourced table.
+
+    Attributes
+    ----------
+    record_id:
+        Stable identifier assigned by the data owner (e.g. applicant ID).
+    values:
+        Numeric attribute values, in the order given by the dataset's
+        ``attribute_names``.
+    label:
+        Optional human-readable label (name, case number, ...), carried
+        along but never interpreted by the data structures.
+    """
+
+    record_id: int
+    values: tuple[float, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(float(v) for v in self.values))
+
+    def value(self, position: int) -> float:
+        """Attribute value at ``position``."""
+        return self.values[position]
+
+    def to_bytes(self) -> bytes:
+        """Canonical encoding; this is the ``H(r_j)`` input in the paper."""
+        return encode_sequence(
+            [
+                encode_str("record"),
+                encode_int(self.record_id),
+                encode_float_vector(self.values),
+                encode_str(self.label),
+            ]
+        )
+
+
+@dataclass
+class Dataset:
+    """An ordered collection of records plus their attribute names."""
+
+    attribute_names: tuple[str, ...]
+    records: list[Record] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.attribute_names = tuple(self.attribute_names)
+        seen: set[int] = set()
+        for record in self.records:
+            if len(record.values) != len(self.attribute_names):
+                raise ValueError(
+                    f"record {record.record_id} has {len(record.values)} values, "
+                    f"expected {len(self.attribute_names)}"
+                )
+            if record.record_id in seen:
+                raise ValueError(f"duplicate record id {record.record_id}")
+            seen.add(record.record_id)
+
+    # ------------------------------------------------------------- factory
+    @classmethod
+    def from_rows(
+        cls,
+        attribute_names: Sequence[str],
+        rows: Iterable[Sequence[float]],
+        labels: Optional[Sequence[str]] = None,
+    ) -> "Dataset":
+        """Build a dataset from plain rows, assigning sequential record ids."""
+        records = []
+        labels = list(labels) if labels is not None else None
+        for position, row in enumerate(rows):
+            label = labels[position] if labels else ""
+            records.append(Record(record_id=position, values=tuple(row), label=label))
+        return cls(attribute_names=tuple(attribute_names), records=records)
+
+    # ----------------------------------------------------------- accessors
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def __getitem__(self, position: int) -> Record:
+        return self.records[position]
+
+    def by_id(self, record_id: int) -> Record:
+        """Look up a record by its identifier."""
+        for record in self.records:
+            if record.record_id == record_id:
+                return record
+        raise KeyError(f"no record with id {record_id}")
+
+    def attribute_index(self, name: str) -> int:
+        """Position of the named attribute."""
+        try:
+            return self.attribute_names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"unknown attribute {name!r}; known: {list(self.attribute_names)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class UtilityTemplate:
+    """The utility-function template published with the database.
+
+    ``Score(X) = sum_k record[attribute_k] * x_k (+ constant_attribute)``.
+
+    Parameters
+    ----------
+    attributes:
+        Names of the attributes whose values become the coefficients of the
+        weight variables, in variable order.
+    domain:
+        The admissible box of weight vectors (defaults to the unit box).
+    constant_attribute:
+        Optional attribute whose value is added as a constant term (used by
+        affine templates such as baseline risk scores).
+    """
+
+    attributes: tuple[str, ...]
+    domain: Optional[Domain] = None
+    constant_attribute: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attributes", tuple(self.attributes))
+        if len(self.attributes) == 0:
+            raise ValueError("a utility template needs at least one attribute")
+        if self.domain is None:
+            object.__setattr__(self, "domain", Domain.unit_box(len(self.attributes)))
+        if self.domain.dimension != len(self.attributes):
+            raise ValueError(
+                f"domain dimension {self.domain.dimension} does not match "
+                f"{len(self.attributes)} template attributes"
+            )
+
+    @property
+    def dimension(self) -> int:
+        """Number of weight variables."""
+        return len(self.attributes)
+
+    # ----------------------------------------------------------- conversion
+    def function_for(self, record: Record, dataset: Dataset) -> LinearFunction:
+        """Interpret ``record`` as a score function (paper Fig. 1)."""
+        coefficients = tuple(
+            record.value(dataset.attribute_index(name)) for name in self.attributes
+        )
+        constant = 0.0
+        if self.constant_attribute is not None:
+            constant = record.value(dataset.attribute_index(self.constant_attribute))
+        return LinearFunction(index=record.record_id, coefficients=coefficients, constant=constant)
+
+    def functions_for(self, dataset: Dataset) -> list[LinearFunction]:
+        """Interpret every record of the dataset as a score function."""
+        return [self.function_for(record, dataset) for record in dataset]
+
+    def function_from_schema(
+        self, record: Record, attribute_names: Sequence[str]
+    ) -> LinearFunction:
+        """Interpret a record as a score function given only the table schema.
+
+        The verifying client does not hold the dataset, only its published
+        attribute order; this resolves the template's attribute references
+        against that order.
+        """
+        positions = {name: position for position, name in enumerate(attribute_names)}
+        try:
+            coefficients = tuple(record.value(positions[name]) for name in self.attributes)
+            constant = (
+                record.value(positions[self.constant_attribute])
+                if self.constant_attribute is not None
+                else 0.0
+            )
+        except KeyError as missing:
+            raise KeyError(f"schema is missing template attribute {missing}") from None
+        return LinearFunction(
+            index=record.record_id, coefficients=coefficients, constant=constant
+        )
+
+    def score(self, record: Record, dataset: Dataset, weights: Sequence[float]) -> float:
+        """Convenience: the record's score under the given weights."""
+        return self.function_for(record, dataset).evaluate(weights)
+
+    def to_bytes(self) -> bytes:
+        """Canonical encoding (published alongside the database)."""
+        parts = [encode_str("template")]
+        parts.extend(encode_str(name) for name in self.attributes)
+        parts.append(self.domain.to_bytes())
+        parts.append(encode_str(self.constant_attribute or ""))
+        return encode_sequence(parts)

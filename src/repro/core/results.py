@@ -1,0 +1,97 @@
+"""Query results and verification reports.
+
+The server answers a query with a :class:`QueryResult` (the matching records
+in ascending score order) plus a scheme-specific verification object (see
+:mod:`repro.ifmh.vo` and :mod:`repro.mesh.structures`).  The client's
+verification produces a :class:`VerificationReport` describing which checks
+passed, which failed and what the verification cost was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import VerificationError
+from repro.core.records import Record
+from repro.metrics.counters import Counters
+
+__all__ = ["QueryResult", "VerificationReport"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The records satisfying a query, in ascending score order."""
+
+    records: tuple[Record, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "records", tuple(self.records))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.records) == 0
+
+    def record_ids(self) -> list[int]:
+        """Identifiers of the returned records (ascending score order)."""
+        return [record.record_id for record in self.records]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying a query result against its verification object.
+
+    Attributes
+    ----------
+    is_valid:
+        True only when *every* check passed: the reconstructed root matched
+        the owner's signature, the subdomain contains the query input and
+        re-executing the query over the authenticated window reproduces the
+        returned result exactly.
+    checks:
+        Name -> pass/fail for each individual check (useful in tests and
+        when diagnosing a failed verification).
+    failures:
+        Human-readable explanations for every failed check.
+    counters:
+        Hash / signature-verification counts incurred by the client (the
+        paper's Fig. 7 metrics).
+    timings:
+        Wall-clock split of the verification (hashing vs signature
+        verification vs query re-execution), in seconds.
+    """
+
+    is_valid: bool = True
+    checks: Dict[str, bool] = field(default_factory=dict)
+    failures: List[str] = field(default_factory=list)
+    counters: Counters = field(default_factory=Counters)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def record(self, check: str, passed: bool, detail: Optional[str] = None) -> None:
+        """Record the outcome of one named check."""
+        self.checks[check] = passed and self.checks.get(check, True)
+        if not passed:
+            self.is_valid = False
+            self.failures.append(detail or f"check {check!r} failed")
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`VerificationError` when any check failed."""
+        if not self.is_valid:
+            raise VerificationError("; ".join(self.failures) or "verification failed")
+
+    @property
+    def total_time(self) -> float:
+        """Total verification wall-clock time in seconds."""
+        return sum(self.timings.values())
+
+    def summary(self) -> str:
+        """One-line human-readable summary (used by the examples)."""
+        status = "VALID" if self.is_valid else "INVALID"
+        passed = sum(1 for ok in self.checks.values() if ok)
+        return f"{status} ({passed}/{len(self.checks)} checks passed)"

@@ -1,0 +1,96 @@
+"""The cloud server: query processing and verification-object construction.
+
+The server is *untrusted*: it holds the database and the owner-built ADS,
+answers analytic queries and attaches a verification object to every result.
+Its cost (the number of ADS nodes / mesh cells it touches per query) is the
+paper's Fig. 6 metric and is tracked on a per-query :class:`Counters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.errors import QueryProcessingError
+from repro.core.owner import ServerPackage, SIGNATURE_MESH
+from repro.core.queries import AnalyticQuery
+from repro.core.results import QueryResult
+from repro.ifmh.ifmh_tree import IFMHTree, MULTI_SIGNATURE, ONE_SIGNATURE
+from repro.ifmh.vo import VerificationObject, build_verification_object
+from repro.mesh.builder import SignatureMesh
+from repro.mesh.structures import MeshVerificationObject
+from repro.metrics.counters import Counters
+from repro.queryproc.window import select_window
+
+__all__ = ["Server", "QueryExecution"]
+
+
+@dataclass
+class QueryExecution:
+    """A processed query: result, verification object and server-side cost."""
+
+    query: AnalyticQuery
+    result: QueryResult
+    verification_object: Union[VerificationObject, MeshVerificationObject]
+    counters: Counters
+
+    @property
+    def nodes_traversed(self) -> int:
+        """ADS nodes (or mesh cells) the server touched for this query."""
+        return self.counters.nodes_traversed
+
+
+class Server:
+    """The cloud server of the three-party outsourcing model."""
+
+    def __init__(self, package: ServerPackage):
+        self.package = package
+        self.dataset = package.dataset
+        self.ads = package.ads
+        self.scheme = package.public_parameters.scheme
+        self.template = package.public_parameters.template
+        self.counters = Counters()
+
+    # ----------------------------------------------------------- execution
+    def execute(self, query: AnalyticQuery, counters: Optional[Counters] = None) -> QueryExecution:
+        """Process a query and build its verification object."""
+        query.validate(self.template.dimension)
+        per_query = counters if counters is not None else Counters()
+        if self.scheme == SIGNATURE_MESH:
+            result, vo = self._execute_mesh(query, per_query)
+        else:
+            result, vo = self._execute_ifmh(query, per_query)
+        self.counters.merge(per_query)
+        return QueryExecution(
+            query=query, result=result, verification_object=vo, counters=per_query
+        )
+
+    def _execute_ifmh(
+        self, query: AnalyticQuery, counters: Counters
+    ) -> tuple[QueryResult, VerificationObject]:
+        tree = self.ads
+        if not isinstance(tree, IFMHTree):  # pragma: no cover - defensive
+            raise QueryProcessingError("server package scheme does not match its ADS")
+        trace = tree.search(query.weights, counters=counters)
+        leaf = trace.leaf
+        scores = [function.evaluate(query.weights) for function in leaf.sorted_functions]
+        window = select_window(query, scores)
+        records = [
+            tree.records_by_id[leaf.sorted_functions[position].index]
+            for position in window.indices()
+        ]
+        vo = build_verification_object(tree, trace, window, counters=counters)
+        return QueryResult(records=tuple(records)), vo
+
+    def _execute_mesh(
+        self, query: AnalyticQuery, counters: Counters
+    ) -> tuple[QueryResult, MeshVerificationObject]:
+        mesh = self.ads
+        if not isinstance(mesh, SignatureMesh):  # pragma: no cover - defensive
+            raise QueryProcessingError("server package scheme does not match its ADS")
+        return mesh.process_query(query, counters=counters)
+
+    # ------------------------------------------------------------ metadata
+    @property
+    def supported_schemes(self) -> tuple[str, ...]:
+        return (ONE_SIGNATURE, MULTI_SIGNATURE, SIGNATURE_MESH)

@@ -1,0 +1,87 @@
+"""One-way hashing used throughout the verification data structures.
+
+The paper uses SHA-256 both for Merkle node digests and for the signature
+mesh pair digests.  All hashing performed on behalf of a party (owner, server
+or client) is routed through a :class:`HashFunction` instance so the number
+of hash operations can be counted exactly -- Fig. 7a of the paper reports
+"number of hashing operations", and the benchmark harness reproduces that
+figure from these counters rather than from estimates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional
+
+__all__ = ["HashFunction", "sha256", "sha256_hex", "DIGEST_SIZE"]
+
+#: Size in bytes of a SHA-256 digest.  Used by the size accounting in
+#: :mod:`repro.metrics.sizes`.
+DIGEST_SIZE = 32
+
+
+def sha256(data: bytes) -> bytes:
+    """Return the raw SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the hexadecimal SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class HashFunction:
+    """A counting wrapper around SHA-256.
+
+    Parameters
+    ----------
+    counter:
+        Optional :class:`repro.metrics.counters.Counters` instance (or any
+        object with an ``add_hash()`` method).  Every call to :meth:`digest`
+        or :meth:`combine` increments it by one, matching the paper's
+        definition of a "hashing operation" (one invocation of the one-way
+        hash, however many bytes it consumes).
+    """
+
+    digest_size = DIGEST_SIZE
+
+    def __init__(self, counter: Optional[object] = None) -> None:
+        self._counter = counter
+        self.call_count = 0
+
+    # ------------------------------------------------------------------ API
+    def digest(self, data: bytes) -> bytes:
+        """Hash a single byte string."""
+        self._count()
+        return hashlib.sha256(data).digest()
+
+    def combine(self, *parts: bytes) -> bytes:
+        """Hash the concatenation of ``parts`` (a single hash operation).
+
+        This implements the ``H(x | y | ...)`` notation of the paper: the
+        parts are concatenated with an unambiguous length prefix so that
+        ``combine(b"ab", b"c")`` and ``combine(b"a", b"bc")`` differ.
+        """
+        self._count()
+        h = hashlib.sha256()
+        for part in parts:
+            h.update(len(part).to_bytes(8, "big"))
+            h.update(part)
+        return h.digest()
+
+    def digest_many(self, items: Iterable[bytes]) -> bytes:
+        """Hash an iterable of byte strings as a single operation."""
+        return self.combine(*items)
+
+    # ------------------------------------------------------------ internals
+    def _count(self) -> None:
+        self.call_count += 1
+        if self._counter is not None:
+            self._counter.add_hash()
+
+    def reset(self) -> None:
+        """Reset the local call counter (the shared counter is untouched)."""
+        self.call_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"HashFunction(calls={self.call_count})"

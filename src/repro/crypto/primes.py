@@ -1,0 +1,115 @@
+"""Prime generation for the RSA and DSA key generators.
+
+Implements deterministic trial division for small primes plus the
+Miller-Rabin probabilistic primality test, and prime generation from a
+caller-supplied pseudo-random source so key generation is reproducible in
+tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = [
+    "SMALL_PRIMES",
+    "is_probable_prime",
+    "generate_prime",
+    "generate_safe_prime",
+]
+
+# Primes below 1000, used for cheap trial division before Miller-Rabin.
+def _sieve(limit: int) -> list[int]:
+    flags = bytearray([1]) * (limit + 1)
+    flags[0:2] = b"\x00\x00"
+    for p in range(2, int(limit**0.5) + 1):
+        if flags[p]:
+            flags[p * p :: p] = bytearray(len(flags[p * p :: p]))
+    return [i for i, f in enumerate(flags) if f]
+
+
+SMALL_PRIMES: tuple[int, ...] = tuple(_sieve(1000))
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: Optional[random.Random] = None) -> bool:
+    """Return True if ``n`` is prime with overwhelming probability.
+
+    Uses trial division by the small primes followed by ``rounds`` rounds of
+    Miller-Rabin with random bases.  ``rounds=40`` gives an error bound of
+    at most 4^-40, far below any practical concern for the key sizes used in
+    the benchmarks.
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random(0xC0FFEE ^ (n & 0xFFFFFFFF))
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(
+    bits: int,
+    rng: Optional[random.Random] = None,
+    *,
+    congruent_to: Optional[tuple[int, int]] = None,
+) -> int:
+    """Generate a random probable prime of exactly ``bits`` bits.
+
+    Parameters
+    ----------
+    bits:
+        Bit length of the prime; must be at least 8.
+    rng:
+        Pseudo-random source.  A fresh unseeded :class:`random.Random` is
+        used when omitted.
+    congruent_to:
+        Optional ``(remainder, modulus)`` pair: only candidates ``p`` with
+        ``p % modulus == remainder`` are considered.  DSA parameter
+        generation uses this to force ``p = 1 (mod q)``.
+    """
+    if bits < 8:
+        raise ValueError(f"prime bit length must be >= 8, got {bits}")
+    rng = rng or random.Random()
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if congruent_to is not None:
+            remainder, modulus = congruent_to
+            candidate += (remainder - candidate) % modulus
+            if candidate.bit_length() != bits or candidate % 2 == 0:
+                continue
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def generate_safe_prime(bits: int, rng: Optional[random.Random] = None) -> int:
+    """Generate a safe prime ``p`` (``(p - 1) / 2`` is also prime).
+
+    Not needed by RSA/DSA but exposed because several downstream experiments
+    (e.g. alternative signature schemes) want it; kept small and tested.
+    """
+    rng = rng or random.Random()
+    while True:
+        q = generate_prime(bits - 1, rng)
+        p = 2 * q + 1
+        if p.bit_length() == bits and is_probable_prime(p, rng=rng):
+            return p

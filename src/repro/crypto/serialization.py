@@ -1,0 +1,68 @@
+"""Canonical byte encodings used before hashing and signing.
+
+The owner, server and client all need to compute identical digests of
+records, score functions, subdomains and tree nodes.  These helpers provide
+an unambiguous, deterministic encoding: every value is prefixed with a type
+tag and a length so concatenation ambiguities (the classic ``H(a | b)``
+pitfall) cannot occur, and floating point values are encoded from their IEEE
+754 bit pattern so the encoding is exact.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Sequence
+
+__all__ = [
+    "encode_int",
+    "encode_float",
+    "encode_str",
+    "encode_bytes",
+    "encode_float_vector",
+    "encode_sequence",
+]
+
+_TAG_INT = b"\x01"
+_TAG_FLOAT = b"\x02"
+_TAG_STR = b"\x03"
+_TAG_BYTES = b"\x04"
+_TAG_VEC = b"\x05"
+_TAG_SEQ = b"\x06"
+
+
+def _with_length(tag: bytes, payload: bytes) -> bytes:
+    return tag + len(payload).to_bytes(8, "big") + payload
+
+
+def encode_int(value: int) -> bytes:
+    """Encode a (possibly negative, arbitrarily large) integer."""
+    length = max(1, (value.bit_length() + 8) // 8)
+    payload = value.to_bytes(length, "big", signed=True)
+    return _with_length(_TAG_INT, payload)
+
+
+def encode_float(value: float) -> bytes:
+    """Encode a float from its IEEE 754 double bit pattern (exact)."""
+    return _with_length(_TAG_FLOAT, struct.pack(">d", float(value)))
+
+
+def encode_str(value: str) -> bytes:
+    """Encode a unicode string as UTF-8."""
+    return _with_length(_TAG_STR, value.encode("utf-8"))
+
+
+def encode_bytes(value: bytes) -> bytes:
+    """Encode raw bytes (length-prefixed)."""
+    return _with_length(_TAG_BYTES, bytes(value))
+
+
+def encode_float_vector(values: Sequence[float]) -> bytes:
+    """Encode a sequence of floats as a single vector blob."""
+    payload = b"".join(struct.pack(">d", float(v)) for v in values)
+    return _with_length(_TAG_VEC, payload)
+
+
+def encode_sequence(parts: Iterable[bytes]) -> bytes:
+    """Encode a sequence of already-encoded parts as a composite blob."""
+    payload = b"".join(parts)
+    return _with_length(_TAG_SEQ, payload)

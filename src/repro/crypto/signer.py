@@ -1,0 +1,240 @@
+"""Pluggable signature schemes.
+
+The data owner signs Merkle roots (one-signature), subdomain digests
+(multi-signature) or pair digests (signature mesh).  All three code paths go
+through the :class:`Signer` / :class:`Verifier` interfaces defined here so
+the signature algorithm can be swapped by name -- which is exactly what the
+paper's Fig. 7c experiment does when it compares RSA and DSA verification
+time.
+
+Available schemes
+-----------------
+``"rsa"``
+    From-scratch RSA (PKCS#1-v1.5 style) -- the paper's default.
+``"dsa"``
+    From-scratch DSA with deterministic nonces.
+``"hmac"``
+    A keyed-hash scheme used only to keep unit tests fast.  It is *not* a
+    public-key scheme (the verifier holds the same secret), so it must never
+    be used when modelling a genuinely untrusted verifier; tests that do use
+    it only exercise structural logic, not the trust model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Protocol, runtime_checkable
+
+from repro.crypto.dsa import DSAKeyPair, generate_dsa_keypair
+from repro.crypto.rsa import RSAKeyPair, generate_rsa_keypair
+
+__all__ = [
+    "Signer",
+    "Verifier",
+    "KeyPair",
+    "SignatureScheme",
+    "make_signer",
+    "available_schemes",
+    "register_scheme",
+]
+
+
+@runtime_checkable
+class Signer(Protocol):
+    """Anything that can produce signatures over byte strings."""
+
+    scheme: str
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign ``message`` and return the signature bytes."""
+
+    @property
+    def signature_size(self) -> int:
+        """Size in bytes of a signature produced by this signer."""
+
+
+@runtime_checkable
+class Verifier(Protocol):
+    """Anything that can check signatures over byte strings."""
+
+    scheme: str
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Return True when ``signature`` is valid for ``message``."""
+
+    @property
+    def signature_size(self) -> int:
+        """Size in bytes of signatures this verifier accepts."""
+
+
+@dataclass
+class KeyPair:
+    """A signer/verifier pair produced by :func:`make_signer`."""
+
+    scheme: str
+    signer: Signer
+    verifier: Verifier
+
+    @property
+    def signature_size(self) -> int:
+        return self.signer.signature_size
+
+
+# --------------------------------------------------------------------- RSA
+@dataclass
+class _RSASigner:
+    keypair: RSAKeyPair
+    scheme: str = "rsa"
+
+    def sign(self, message: bytes) -> bytes:
+        return self.keypair.private.sign(message)
+
+    @property
+    def signature_size(self) -> int:
+        return self.keypair.public.signature_size
+
+
+@dataclass
+class _RSAVerifier:
+    keypair: RSAKeyPair
+    scheme: str = "rsa"
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return self.keypair.public.verify(message, signature)
+
+    @property
+    def signature_size(self) -> int:
+        return self.keypair.public.signature_size
+
+
+# --------------------------------------------------------------------- DSA
+@dataclass
+class _DSASigner:
+    keypair: DSAKeyPair
+    scheme: str = "dsa"
+
+    def sign(self, message: bytes) -> bytes:
+        return self.keypair.private.sign(message)
+
+    @property
+    def signature_size(self) -> int:
+        return self.keypair.public.signature_size
+
+
+@dataclass
+class _DSAVerifier:
+    keypair: DSAKeyPair
+    scheme: str = "dsa"
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return self.keypair.public.verify(message, signature)
+
+    @property
+    def signature_size(self) -> int:
+        return self.keypair.public.signature_size
+
+
+# -------------------------------------------------------------------- HMAC
+@dataclass
+class _HMACSigner:
+    key: bytes
+    scheme: str = "hmac"
+
+    def sign(self, message: bytes) -> bytes:
+        return hmac.new(self.key, message, hashlib.sha256).digest()
+
+    @property
+    def signature_size(self) -> int:
+        return 32
+
+
+@dataclass
+class _HMACVerifier:
+    key: bytes
+    scheme: str = "hmac"
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        expected = hmac.new(self.key, message, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signature)
+
+    @property
+    def signature_size(self) -> int:
+        return 32
+
+
+# ----------------------------------------------------------------- factory
+@dataclass
+class SignatureScheme:
+    """Registry entry describing how to build a key pair for a scheme."""
+
+    name: str
+    factory: Callable[..., KeyPair]
+    description: str = ""
+
+
+_REGISTRY: Dict[str, SignatureScheme] = {}
+
+
+def register_scheme(name: str, factory: Callable[..., KeyPair], description: str = "") -> None:
+    """Register a signature scheme under ``name`` (overwrites any previous)."""
+    _REGISTRY[name] = SignatureScheme(name=name, factory=factory, description=description)
+
+
+def available_schemes() -> list[str]:
+    """Names of all registered signature schemes."""
+    return sorted(_REGISTRY)
+
+
+def make_signer(
+    scheme: str = "rsa",
+    *,
+    rng: Optional[random.Random] = None,
+    key_bits: Optional[int] = None,
+) -> KeyPair:
+    """Create a fresh signer/verifier pair for the named scheme.
+
+    Parameters
+    ----------
+    scheme:
+        One of :func:`available_schemes` (``"rsa"``, ``"dsa"`` or ``"hmac"``).
+    rng:
+        Seeded random source for reproducible key generation.
+    key_bits:
+        Optional key-size override (RSA modulus bits, DSA ``p`` bits).  The
+        defaults are 2048 for RSA and 1024 for DSA; tests pass smaller sizes
+        to stay fast.
+    """
+    try:
+        entry = _REGISTRY[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown signature scheme {scheme!r}; available: {available_schemes()}"
+        ) from None
+    return entry.factory(rng=rng, key_bits=key_bits)
+
+
+def _rsa_factory(rng: Optional[random.Random] = None, key_bits: Optional[int] = None) -> KeyPair:
+    keypair = generate_rsa_keypair(bits=key_bits or 2048, rng=rng)
+    return KeyPair(scheme="rsa", signer=_RSASigner(keypair), verifier=_RSAVerifier(keypair))
+
+
+def _dsa_factory(rng: Optional[random.Random] = None, key_bits: Optional[int] = None) -> KeyPair:
+    p_bits = key_bits or 1024
+    q_bits = 160 if p_bits >= 512 else max(64, p_bits // 4)
+    keypair = generate_dsa_keypair(p_bits=p_bits, q_bits=q_bits, rng=rng)
+    return KeyPair(scheme="dsa", signer=_DSASigner(keypair), verifier=_DSAVerifier(keypair))
+
+
+def _hmac_factory(rng: Optional[random.Random] = None, key_bits: Optional[int] = None) -> KeyPair:
+    rng = rng or random.Random()
+    key = rng.getrandbits(256).to_bytes(32, "big")
+    return KeyPair(scheme="hmac", signer=_HMACSigner(key), verifier=_HMACVerifier(key))
+
+
+register_scheme("rsa", _rsa_factory, "RSA with PKCS#1-v1.5 style padding (paper default)")
+register_scheme("dsa", _dsa_factory, "DSA with deterministic nonces (paper's Fig. 7c comparison)")
+register_scheme("hmac", _hmac_factory, "Keyed hash, test-only (not a public-key scheme)")

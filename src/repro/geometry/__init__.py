@@ -1,0 +1,52 @@
+"""Geometry substrate: the weight-space arrangement of score functions.
+
+The paper's data structures rest on the *theorem of function sortability*:
+the pairwise intersections of the score functions partition the weight
+domain into subdomains inside which the functions have a fixed total order.
+This package provides everything needed to compute and reason about that
+partition:
+
+* :mod:`repro.geometry.functions` -- linear score functions and their
+  pairwise intersection hyperplanes;
+* :mod:`repro.geometry.domain` -- the weight-space box, half-space
+  constraints and subdomain (region) descriptions;
+* :mod:`repro.geometry.engine` -- split/witness engines: an exact interval
+  engine for univariate templates and an LP engine (scipy HiGHS) for
+  higher-dimensional templates;
+* :mod:`repro.geometry.arrangement` -- the flat list of all subdomains with
+  their sorted function lists (used directly by the signature-mesh baseline
+  and as ground truth in tests);
+* :mod:`repro.geometry.sorting` -- deterministic sorting of functions at a
+  witness point.
+"""
+
+from repro.geometry.functions import LinearFunction, Hyperplane, intersection_hyperplane
+from repro.geometry.domain import Domain, Constraint, Region, ABOVE, BELOW
+from repro.geometry.engine import (
+    SplitEngine,
+    IntervalEngine,
+    LPEngine,
+    make_engine,
+)
+from repro.geometry.arrangement import Arrangement, Subdomain, build_arrangement
+from repro.geometry.sorting import sort_functions_at, rank_of
+
+__all__ = [
+    "LinearFunction",
+    "Hyperplane",
+    "intersection_hyperplane",
+    "Domain",
+    "Constraint",
+    "Region",
+    "ABOVE",
+    "BELOW",
+    "SplitEngine",
+    "IntervalEngine",
+    "LPEngine",
+    "make_engine",
+    "Arrangement",
+    "Subdomain",
+    "build_arrangement",
+    "sort_functions_at",
+    "rank_of",
+]

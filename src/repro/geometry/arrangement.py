@@ -1,0 +1,159 @@
+"""The flat arrangement of subdomains created by all pairwise intersections.
+
+This is the structure the signature-mesh baseline works on (the paper's
+section 2.3.1): the list of every subdomain carved out of the weight domain
+by the ``O(n^2)`` pairwise intersection hyperplanes, each subdomain paired
+with its sorted function list.  It is also used as ground truth when testing
+the I-tree: the set of I-tree leaves must induce exactly this partition.
+
+For a univariate template the subdomains form a sorted list of intervals and
+the arrangement records them in left-to-right order, which is what enables
+the mesh's shared-signature optimization (a pair of functions that stays
+adjacent across consecutive subdomains is signed once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.geometry.domain import Domain, Region
+from repro.geometry.engine import SplitEngine, make_engine
+from repro.geometry.functions import Hyperplane, LinearFunction, intersection_hyperplane
+from repro.geometry.sorting import sort_functions_at
+
+__all__ = ["Subdomain", "Arrangement", "build_arrangement", "pairwise_hyperplanes"]
+
+
+@dataclass
+class Subdomain:
+    """One cell of the arrangement.
+
+    Attributes
+    ----------
+    identifier:
+        Position of this subdomain in the arrangement (stable, 0-based;
+        for univariate templates this is the left-to-right order).
+    region:
+        Symbolic description (domain box + signed half-space constraints).
+    witness:
+        An interior point used to fix the function order.
+    sorted_functions:
+        The score functions sorted ascending by score inside this cell.
+    """
+
+    identifier: int
+    region: Region
+    witness: tuple[float, ...]
+    sorted_functions: list[LinearFunction] = field(default_factory=list)
+
+    def contains(self, weights: Sequence[float], tolerance: float = 1e-9) -> bool:
+        """True when the weight vector lies inside this cell."""
+        return self.region.contains(weights, tolerance)
+
+    def sorted_indices(self) -> list[int]:
+        """Record indices in ascending-score order."""
+        return [f.index for f in self.sorted_functions]
+
+
+@dataclass
+class Arrangement:
+    """All subdomains induced by the pairwise intersections of the functions."""
+
+    domain: Domain
+    functions: list[LinearFunction]
+    subdomains: list[Subdomain]
+    hyperplanes: list[Hyperplane]
+
+    @property
+    def size(self) -> int:
+        """Number of subdomains (the paper's number of "cells")."""
+        return len(self.subdomains)
+
+    def locate(self, weights: Sequence[float]) -> Subdomain:
+        """Linear search for the cell containing ``weights``.
+
+        This is intentionally a linear scan: it is exactly the search the
+        signature-mesh server performs, and the benchmark harness counts the
+        cells it touches.
+        """
+        for subdomain in self.subdomains:
+            if subdomain.contains(weights):
+                return subdomain
+        raise ValueError(f"weight vector {tuple(weights)} lies outside the domain")
+
+    def locate_with_count(self, weights: Sequence[float]) -> tuple[Subdomain, int]:
+        """Like :meth:`locate` but also returns the number of cells inspected."""
+        for inspected, subdomain in enumerate(self.subdomains, start=1):
+            if subdomain.contains(weights):
+                return subdomain, inspected
+        raise ValueError(f"weight vector {tuple(weights)} lies outside the domain")
+
+
+def pairwise_hyperplanes(functions: Sequence[LinearFunction]) -> list[Hyperplane]:
+    """All non-degenerate intersection hyperplanes ``I_{i,j}`` with ``i < j``."""
+    hyperplanes: list[Hyperplane] = []
+    for position, f_i in enumerate(functions):
+        for f_j in functions[position + 1 :]:
+            hyperplane = intersection_hyperplane(f_i, f_j)
+            if hyperplane is not None:
+                hyperplanes.append(hyperplane)
+    return hyperplanes
+
+
+def build_arrangement(
+    functions: Sequence[LinearFunction],
+    domain: Domain,
+    engine: Optional[SplitEngine] = None,
+    hyperplanes: Optional[Iterable[Hyperplane]] = None,
+) -> Arrangement:
+    """Compute the full arrangement of the functions over ``domain``.
+
+    The construction splits cells incrementally: starting from the whole
+    domain, each hyperplane is tested against every current cell and cells
+    it cuts are replaced by their two sides.  For d = 1 this produces the
+    cells in left-to-right order (the splitting keeps ``below`` before
+    ``above`` for positive slopes), which the mesh relies on.
+    """
+    function_list = list(functions)
+    if not function_list:
+        raise ValueError("cannot build an arrangement for an empty function set")
+    engine = engine or make_engine(domain)
+    planes = list(hyperplanes) if hyperplanes is not None else pairwise_hyperplanes(function_list)
+
+    regions: list[Region] = [Region.full(domain)]
+    for hyperplane in planes:
+        next_regions: list[Region] = []
+        for region in regions:
+            if engine.splits(region, hyperplane):
+                above, below = engine.split(region, hyperplane)
+                # Keep 1-D cells ordered left-to-right.
+                if domain.dimension == 1 and below.interval_low <= above.interval_low:
+                    next_regions.extend([below, above])
+                else:
+                    next_regions.extend([above, below])
+            else:
+                next_regions.append(region)
+        regions = next_regions
+
+    if domain.dimension == 1:
+        regions.sort(key=lambda r: r.interval_low)
+
+    subdomains: list[Subdomain] = []
+    for identifier, region in enumerate(regions):
+        witness = engine.witness(region)
+        ordered = sort_functions_at(function_list, witness)
+        subdomains.append(
+            Subdomain(
+                identifier=identifier,
+                region=region,
+                witness=witness,
+                sorted_functions=ordered,
+            )
+        )
+    return Arrangement(
+        domain=domain,
+        functions=function_list,
+        subdomains=subdomains,
+        hyperplanes=planes,
+    )

@@ -1,0 +1,207 @@
+"""Weight-space domain, half-space constraints and subdomain regions.
+
+The data owner declares a bounded axis-aligned box as the domain of the
+weight variables (section 2.3.2: only the root's domain boundary needs to be
+known).  Subdomains are described *symbolically* as the set of signed
+half-space constraints accumulated along the I-tree path that leads to them
+-- exactly the "set of inequality functions that determines the subdomain"
+the multi-signature mode hashes and signs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.crypto.serialization import (
+    encode_float_vector,
+    encode_int,
+    encode_sequence,
+    encode_str,
+)
+from repro.geometry.functions import Hyperplane
+
+__all__ = ["Domain", "Constraint", "Region", "ABOVE", "BELOW"]
+
+#: Side labels.  ``ABOVE`` is the closed side ``f_i - f_j >= 0`` and
+#: ``BELOW`` the open side ``f_i - f_j < 0`` -- the paper's ``a``/``b``
+#: pointers of an intersection node.
+ABOVE = +1
+BELOW = -1
+
+
+@dataclass(frozen=True)
+class Domain:
+    """An axis-aligned box of admissible weight vectors."""
+
+    lower: tuple[float, ...]
+    upper: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        lower = tuple(float(v) for v in self.lower)
+        upper = tuple(float(v) for v in self.upper)
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+        if len(lower) != len(upper):
+            raise ValueError("lower and upper bounds must have the same dimension")
+        if len(lower) == 0:
+            raise ValueError("domain must have at least one dimension")
+        for lo, hi in zip(lower, upper):
+            if not lo < hi:
+                raise ValueError(f"degenerate domain interval [{lo}, {hi}]")
+
+    @classmethod
+    def unit_box(cls, dimension: int) -> "Domain":
+        """The unit box ``[0, 1]^d`` -- the default weight domain."""
+        return cls(lower=(0.0,) * dimension, upper=(1.0,) * dimension)
+
+    @classmethod
+    def box(cls, dimension: int, low: float, high: float) -> "Domain":
+        """A cube ``[low, high]^d``."""
+        return cls(lower=(low,) * dimension, upper=(high,) * dimension)
+
+    @property
+    def dimension(self) -> int:
+        return len(self.lower)
+
+    def contains(self, weights: Sequence[float], tolerance: float = 1e-9) -> bool:
+        """True when ``weights`` lies inside the box (within tolerance)."""
+        if len(weights) != self.dimension:
+            return False
+        return all(
+            lo - tolerance <= float(w) <= hi + tolerance
+            for w, lo, hi in zip(weights, self.lower, self.upper)
+        )
+
+    def center(self) -> tuple[float, ...]:
+        """The box center, used as the root witness point."""
+        return tuple((lo + hi) / 2.0 for lo, hi in zip(self.lower, self.upper))
+
+    def to_bytes(self) -> bytes:
+        """Canonical encoding (bound into the tree root in hardened mode)."""
+        return encode_sequence(
+            [
+                encode_str("domain"),
+                encode_float_vector(self.lower),
+                encode_float_vector(self.upper),
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A signed half-space: which side of an intersection a region lies on.
+
+    ``side == ABOVE`` means ``hyperplane.side_value(X) >= 0`` (so
+    ``f_i(X) >= f_j(X)``); ``side == BELOW`` means ``< 0``.
+    """
+
+    hyperplane: Hyperplane
+    side: int
+
+    def __post_init__(self) -> None:
+        if self.side not in (ABOVE, BELOW):
+            raise ValueError(f"side must be ABOVE(+1) or BELOW(-1), got {self.side}")
+
+    def satisfied_by(self, weights: Sequence[float], tolerance: float = 0.0) -> bool:
+        """True when the weight vector lies on this constraint's side."""
+        value = self.hyperplane.side_value(weights)
+        if self.side == ABOVE:
+            return value >= -tolerance
+        return value < tolerance
+
+    def to_bytes(self) -> bytes:
+        """Canonical encoding used by the multi-signature digests."""
+        return encode_sequence(
+            [
+                encode_str("constraint"),
+                self.hyperplane.to_bytes(),
+                encode_int(self.side),
+            ]
+        )
+
+    def describe(self) -> str:
+        """Human-readable inequality, e.g. ``f_1(X) - f_3(X) >= 0``."""
+        op = ">=" if self.side == ABOVE else "<"
+        return f"f_{self.hyperplane.i}(X) - f_{self.hyperplane.j}(X) {op} 0"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A subdomain of the weight space: the domain box cut by constraints.
+
+    Regions are immutable; splitting a region produces two new regions with
+    one extra constraint each.  For univariate templates the equivalent
+    interval ``(interval_low, interval_high)`` is tracked explicitly so the
+    interval engine never needs an LP.
+    """
+
+    domain: Domain
+    constraints: tuple[Constraint, ...] = ()
+    interval_low: float = field(default=float("nan"))
+    interval_high: float = field(default=float("nan"))
+
+    def __post_init__(self) -> None:
+        if np.isnan(self.interval_low) and self.domain.dimension == 1:
+            object.__setattr__(self, "interval_low", self.domain.lower[0])
+            object.__setattr__(self, "interval_high", self.domain.upper[0])
+
+    @classmethod
+    def full(cls, domain: Domain) -> "Region":
+        """The region covering the entire domain (the I-tree root's X)."""
+        return cls(domain=domain)
+
+    @property
+    def dimension(self) -> int:
+        return self.domain.dimension
+
+    @property
+    def is_interval(self) -> bool:
+        """True when the region is one-dimensional."""
+        return self.domain.dimension == 1
+
+    def with_constraint(
+        self,
+        constraint: Constraint,
+        interval_low: float | None = None,
+        interval_high: float | None = None,
+    ) -> "Region":
+        """Return the sub-region additionally bounded by ``constraint``."""
+        low = self.interval_low if interval_low is None else interval_low
+        high = self.interval_high if interval_high is None else interval_high
+        return Region(
+            domain=self.domain,
+            constraints=self.constraints + (constraint,),
+            interval_low=low,
+            interval_high=high,
+        )
+
+    def contains(self, weights: Sequence[float], tolerance: float = 1e-9) -> bool:
+        """True when ``weights`` lies in the domain and satisfies every constraint."""
+        if not self.domain.contains(weights, tolerance):
+            return False
+        return all(c.satisfied_by(weights, tolerance) for c in self.constraints)
+
+    def constraint_bytes(self) -> bytes:
+        """Canonical encoding of the inequality set (multi-signature digest)."""
+        return encode_sequence(
+            [encode_str("region"), self.domain.to_bytes()]
+            + [c.to_bytes() for c in self.constraints]
+        )
+
+    def describe(self) -> list[str]:
+        """The inequality set as human-readable strings."""
+        return [c.describe() for c in self.constraints]
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+
+def region_from_constraints(domain: Domain, constraints: Iterable[Constraint]) -> Region:
+    """Build a region from scratch (used when reconstructing from a VO)."""
+    region = Region.full(domain)
+    for constraint in constraints:
+        region = region.with_constraint(constraint)
+    return region

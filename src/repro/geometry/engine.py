@@ -1,0 +1,224 @@
+"""Split/witness engines for the weight-space arrangement.
+
+Building the I-tree (and the signature-mesh arrangement) requires two
+geometric primitives on a region of the weight space:
+
+``splits(region, hyperplane)``
+    Does the intersection hyperplane cut the region into two non-empty
+    parts?  (Paper: "check if I_{i,j} partitions X".)
+
+``witness(region)``
+    An interior point of the region, used to sort the functions for that
+    subdomain (their order is constant across the whole region by the
+    function-sortability theorem, so any interior point works).
+
+Two engines implement these primitives:
+
+* :class:`IntervalEngine` -- exact O(1) interval arithmetic for univariate
+  templates (d = 1), the configuration used for the paper-scale benchmarks;
+* :class:`LPEngine` -- small linear programs (scipy HiGHS) over the domain
+  box plus the accumulated half-space constraints, for any dimension.
+
+:func:`make_engine` picks the right engine from the domain dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.geometry.domain import ABOVE, BELOW, Constraint, Domain, Region
+from repro.geometry.functions import Hyperplane
+
+__all__ = ["SplitEngine", "IntervalEngine", "LPEngine", "make_engine"]
+
+#: Minimum width (1-D) / interior radius (LP) for a side to count as non-empty.
+DEFAULT_TOLERANCE = 1e-9
+
+
+@runtime_checkable
+class SplitEngine(Protocol):
+    """Geometric primitives needed to build arrangements and I-trees."""
+
+    def splits(self, region: Region, hyperplane: Hyperplane) -> bool:
+        """True when the hyperplane cuts the region into two non-empty parts."""
+
+    def split(self, region: Region, hyperplane: Hyperplane) -> tuple[Region, Region]:
+        """Return the ``(above, below)`` sub-regions created by the cut."""
+
+    def witness(self, region: Region) -> tuple[float, ...]:
+        """An interior point of the region."""
+
+
+# --------------------------------------------------------------------------
+# Interval engine (d = 1)
+# --------------------------------------------------------------------------
+@dataclass
+class IntervalEngine:
+    """Exact engine for univariate score functions.
+
+    A region is an interval ``[low, high]`` of the single weight variable;
+    an intersection hyperplane is the breakpoint ``x* = -offset / normal``.
+    """
+
+    tolerance: float = DEFAULT_TOLERANCE
+
+    def _breakpoint(self, hyperplane: Hyperplane) -> Optional[float]:
+        if hyperplane.dimension != 1:
+            raise ValueError("IntervalEngine only handles 1-dimensional hyperplanes")
+        slope = hyperplane.normal[0]
+        if abs(slope) <= self.tolerance:
+            return None
+        return -hyperplane.offset / slope
+
+    def splits(self, region: Region, hyperplane: Hyperplane) -> bool:
+        breakpoint = self._breakpoint(hyperplane)
+        if breakpoint is None:
+            return False
+        return (
+            region.interval_low + self.tolerance
+            < breakpoint
+            < region.interval_high - self.tolerance
+        )
+
+    def split(self, region: Region, hyperplane: Hyperplane) -> tuple[Region, Region]:
+        if not self.splits(region, hyperplane):
+            raise ValueError(f"{hyperplane.name} does not split the region")
+        breakpoint = self._breakpoint(hyperplane)
+        slope = hyperplane.normal[0]
+        lo, hi = region.interval_low, region.interval_high
+        if slope > 0:
+            above_lo, above_hi = breakpoint, hi
+            below_lo, below_hi = lo, breakpoint
+        else:
+            above_lo, above_hi = lo, breakpoint
+            below_lo, below_hi = breakpoint, hi
+        above = region.with_constraint(
+            Constraint(hyperplane, ABOVE), interval_low=above_lo, interval_high=above_hi
+        )
+        below = region.with_constraint(
+            Constraint(hyperplane, BELOW), interval_low=below_lo, interval_high=below_hi
+        )
+        return above, below
+
+    def witness(self, region: Region) -> tuple[float, ...]:
+        return ((region.interval_low + region.interval_high) / 2.0,)
+
+
+# --------------------------------------------------------------------------
+# LP engine (any d)
+# --------------------------------------------------------------------------
+@dataclass
+class LPEngine:
+    """LP-based engine for multivariate score functions.
+
+    A region is the domain box intersected with the accumulated half-space
+    constraints.  Split tests solve two small LPs (maximize / minimize the
+    hyperplane's signed value over the region); witness points are Chebyshev
+    centres (the centre of the largest inscribed ball).
+    """
+
+    tolerance: float = 1e-7
+
+    # ------------------------------------------------------------- helpers
+    @staticmethod
+    def _region_inequalities(region: Region) -> tuple[np.ndarray, np.ndarray]:
+        """Half-space constraints of the region in ``A x <= b`` form (box excluded)."""
+        rows: list[np.ndarray] = []
+        rhs: list[float] = []
+        for constraint in region.constraints:
+            normal = np.asarray(constraint.hyperplane.normal, dtype=float)
+            offset = constraint.hyperplane.offset
+            if constraint.side == ABOVE:
+                # normal . x + offset >= 0  <=>  -normal . x <= offset
+                rows.append(-normal)
+                rhs.append(offset)
+            else:
+                # normal . x + offset < 0   <=>  normal . x <= -offset
+                rows.append(normal)
+                rhs.append(-offset)
+        if rows:
+            return np.vstack(rows), np.asarray(rhs, dtype=float)
+        dimension = region.dimension
+        return np.zeros((0, dimension)), np.zeros(0)
+
+    def _extremes(self, region: Region, hyperplane: Hyperplane) -> tuple[float, float]:
+        """Minimum and maximum of ``normal . x + offset`` over the region."""
+        from scipy.optimize import linprog
+
+        a_ub, b_ub = self._region_inequalities(region)
+        bounds = list(zip(region.domain.lower, region.domain.upper))
+        normal = np.asarray(hyperplane.normal, dtype=float)
+        values = []
+        for sign in (1.0, -1.0):
+            result = linprog(
+                sign * normal,
+                A_ub=a_ub if a_ub.size else None,
+                b_ub=b_ub if b_ub.size else None,
+                bounds=bounds,
+                method="highs",
+            )
+            if not result.success:
+                # Empty (or numerically empty) region: report a degenerate span.
+                return 0.0, 0.0
+            values.append(sign * result.fun + hyperplane.offset)
+        minimum, maximum = values[0], values[1]
+        return float(minimum), float(maximum)
+
+    # ----------------------------------------------------------------- API
+    def splits(self, region: Region, hyperplane: Hyperplane) -> bool:
+        if hyperplane.is_degenerate():
+            return False
+        minimum, maximum = self._extremes(region, hyperplane)
+        return minimum < -self.tolerance and maximum > self.tolerance
+
+    def split(self, region: Region, hyperplane: Hyperplane) -> tuple[Region, Region]:
+        if not self.splits(region, hyperplane):
+            raise ValueError(f"{hyperplane.name} does not split the region")
+        above = region.with_constraint(Constraint(hyperplane, ABOVE))
+        below = region.with_constraint(Constraint(hyperplane, BELOW))
+        return above, below
+
+    def witness(self, region: Region) -> tuple[float, ...]:
+        """Chebyshev centre of the region (centre of the largest inscribed ball)."""
+        from scipy.optimize import linprog
+
+        dimension = region.dimension
+        a_ub, b_ub = self._region_inequalities(region)
+        rows: list[np.ndarray] = []
+        rhs: list[float] = []
+        # Half-space constraints: a . x + r * ||a|| <= b
+        for row, bound in zip(a_ub, b_ub):
+            norm = float(np.linalg.norm(row))
+            rows.append(np.concatenate([row, [norm]]))
+            rhs.append(bound)
+        # Box constraints: x_k + r <= upper_k and -x_k + r <= -lower_k
+        for k in range(dimension):
+            unit = np.zeros(dimension)
+            unit[k] = 1.0
+            rows.append(np.concatenate([unit, [1.0]]))
+            rhs.append(region.domain.upper[k])
+            rows.append(np.concatenate([-unit, [1.0]]))
+            rhs.append(-region.domain.lower[k])
+        objective = np.zeros(dimension + 1)
+        objective[-1] = -1.0  # maximize the radius
+        bounds = [(None, None)] * dimension + [(0.0, None)]
+        result = linprog(
+            objective,
+            A_ub=np.vstack(rows),
+            b_ub=np.asarray(rhs),
+            bounds=bounds,
+            method="highs",
+        )
+        if not result.success:
+            raise ValueError("cannot compute a witness point for an empty region")
+        return tuple(float(v) for v in result.x[:dimension])
+
+
+def make_engine(domain: Domain, tolerance: Optional[float] = None) -> SplitEngine:
+    """Pick the right engine for the domain's dimension."""
+    if domain.dimension == 1:
+        return IntervalEngine(tolerance=tolerance or DEFAULT_TOLERANCE)
+    return LPEngine(tolerance=tolerance or 1e-7)

@@ -1,0 +1,162 @@
+"""Linear score functions and their pairwise intersection hyperplanes.
+
+Following the paper's system model (section 2.1), the outsourced database is
+viewed as a set of math functions ``f_i(X) = a_i . X + c_i`` sharing the same
+variables ``X = (x_1, ..., x_d)``.  For the Fig. 1 applicant table the
+coefficients are the record's attribute values (GPA, awards, papers) and the
+variables are the query-supplied weights.
+
+Two distinct functions ``f_i`` and ``f_j`` intersect on the hyperplane
+``(a_i - a_j) . X + (c_i - c_j) = 0``; these hyperplanes drive both the
+I-tree and the signature-mesh arrangement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.crypto.serialization import (
+    encode_float,
+    encode_float_vector,
+    encode_int,
+    encode_sequence,
+    encode_str,
+)
+
+__all__ = ["LinearFunction", "Hyperplane", "intersection_hyperplane"]
+
+#: Numerical tolerance used when deciding whether coefficients are equal.
+COEFFICIENT_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class LinearFunction:
+    """A linear score function ``f(X) = coefficients . X + constant``.
+
+    Parameters
+    ----------
+    index:
+        Position of the corresponding record in the outsourced database.
+        Used for deterministic tie-breaking and for naming intersections
+        ``I_{i,j}`` exactly as the paper does.
+    coefficients:
+        The ``d`` attribute values acting as coefficients of the weights.
+    constant:
+        Optional constant term (0 for the paper's pure weighted-sum
+        template, non-zero for affine templates).
+    """
+
+    index: int
+    coefficients: tuple[float, ...]
+    constant: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "coefficients", tuple(float(c) for c in self.coefficients))
+        object.__setattr__(self, "constant", float(self.constant))
+        if len(self.coefficients) == 0:
+            raise ValueError("a score function needs at least one coefficient")
+
+    # ---------------------------------------------------------------- math
+    @property
+    def dimension(self) -> int:
+        """Number of weight variables."""
+        return len(self.coefficients)
+
+    def evaluate(self, weights: Sequence[float]) -> float:
+        """Score of this function at the weight vector ``weights``."""
+        if len(weights) != self.dimension:
+            raise ValueError(
+                f"weight vector has dimension {len(weights)}, expected {self.dimension}"
+            )
+        return float(np.dot(self.coefficients, np.asarray(weights, dtype=float)) + self.constant)
+
+    def __call__(self, weights: Sequence[float]) -> float:
+        return self.evaluate(weights)
+
+    def is_parallel_to(self, other: "LinearFunction") -> bool:
+        """True when the two functions never intersect (or coincide)."""
+        diff = np.asarray(self.coefficients) - np.asarray(other.coefficients)
+        return bool(np.all(np.abs(diff) <= COEFFICIENT_TOLERANCE))
+
+    def is_coincident_with(self, other: "LinearFunction") -> bool:
+        """True when the two functions are equal everywhere."""
+        return self.is_parallel_to(other) and abs(self.constant - other.constant) <= COEFFICIENT_TOLERANCE
+
+    # --------------------------------------------------------- serialization
+    def to_bytes(self) -> bytes:
+        """Canonical encoding used for hashing and signing."""
+        return encode_sequence(
+            [
+                encode_str("function"),
+                encode_int(self.index),
+                encode_float_vector(self.coefficients),
+                encode_float(self.constant),
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class Hyperplane:
+    """The intersection locus of two score functions.
+
+    ``normal . X + offset = 0`` where ``normal = a_i - a_j`` and
+    ``offset = c_i - c_j``.  The *above* side is ``normal . X + offset >= 0``
+    (i.e. ``f_i(X) >= f_j(X)``), matching the paper's I-tree convention.
+    """
+
+    i: int
+    j: int
+    normal: tuple[float, ...]
+    offset: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "normal", tuple(float(v) for v in self.normal))
+        object.__setattr__(self, "offset", float(self.offset))
+
+    @property
+    def dimension(self) -> int:
+        return len(self.normal)
+
+    def side_value(self, weights: Sequence[float]) -> float:
+        """Signed value ``normal . X + offset`` (positive on the above side)."""
+        return float(np.dot(self.normal, np.asarray(weights, dtype=float)) + self.offset)
+
+    def is_degenerate(self) -> bool:
+        """True when the normal vector is (numerically) zero."""
+        return bool(np.all(np.abs(self.normal) <= COEFFICIENT_TOLERANCE))
+
+    def to_bytes(self) -> bytes:
+        """Canonical encoding used for hashing (intersection binding)."""
+        return encode_sequence(
+            [
+                encode_str("hyperplane"),
+                encode_int(self.i),
+                encode_int(self.j),
+                encode_float_vector(self.normal),
+                encode_float(self.offset),
+            ]
+        )
+
+    @property
+    def name(self) -> str:
+        """Human-readable name matching the paper's ``I_{i,j}`` notation."""
+        return f"I_{{{self.i},{self.j}}}"
+
+
+def intersection_hyperplane(f_i: LinearFunction, f_j: LinearFunction) -> Optional[Hyperplane]:
+    """Hyperplane on which ``f_i`` and ``f_j`` have equal scores.
+
+    Returns ``None`` when the functions are parallel (including coincident):
+    parallel functions never swap order, so they contribute nothing to the
+    arrangement.
+    """
+    if f_i.dimension != f_j.dimension:
+        raise ValueError("functions must share the same weight variables")
+    if f_i.is_parallel_to(f_j):
+        return None
+    normal = tuple(a - b for a, b in zip(f_i.coefficients, f_j.coefficients))
+    offset = f_i.constant - f_j.constant
+    return Hyperplane(i=f_i.index, j=f_j.index, normal=normal, offset=offset)

@@ -1,0 +1,46 @@
+"""Deterministic sorting of score functions inside a subdomain.
+
+By the function-sortability theorem, the relative order of the score
+functions is the same for every weight vector inside a subdomain, so sorting
+them at a single interior witness point fixes the order for the whole
+subdomain.  Ties (functions with identical output across the subdomain,
+e.g. duplicate records) are broken by record index so the owner, the server
+and the verifying client always agree on the order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.functions import LinearFunction
+
+__all__ = ["sort_functions_at", "rank_of"]
+
+
+def sort_functions_at(
+    functions: Sequence[LinearFunction],
+    witness: Sequence[float],
+) -> list[LinearFunction]:
+    """Return the functions sorted ascending by score at ``witness``.
+
+    The returned list is a new list; the input sequence is not modified.
+    Ties are broken by ``function.index`` (ascending) so the order is a
+    deterministic total order.
+    """
+    return sorted(functions, key=lambda f: (f.evaluate(witness), f.index))
+
+
+def rank_of(
+    functions: Sequence[LinearFunction],
+    witness: Sequence[float],
+    index: int,
+) -> int:
+    """Position (0-based, ascending score) of record ``index`` at ``witness``.
+
+    Raises :class:`ValueError` when no function carries that record index.
+    """
+    ordered = sort_functions_at(functions, witness)
+    for position, function in enumerate(ordered):
+        if function.index == index:
+            return position
+    raise ValueError(f"no function with record index {index}")

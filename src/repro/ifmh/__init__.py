@@ -1,0 +1,44 @@
+"""The IFMH-tree: the paper's proposed verification data structure.
+
+The Intersection and Function Merkle Hash tree combines
+
+* an **IMH-tree** -- the I-tree over the weight-space arrangement with
+  Merkle hashes propagated bottom-up (subdomain nodes take their FMH root,
+  intersection nodes hash their children), and
+* one **FMH-tree** per subdomain -- a Merkle tree over that subdomain's
+  sorted record list bracketed by ``f_min`` / ``f_max`` tokens.
+
+Two signing modes are supported (paper section 3.1, step 4):
+
+* ``one-signature`` -- only the IMH root is signed;
+* ``multi-signature`` -- each subdomain node is signed over the hash of its
+  defining inequality set concatenated with its FMH root.
+
+:mod:`repro.ifmh.vo` constructs verification objects for query results and
+:mod:`repro.ifmh.verify` implements the client-side verification.
+"""
+
+from repro.ifmh.ifmh_tree import IFMHTree, ONE_SIGNATURE, MULTI_SIGNATURE
+from repro.ifmh.vo import (
+    IVStep,
+    OneSignatureIV,
+    MultiSignatureIV,
+    FunctionVO,
+    VerificationObject,
+    build_verification_object,
+)
+from repro.ifmh.verify import verify_result, derive_function
+
+__all__ = [
+    "IFMHTree",
+    "ONE_SIGNATURE",
+    "MULTI_SIGNATURE",
+    "IVStep",
+    "OneSignatureIV",
+    "MultiSignatureIV",
+    "FunctionVO",
+    "VerificationObject",
+    "build_verification_object",
+    "verify_result",
+    "derive_function",
+]

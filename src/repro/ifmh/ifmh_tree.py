@@ -1,0 +1,214 @@
+"""IFMH-tree construction (paper section 3.1, steps 1-4).
+
+Step 1 builds the I-tree (delegated to :class:`repro.itree.ITree`); step 2
+builds one FMH-tree per subdomain over its sorted record list; step 3
+propagates hashes bottom-up through the intersection nodes; step 4 signs the
+structure, either once at the root (*one-signature*) or once per subdomain
+(*multi-signature*).
+
+Hardening note: the paper computes an intersection node's hash as
+``H(a.h | b.h)``.  That does not bind *which* intersection the node stores,
+so a malicious server could present a search path with altered branch
+conditions.  By default this implementation binds the intersection
+hyperplane into the hash (``H(enc(I_ij) | a.h | b.h)``); pass
+``bind_intersections=False`` to get the exact paper behaviour (exercised by
+tests and an ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.errors import ConstructionError
+from repro.core.records import Dataset, Record, UtilityTemplate
+from repro.crypto.hashing import HashFunction
+from repro.crypto.signer import Signer
+from repro.geometry.engine import SplitEngine
+from repro.itree.itree import ITree, SearchTrace
+from repro.itree.nodes import ITreeNode
+from repro.merkle.fmh_tree import FMHTree
+from repro.metrics.counters import Counters
+from repro.metrics.sizes import DEFAULT_SIZE_MODEL, SizeModel
+
+__all__ = ["IFMHTree", "ONE_SIGNATURE", "MULTI_SIGNATURE"]
+
+ONE_SIGNATURE = "one-signature"
+MULTI_SIGNATURE = "multi-signature"
+
+
+class IFMHTree:
+    """The Intersection and Function Merkle Hash tree.
+
+    Parameters
+    ----------
+    dataset / template:
+        The outsourced table and its utility-function template; every record
+        is interpreted as a linear score function over the template's weight
+        domain.
+    mode:
+        ``"one-signature"`` or ``"multi-signature"``.
+    signer:
+        The data owner's signing key (any :class:`repro.crypto.Signer`).
+    hash_function:
+        Counting SHA-256 wrapper; supply one wired to the owner's counters
+        to measure construction cost.
+    engine:
+        Geometry engine override (defaults to the right engine for the
+        template's dimension).
+    counters:
+        Owner-side counters (signatures created, hash operations).
+    bind_intersections:
+        Bind each intersection's identity into its node hash (hardened
+        default); ``False`` reproduces the paper's exact hash rule.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        template: UtilityTemplate,
+        *,
+        mode: str = ONE_SIGNATURE,
+        signer: Optional[Signer] = None,
+        hash_function: Optional[HashFunction] = None,
+        engine: Optional[SplitEngine] = None,
+        counters: Optional[Counters] = None,
+        bind_intersections: bool = True,
+    ):
+        if mode not in (ONE_SIGNATURE, MULTI_SIGNATURE):
+            raise ConstructionError(
+                f"unknown IFMH mode {mode!r}; expected {ONE_SIGNATURE!r} or {MULTI_SIGNATURE!r}"
+            )
+        if len(dataset) == 0:
+            raise ConstructionError("cannot build an IFMH-tree over an empty dataset")
+        self.dataset = dataset
+        self.template = template
+        self.mode = mode
+        self.bind_intersections = bind_intersections
+        self.counters = counters or Counters()
+        self.hash_function = hash_function or HashFunction(self.counters)
+        self.signer = signer
+        self.records_by_id: Dict[int, Record] = {r.record_id: r for r in dataset}
+
+        functions = template.functions_for(dataset)
+        self.itree = ITree(functions, template.domain, engine=engine, counters=self.counters)
+        self._attach_fmh_trees()
+        self._propagate_hashes()
+        self.root_signature: Optional[bytes] = None
+        if signer is not None:
+            self._sign(signer)
+
+    # ------------------------------------------------------------- step 2
+    def _attach_fmh_trees(self) -> None:
+        """Build one FMH-tree per subdomain leaf over its sorted record list."""
+        for leaf in self.itree.leaves():
+            sorted_records = [self.records_by_id[f.index] for f in leaf.sorted_functions]
+            leaf.fmh_tree = FMHTree(sorted_records, hash_function=self.hash_function)
+            leaf.hash_value = leaf.fmh_tree.root
+
+    # ------------------------------------------------------------- step 3
+    def _propagate_hashes(self) -> None:
+        """Compute intersection-node hashes bottom-up (the paper's stack walk)."""
+        stack = [self.itree.root]
+        while stack:
+            node = stack[-1]
+            if node.is_subdomain:
+                stack.pop()
+                continue
+            above, below = node.above, node.below
+            missing = [child for child in (above, below) if child.hash_value is None]
+            if missing:
+                stack.extend(missing)
+                continue
+            node.hash_value = self._intersection_hash(node)
+            stack.pop()
+
+    def _intersection_hash(self, node: ITreeNode) -> bytes:
+        if self.bind_intersections:
+            return self.hash_function.combine(
+                node.hyperplane.to_bytes(), node.above.hash_value, node.below.hash_value
+            )
+        return self.hash_function.combine(node.above.hash_value, node.below.hash_value)
+
+    # ------------------------------------------------------------- step 4
+    def _sign(self, signer: Signer) -> None:
+        if self.mode == ONE_SIGNATURE:
+            self.root_signature = signer.sign(self.root_hash)
+            self.counters.add_signature_created()
+            return
+        for leaf in self.itree.leaves():
+            leaf.signature = signer.sign(self.subdomain_digest(leaf))
+            self.counters.add_signature_created()
+
+    def subdomain_digest(self, leaf: ITreeNode) -> bytes:
+        """Multi-signature message for a subdomain node.
+
+        The paper hashes the subdomain's inequality set, concatenates the
+        result with the subdomain node's hash (its FMH root) and hashes
+        again; the final digest is what gets signed.
+        """
+        inequality_hash = self.hash_function.digest(leaf.region.constraint_bytes())
+        return self.hash_function.combine(inequality_hash, leaf.hash_value)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def root_hash(self) -> bytes:
+        if self.itree.root.hash_value is None:
+            raise ConstructionError("hash propagation has not run")
+        return self.itree.root.hash_value
+
+    @property
+    def subdomain_count(self) -> int:
+        return self.itree.subdomain_count
+
+    @property
+    def imh_node_count(self) -> int:
+        """Nodes of the IMH-tree (intersection + subdomain nodes)."""
+        return self.itree.node_count
+
+    @property
+    def fmh_node_count(self) -> int:
+        """Total nodes across every FMH-tree."""
+        return sum(leaf.fmh_tree.node_count for leaf in self.itree.leaves())
+
+    @property
+    def node_count(self) -> int:
+        """All nodes of the combined structure."""
+        return self.imh_node_count + self.fmh_node_count
+
+    @property
+    def signature_count(self) -> int:
+        """Number of signatures the data owner created (Fig. 5a)."""
+        if self.signer is None:
+            return 0
+        if self.mode == ONE_SIGNATURE:
+            return 1
+        return self.subdomain_count
+
+    def search(self, weights: Sequence[float], counters: Optional[Counters] = None) -> SearchTrace:
+        """Locate the subdomain containing ``weights`` (delegates to the I-tree)."""
+        return self.itree.search(weights, counters=counters)
+
+    # ----------------------------------------------------------------- size
+    def size_breakdown(self, size_model: SizeModel = DEFAULT_SIZE_MODEL) -> Dict[str, int]:
+        """Byte-size breakdown of the serialized structure (Fig. 5c)."""
+        dimension = self.template.dimension
+        intersection_nodes = self.imh_node_count - self.subdomain_count
+        imh_bytes = intersection_nodes * (
+            size_model.hyperplane_size(dimension)
+            + 2 * size_model.pointer_size
+            + size_model.hash_size
+        ) + self.subdomain_count * (2 * size_model.pointer_size + size_model.hash_size)
+        fmh_bytes = self.fmh_node_count * (size_model.hash_size + 3 * size_model.pointer_size)
+        record_refs = sum(leaf.fmh_tree.item_count for leaf in self.itree.leaves())
+        list_bytes = record_refs * size_model.pointer_size
+        signature_bytes = self.signature_count * size_model.signature_size
+        return {
+            "imh_bytes": imh_bytes,
+            "fmh_bytes": fmh_bytes,
+            "sorted_list_bytes": list_bytes,
+            "signature_bytes": signature_bytes,
+        }
+
+    def size_bytes(self, size_model: SizeModel = DEFAULT_SIZE_MODEL) -> int:
+        """Total serialized size in bytes."""
+        return sum(self.size_breakdown(size_model).values())

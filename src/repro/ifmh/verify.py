@@ -1,0 +1,147 @@
+"""Client-side verification of IFMH-tree query results (paper section 3.3).
+
+The verifying client holds only public information: the utility-function
+template (including the weight domain), the table schema (attribute names)
+and the data owner's public key.  Verification proceeds in two steps:
+
+1. **Authenticity** -- recompute the FMH root from the returned records,
+   the boundary entries and the Merkle range proof; then either fold the
+   IMH search path up to the root and check the root signature
+   (one-signature) or check the subdomain signature over the inequality-set
+   digest (multi-signature).
+2. **Query re-execution** -- check that the query's weight vector falls in
+   the proven subdomain, that the returned records' scores are sorted and
+   satisfy the query condition, and that the two boundary records prove the
+   result is complete (nothing qualifying was dropped on either side).
+
+The result is a :class:`~repro.core.results.VerificationReport`; nothing is
+raised unless the caller asks for strict behaviour via
+``report.raise_if_invalid()``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro.core.queries import AnalyticQuery
+from repro.core.recheck import recheck_query
+from repro.core.records import Record, UtilityTemplate
+from repro.core.results import QueryResult, VerificationReport
+from repro.crypto.hashing import HashFunction
+from repro.crypto.signer import Verifier
+from repro.geometry.domain import region_from_constraints
+from repro.geometry.functions import LinearFunction
+from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
+from repro.ifmh.vo import VerificationObject
+from repro.merkle.fmh_tree import FMHTree
+from repro.metrics.counters import Counters
+
+__all__ = ["derive_function", "verify_result"]
+
+
+def derive_function(
+    record: Record,
+    template: UtilityTemplate,
+    attribute_names: Sequence[str],
+) -> LinearFunction:
+    """Re-derive a record's score function from public information.
+
+    Thin convenience wrapper around
+    :meth:`repro.core.records.UtilityTemplate.function_from_schema`.
+    """
+    return template.function_from_schema(record, attribute_names)
+
+
+def verify_result(
+    query: AnalyticQuery,
+    result: QueryResult,
+    vo: VerificationObject,
+    *,
+    template: UtilityTemplate,
+    attribute_names: Sequence[str],
+    verifier: Verifier,
+    bind_intersections: bool = True,
+    counters: Optional[Counters] = None,
+) -> VerificationReport:
+    """Verify that ``result`` is a sound and complete answer to ``query``."""
+    report = VerificationReport()
+    counters = counters if counters is not None else Counters()
+    report.counters = counters
+    hash_function = HashFunction(counters)
+
+    query.validate(template.dimension)
+    weights = query.weights
+    report.record(
+        "weights-in-domain",
+        template.domain.contains(weights),
+        f"query weights {weights} lie outside the published domain",
+    )
+
+    # ----------------------------------------------------- 1a. FMH root
+    started = time.perf_counter()
+    try:
+        fmh_root = FMHTree.root_from_window(
+            list(result.records), vo.fv.left, vo.fv.right, vo.fv.proof, hash_function=hash_function
+        )
+        report.record("fmh-reconstruction", True)
+    except ValueError as error:
+        report.record("fmh-reconstruction", False, f"cannot reconstruct the FMH root: {error}")
+        report.timings["hashing"] = time.perf_counter() - started
+        return report
+    report.timings["hashing"] = time.perf_counter() - started
+
+    # ----------------------------------------------------- 1b. IV + signature
+    signature_started = time.perf_counter()
+    if vo.scheme == ONE_SIGNATURE:
+        root_hash = fmh_root
+        directions_consistent = True
+        for step in reversed(vo.one_signature_iv.steps):
+            expected_above = step.hyperplane.side_value(weights) >= 0
+            if expected_above != step.took_above:
+                directions_consistent = False
+            taken, sibling = root_hash, step.sibling_hash
+            above = taken if step.took_above else sibling
+            below = sibling if step.took_above else taken
+            if bind_intersections:
+                root_hash = hash_function.combine(step.hyperplane.to_bytes(), above, below)
+            else:
+                root_hash = hash_function.combine(above, below)
+        report.record(
+            "search-path-directions",
+            directions_consistent,
+            "the IMH search path does not follow the query's weight vector",
+        )
+        signature_ok = verifier.verify(root_hash, vo.root_signature)
+        counters.add_signature_verified()
+        report.record(
+            "root-signature",
+            signature_ok,
+            "the reconstructed IFMH root does not match the owner's signature",
+        )
+    elif vo.scheme == MULTI_SIGNATURE:
+        region = region_from_constraints(template.domain, vo.multi_signature_iv.constraints)
+        report.record(
+            "subdomain-contains-weights",
+            region.contains(weights),
+            "the proven subdomain does not contain the query's weight vector",
+        )
+        inequality_hash = hash_function.digest(region.constraint_bytes())
+        digest = hash_function.combine(inequality_hash, fmh_root)
+        signature_ok = verifier.verify(digest, vo.multi_signature_iv.signature)
+        counters.add_signature_verified()
+        report.record(
+            "subdomain-signature",
+            signature_ok,
+            "the subdomain digest does not match the owner's signature",
+        )
+    else:  # pragma: no cover - VerificationObject already validates the scheme
+        report.record("scheme", False, f"unknown VO scheme {vo.scheme!r}")
+        return report
+    report.timings["signature"] = time.perf_counter() - signature_started
+
+    # ----------------------------------------------------- 2. query re-execution
+    recheck_started = time.perf_counter()
+    recheck_query(query, result, vo.fv.left, vo.fv.right, template, attribute_names, report)
+    report.timings["query-recheck"] = time.perf_counter() - recheck_started
+    return report

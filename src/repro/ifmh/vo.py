@@ -1,0 +1,199 @@
+"""Verification-object construction for IFMH-tree query results.
+
+A verification object (paper section 3.2) has two parts:
+
+* the **intersection verification object** (IV) authenticating *which
+  subdomain* the query's weight vector falls into -- for one-signature mode
+  this is the search path through the IMH-tree with each off-path sibling's
+  hash; for multi-signature mode it is the subdomain's inequality set plus
+  that subdomain's signature;
+* the **function verification object** (FV) authenticating the returned
+  window of the subdomain's sorted record list -- the two boundary entries
+  and a Merkle range proof against the subdomain's FMH root.
+
+For one-signature mode the VO additionally carries the owner's root
+signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import QueryProcessingError
+from repro.geometry.domain import Constraint
+from repro.geometry.functions import Hyperplane
+from repro.ifmh.ifmh_tree import IFMHTree, MULTI_SIGNATURE, ONE_SIGNATURE
+from repro.itree.itree import SearchTrace
+from repro.merkle.fmh_tree import BoundaryEntry
+from repro.merkle.mh_tree import RangeProof
+from repro.metrics.counters import Counters
+from repro.metrics.sizes import DEFAULT_SIZE_MODEL, SizeModel
+from repro.queryproc.window import ResultWindow
+
+__all__ = [
+    "IVStep",
+    "OneSignatureIV",
+    "MultiSignatureIV",
+    "FunctionVO",
+    "VerificationObject",
+    "build_verification_object",
+]
+
+
+@dataclass(frozen=True)
+class IVStep:
+    """One intersection node of the search path, root to leaf.
+
+    ``sibling_hash`` is the Merkle hash of the child *not* taken; together
+    with the recomputed hash of the taken side it reproduces the parent's
+    hash.
+    """
+
+    hyperplane: Hyperplane
+    took_above: bool
+    sibling_hash: bytes
+
+
+@dataclass(frozen=True)
+class OneSignatureIV:
+    """IV for one-signature mode: the authenticated IMH search path."""
+
+    steps: tuple[IVStep, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.steps)
+
+
+@dataclass(frozen=True)
+class MultiSignatureIV:
+    """IV for multi-signature mode: the subdomain's inequality set + signature."""
+
+    constraints: tuple[Constraint, ...]
+    signature: bytes
+
+
+@dataclass(frozen=True)
+class FunctionVO:
+    """FV: boundary entries plus the FMH Merkle range proof."""
+
+    left: BoundaryEntry
+    right: BoundaryEntry
+    proof: RangeProof
+
+
+@dataclass(frozen=True)
+class VerificationObject:
+    """The complete verification object shipped with a query result."""
+
+    scheme: str
+    fv: FunctionVO
+    one_signature_iv: Optional[OneSignatureIV] = None
+    multi_signature_iv: Optional[MultiSignatureIV] = None
+    root_signature: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.scheme == ONE_SIGNATURE:
+            if self.one_signature_iv is None or self.root_signature is None:
+                raise ValueError("one-signature VO needs an IV path and the root signature")
+        elif self.scheme == MULTI_SIGNATURE:
+            if self.multi_signature_iv is None:
+                raise ValueError("multi-signature VO needs a subdomain IV")
+        else:
+            raise ValueError(f"unknown VO scheme {self.scheme!r}")
+
+    # ------------------------------------------------------------- metrics
+    @property
+    def signature_count(self) -> int:
+        """Signatures the client must verify (always 1 for IFMH schemes)."""
+        return 1
+
+    def hash_entries(self) -> int:
+        """Number of hash values shipped inside the VO."""
+        count = self.fv.proof.node_count()
+        if self.one_signature_iv is not None:
+            count += len(self.one_signature_iv.steps)
+        return count
+
+    def size_bytes(
+        self,
+        dimension: int,
+        size_model: SizeModel = DEFAULT_SIZE_MODEL,
+    ) -> int:
+        """Serialized size of the VO in bytes (Fig. 8)."""
+        total = 0
+        # FV: two boundary entries + the range proof hashes + window metadata.
+        for boundary in (self.fv.left, self.fv.right):
+            if boundary.is_token:
+                total += size_model.int_size
+            else:
+                total += size_model.record_size(dimension)
+            total += size_model.int_size  # leaf index
+        total += self.fv.proof.node_count() * (size_model.hash_size + 2 * size_model.int_size)
+        total += 3 * size_model.int_size  # proof range + leaf count
+        # IV.
+        if self.one_signature_iv is not None:
+            for _step in self.one_signature_iv.steps:
+                total += (
+                    size_model.hyperplane_size(dimension)
+                    + 1  # direction bit
+                    + size_model.hash_size
+                )
+            total += size_model.signature_size  # root signature
+        if self.multi_signature_iv is not None:
+            total += len(self.multi_signature_iv.constraints) * size_model.constraint_size(dimension)
+            total += size_model.signature_size
+        return total
+
+
+def build_verification_object(
+    tree: IFMHTree,
+    trace: SearchTrace,
+    window: ResultWindow,
+    counters: Optional[Counters] = None,
+) -> VerificationObject:
+    """Construct the VO for a result window inside the traced subdomain.
+
+    ``counters`` (if given) accumulates the server-side cost: every IMH node
+    touched by the search (already counted by the search itself) plus every
+    FMH node touched while building the range proof -- the quantity Fig. 6
+    of the paper reports.
+    """
+    leaf = trace.leaf
+    if leaf.fmh_tree is None:
+        raise QueryProcessingError("subdomain has no FMH-tree; was the IFMH-tree built?")
+    left, right, proof = leaf.fmh_tree.window_proof(window)
+    if counters is not None:
+        # Nodes touched to build the FV: the leaves of the proven range plus
+        # every supplement hash copied out of the FMH-tree.
+        counters.add_node(proof.end - proof.start + 1)
+        counters.add_node(proof.node_count())
+    fv = FunctionVO(left=left, right=right, proof=proof)
+
+    if tree.mode == ONE_SIGNATURE:
+        steps = tuple(
+            IVStep(
+                hyperplane=step.node.hyperplane,
+                took_above=step.took_above,
+                sibling_hash=step.sibling.hash_value,
+            )
+            for step in trace.steps
+        )
+        return VerificationObject(
+            scheme=ONE_SIGNATURE,
+            fv=fv,
+            one_signature_iv=OneSignatureIV(steps=steps),
+            root_signature=tree.root_signature,
+        )
+
+    if leaf.signature is None:
+        raise QueryProcessingError("subdomain is unsigned; was the IFMH-tree built in multi mode?")
+    return VerificationObject(
+        scheme=MULTI_SIGNATURE,
+        fv=fv,
+        multi_signature_iv=MultiSignatureIV(
+            constraints=tuple(leaf.region.constraints),
+            signature=leaf.signature,
+        ),
+    )

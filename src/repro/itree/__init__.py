@@ -1,0 +1,15 @@
+"""Intersection tree (I-tree).
+
+The I-tree (Yang & Cai, TKDE 2018; recapped in section 2.3.2 of the
+reproduced paper) indexes the subdomains created by the pairwise
+intersections of the score functions: internal nodes record an intersection
+``I_{i,j}`` and point to the *above* (``f_i - f_j >= 0``) and *below*
+(``< 0``) sub-trees; leaves are subdomain nodes carrying the sorted function
+list for their region.  Searching for the subdomain containing a weight
+vector follows one root-to-leaf path.
+"""
+
+from repro.itree.nodes import ITreeNode
+from repro.itree.itree import ITree, SearchStep, SearchTrace
+
+__all__ = ["ITreeNode", "ITree", "SearchStep", "SearchTrace"]

@@ -1,0 +1,189 @@
+"""I-tree construction and search.
+
+Construction follows the paper's insertion algorithm (section 3.1, step 1):
+for every pair of functions, the intersection ``I_{i,j}`` is inserted with a
+breadth-first walk from the root; subdomain nodes whose region it cuts are
+converted into intersection nodes, and intersection nodes whose region it
+cuts forward the insertion to both children.  After all pairs are inserted,
+every leaf's functions are sorted at an interior witness point.
+
+Search descends one root-to-leaf path, choosing the *above* child when
+``f_i(X) - f_j(X) >= 0`` and the *below* child otherwise, and records the
+trace (the visited intersection nodes, the direction taken and the sibling
+not taken) -- exactly the nodes the one-signature verification object needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.errors import ConstructionError, QueryProcessingError
+from repro.geometry.arrangement import pairwise_hyperplanes
+from repro.geometry.domain import Domain, Region
+from repro.geometry.engine import SplitEngine, make_engine
+from repro.geometry.functions import Hyperplane, LinearFunction
+from repro.geometry.sorting import sort_functions_at
+from repro.itree.nodes import ITreeNode
+from repro.metrics.counters import Counters
+
+__all__ = ["ITree", "SearchStep", "SearchTrace"]
+
+
+@dataclass(frozen=True)
+class SearchStep:
+    """One internal node visited on a root-to-leaf search path."""
+
+    node: ITreeNode
+    took_above: bool
+
+    @property
+    def sibling(self) -> ITreeNode:
+        """The child that was *not* taken."""
+        return self.node.below if self.took_above else self.node.above
+
+    @property
+    def taken(self) -> ITreeNode:
+        """The child that was taken."""
+        return self.node.above if self.took_above else self.node.below
+
+
+@dataclass
+class SearchTrace:
+    """Result of a subdomain search: the leaf plus the path that led to it."""
+
+    leaf: ITreeNode
+    steps: list[SearchStep] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return len(self.steps)
+
+    def visited_nodes(self) -> int:
+        """Nodes touched by the search (path nodes plus their siblings).
+
+        This matches the paper's server-cost metric: the queue built during
+        the search contains every node on the path and each node's sibling.
+        """
+        return 2 * len(self.steps) + 1
+
+
+class ITree:
+    """The intersection tree over a set of score functions."""
+
+    def __init__(
+        self,
+        functions: Sequence[LinearFunction],
+        domain: Domain,
+        engine: Optional[SplitEngine] = None,
+        counters: Optional[Counters] = None,
+    ):
+        if not functions:
+            raise ConstructionError("cannot build an I-tree over an empty function set")
+        dimensions = {f.dimension for f in functions}
+        if len(dimensions) != 1:
+            raise ConstructionError(f"functions disagree on dimension: {sorted(dimensions)}")
+        if dimensions.pop() != domain.dimension:
+            raise ConstructionError("function dimension does not match the domain")
+        self.functions = list(functions)
+        self.domain = domain
+        self.engine = engine or make_engine(domain)
+        self.counters = counters or Counters()
+        self.root = ITreeNode(region=Region.full(domain))
+        self._insertion_checks = 0
+        self._build()
+
+    # ---------------------------------------------------------------- build
+    def _build(self) -> None:
+        for hyperplane in pairwise_hyperplanes(self.functions):
+            self._insert(hyperplane)
+        self._finalize_leaves()
+
+    def _insert(self, hyperplane: Hyperplane) -> None:
+        """Insert one intersection with the paper's BFS procedure."""
+        queue: deque[ITreeNode] = deque([self.root])
+        while queue:
+            node = queue.popleft()
+            self._insertion_checks += 1
+            if not self.engine.splits(node.region, hyperplane):
+                continue
+            if node.is_subdomain:
+                above_region, below_region = self.engine.split(node.region, hyperplane)
+                node.convert_to_intersection(hyperplane, above_region, below_region)
+            else:
+                queue.append(node.above)
+                queue.append(node.below)
+
+    def _finalize_leaves(self) -> None:
+        """Sort the functions of every leaf and assign stable subdomain ids."""
+        subdomain_id = 0
+        for node in self.root.iter_subtree():
+            if node.is_subdomain:
+                node.witness = self.engine.witness(node.region)
+                node.sorted_functions = sort_functions_at(self.functions, node.witness)
+                node.subdomain_id = subdomain_id
+                subdomain_id += 1
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def insertion_checks(self) -> int:
+        """Number of node-vs-intersection checks performed during the build."""
+        return self._insertion_checks
+
+    def leaves(self) -> Iterable[ITreeNode]:
+        """All subdomain (leaf) nodes."""
+        for node in self.root.iter_subtree():
+            if node.is_subdomain:
+                yield node
+
+    def internal_nodes(self) -> Iterable[ITreeNode]:
+        """All intersection (internal) nodes."""
+        for node in self.root.iter_subtree():
+            if node.is_intersection:
+                yield node
+
+    @property
+    def subdomain_count(self) -> int:
+        return sum(1 for _ in self.leaves())
+
+    @property
+    def node_count(self) -> int:
+        return sum(1 for _ in self.root.iter_subtree())
+
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (root alone = 0)."""
+        best = 0
+        stack = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if node.is_subdomain:
+                best = max(best, depth)
+            else:
+                stack.append((node.above, depth + 1))
+                stack.append((node.below, depth + 1))
+        return best
+
+    # --------------------------------------------------------------- search
+    def search(self, weights: Sequence[float], counters: Optional[Counters] = None) -> SearchTrace:
+        """Find the subdomain containing ``weights`` and record the path."""
+        if not self.domain.contains(weights):
+            raise QueryProcessingError(
+                f"weight vector {tuple(weights)} lies outside the published domain"
+            )
+        counters = counters if counters is not None else self.counters
+        node = self.root
+        steps: list[SearchStep] = []
+        counters.add_node()  # the root is always inspected
+        while node.is_intersection:
+            took_above = node.hyperplane.side_value(weights) >= 0
+            counters.add_comparison()
+            steps.append(SearchStep(node=node, took_above=took_above))
+            node = node.above if took_above else node.below
+            # The search enqueues the taken child and its sibling (paper 3.2).
+            counters.add_node(2)
+        return SearchTrace(leaf=node, steps=steps)
+
+    def locate(self, weights: Sequence[float]) -> ITreeNode:
+        """Convenience wrapper returning only the subdomain leaf."""
+        return self.search(weights).leaf

@@ -1,0 +1,21 @@
+"""Merkle hash trees.
+
+* :mod:`repro.merkle.mh_tree` -- a generic Merkle hash tree with the paper's
+  odd-node carry rule, membership proofs and contiguous-range proofs.
+* :mod:`repro.merkle.fmh_tree` -- the Function Merkle Hash tree (FMH-tree):
+  a Merkle tree over a subdomain's sorted function list bracketed by the
+  ``f_min`` / ``f_max`` boundary tokens.
+"""
+
+from repro.merkle.mh_tree import MerkleTree, MembershipProof, RangeProof
+from repro.merkle.fmh_tree import FMHTree, MIN_TOKEN, MAX_TOKEN, BoundaryEntry
+
+__all__ = [
+    "MerkleTree",
+    "MembershipProof",
+    "RangeProof",
+    "FMHTree",
+    "MIN_TOKEN",
+    "MAX_TOKEN",
+    "BoundaryEntry",
+]

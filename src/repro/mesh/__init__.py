@@ -1,0 +1,29 @@
+"""The signature-mesh baseline (Yang, Cai & Hu, ICDE 2016).
+
+Re-implementation of the prior art the paper compares against (its section
+2.3.1): the weight domain is partitioned into the full arrangement of
+subdomains, the functions are sorted per subdomain with ``min`` / ``max``
+boundary tokens, and every pair of records that is consecutive in a
+subdomain's sorted list is signed together with the subdomain's boundary
+description.  A pair that stays consecutive across consecutive subdomains
+shares one signature, which turns the per-subdomain chains into a *mesh*.
+
+Query processing finds the subdomain by a **linear scan** over the cells
+(this is the cost the IFMH-tree attacks), returns the contiguous result
+window plus its two neighbours and ships one signature per consecutive pair
+of the window -- so the client verifies ``O(|q|)`` signatures instead of
+one.
+"""
+
+from repro.mesh.structures import CoverageRegion, PairSignature, MeshCell, MeshVerificationObject
+from repro.mesh.builder import SignatureMesh
+from repro.mesh.verify import verify_mesh_result
+
+__all__ = [
+    "CoverageRegion",
+    "PairSignature",
+    "MeshCell",
+    "MeshVerificationObject",
+    "SignatureMesh",
+    "verify_mesh_result",
+]

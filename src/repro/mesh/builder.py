@@ -1,0 +1,293 @@
+"""Signature-mesh construction and server-side query processing.
+
+Construction (paper section 2.3.1):
+
+1. compute the full arrangement of subdomains;
+2. sort the records for every subdomain and bracket the list with the
+   ``min`` / ``max`` tokens;
+3. for every pair of consecutive chain entries compute the digest
+   ``H(H(left) | H(right) | B_i)`` -- where ``B_i`` describes the covered
+   subdomain(s) -- and sign it with the owner's private key;
+4. a pair that remains consecutive across *consecutive* subdomains is signed
+   once for the whole run (the shared-signature optimization that turns the
+   chains into a mesh).  Sharing is applied for univariate templates, where
+   "consecutive subdomains" is well defined (the cells are intervals in
+   left-to-right order).
+
+Query processing finds the subdomain containing the query's weight vector by
+a linear scan over the cells (the baseline's fundamental cost), selects the
+contiguous result window and ships one pair signature per consecutive pair
+of the extended window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import ConstructionError, QueryProcessingError
+from repro.core.queries import AnalyticQuery
+from repro.core.records import Dataset, Record, UtilityTemplate
+from repro.core.results import QueryResult
+from repro.crypto.hashing import HashFunction
+from repro.crypto.signer import Signer
+from repro.geometry.arrangement import build_arrangement
+from repro.geometry.engine import SplitEngine
+from repro.merkle.fmh_tree import BoundaryEntry
+from repro.mesh.structures import (
+    CoverageRegion,
+    MeshCell,
+    MeshVerificationObject,
+    PairSignature,
+    chain_entry_bytes,
+)
+from repro.metrics.counters import Counters
+from repro.metrics.sizes import DEFAULT_SIZE_MODEL, SizeModel
+from repro.queryproc.window import ResultWindow, select_window
+
+__all__ = ["SignatureMesh"]
+
+
+class SignatureMesh:
+    """The signature-mesh authenticated data structure (baseline)."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        template: UtilityTemplate,
+        *,
+        signer: Optional[Signer] = None,
+        hash_function: Optional[HashFunction] = None,
+        engine: Optional[SplitEngine] = None,
+        counters: Optional[Counters] = None,
+        share_signatures: bool = True,
+    ):
+        if len(dataset) == 0:
+            raise ConstructionError("cannot build a signature mesh over an empty dataset")
+        self.dataset = dataset
+        self.template = template
+        self.counters = counters or Counters()
+        self.hash_function = hash_function or HashFunction(self.counters)
+        self.signer = signer
+        self.share_signatures = share_signatures and template.dimension == 1
+
+        self.records_by_id: Dict[int, Record] = {r.record_id: r for r in dataset}
+        functions = template.functions_for(dataset)
+        self.functions_by_id = {f.index: f for f in functions}
+        self.arrangement = build_arrangement(functions, template.domain, engine=engine)
+
+        self.cells: List[MeshCell] = [
+            MeshCell(
+                identifier=subdomain.identifier,
+                region=subdomain.region,
+                witness=subdomain.witness,
+                sorted_records=[self.records_by_id[f.index] for f in subdomain.sorted_functions],
+            )
+            for subdomain in self.arrangement.subdomains
+        ]
+        self.unique_signatures: List[PairSignature] = []
+        if signer is not None:
+            self._sign_all(signer)
+
+    # ------------------------------------------------------------- signing
+    def _chain_keys(self, cell: MeshCell) -> list[tuple]:
+        """Identities of the chain entries: min token, record ids, max token."""
+        return ["min"] + [record.record_id for record in cell.sorted_records] + ["max"]
+
+    def _entry_for_key(self, cell: MeshCell, position: int) -> tuple[Optional[Record], Optional[str]]:
+        """Record / token at a chain position of a cell."""
+        if position == 0:
+            return None, "min"
+        if position == cell.chain_length - 1:
+            return None, "max"
+        return cell.sorted_records[position - 1], None
+
+    def _sign_all(self, signer: Signer) -> None:
+        if self.share_signatures:
+            self._sign_shared(signer)
+        else:
+            self._sign_per_cell(signer)
+
+    def _pair_digest(self, left_bytes: bytes, right_bytes: bytes, coverage: CoverageRegion) -> bytes:
+        """The paper's pair digest ``H(H(r_j) | H(r_{j+1}) | B_i)``."""
+        return self.hash_function.combine(
+            self.hash_function.digest(left_bytes),
+            self.hash_function.digest(right_bytes),
+            coverage.to_bytes(),
+        )
+
+    def _sign_per_cell(self, signer: Signer) -> None:
+        for cell in self.cells:
+            coverage = CoverageRegion(kind="constraints", constraints=tuple(cell.region.constraints))
+            for position in range(cell.chain_length - 1):
+                left_record, left_token = self._entry_for_key(cell, position)
+                right_record, right_token = self._entry_for_key(cell, position + 1)
+                digest = self._pair_digest(
+                    chain_entry_bytes(left_record, left_token),
+                    chain_entry_bytes(right_record, right_token),
+                    coverage,
+                )
+                signature = signer.sign(digest)
+                self.counters.add_signature_created()
+                pair = PairSignature(
+                    left_record=left_record,
+                    right_record=right_record,
+                    coverage=coverage,
+                    signature=signature,
+                    left_token=left_token,
+                    right_token=right_token,
+                )
+                cell.pair_signatures.append(pair)
+                self.unique_signatures.append(pair)
+
+    def _sign_shared(self, signer: Signer) -> None:
+        """Shared-signature construction for univariate templates.
+
+        For every adjacent pair, the maximal runs of consecutive cells where
+        the pair stays adjacent are found; each run yields one signature
+        covering the union interval of its cells.
+        """
+        # adjacency[cell][position] -> pair key
+        chain_keys_per_cell = [self._chain_keys(cell) for cell in self.cells]
+        open_runs: Dict[tuple, dict] = {}
+        placements: List[List[Optional[PairSignature]]] = [
+            [None] * (cell.chain_length - 1) for cell in self.cells
+        ]
+        run_records: List[dict] = []
+
+        for cell_index, (cell, keys) in enumerate(zip(self.cells, chain_keys_per_cell)):
+            current_pairs = {}
+            for position in range(len(keys) - 1):
+                current_pairs[(keys[position], keys[position + 1])] = position
+            # Close runs whose pair is no longer adjacent in this cell.
+            for pair_key in list(open_runs):
+                if pair_key not in current_pairs:
+                    run_records.append(open_runs.pop(pair_key))
+            # Extend or open runs.
+            for pair_key, position in current_pairs.items():
+                if pair_key in open_runs:
+                    run = open_runs[pair_key]
+                    run["end_cell"] = cell_index
+                    run["slots"].append((cell_index, position))
+                else:
+                    left_record, left_token = self._entry_for_key(cell, position)
+                    right_record, right_token = self._entry_for_key(cell, position + 1)
+                    open_runs[pair_key] = {
+                        "start_cell": cell_index,
+                        "end_cell": cell_index,
+                        "slots": [(cell_index, position)],
+                        "left_record": left_record,
+                        "left_token": left_token,
+                        "right_record": right_record,
+                        "right_token": right_token,
+                    }
+        run_records.extend(open_runs.values())
+
+        for run in run_records:
+            start_cell = self.cells[run["start_cell"]]
+            end_cell = self.cells[run["end_cell"]]
+            coverage = CoverageRegion(
+                kind="interval",
+                low=start_cell.region.interval_low,
+                high=end_cell.region.interval_high,
+            )
+            digest = self._pair_digest(
+                chain_entry_bytes(run["left_record"], run["left_token"]),
+                chain_entry_bytes(run["right_record"], run["right_token"]),
+                coverage,
+            )
+            signature = signer.sign(digest)
+            self.counters.add_signature_created()
+            pair = PairSignature(
+                left_record=run["left_record"],
+                right_record=run["right_record"],
+                coverage=coverage,
+                signature=signature,
+                left_token=run["left_token"],
+                right_token=run["right_token"],
+            )
+            self.unique_signatures.append(pair)
+            for cell_index, position in run["slots"]:
+                placements[cell_index][position] = pair
+
+        for cell, cell_placements in zip(self.cells, placements):
+            if any(entry is None for entry in cell_placements):
+                raise ConstructionError("internal error: a chain pair was left unsigned")
+            cell.pair_signatures = list(cell_placements)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def cell_count(self) -> int:
+        """Number of subdomains (the paper's number of cells)."""
+        return len(self.cells)
+
+    @property
+    def signature_count(self) -> int:
+        """Number of distinct signatures created by the owner (Fig. 5a)."""
+        return len(self.unique_signatures)
+
+    def size_breakdown(self, size_model: SizeModel = DEFAULT_SIZE_MODEL) -> Dict[str, int]:
+        """Byte-size breakdown of the serialized mesh (Fig. 5c)."""
+        dimension = self.template.dimension
+        signature_bytes = 0
+        for pair in self.unique_signatures:
+            signature_bytes += size_model.signature_size
+            signature_bytes += pair.coverage.size_bytes(dimension, size_model)
+            signature_bytes += 2 * size_model.int_size
+        cell_bytes = 0
+        for cell in self.cells:
+            cell_bytes += len(cell.region.constraints) * size_model.constraint_size(dimension)
+            cell_bytes += cell.chain_length * size_model.pointer_size
+        return {"signature_bytes": signature_bytes, "cell_bytes": cell_bytes}
+
+    def size_bytes(self, size_model: SizeModel = DEFAULT_SIZE_MODEL) -> int:
+        """Total serialized size in bytes."""
+        return sum(self.size_breakdown(size_model).values())
+
+    # ------------------------------------------------------------ queries
+    def locate_cell(self, weights: Sequence[float], counters: Optional[Counters] = None) -> MeshCell:
+        """Linear scan for the cell containing ``weights`` (counted)."""
+        counters = counters if counters is not None else self.counters
+        for inspected, cell in enumerate(self.cells, start=1):
+            if cell.region.contains(weights):
+                counters.add_node(inspected)
+                return cell
+        counters.add_node(len(self.cells))
+        raise QueryProcessingError(
+            f"weight vector {tuple(weights)} lies outside the published domain"
+        )
+
+    def process_query(
+        self, query: AnalyticQuery, counters: Optional[Counters] = None
+    ) -> tuple[QueryResult, MeshVerificationObject]:
+        """Answer a query and build its mesh verification object."""
+        query.validate(self.template.dimension)
+        counters = counters if counters is not None else self.counters
+        cell = self.locate_cell(query.weights, counters)
+        scores = [
+            self.functions_by_id[record.record_id].evaluate(query.weights)
+            for record in cell.sorted_records
+        ]
+        window = select_window(query, scores)
+        records = [cell.sorted_records[position] for position in window.indices()]
+        result = QueryResult(records=tuple(records))
+        vo = self._build_vo(cell, window, counters)
+        return result, vo
+
+    def _build_vo(
+        self, cell: MeshCell, window: ResultWindow, counters: Counters
+    ) -> MeshVerificationObject:
+        left = self._boundary_for_position(cell, window.left_boundary_position)
+        right = self._boundary_for_position(cell, window.right_boundary_position)
+        first_pair = left.leaf_index
+        last_pair = right.leaf_index - 1
+        pairs = tuple(cell.pair_signatures[first_pair : last_pair + 1])
+        # The server walks the chain slice to collect records and signatures.
+        counters.add_node(len(pairs) + 2)
+        return MeshVerificationObject(left=left, right=right, pair_signatures=pairs)
+
+    def _boundary_for_position(self, cell: MeshCell, position: int) -> BoundaryEntry:
+        if position < 0:
+            return BoundaryEntry(leaf_index=0, token="min")
+        if position >= len(cell.sorted_records):
+            return BoundaryEntry(leaf_index=cell.chain_length - 1, token="max")
+        return BoundaryEntry(leaf_index=position + 1, item=cell.sorted_records[position])

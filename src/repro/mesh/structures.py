@@ -1,0 +1,153 @@
+"""Data structures of the signature-mesh baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.records import Record
+from repro.crypto.serialization import (
+    encode_float,
+    encode_int,
+    encode_sequence,
+    encode_str,
+)
+from repro.geometry.domain import Constraint, Domain, Region, region_from_constraints
+from repro.merkle.fmh_tree import MAX_TOKEN, MIN_TOKEN, BoundaryEntry
+from repro.metrics.sizes import DEFAULT_SIZE_MODEL, SizeModel
+
+__all__ = ["CoverageRegion", "PairSignature", "MeshCell", "MeshVerificationObject", "chain_entry_bytes"]
+
+
+def chain_entry_bytes(entry: Optional[Record], token: Optional[str] = None) -> bytes:
+    """Canonical bytes of a chain entry: a record or a ``min``/``max`` token."""
+    if token == "min":
+        return MIN_TOKEN
+    if token == "max":
+        return MAX_TOKEN
+    if entry is None:
+        raise ValueError("a chain entry is either a record or a token")
+    return entry.to_bytes()
+
+
+@dataclass(frozen=True)
+class CoverageRegion:
+    """The part of the weight domain a pair signature covers.
+
+    With the shared-signature optimization a signature may cover a *run* of
+    consecutive univariate subdomains, described by the interval
+    ``[low, high]``; without sharing (or for multivariate templates) it
+    covers a single cell described by its constraint set.
+    """
+
+    kind: str  # "interval" or "constraints"
+    low: float = 0.0
+    high: float = 0.0
+    constraints: tuple[Constraint, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("interval", "constraints"):
+            raise ValueError(f"unknown coverage region kind {self.kind!r}")
+
+    def contains(self, weights: Sequence[float], domain: Domain, tolerance: float = 1e-9) -> bool:
+        """True when the weight vector lies inside the covered region."""
+        if self.kind == "interval":
+            if len(weights) != 1:
+                return False
+            return self.low - tolerance <= float(weights[0]) <= self.high + tolerance
+        region = region_from_constraints(domain, self.constraints)
+        return region.contains(weights, tolerance)
+
+    def to_bytes(self) -> bytes:
+        """Canonical encoding bound into the pair digest (the paper's B_i)."""
+        if self.kind == "interval":
+            return encode_sequence(
+                [encode_str("coverage-interval"), encode_float(self.low), encode_float(self.high)]
+            )
+        return encode_sequence(
+            [encode_str("coverage-constraints")] + [c.to_bytes() for c in self.constraints]
+        )
+
+    def size_bytes(self, dimension: int, size_model: SizeModel = DEFAULT_SIZE_MODEL) -> int:
+        if self.kind == "interval":
+            return 2 * size_model.float_size
+        return len(self.constraints) * size_model.constraint_size(dimension)
+
+
+@dataclass(frozen=True)
+class PairSignature:
+    """One signature of the mesh: a consecutive pair plus its coverage.
+
+    ``left_token`` / ``right_token`` are set (to ``"min"`` / ``"max"``) when
+    the corresponding side of the pair is a boundary token rather than a
+    record.
+    """
+
+    left_record: Optional[Record]
+    right_record: Optional[Record]
+    coverage: CoverageRegion
+    signature: bytes
+    left_token: Optional[str] = None
+    right_token: Optional[str] = None
+
+    def left_bytes(self) -> bytes:
+        return chain_entry_bytes(self.left_record, self.left_token)
+
+    def right_bytes(self) -> bytes:
+        return chain_entry_bytes(self.right_record, self.right_token)
+
+    def pair_key(self) -> tuple:
+        """Hashable identity of the pair (used for sharing and lookups)."""
+        left = self.left_token or self.left_record.record_id
+        right = self.right_token or self.right_record.record_id
+        return (left, right)
+
+
+@dataclass
+class MeshCell:
+    """One subdomain of the mesh with its sorted records and pair signatures."""
+
+    identifier: int
+    region: Region
+    witness: tuple[float, ...]
+    sorted_records: list[Record] = field(default_factory=list)
+    #: Pair signatures in list order; entry ``p`` covers the pair between
+    #: chain positions ``p`` and ``p + 1`` where position 0 is the ``min``
+    #: token and the last position is the ``max`` token.
+    pair_signatures: list[PairSignature] = field(default_factory=list)
+
+    @property
+    def chain_length(self) -> int:
+        """Number of entries in the signed chain (records + 2 tokens)."""
+        return len(self.sorted_records) + 2
+
+
+@dataclass(frozen=True)
+class MeshVerificationObject:
+    """Verification object returned by the mesh server.
+
+    ``pair_signatures`` covers, in order, every consecutive pair of the
+    extended window ``left boundary, result..., right boundary``.
+    """
+
+    left: BoundaryEntry
+    right: BoundaryEntry
+    pair_signatures: tuple[PairSignature, ...]
+
+    @property
+    def signature_count(self) -> int:
+        """Signatures the client must verify -- O(|q|) for the mesh."""
+        return len(self.pair_signatures)
+
+    def size_bytes(self, dimension: int, size_model: SizeModel = DEFAULT_SIZE_MODEL) -> int:
+        """Serialized VO size in bytes (Fig. 8)."""
+        total = 0
+        for boundary in (self.left, self.right):
+            total += size_model.int_size
+            if not boundary.is_token:
+                total += size_model.record_size(dimension)
+        for pair in self.pair_signatures:
+            total += size_model.signature_size
+            total += pair.coverage.size_bytes(dimension, size_model)
+            total += 2 * size_model.int_size  # pair identity
+        return total

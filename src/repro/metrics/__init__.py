@@ -1,0 +1,14 @@
+"""Instrumentation: operation counters, byte-size accounting and timers.
+
+The paper's evaluation reports *counts* (traversed nodes/cells, hashing
+operations, signatures) and *times* (construction, verification).  Every
+data-structure operation in this reproduction is routed through a
+:class:`Counters` instance so the benchmark harness reports exact counts
+instead of estimates.
+"""
+
+from repro.metrics.counters import Counters
+from repro.metrics.sizes import SizeModel, DEFAULT_SIZE_MODEL
+from repro.metrics.timing import Stopwatch, timed
+
+__all__ = ["Counters", "SizeModel", "DEFAULT_SIZE_MODEL", "Stopwatch", "timed"]

@@ -1,0 +1,113 @@
+"""Operation counters shared by owner, server and client code paths.
+
+A single :class:`Counters` object is threaded through ADS construction,
+query processing, verification-object construction and client verification.
+Each counter corresponds to a quantity reported in the paper's evaluation:
+
+* ``nodes_traversed`` -- IFMH-tree nodes or signature-mesh cells visited by
+  the server while processing a query and building its VO (Fig. 6).
+* ``hash_operations`` -- one-way hash invocations (Fig. 7a/7b).
+* ``signatures_created`` -- signatures produced by the data owner (Fig. 5a).
+* ``signatures_verified`` -- signatures checked by the client (Fig. 7c/7d).
+* ``comparisons`` -- score comparisons, useful for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["Counters"]
+
+
+@dataclass
+class Counters:
+    """Mutable bundle of operation counters.
+
+    The individual ``add_*`` methods are deliberately tiny so they can be
+    called from inner loops without measurable overhead.
+    """
+
+    nodes_traversed: int = 0
+    hash_operations: int = 0
+    signatures_created: int = 0
+    signatures_verified: int = 0
+    comparisons: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- updates
+    def add_node(self, count: int = 1) -> None:
+        self.nodes_traversed += count
+
+    def add_hash(self, count: int = 1) -> None:
+        self.hash_operations += count
+
+    def add_signature_created(self, count: int = 1) -> None:
+        self.signatures_created += count
+
+    def add_signature_verified(self, count: int = 1) -> None:
+        self.signatures_verified += count
+
+    def add_comparison(self, count: int = 1) -> None:
+        self.comparisons += count
+
+    def add_extra(self, name: str, count: int = 1) -> None:
+        """Increment a named ad-hoc counter (used by ablation experiments)."""
+        self.extra[name] = self.extra.get(name, 0) + count
+
+    # ------------------------------------------------------------ plumbing
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.nodes_traversed = 0
+        self.hash_operations = 0
+        self.signatures_created = 0
+        self.signatures_verified = 0
+        self.comparisons = 0
+        self.extra.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return a plain-dict copy of all counters (for reporting)."""
+        data = {
+            "nodes_traversed": self.nodes_traversed,
+            "hash_operations": self.hash_operations,
+            "signatures_created": self.signatures_created,
+            "signatures_verified": self.signatures_verified,
+            "comparisons": self.comparisons,
+        }
+        data.update(self.extra)
+        return data
+
+    def merge(self, other: "Counters") -> None:
+        """Add every counter of ``other`` into this instance."""
+        self.nodes_traversed += other.nodes_traversed
+        self.hash_operations += other.hash_operations
+        self.signatures_created += other.signatures_created
+        self.signatures_verified += other.signatures_verified
+        self.comparisons += other.comparisons
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + value
+
+    def __sub__(self, other: "Counters") -> "Counters":
+        """Difference of two snapshots (``after - before``)."""
+        diff = Counters(
+            nodes_traversed=self.nodes_traversed - other.nodes_traversed,
+            hash_operations=self.hash_operations - other.hash_operations,
+            signatures_created=self.signatures_created - other.signatures_created,
+            signatures_verified=self.signatures_verified - other.signatures_verified,
+            comparisons=self.comparisons - other.comparisons,
+        )
+        keys = set(self.extra) | set(other.extra)
+        diff.extra = {k: self.extra.get(k, 0) - other.extra.get(k, 0) for k in keys}
+        return diff
+
+    def copy(self) -> "Counters":
+        """Return an independent copy of the current counter values."""
+        clone = Counters(
+            nodes_traversed=self.nodes_traversed,
+            hash_operations=self.hash_operations,
+            signatures_created=self.signatures_created,
+            signatures_verified=self.signatures_verified,
+            comparisons=self.comparisons,
+        )
+        clone.extra = dict(self.extra)
+        return clone

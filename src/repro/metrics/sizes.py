@@ -1,0 +1,72 @@
+"""Byte-size accounting for ADS structures and verification objects.
+
+Fig. 5c (structure size) and Fig. 8 (VO size) report sizes in bytes.  To
+keep those figures independent of Python object overhead, sizes are computed
+from a :class:`SizeModel` describing the wire format: how many bytes a hash,
+a signature, a record, a pointer and a float occupy.  The defaults follow
+the paper's setup (SHA-256 digests, RSA signatures, IEEE-754 doubles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SizeModel", "DEFAULT_SIZE_MODEL"]
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """Sizes (in bytes) of the primitive components of the wire format.
+
+    Attributes
+    ----------
+    hash_size:
+        One digest (SHA-256: 32 bytes).
+    signature_size:
+        One signature.  The paper quotes 640 bytes for its RSA deployment;
+        our from-scratch RSA-2048 signatures are 256 bytes.  The benchmark
+        harness sets this from the actual signer in use.
+    float_size:
+        One numeric attribute / coefficient (IEEE-754 double: 8 bytes).
+    int_size:
+        One integer identifier or counter.
+    pointer_size:
+        One structural reference inside a serialized tree.
+    """
+
+    hash_size: int = 32
+    signature_size: int = 256
+    float_size: int = 8
+    int_size: int = 8
+    pointer_size: int = 8
+
+    # ------------------------------------------------------------ records
+    def record_size(self, dimension: int) -> int:
+        """Size of one serialized record: id + ``dimension`` attributes."""
+        return self.int_size + dimension * self.float_size
+
+    def function_size(self, dimension: int) -> int:
+        """Size of one serialized score function (coefficients + constant)."""
+        return self.int_size + (dimension + 1) * self.float_size
+
+    def hyperplane_size(self, dimension: int) -> int:
+        """Size of one intersection hyperplane (difference coefficients)."""
+        return 2 * self.int_size + (dimension + 1) * self.float_size
+
+    def constraint_size(self, dimension: int) -> int:
+        """Size of one signed half-space constraint describing a subdomain."""
+        return self.hyperplane_size(dimension) + self.int_size
+
+    def with_signature_size(self, signature_size: int) -> "SizeModel":
+        """Return a copy of the model with a different signature size."""
+        return SizeModel(
+            hash_size=self.hash_size,
+            signature_size=signature_size,
+            float_size=self.float_size,
+            int_size=self.int_size,
+            pointer_size=self.pointer_size,
+        )
+
+
+#: Default size model used when the caller does not supply one.
+DEFAULT_SIZE_MODEL = SizeModel()

@@ -1,0 +1,60 @@
+"""Small wall-clock timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock durations.
+
+    Used by the benchmark harness to separate, e.g., hashing time from
+    signature-verification time inside a single verification call (Fig. 7b
+    versus Fig. 7c in the paper).
+    """
+
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager adding the elapsed time to ``durations[name]``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[name] = self.durations.get(name, 0.0) + elapsed
+
+    def total(self) -> float:
+        """Sum of all recorded durations."""
+        return sum(self.durations.values())
+
+    def get(self, name: str) -> float:
+        """Duration recorded under ``name`` (0.0 when absent)."""
+        return self.durations.get(name, 0.0)
+
+    def reset(self) -> None:
+        self.durations.clear()
+
+
+@contextmanager
+def timed() -> Iterator[list[float]]:
+    """Context manager yielding a one-element list holding the elapsed time.
+
+    >>> with timed() as t:
+    ...     _ = sum(range(10))
+    >>> t[0] >= 0.0
+    True
+    """
+    result = [0.0]
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result[0] = time.perf_counter() - start

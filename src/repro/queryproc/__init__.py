@@ -1,0 +1,21 @@
+"""Query processing on a sorted function list.
+
+Inside the subdomain containing the query's weight vector the score
+functions form a fixed ascending order, so every supported analytic query
+(top-k, range, KNN) selects a *contiguous window* of that order.  This
+package computes the window; the authenticated structures only need the
+window's boundaries.
+"""
+
+from repro.queryproc.window import ResultWindow, select_window
+from repro.queryproc.topk import topk_window
+from repro.queryproc.range_query import range_window
+from repro.queryproc.knn import knn_window
+
+__all__ = [
+    "ResultWindow",
+    "select_window",
+    "topk_window",
+    "range_window",
+    "knn_window",
+]

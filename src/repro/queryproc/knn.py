@@ -1,0 +1,45 @@
+"""KNN-on-score window selection.
+
+A KNN query ``(X, k, y)`` returns the k records whose scores at ``X`` are
+nearest to the target value ``y``.  Because the candidate list is sorted,
+the k nearest scores always form a contiguous window around the insertion
+point of ``y``; the window is grown greedily one element at a time, always
+taking the closer of the two frontier elements (ties prefer the left / lower
+score, a deterministic rule shared by server and verifying client).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import InvalidQueryError
+from repro.queryproc.window import ResultWindow
+
+__all__ = ["knn_window"]
+
+
+def knn_window(scores: Sequence[float], k: int, target: float) -> ResultWindow:
+    """Window of the ``k`` scores nearest to ``target`` on an ascending list."""
+    if k < 1:
+        raise InvalidQueryError(f"KNN requires k >= 1, got {k}")
+    size = len(scores)
+    if size == 0:
+        return ResultWindow.empty_at(0, 0)
+    if k >= size:
+        return ResultWindow(start=0, end=size - 1, size=size)
+
+    import bisect
+
+    insertion = bisect.bisect_left(scores, target)
+    left = insertion - 1
+    right = insertion
+    for _ in range(k):
+        if left < 0:
+            right += 1
+        elif right >= size:
+            left -= 1
+        elif abs(scores[left] - target) <= abs(scores[right] - target):
+            left -= 1
+        else:
+            right += 1
+    return ResultWindow(start=left + 1, end=right - 1, size=size)

@@ -1,0 +1,35 @@
+"""Score-range window selection.
+
+A range query ``(X, l, u)`` returns the records whose scores at ``X`` fall
+inside ``[l, u]``.  On the ascending sorted list this is the contiguous
+window found by two binary searches.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+from repro.core.errors import InvalidQueryError
+from repro.queryproc.window import ResultWindow
+
+__all__ = ["range_window"]
+
+
+def range_window(scores: Sequence[float], low: float, high: float) -> ResultWindow:
+    """Window of positions whose score lies in ``[low, high]`` (inclusive).
+
+    Returns an empty window positioned at the gap when no score qualifies,
+    so the verification object can still prove completeness with the two
+    bracketing records.
+    """
+    if low > high:
+        raise InvalidQueryError(f"range lower boundary {low} exceeds upper boundary {high}")
+    size = len(scores)
+    if size == 0:
+        return ResultWindow.empty_at(0, 0)
+    start = bisect.bisect_left(scores, low)
+    end = bisect.bisect_right(scores, high) - 1
+    if start > end:
+        return ResultWindow.empty_at(start, size)
+    return ResultWindow(start=start, end=end, size=size)

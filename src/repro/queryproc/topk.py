@@ -1,0 +1,29 @@
+"""Top-k window selection.
+
+A top-k query returns the k records with the *highest* scores; on an
+ascending sorted list that is the suffix of length k.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import InvalidQueryError
+from repro.queryproc.window import ResultWindow
+
+__all__ = ["topk_window"]
+
+
+def topk_window(scores: Sequence[float], k: int) -> ResultWindow:
+    """Window of the ``k`` highest-scoring positions of an ascending list.
+
+    When ``k`` is at least the list length the whole list is returned (the
+    paper's semantics: "all records whose scores are among the top k").
+    """
+    if k < 1:
+        raise InvalidQueryError(f"top-k requires k >= 1, got {k}")
+    size = len(scores)
+    if size == 0:
+        return ResultWindow.empty_at(0, 0)
+    start = max(0, size - k)
+    return ResultWindow(start=start, end=size - 1, size=size)

@@ -1,0 +1,93 @@
+"""Contiguous result windows over a sorted score list.
+
+A :class:`ResultWindow` describes which slice of the subdomain's sorted
+function list satisfies a query.  The window may be empty (``start > end``),
+in which case the verification object still proves completeness via the two
+records that bracket the empty gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import InvalidQueryError
+from repro.core.queries import AnalyticQuery, KNNQuery, RangeQuery, TopKQuery
+
+__all__ = ["ResultWindow", "select_window"]
+
+
+@dataclass(frozen=True)
+class ResultWindow:
+    """A contiguous, inclusive index window ``[start, end]`` of a sorted list.
+
+    ``start > end`` (canonically ``start = end + 1``) encodes an empty
+    result; ``start``/``end`` always stay within ``[0, size)`` for
+    non-empty windows.
+    """
+
+    start: int
+    end: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("list size cannot be negative")
+        if not self.is_empty:
+            if not (0 <= self.start < self.size and 0 <= self.end < self.size):
+                raise ValueError(
+                    f"window [{self.start}, {self.end}] out of bounds for size {self.size}"
+                )
+
+    @property
+    def is_empty(self) -> bool:
+        return self.start > self.end
+
+    @property
+    def length(self) -> int:
+        """Number of records in the window."""
+        return 0 if self.is_empty else self.end - self.start + 1
+
+    def indices(self) -> range:
+        """The window as a range of positions into the sorted list."""
+        if self.is_empty:
+            return range(0)
+        return range(self.start, self.end + 1)
+
+    @classmethod
+    def empty_at(cls, gap_position: int, size: int) -> "ResultWindow":
+        """An empty window located just before ``gap_position``.
+
+        The boundary records proving completeness are then positions
+        ``gap_position - 1`` and ``gap_position``.
+        """
+        return cls(start=gap_position, end=gap_position - 1, size=size)
+
+    @property
+    def left_boundary_position(self) -> int:
+        """Position of the record immediately left of the window (may be -1)."""
+        return self.start - 1
+
+    @property
+    def right_boundary_position(self) -> int:
+        """Position immediately right of the window (may be ``size``)."""
+        return self.end + 1
+
+
+def select_window(query: AnalyticQuery, scores: Sequence[float]) -> ResultWindow:
+    """Dispatch to the window selector for the query's type.
+
+    ``scores`` must be the scores of the subdomain's sorted function list
+    evaluated at the query's weight vector (ascending order).
+    """
+    from repro.queryproc.knn import knn_window
+    from repro.queryproc.range_query import range_window
+    from repro.queryproc.topk import topk_window
+
+    if isinstance(query, TopKQuery):
+        return topk_window(scores, query.k)
+    if isinstance(query, RangeQuery):
+        return range_window(scores, query.low, query.high)
+    if isinstance(query, KNNQuery):
+        return knn_window(scores, query.k, query.target)
+    raise InvalidQueryError(f"unsupported query type {type(query).__name__}")

@@ -1,0 +1,39 @@
+"""Synthetic workloads: datasets, scenarios and query generators.
+
+The paper evaluates on synthetic tables of 1,000-10,000 records scored by
+linear ranking functions; its introduction motivates the queries with
+admission scoring, disease-risk scoring and financial-risk scoring.  This
+package provides seeded generators for those workloads:
+
+* :mod:`repro.workloads.generator` -- parametric dataset generation
+  (uniform / correlated / clustered attribute distributions) and random
+  query workloads;
+* :mod:`repro.workloads.scenarios` -- the three named scenarios used by the
+  examples (university admissions, credit risk, patient risk).
+"""
+
+from repro.workloads.generator import (
+    WorkloadConfig,
+    make_dataset,
+    make_template,
+    make_queries,
+    make_weight_vector,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    admissions_scenario,
+    credit_risk_scenario,
+    patient_risk_scenario,
+)
+
+__all__ = [
+    "WorkloadConfig",
+    "make_dataset",
+    "make_template",
+    "make_queries",
+    "make_weight_vector",
+    "Scenario",
+    "admissions_scenario",
+    "credit_risk_scenario",
+    "patient_risk_scenario",
+]

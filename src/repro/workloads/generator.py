@@ -1,0 +1,189 @@
+"""Parametric dataset and query generation.
+
+All generators are seeded so benchmarks and tests are reproducible.  The
+important knob is the template *dimension*:
+
+* ``dimension=1`` produces the univariate configuration (one weight variable
+  plus a per-record constant term) used for the paper-scale experiments --
+  the arrangement then has ``O(n^2)`` subdomains and the exact interval
+  geometry engine applies;
+* ``dimension>=2`` produces multivariate weighted-sum templates exercised by
+  the LP engine (kept to small ``n`` in tests because the arrangement grows
+  very quickly, exactly as the paper's complexity analysis predicts).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.core.queries import AnalyticQuery, KNNQuery, RangeQuery, TopKQuery
+from repro.core.records import Dataset, UtilityTemplate
+from repro.geometry.domain import Domain
+
+__all__ = [
+    "WorkloadConfig",
+    "make_dataset",
+    "make_template",
+    "make_queries",
+    "make_weight_vector",
+]
+
+#: Attribute names used for generated tables (matching the paper's Fig. 1
+#: flavour, extended for higher dimensions).
+_ATTRIBUTE_POOL = (
+    "gpa",
+    "award",
+    "paper",
+    "experience",
+    "recommendation",
+    "service",
+    "teaching",
+    "outreach",
+)
+
+#: Name of the per-record constant attribute used by univariate templates.
+_BASELINE_ATTRIBUTE = "baseline"
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Configuration of a synthetic workload.
+
+    Attributes
+    ----------
+    n_records:
+        Number of records in the generated table.
+    dimension:
+        Number of weight variables in the utility template.
+    distribution:
+        ``"uniform"`` (independent attributes), ``"correlated"`` (attributes
+        positively correlated with a hidden quality factor) or
+        ``"clustered"`` (a small number of attribute-space clusters).
+    value_range:
+        Range of the generated attribute values.
+    seed:
+        Seed for the pseudo-random generator.
+    """
+
+    n_records: int = 100
+    dimension: int = 1
+    distribution: str = "uniform"
+    value_range: tuple[float, float] = (0.0, 10.0)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_records < 1:
+            raise ValueError("a workload needs at least one record")
+        if not 1 <= self.dimension <= len(_ATTRIBUTE_POOL):
+            raise ValueError(
+                f"dimension must be between 1 and {len(_ATTRIBUTE_POOL)}, got {self.dimension}"
+            )
+        if self.distribution not in ("uniform", "correlated", "clustered"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+        low, high = self.value_range
+        if not low < high:
+            raise ValueError(f"invalid value range {self.value_range}")
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Names of the generated attributes (weights first, then baseline)."""
+        return _ATTRIBUTE_POOL[: self.dimension] + (_BASELINE_ATTRIBUTE,)
+
+
+def _draw_row(config: WorkloadConfig, rng: random.Random, clusters: list[list[float]]) -> list[float]:
+    low, high = config.value_range
+    width = high - low
+    count = config.dimension + 1  # weight attributes + baseline
+    if config.distribution == "uniform":
+        return [rng.uniform(low, high) for _ in range(count)]
+    if config.distribution == "correlated":
+        quality = rng.random()
+        return [
+            min(high, max(low, low + width * (0.7 * quality + 0.3 * rng.random())))
+            for _ in range(count)
+        ]
+    centre = rng.choice(clusters)
+    return [
+        min(high, max(low, centre[position] + rng.gauss(0.0, 0.08 * width)))
+        for position in range(count)
+    ]
+
+
+def make_dataset(config: WorkloadConfig) -> Dataset:
+    """Generate a synthetic table according to ``config``."""
+    rng = random.Random(config.seed)
+    low, high = config.value_range
+    clusters = [
+        [rng.uniform(low, high) for _ in range(config.dimension + 1)] for _ in range(4)
+    ]
+    rows = [_draw_row(config, rng, clusters) for _ in range(config.n_records)]
+    labels = [f"record-{position}" for position in range(config.n_records)]
+    return Dataset.from_rows(config.attribute_names, rows, labels=labels)
+
+
+def make_template(config: WorkloadConfig, domain: Optional[Domain] = None) -> UtilityTemplate:
+    """The utility template matching a generated dataset.
+
+    Univariate workloads score records as ``baseline + attribute * x`` (the
+    constant term is what makes the univariate arrangement non-trivial);
+    multivariate workloads use the plain weighted sum of the paper's Fig. 1.
+    """
+    weight_attributes = _ATTRIBUTE_POOL[: config.dimension]
+    constant = _BASELINE_ATTRIBUTE if config.dimension == 1 else None
+    return UtilityTemplate(
+        attributes=weight_attributes,
+        domain=domain or Domain.unit_box(config.dimension),
+        constant_attribute=constant,
+    )
+
+
+def make_weight_vector(
+    template: UtilityTemplate, rng: random.Random, margin: float = 0.05
+) -> tuple[float, ...]:
+    """A random weight vector strictly inside the template's domain."""
+    weights = []
+    for low, high in zip(template.domain.lower, template.domain.upper):
+        width = high - low
+        weights.append(rng.uniform(low + margin * width, high - margin * width))
+    return tuple(weights)
+
+
+def make_queries(
+    dataset: Dataset,
+    template: UtilityTemplate,
+    *,
+    count: int = 10,
+    kinds: Sequence[str] = ("topk", "range", "knn"),
+    result_size: int = 3,
+    seed: int = 0,
+) -> list[AnalyticQuery]:
+    """Generate a mixed query workload with roughly ``result_size`` results each.
+
+    Range queries are centred on the score of a random record so they hit a
+    populated part of the score distribution; KNN targets are drawn the same
+    way.
+    """
+    if not kinds:
+        raise ValueError("at least one query kind is required")
+    rng = random.Random(seed)
+    queries: list[AnalyticQuery] = []
+    functions = template.functions_for(dataset)
+    for position in range(count):
+        kind = kinds[position % len(kinds)]
+        weights = make_weight_vector(template, rng)
+        scores = sorted(function.evaluate(weights) for function in functions)
+        if kind == "topk":
+            queries.append(TopKQuery(weights=weights, k=result_size))
+        elif kind == "range":
+            anchor = rng.randrange(0, max(1, len(scores) - result_size))
+            low = scores[anchor]
+            high = scores[min(len(scores) - 1, anchor + result_size - 1)]
+            queries.append(RangeQuery(weights=weights, low=low, high=high))
+        elif kind == "knn":
+            target = rng.choice(scores)
+            queries.append(KNNQuery(weights=weights, k=result_size, target=target))
+        else:
+            raise ValueError(f"unknown query kind {kind!r}")
+    return queries

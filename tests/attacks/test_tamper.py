@@ -1,0 +1,127 @@
+"""Tests for the adversary simulation (tampering transforms)."""
+
+import random
+
+import pytest
+
+from repro.attacks.tamper import ATTACK_REGISTRY, Attack, all_attacks
+from repro.core.protocol import OutsourcedSystem
+from repro.core.queries import RangeQuery, TopKQuery
+from repro.core.results import QueryResult
+
+
+@pytest.fixture()
+def system(univariate_dataset, univariate_template):
+    return OutsourcedSystem.setup(
+        univariate_dataset, univariate_template, scheme="one-signature", signature_algorithm="hmac"
+    )
+
+
+@pytest.fixture()
+def execution(system):
+    return system.server.execute(RangeQuery(weights=(0.5,), low=1.0, high=6.0))
+
+
+def test_registry_contains_all_attack_classes():
+    names = set(ATTACK_REGISTRY)
+    assert {"drop-record", "truncate-result", "forge-attribute", "inject-record",
+            "reorder-result", "substitute-record", "tamper-signature", "tamper-boundary"} == names
+    violations = {attack.violates for attack in all_attacks()}
+    assert violations == {"completeness", "soundness", "authenticity"}
+
+
+def test_all_attacks_is_stable_order():
+    assert [a.name for a in all_attacks()] == sorted(ATTACK_REGISTRY)
+
+
+def test_attacks_do_not_mutate_inputs(execution):
+    rng = random.Random(0)
+    original_records = tuple(execution.result.records)
+    original_vo = execution.verification_object
+    for attack in all_attacks():
+        attack(execution.result, execution.verification_object, rng)
+    assert execution.result.records == original_records
+    assert execution.verification_object is original_vo
+
+
+def test_drop_and_truncate_shrink_result(execution):
+    rng = random.Random(0)
+    for name in ("drop-record", "truncate-result"):
+        tampered = ATTACK_REGISTRY[name](execution.result, execution.verification_object, rng)
+        assert tampered is not None
+        assert len(tampered[0]) == len(execution.result) - 1
+
+
+def test_inject_grows_result(execution):
+    rng = random.Random(0)
+    tampered = ATTACK_REGISTRY["inject-record"](execution.result, execution.verification_object, rng)
+    assert tampered is not None
+    assert len(tampered[0]) == len(execution.result) + 1
+    injected_ids = {r.record_id for r in tampered[0]} - {r.record_id for r in execution.result}
+    assert len(injected_ids) == 1
+
+
+def test_forge_changes_one_record(execution):
+    rng = random.Random(0)
+    tampered = ATTACK_REGISTRY["forge-attribute"](execution.result, execution.verification_object, rng)
+    assert tampered is not None
+    changed = [
+        (a, b) for a, b in zip(execution.result.records, tampered[0].records) if a != b
+    ]
+    assert len(changed) == 1
+
+
+def test_reorder_and_substitute_keep_length(execution):
+    rng = random.Random(0)
+    for name in ("reorder-result", "substitute-record"):
+        tampered = ATTACK_REGISTRY[name](execution.result, execution.verification_object, rng)
+        assert tampered is not None
+        assert len(tampered[0]) == len(execution.result)
+
+
+def test_signature_and_boundary_attacks_modify_vo_only(system):
+    rng = random.Random(0)
+    # Top-k windows end at the maximum, so the left boundary is a real record
+    # and the boundary-forging attack is applicable.
+    execution = system.server.execute(TopKQuery(weights=(0.55,), k=3))
+    for name in ("tamper-signature", "tamper-boundary"):
+        tampered = ATTACK_REGISTRY[name](execution.result, execution.verification_object, rng)
+        assert tampered is not None
+        assert tampered[0].records == execution.result.records
+        assert tampered[1] is not execution.verification_object
+
+
+def test_attacks_needing_records_skip_empty_results(system):
+    rng = random.Random(0)
+    empty = QueryResult(records=())
+    execution = system.server.execute(RangeQuery(weights=(0.5,), low=1.0, high=6.0))
+    for name in ("drop-record", "truncate-result", "forge-attribute", "inject-record",
+                 "reorder-result", "substitute-record"):
+        assert ATTACK_REGISTRY[name](empty, execution.verification_object, rng) is None
+
+
+def test_attack_callable_uses_default_rng(execution):
+    attack = ATTACK_REGISTRY["drop-record"]
+    assert attack(execution.result, execution.verification_object) is not None
+
+
+@pytest.mark.parametrize("scheme", ["one-signature", "multi-signature", "signature-mesh"])
+def test_every_attack_detected_under_every_scheme(univariate_dataset, univariate_template, scheme):
+    system = OutsourcedSystem.setup(
+        univariate_dataset, univariate_template, scheme=scheme, signature_algorithm="hmac"
+    )
+    rng = random.Random(3)
+    queries = [
+        RangeQuery(weights=(0.45,), low=1.0, high=6.0),
+        TopKQuery(weights=(0.7,), k=4),
+    ]
+    for query in queries:
+        execution = system.server.execute(query)
+        honest = system.client.verify(query, execution.result, execution.verification_object)
+        assert honest.is_valid
+        for attack in all_attacks():
+            tampered = attack(execution.result, execution.verification_object, rng)
+            if tampered is None:
+                continue
+            report = system.client.verify(query, tampered[0], tampered[1])
+            assert not report.is_valid, f"{attack.name} went undetected under {scheme}"

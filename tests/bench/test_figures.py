@@ -1,0 +1,73 @@
+"""Smoke tests for the figure experiments (tiny scales, hmac signatures)."""
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.harness import BenchConfig
+from repro.core.owner import SIGNATURE_MESH
+from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
+
+
+@pytest.fixture(scope="module")
+def config():
+    figures.clear_cache()
+    return BenchConfig(
+        n_values=(6, 9),
+        fixed_n=9,
+        result_sizes=(2, 4),
+        queries_per_point=2,
+        signature_algorithm="hmac",
+        key_bits=None,
+        seed=3,
+    )
+
+
+def test_fig5_shapes(config):
+    result = figures.fig5_data_owner(config)
+    assert len(result.rows) == len(config.n_values) * 3
+    one = result.series("n", "signatures", ONE_SIGNATURE)
+    multi = result.series("n", "signatures", MULTI_SIGNATURE)
+    mesh = result.series("n", "signatures", SIGNATURE_MESH)
+    for n in config.n_values:
+        assert one[n] == 1
+        assert mesh[n] > multi[n] >= 1
+
+
+def test_fig6_rows_cover_every_point(config):
+    result = figures.fig6_server_fixed_result(config, kind="topk", result_size=2)
+    assert {row["n"] for row in result.rows} == set(config.n_values)
+    assert all(row["nodes_traversed"] > 0 for row in result.rows)
+
+
+def test_fig7_signature_counts(config):
+    result = figures.fig7_user_verification(config)
+    largest = max(config.result_sizes)
+    mesh = result.series("result_size", "signatures_verified", SIGNATURE_MESH)
+    one = result.series("result_size", "signatures_verified", ONE_SIGNATURE)
+    assert one[largest] == 1
+    assert mesh[largest] == largest + 1
+
+
+def test_fig8a_mesh_vo_grows_linearly(config):
+    result = figures.fig8a_vo_size_vs_result_length(config)
+    mesh = result.series("result_size", "vo_bytes", SIGNATURE_MESH)
+    assert mesh[max(config.result_sizes)] > mesh[min(config.result_sizes)]
+
+
+def test_fig8b_mesh_vo_flat_in_n(config):
+    result = figures.fig8b_vo_size_vs_database_size(config, result_size=3)
+    mesh = result.series("n", "vo_bytes", SIGNATURE_MESH)
+    values = list(mesh.values())
+    assert max(values) <= min(values) * 1.3
+
+
+def test_security_matrix_all_detected(config):
+    result = figures.security_attack_matrix(config)
+    assert result.rows
+    assert all(row["detected"] in (True, "n/a") for row in result.rows)
+
+
+def test_ablation_mesh_sharing(config):
+    result = figures.ablation_mesh_sharing(config, n_records=8)
+    rows = {row["share_signatures"]: row for row in result.rows}
+    assert rows[True]["signatures"] < rows[False]["signatures"]

@@ -1,0 +1,106 @@
+"""Tests for the benchmark harness machinery."""
+
+import pytest
+
+from repro.bench.harness import (
+    APPROACHES,
+    BenchConfig,
+    ExperimentResult,
+    build_systems,
+    queries_with_result_size,
+)
+from repro.bench.reporting import format_table, format_value, render_results
+from repro.core.owner import SIGNATURE_MESH
+from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return BenchConfig(
+        n_values=(6, 8),
+        fixed_n=8,
+        result_sizes=(2, 4),
+        queries_per_point=2,
+        signature_algorithm="hmac",
+        key_bits=None,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_systems(tiny_config):
+    return build_systems(tiny_config, tiny_config.fixed_n)
+
+
+def test_bench_config_workload_shape(tiny_config):
+    workload = tiny_config.workload(12)
+    assert workload.n_records == 12
+    assert workload.dimension == tiny_config.dimension
+
+
+def test_build_systems_builds_all_approaches(tiny_systems):
+    assert set(tiny_systems.handles) == set(APPROACHES)
+    for handle in tiny_systems:
+        assert handle.build_seconds >= 0.0
+        assert handle.signature_count >= 1
+
+
+def test_systems_share_the_same_dataset(tiny_systems):
+    datasets = {id(handle.owner.dataset) for handle in tiny_systems}
+    assert len(datasets) == 1
+
+
+def test_queries_with_result_size_produces_exact_windows(tiny_config, tiny_systems):
+    for kind in ("topk", "range", "knn"):
+        queries = queries_with_result_size(tiny_systems, kind, 3, count=3, seed=1)
+        assert len(queries) == 3
+        for query in queries:
+            execution = tiny_systems[ONE_SIGNATURE].server.execute(query)
+            assert len(execution.result) == 3
+
+
+def test_queries_with_result_size_rejects_unknown_kind(tiny_config, tiny_systems):
+    with pytest.raises(ValueError):
+        queries_with_result_size(tiny_systems, "median", 3, count=1)
+
+
+def test_all_approaches_agree_on_results(tiny_config, tiny_systems):
+    queries = queries_with_result_size(tiny_systems, "range", 3, count=2, seed=2)
+    for query in queries:
+        ids = [
+            tiny_systems[approach].server.execute(query).result.record_ids()
+            for approach in (SIGNATURE_MESH, ONE_SIGNATURE, MULTI_SIGNATURE)
+        ]
+        assert ids[0] == ids[1] == ids[2]
+
+
+def test_experiment_result_columns_and_series():
+    result = ExperimentResult(
+        experiment_id="t", title="test", parameters={}, columns=("n", "approach", "value")
+    )
+    result.add_row(n=1, approach="a", value=10)
+    result.add_row(n=2, approach="a", value=20)
+    result.add_row(n=1, approach="b", value=30)
+    assert result.column("value") == [10, 20, 30]
+    assert result.column("value", where={"approach": "b"}) == [30]
+    assert result.series("n", "value", "a") == {1: 10, 2: 20}
+
+
+def test_format_value_shapes():
+    assert format_value(True) == "yes"
+    assert format_value(3) == "3"
+    assert format_value(0.25) == "0.25"
+    assert "e-3" in format_value(0.0001)
+
+
+def test_format_table_and_render_results():
+    result = ExperimentResult(
+        experiment_id="fig-x",
+        title="demo",
+        parameters={"n": 4},
+        columns=("n", "value"),
+    )
+    result.add_row(n=4, value=1.5)
+    text = format_table(result)
+    assert "fig-x" in text and "n=4" in text and "1.5" in text
+    combined = render_results([result, result])
+    assert combined.count("fig-x") == 2

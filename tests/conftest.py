@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite.
+
+Key generation for real public-key schemes is comparatively slow, so RSA and
+DSA key pairs are generated once per session with small (test-only) key
+sizes; structural tests that do not exercise the trust model use the fast
+``hmac`` scheme.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.records import Dataset, UtilityTemplate
+from repro.crypto.signer import make_signer
+from repro.geometry.domain import Domain
+
+
+@pytest.fixture(scope="session")
+def rsa_keypair():
+    """A small RSA key pair shared across the whole session."""
+    return make_signer("rsa", rng=random.Random(0xA11CE), key_bits=512)
+
+
+@pytest.fixture(scope="session")
+def dsa_keypair():
+    """A small DSA key pair shared across the whole session."""
+    return make_signer("dsa", rng=random.Random(0xB0B), key_bits=512)
+
+
+@pytest.fixture()
+def hmac_keypair():
+    """A fresh keyed-hash signer (fast, structural tests only)."""
+    return make_signer("hmac", rng=random.Random(7))
+
+
+@pytest.fixture()
+def applicant_dataset() -> Dataset:
+    """The paper's Fig. 1 style applicant table (10 records)."""
+    rows = [
+        (3.9, 2, 4),
+        (3.5, 1, 7),
+        (3.2, 0, 2),
+        (3.8, 3, 1),
+        (2.9, 1, 0),
+        (3.6, 4, 5),
+        (3.1, 2, 3),
+        (3.7, 0, 6),
+        (2.8, 1, 2),
+        (3.4, 2, 1),
+    ]
+    labels = [f"applicant-{i}" for i in range(len(rows))]
+    return Dataset.from_rows(("gpa", "award", "paper"), rows, labels=labels)
+
+
+@pytest.fixture()
+def bivariate_template() -> UtilityTemplate:
+    """Two free weights (GPA, awards) over the unit box."""
+    return UtilityTemplate(attributes=("gpa", "award"), domain=Domain.unit_box(2))
+
+
+@pytest.fixture()
+def univariate_dataset() -> Dataset:
+    """A univariate-friendly table: one weighted attribute plus a baseline."""
+    rng = random.Random(13)
+    rows = [(round(rng.uniform(0.0, 8.0), 2), round(rng.uniform(0.0, 6.0), 2)) for _ in range(12)]
+    return Dataset.from_rows(("factor", "baseline"), rows)
+
+
+@pytest.fixture()
+def univariate_template() -> UtilityTemplate:
+    """Score = baseline + factor * x over x in [0, 1]."""
+    return UtilityTemplate(
+        attributes=("factor",),
+        domain=Domain(lower=(0.0,), upper=(1.0,)),
+        constant_attribute="baseline",
+    )

@@ -1,0 +1,62 @@
+"""Tests for the analytic query types."""
+
+import pytest
+
+from repro.core.errors import InvalidQueryError
+from repro.core.queries import AnalyticQuery, KNNQuery, RangeQuery, TopKQuery
+
+
+def test_weights_are_floats():
+    query = TopKQuery(weights=(1, 0), k=2)
+    assert query.weights == (1.0, 0.0)
+    assert query.dimension == 2
+
+
+def test_empty_weights_rejected():
+    with pytest.raises(InvalidQueryError):
+        TopKQuery(weights=(), k=1)
+
+
+def test_validate_dimension():
+    query = RangeQuery(weights=(0.5, 0.5), low=0.0, high=1.0)
+    query.validate(2)
+    with pytest.raises(InvalidQueryError):
+        query.validate(3)
+
+
+def test_topk_requires_positive_k():
+    with pytest.raises(InvalidQueryError):
+        TopKQuery(weights=(0.5,), k=0)
+
+
+def test_range_requires_ordered_boundaries():
+    with pytest.raises(InvalidQueryError):
+        RangeQuery(weights=(0.5,), low=2.0, high=1.0)
+
+
+def test_range_accepts_point_interval():
+    query = RangeQuery(weights=(0.5,), low=2.0, high=2.0)
+    assert query.low == query.high == 2.0
+
+
+def test_knn_requires_positive_k():
+    with pytest.raises(InvalidQueryError):
+        KNNQuery(weights=(0.5,), k=0, target=1.0)
+
+
+def test_describe_mentions_parameters():
+    assert "k=3" in TopKQuery(weights=(0.1,), k=3).describe()
+    assert "[1.0, 2.0]" in RangeQuery(weights=(0.1,), low=1, high=2).describe()
+    assert "y=5.0" in KNNQuery(weights=(0.1,), k=2, target=5).describe()
+
+
+def test_queries_are_hashable_and_equal_by_value():
+    a = TopKQuery(weights=(0.5, 0.5), k=3)
+    b = TopKQuery(weights=(0.5, 0.5), k=3)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_base_query_describe():
+    query = AnalyticQuery(weights=(0.25,))
+    assert "0.25" in query.describe()

@@ -1,0 +1,139 @@
+"""Tests for the shared query re-execution checks."""
+
+import pytest
+
+from repro.core.queries import KNNQuery, RangeQuery, TopKQuery
+from repro.core.recheck import boundary_score, recheck_query
+from repro.core.records import Record, UtilityTemplate
+from repro.core.results import QueryResult, VerificationReport
+from repro.geometry.domain import Domain
+from repro.merkle.fmh_tree import BoundaryEntry
+
+ATTRS = ("score",)
+TEMPLATE = UtilityTemplate(attributes=("score",), domain=Domain(lower=(0.0,), upper=(2.0,)))
+
+
+def _record(record_id, score):
+    return Record(record_id=record_id, values=(float(score),))
+
+
+def _boundary(position, score=None, token=None):
+    if token:
+        return BoundaryEntry(leaf_index=position, token=token)
+    return BoundaryEntry(leaf_index=position, item=_record(1000 + position, score))
+
+
+def _run(query, scores, left, right):
+    records = tuple(_record(i, s) for i, s in enumerate(scores))
+    report = VerificationReport()
+    recheck_query(query, QueryResult(records=records), left, right, TEMPLATE, ATTRS, report)
+    return report
+
+
+def test_boundary_score_token_values():
+    weights = (1.0,)
+    assert boundary_score(_boundary(0, token="min"), TEMPLATE, ATTRS, weights) == float("-inf")
+    assert boundary_score(_boundary(9, token="max"), TEMPLATE, ATTRS, weights) == float("inf")
+    assert boundary_score(_boundary(1, score=2.5), TEMPLATE, ATTRS, weights) == pytest.approx(2.5)
+
+
+def test_range_honest_result_passes():
+    query = RangeQuery(weights=(1.0,), low=2.0, high=4.0)
+    report = _run(query, [2.0, 3.0, 4.0], _boundary(0, 1.5), _boundary(4, 4.5))
+    assert report.is_valid
+
+
+def test_range_detects_out_of_range_record():
+    query = RangeQuery(weights=(1.0,), low=2.0, high=4.0)
+    report = _run(query, [2.0, 5.0], _boundary(0, 1.5), _boundary(3, 6.0))
+    assert not report.is_valid
+    assert report.checks["range-soundness"] is False
+
+
+def test_range_detects_dropped_prefix():
+    # Left boundary still satisfies the range => something was dropped.
+    query = RangeQuery(weights=(1.0,), low=2.0, high=4.0)
+    report = _run(query, [3.0, 4.0], _boundary(0, 2.5), _boundary(3, 4.5))
+    assert not report.is_valid
+    assert report.checks["range-completeness-left"] is False
+
+
+def test_range_detects_dropped_suffix():
+    query = RangeQuery(weights=(1.0,), low=2.0, high=4.0)
+    report = _run(query, [2.0, 3.0], _boundary(0, 1.0), _boundary(3, 3.5))
+    assert not report.is_valid
+    assert report.checks["range-completeness-right"] is False
+
+
+def test_range_empty_result_passes_when_gap_is_genuine():
+    query = RangeQuery(weights=(1.0,), low=2.0, high=2.5)
+    report = _run(query, [], _boundary(0, 1.5), _boundary(1, 3.0))
+    assert report.is_valid
+
+
+def test_range_empty_result_fails_when_gap_hides_records():
+    query = RangeQuery(weights=(1.0,), low=2.0, high=2.5)
+    report = _run(query, [], _boundary(0, 2.2), _boundary(1, 3.0))
+    assert not report.is_valid
+
+
+def test_unsorted_result_detected():
+    query = RangeQuery(weights=(1.0,), low=0.0, high=10.0)
+    report = _run(query, [3.0, 2.0], _boundary(0, token="min"), _boundary(3, token="max"))
+    assert not report.is_valid
+    assert report.checks["result-sorted"] is False
+
+
+def test_boundary_bracketing_detected():
+    query = RangeQuery(weights=(1.0,), low=2.0, high=4.0)
+    # Left boundary scores *above* the first result: impossible for an honest window.
+    report = _run(query, [2.0, 3.0], _boundary(0, 5.0), _boundary(3, 6.0))
+    assert not report.is_valid
+    assert report.checks["boundaries-bracket-result"] is False
+
+
+def test_topk_honest_result_passes():
+    query = TopKQuery(weights=(1.0,), k=3)
+    report = _run(query, [5.0, 6.0, 7.0], _boundary(0, 4.0), _boundary(4, token="max"))
+    assert report.is_valid
+
+
+def test_topk_must_end_at_maximum():
+    query = TopKQuery(weights=(1.0,), k=3)
+    report = _run(query, [5.0, 6.0, 7.0], _boundary(0, 4.0), _boundary(4, 8.0))
+    assert not report.is_valid
+    assert report.checks["topk-ends-at-maximum"] is False
+
+
+def test_topk_wrong_cardinality_detected():
+    query = TopKQuery(weights=(1.0,), k=3)
+    report = _run(query, [6.0, 7.0], _boundary(0, 4.0), _boundary(3, token="max"))
+    assert not report.is_valid
+    assert report.checks["topk-cardinality"] is False
+
+
+def test_topk_small_database_allows_fewer_records():
+    query = TopKQuery(weights=(1.0,), k=10)
+    report = _run(query, [6.0, 7.0], _boundary(0, token="min"), _boundary(3, token="max"))
+    assert report.is_valid
+
+
+def test_knn_honest_result_passes():
+    query = KNNQuery(weights=(1.0,), k=2, target=5.0)
+    report = _run(query, [4.5, 5.5], _boundary(0, 2.0), _boundary(3, 9.0))
+    assert report.is_valid
+
+
+def test_knn_detects_suboptimal_window():
+    # The excluded left neighbour (4.9) is closer to the target than 6.5.
+    query = KNNQuery(weights=(1.0,), k=2, target=5.0)
+    report = _run(query, [5.5, 6.5], _boundary(0, 4.9), _boundary(3, 9.0))
+    assert not report.is_valid
+    assert report.checks["knn-window-optimal"] is False
+
+
+def test_knn_wrong_cardinality_detected():
+    query = KNNQuery(weights=(1.0,), k=3, target=5.0)
+    report = _run(query, [5.0], _boundary(0, 2.0), _boundary(2, 9.0))
+    assert not report.is_valid
+    assert report.checks["knn-cardinality"] is False

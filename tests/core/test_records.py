@@ -1,0 +1,122 @@
+"""Tests for records, datasets and the utility template."""
+
+import pytest
+
+from repro.core.records import Dataset, Record, UtilityTemplate
+from repro.geometry.domain import Domain
+
+
+def test_record_values_are_floats():
+    record = Record(record_id=1, values=(3, 2, 1))
+    assert record.values == (3.0, 2.0, 1.0)
+    assert record.value(1) == 2.0
+
+
+def test_record_bytes_distinguish_fields():
+    base = Record(record_id=1, values=(1.0, 2.0), label="a")
+    assert base.to_bytes() != Record(record_id=2, values=(1.0, 2.0), label="a").to_bytes()
+    assert base.to_bytes() != Record(record_id=1, values=(1.0, 2.5), label="a").to_bytes()
+    assert base.to_bytes() != Record(record_id=1, values=(1.0, 2.0), label="b").to_bytes()
+    assert base.to_bytes() == Record(record_id=1, values=(1.0, 2.0), label="a").to_bytes()
+
+
+def test_dataset_from_rows_assigns_ids():
+    dataset = Dataset.from_rows(("a", "b"), [(1, 2), (3, 4)], labels=["x", "y"])
+    assert len(dataset) == 2
+    assert dataset[0].record_id == 0 and dataset[1].record_id == 1
+    assert dataset[1].label == "y"
+
+
+def test_dataset_iteration_and_by_id():
+    dataset = Dataset.from_rows(("a",), [(1,), (2,), (3,)])
+    assert [r.record_id for r in dataset] == [0, 1, 2]
+    assert dataset.by_id(2).values == (3.0,)
+    with pytest.raises(KeyError):
+        dataset.by_id(99)
+
+
+def test_dataset_attribute_index():
+    dataset = Dataset.from_rows(("gpa", "award"), [(3.0, 1)])
+    assert dataset.attribute_index("award") == 1
+    with pytest.raises(KeyError):
+        dataset.attribute_index("missing")
+
+
+def test_dataset_rejects_wrong_arity():
+    with pytest.raises(ValueError):
+        Dataset(attribute_names=("a", "b"), records=[Record(record_id=0, values=(1.0,))])
+
+
+def test_dataset_rejects_duplicate_ids():
+    records = [Record(record_id=0, values=(1.0,)), Record(record_id=0, values=(2.0,))]
+    with pytest.raises(ValueError):
+        Dataset(attribute_names=("a",), records=records)
+
+
+def test_template_defaults_to_unit_box():
+    template = UtilityTemplate(attributes=("a", "b"))
+    assert template.domain == Domain.unit_box(2)
+    assert template.dimension == 2
+
+
+def test_template_rejects_empty_attributes():
+    with pytest.raises(ValueError):
+        UtilityTemplate(attributes=())
+
+
+def test_template_rejects_domain_mismatch():
+    with pytest.raises(ValueError):
+        UtilityTemplate(attributes=("a",), domain=Domain.unit_box(2))
+
+
+def test_template_function_for_uses_attribute_values(applicant_dataset):
+    template = UtilityTemplate(attributes=("gpa", "award"))
+    record = applicant_dataset[0]
+    function = template.function_for(record, applicant_dataset)
+    assert function.index == record.record_id
+    assert function.coefficients == (record.values[0], record.values[1])
+    assert function.constant == 0.0
+
+
+def test_template_constant_attribute(applicant_dataset):
+    template = UtilityTemplate(attributes=("gpa",), constant_attribute="paper")
+    record = applicant_dataset[1]
+    function = template.function_for(record, applicant_dataset)
+    assert function.constant == record.values[2]
+
+
+def test_template_score_matches_manual_computation(applicant_dataset):
+    template = UtilityTemplate(attributes=("gpa", "award"))
+    record = applicant_dataset[3]
+    weights = (0.6, 0.4)
+    expected = record.values[0] * 0.6 + record.values[1] * 0.4
+    assert template.score(record, applicant_dataset, weights) == pytest.approx(expected)
+
+
+def test_functions_for_covers_every_record(applicant_dataset):
+    template = UtilityTemplate(attributes=("gpa", "award"))
+    functions = template.functions_for(applicant_dataset)
+    assert len(functions) == len(applicant_dataset)
+    assert {f.index for f in functions} == {r.record_id for r in applicant_dataset}
+
+
+def test_function_from_schema_matches_function_for(applicant_dataset):
+    template = UtilityTemplate(attributes=("gpa", "award"), constant_attribute="paper")
+    for record in applicant_dataset:
+        via_dataset = template.function_for(record, applicant_dataset)
+        via_schema = template.function_from_schema(record, applicant_dataset.attribute_names)
+        assert via_dataset == via_schema
+
+
+def test_function_from_schema_missing_attribute(applicant_dataset):
+    template = UtilityTemplate(attributes=("gpa", "award"))
+    with pytest.raises(KeyError):
+        template.function_from_schema(applicant_dataset[0], ("gpa", "paper"))
+
+
+def test_template_to_bytes_distinguishes_configurations():
+    a = UtilityTemplate(attributes=("x", "y"))
+    b = UtilityTemplate(attributes=("y", "x"))
+    c = UtilityTemplate(attributes=("x", "y"), domain=Domain.box(2, 0.0, 2.0))
+    assert a.to_bytes() != b.to_bytes()
+    assert a.to_bytes() != c.to_bytes()

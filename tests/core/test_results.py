@@ -1,0 +1,87 @@
+"""Tests for query results and verification reports."""
+
+import pytest
+
+from repro.core.errors import VerificationError
+from repro.core.records import Record
+from repro.core.results import QueryResult, VerificationReport
+
+
+def _records(count):
+    return tuple(Record(record_id=i, values=(float(i),)) for i in range(count))
+
+
+def test_query_result_basics():
+    result = QueryResult(records=_records(3))
+    assert len(result) == 3
+    assert not result.is_empty
+    assert result.record_ids() == [0, 1, 2]
+    assert [r.record_id for r in result] == [0, 1, 2]
+
+
+def test_empty_query_result():
+    result = QueryResult(records=())
+    assert result.is_empty
+    assert len(result) == 0
+
+
+def test_report_starts_valid():
+    report = VerificationReport()
+    assert report.is_valid
+    assert report.checks == {}
+    assert report.failures == []
+
+
+def test_report_records_passing_check():
+    report = VerificationReport()
+    report.record("signature", True)
+    assert report.is_valid
+    assert report.checks["signature"] is True
+
+
+def test_report_records_failure_with_detail():
+    report = VerificationReport()
+    report.record("signature", False, "root mismatch")
+    assert not report.is_valid
+    assert report.checks["signature"] is False
+    assert "root mismatch" in report.failures
+
+
+def test_report_failure_without_detail_uses_default_message():
+    report = VerificationReport()
+    report.record("completeness", False)
+    assert any("completeness" in failure for failure in report.failures)
+
+
+def test_report_check_cannot_recover_once_failed():
+    report = VerificationReport()
+    report.record("x", False, "first")
+    report.record("x", True)
+    assert report.checks["x"] is False
+    assert not report.is_valid
+
+
+def test_raise_if_invalid():
+    report = VerificationReport()
+    report.record("x", False, "broken")
+    with pytest.raises(VerificationError, match="broken"):
+        report.raise_if_invalid()
+
+
+def test_raise_if_valid_is_noop():
+    VerificationReport().raise_if_invalid()
+
+
+def test_total_time_sums_timings():
+    report = VerificationReport()
+    report.timings = {"hashing": 0.25, "signature": 0.5}
+    assert report.total_time == pytest.approx(0.75)
+
+
+def test_summary_mentions_status_and_counts():
+    report = VerificationReport()
+    report.record("a", True)
+    report.record("b", False, "bad")
+    summary = report.summary()
+    assert "INVALID" in summary
+    assert "1/2" in summary

@@ -1,0 +1,98 @@
+"""Tests for the from-scratch DSA signatures."""
+
+import random
+
+import pytest
+
+from repro.crypto.dsa import (
+    DSAKeyPair,
+    generate_dsa_keypair,
+    generate_dsa_parameters,
+)
+from repro.crypto.primes import is_probable_prime
+
+
+@pytest.fixture(scope="module")
+def keypair() -> DSAKeyPair:
+    return generate_dsa_keypair(p_bits=512, q_bits=160, rng=random.Random(321))
+
+
+def test_parameter_sizes(keypair):
+    params = keypair.public.parameters
+    assert params.p_bits == 512
+    assert params.q_bits in (159, 160)
+
+
+def test_parameters_are_consistent(keypair):
+    params = keypair.public.parameters
+    assert is_probable_prime(params.p)
+    assert is_probable_prime(params.q)
+    assert (params.p - 1) % params.q == 0
+    assert pow(params.g, params.q, params.p) == 1
+    assert params.g > 1
+
+
+def test_signature_size(keypair):
+    q_len = (keypair.public.parameters.q.bit_length() + 7) // 8
+    assert keypair.public.signature_size == 2 * q_len
+    assert len(keypair.private.sign(b"m")) == keypair.public.signature_size
+
+
+def test_sign_and_verify_roundtrip(keypair):
+    message = b"analytic query verification"
+    signature = keypair.private.sign(message)
+    assert keypair.public.verify(message, signature)
+
+
+def test_verify_rejects_different_message(keypair):
+    signature = keypair.private.sign(b"one")
+    assert not keypair.public.verify(b"two", signature)
+
+
+def test_verify_rejects_bitflipped_signature(keypair):
+    signature = keypair.private.sign(b"message")
+    tampered = bytes([signature[0] ^ 0xFF]) + signature[1:]
+    assert not keypair.public.verify(b"message", tampered)
+
+
+def test_verify_rejects_wrong_length(keypair):
+    signature = keypair.private.sign(b"message")
+    assert not keypair.public.verify(b"message", signature + b"\x00")
+
+
+def test_verify_rejects_zero_signature(keypair):
+    q_len = (keypair.public.parameters.q.bit_length() + 7) // 8
+    assert not keypair.public.verify(b"message", b"\x00" * (2 * q_len))
+
+
+def test_signing_is_deterministic(keypair):
+    assert keypair.private.sign(b"same") == keypair.private.sign(b"same")
+
+
+def test_different_messages_use_different_nonces(keypair):
+    q_len = (keypair.public.parameters.q.bit_length() + 7) // 8
+    r1 = keypair.private.sign(b"message-1")[:q_len]
+    r2 = keypair.private.sign(b"message-2")[:q_len]
+    assert r1 != r2
+
+
+def test_keypair_reuses_supplied_parameters():
+    rng = random.Random(55)
+    params = generate_dsa_parameters(p_bits=512, q_bits=160, rng=rng)
+    pair = generate_dsa_keypair(parameters=params, rng=rng)
+    assert pair.public.parameters == params
+    signature = pair.private.sign(b"m")
+    assert pair.public.verify(b"m", signature)
+
+
+def test_cross_key_verification_fails(keypair):
+    other = generate_dsa_keypair(p_bits=512, q_bits=160, rng=random.Random(777))
+    signature = other.private.sign(b"m")
+    assert not keypair.public.verify(b"m", signature)
+
+
+def test_parameter_generation_validates_sizes():
+    with pytest.raises(ValueError):
+        generate_dsa_parameters(p_bits=128, q_bits=160)
+    with pytest.raises(ValueError):
+        generate_dsa_parameters(p_bits=512, q_bits=32)

@@ -1,0 +1,79 @@
+"""Tests for the counting SHA-256 wrapper."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.hashing import DIGEST_SIZE, HashFunction, sha256, sha256_hex
+from repro.metrics.counters import Counters
+
+
+def test_sha256_matches_hashlib():
+    assert sha256(b"abc") == hashlib.sha256(b"abc").digest()
+
+
+def test_sha256_hex_matches_hashlib():
+    assert sha256_hex(b"abc") == hashlib.sha256(b"abc").hexdigest()
+
+
+def test_digest_size_constant():
+    assert DIGEST_SIZE == 32
+    assert len(sha256(b"x")) == DIGEST_SIZE
+
+
+def test_digest_is_deterministic():
+    h = HashFunction()
+    assert h.digest(b"payload") == h.digest(b"payload")
+
+
+def test_digest_differs_for_different_inputs():
+    h = HashFunction()
+    assert h.digest(b"a") != h.digest(b"b")
+
+
+def test_combine_is_order_sensitive():
+    h = HashFunction()
+    assert h.combine(b"a", b"b") != h.combine(b"b", b"a")
+
+
+def test_combine_is_unambiguous_across_boundaries():
+    """H(ab | c) must differ from H(a | bc) -- length prefixes prevent splicing."""
+    h = HashFunction()
+    assert h.combine(b"ab", b"c") != h.combine(b"a", b"bc")
+
+
+def test_combine_single_part_differs_from_plain_digest():
+    h = HashFunction()
+    assert h.combine(b"abc") != h.digest(b"abc")
+
+
+def test_digest_many_equals_combine():
+    h = HashFunction()
+    assert h.digest_many([b"x", b"y", b"z"]) == h.combine(b"x", b"y", b"z")
+
+
+def test_call_count_increments():
+    h = HashFunction()
+    h.digest(b"one")
+    h.combine(b"two", b"three")
+    assert h.call_count == 2
+
+
+def test_reset_clears_local_count():
+    h = HashFunction()
+    h.digest(b"x")
+    h.reset()
+    assert h.call_count == 0
+
+
+def test_shared_counter_receives_hash_operations():
+    counters = Counters()
+    h = HashFunction(counters)
+    h.digest(b"x")
+    h.combine(b"a", b"b")
+    assert counters.hash_operations == 2
+
+
+def test_counter_not_required():
+    h = HashFunction(None)
+    assert isinstance(h.digest(b"x"), bytes)

@@ -1,0 +1,69 @@
+"""Tests for the Miller-Rabin primality test and prime generation."""
+
+import random
+
+import pytest
+
+from repro.crypto.primes import (
+    SMALL_PRIMES,
+    generate_prime,
+    generate_safe_prime,
+    is_probable_prime,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 101, 7919, 104729, (1 << 61) - 1]
+KNOWN_COMPOSITES = [1, 0, -7, 4, 9, 561, 1105, 1729, 2465, 104730, (1 << 61) - 2]
+# Carmichael numbers (561, 1105, 1729, 2465) are classic Fermat-test traps.
+
+
+def test_small_primes_table_starts_correctly():
+    assert SMALL_PRIMES[:5] == (2, 3, 5, 7, 11)
+    assert all(p < 1000 for p in SMALL_PRIMES)
+
+
+@pytest.mark.parametrize("value", KNOWN_PRIMES)
+def test_known_primes_accepted(value):
+    assert is_probable_prime(value)
+
+
+@pytest.mark.parametrize("value", KNOWN_COMPOSITES)
+def test_known_composites_rejected(value):
+    assert not is_probable_prime(value)
+
+
+def test_generate_prime_has_requested_bit_length():
+    rng = random.Random(1)
+    for bits in (8, 16, 32, 64, 128):
+        p = generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p)
+
+
+def test_generate_prime_rejects_tiny_bit_length():
+    with pytest.raises(ValueError):
+        generate_prime(4)
+
+
+def test_generate_prime_is_odd():
+    rng = random.Random(2)
+    assert generate_prime(32, rng) % 2 == 1
+
+
+def test_generate_prime_respects_congruence():
+    rng = random.Random(3)
+    q = generate_prime(16, rng)
+    p = generate_prime(48, rng, congruent_to=(1, q))
+    assert p % q == 1
+    assert is_probable_prime(p)
+
+
+def test_generate_prime_deterministic_with_seeded_rng():
+    assert generate_prime(64, random.Random(42)) == generate_prime(64, random.Random(42))
+
+
+def test_generate_safe_prime():
+    rng = random.Random(4)
+    p = generate_safe_prime(32, rng)
+    assert is_probable_prime(p)
+    assert is_probable_prime((p - 1) // 2)
+    assert p.bit_length() == 32

@@ -1,0 +1,88 @@
+"""Tests for the from-scratch RSA signatures."""
+
+import random
+
+import pytest
+
+from repro.crypto.hashing import sha256
+from repro.crypto.rsa import RSAKeyPair, generate_rsa_keypair
+
+
+@pytest.fixture(scope="module")
+def keypair() -> RSAKeyPair:
+    return generate_rsa_keypair(bits=512, rng=random.Random(123))
+
+
+def test_keypair_modulus_size(keypair):
+    assert 500 <= keypair.public.modulus_bits <= 512
+    assert keypair.public.signature_size == (keypair.public.n.bit_length() + 7) // 8
+
+
+def test_sign_and_verify_roundtrip(keypair):
+    message = b"verify the correctness of analytic query results"
+    signature = keypair.private.sign(message)
+    assert keypair.public.verify(message, signature)
+
+
+def test_verify_rejects_different_message(keypair):
+    signature = keypair.private.sign(b"message one")
+    assert not keypair.public.verify(b"message two", signature)
+
+
+def test_verify_rejects_bitflipped_signature(keypair):
+    signature = keypair.private.sign(b"message")
+    tampered = bytes([signature[0] ^ 0x01]) + signature[1:]
+    assert not keypair.public.verify(b"message", tampered)
+
+
+def test_verify_rejects_wrong_length_signature(keypair):
+    signature = keypair.private.sign(b"message")
+    assert not keypair.public.verify(b"message", signature[:-1])
+
+
+def test_verify_rejects_signature_from_other_key(keypair):
+    other = generate_rsa_keypair(bits=512, rng=random.Random(999))
+    signature = other.private.sign(b"message")
+    assert not keypair.public.verify(b"message", signature)
+
+
+def test_sign_digest_matches_sign(keypair):
+    message = b"digest path"
+    assert keypair.private.sign(message) == keypair.private.sign_digest(sha256(message))
+
+
+def test_verify_digest_roundtrip(keypair):
+    digest = sha256(b"digest roundtrip")
+    signature = keypair.private.sign_digest(digest)
+    assert keypair.public.verify_digest(digest, signature)
+    assert not keypair.public.verify_digest(sha256(b"other"), signature)
+
+
+def test_signature_is_deterministic(keypair):
+    assert keypair.private.sign(b"same message") == keypair.private.sign(b"same message")
+
+
+def test_keygen_is_deterministic_for_seed():
+    a = generate_rsa_keypair(bits=512, rng=random.Random(5))
+    b = generate_rsa_keypair(bits=512, rng=random.Random(5))
+    assert a.public.n == b.public.n
+
+
+def test_keygen_differs_for_different_seeds():
+    a = generate_rsa_keypair(bits=512, rng=random.Random(6))
+    b = generate_rsa_keypair(bits=512, rng=random.Random(7))
+    assert a.public.n != b.public.n
+
+
+def test_keygen_rejects_tiny_modulus():
+    with pytest.raises(ValueError):
+        generate_rsa_keypair(bits=256)
+
+
+def test_private_key_exposes_public(keypair):
+    assert keypair.private.public_key() == keypair.public
+
+
+def test_empty_message_signs(keypair):
+    signature = keypair.private.sign(b"")
+    assert keypair.public.verify(b"", signature)

@@ -1,0 +1,75 @@
+"""Tests for the canonical byte encodings."""
+
+import math
+
+import pytest
+
+from repro.crypto.serialization import (
+    encode_bytes,
+    encode_float,
+    encode_float_vector,
+    encode_int,
+    encode_sequence,
+    encode_str,
+)
+
+
+def test_int_roundtrip_distinctness():
+    values = [0, 1, -1, 255, 256, -256, 2**64, -(2**64), 10**30]
+    encodings = {encode_int(v) for v in values}
+    assert len(encodings) == len(values)
+
+
+def test_int_encoding_is_deterministic():
+    assert encode_int(42) == encode_int(42)
+
+
+def test_float_encoding_is_exact():
+    assert encode_float(0.1) == encode_float(0.1)
+    assert encode_float(0.1) != encode_float(0.2)
+    # Nearby but distinct doubles encode differently (bit-pattern encoding).
+    assert encode_float(0.1) != encode_float(0.1 + 1e-16)
+
+
+def test_float_distinguishes_signed_zero():
+    assert encode_float(0.0) != encode_float(-0.0)
+
+
+def test_float_handles_special_values():
+    assert encode_float(float("inf")) != encode_float(float("-inf"))
+    assert encode_float(float("nan")) == encode_float(float("nan"))
+
+
+def test_str_and_bytes_tags_differ():
+    assert encode_str("abc") != encode_bytes(b"abc")
+
+
+def test_str_unicode_roundtrip_distinctness():
+    assert encode_str("héllo") != encode_str("hello")
+
+
+def test_vector_differs_from_individual_floats():
+    assert encode_float_vector([1.0, 2.0]) != encode_sequence([encode_float(1.0), encode_float(2.0)])
+
+
+def test_vector_order_matters():
+    assert encode_float_vector([1.0, 2.0]) != encode_float_vector([2.0, 1.0])
+
+
+def test_sequence_is_unambiguous():
+    # [ab, c] vs [a, bc] must encode differently thanks to length prefixes.
+    left = encode_sequence([encode_str("ab"), encode_str("c")])
+    right = encode_sequence([encode_str("a"), encode_str("bc")])
+    assert left != right
+
+
+def test_sequence_nesting_changes_encoding():
+    flat = encode_sequence([encode_int(1), encode_int(2)])
+    nested = encode_sequence([encode_sequence([encode_int(1), encode_int(2)])])
+    assert flat != nested
+
+
+def test_empty_containers_are_valid():
+    assert isinstance(encode_sequence([]), bytes)
+    assert isinstance(encode_float_vector([]), bytes)
+    assert encode_sequence([]) != encode_float_vector([])

@@ -1,0 +1,64 @@
+"""Tests for the pluggable signature-scheme registry."""
+
+import random
+
+import pytest
+
+from repro.crypto.signer import KeyPair, available_schemes, make_signer, register_scheme
+
+
+def test_available_schemes_contains_builtins():
+    schemes = available_schemes()
+    assert {"rsa", "dsa", "hmac"} <= set(schemes)
+
+
+@pytest.mark.parametrize("scheme,key_bits", [("rsa", 512), ("dsa", 512), ("hmac", None)])
+def test_roundtrip_per_scheme(scheme, key_bits):
+    pair = make_signer(scheme, rng=random.Random(1), key_bits=key_bits)
+    assert isinstance(pair, KeyPair)
+    assert pair.scheme == scheme
+    message = b"scheme roundtrip"
+    signature = pair.signer.sign(message)
+    assert len(signature) == pair.signature_size
+    assert pair.verifier.verify(message, signature)
+    assert not pair.verifier.verify(message + b"!", signature)
+
+
+def test_unknown_scheme_raises():
+    with pytest.raises(ValueError, match="unknown signature scheme"):
+        make_signer("ed25519")
+
+
+def test_hmac_pairs_are_independent():
+    a = make_signer("hmac", rng=random.Random(1))
+    b = make_signer("hmac", rng=random.Random(2))
+    signature = a.signer.sign(b"m")
+    assert not b.verifier.verify(b"m", signature)
+
+
+def test_rsa_and_dsa_signature_sizes_differ():
+    rsa = make_signer("rsa", rng=random.Random(3), key_bits=512)
+    dsa = make_signer("dsa", rng=random.Random(4), key_bits=512)
+    assert rsa.signature_size != dsa.signature_size
+
+
+def test_register_custom_scheme():
+    def factory(rng=None, key_bits=None):
+        return make_signer("hmac", rng=rng)
+
+    register_scheme("null-test-scheme", factory, "test-only")
+    try:
+        assert "null-test-scheme" in available_schemes()
+        pair = make_signer("null-test-scheme")
+        assert pair.verifier.verify(b"m", pair.signer.sign(b"m"))
+    finally:
+        # Keep the global registry clean for other tests.
+        from repro.crypto import signer as signer_module
+
+        signer_module._REGISTRY.pop("null-test-scheme", None)
+
+
+def test_signer_scheme_attribute_matches():
+    pair = make_signer("hmac", rng=random.Random(5))
+    assert pair.signer.scheme == "hmac"
+    assert pair.verifier.scheme == "hmac"

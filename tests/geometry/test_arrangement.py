@@ -1,0 +1,126 @@
+"""Tests for the weight-space arrangement (including the paper's Fig. 2 example)."""
+
+import random
+
+import pytest
+
+from repro.geometry.arrangement import build_arrangement, pairwise_hyperplanes
+from repro.geometry.domain import Domain
+from repro.geometry.functions import LinearFunction
+
+
+@pytest.fixture()
+def fig2_functions():
+    """Four univariate lines mirroring the shape of the paper's Fig. 2a."""
+    return [
+        LinearFunction(index=1, coefficients=(1.0,), constant=0.0),
+        LinearFunction(index=2, coefficients=(0.5,), constant=1.0),
+        LinearFunction(index=3, coefficients=(-0.3,), constant=3.0),
+        LinearFunction(index=4, coefficients=(2.0,), constant=-1.0),
+    ]
+
+
+@pytest.fixture()
+def fig2_domain():
+    return Domain(lower=(0.0,), upper=(5.0,))
+
+
+def test_pairwise_hyperplanes_count(fig2_functions):
+    # 4 functions, no two parallel: C(4, 2) = 6 intersections.
+    assert len(pairwise_hyperplanes(fig2_functions)) == 6
+
+
+def test_pairwise_hyperplanes_skip_parallel():
+    functions = [
+        LinearFunction(index=0, coefficients=(1.0,), constant=0.0),
+        LinearFunction(index=1, coefficients=(1.0,), constant=2.0),
+        LinearFunction(index=2, coefficients=(2.0,), constant=0.0),
+    ]
+    planes = pairwise_hyperplanes(functions)
+    assert len(planes) == 2  # the parallel pair contributes nothing
+    assert all((p.i, p.j) != (0, 1) for p in planes)
+
+
+def test_fig2_partition_into_seven_subdomains(fig2_functions, fig2_domain):
+    """Six in-domain intersection points partition the domain into 7 cells."""
+    arrangement = build_arrangement(fig2_functions, fig2_domain)
+    assert arrangement.size == 7
+
+
+def test_cells_tile_the_domain_in_order(fig2_functions, fig2_domain):
+    arrangement = build_arrangement(fig2_functions, fig2_domain)
+    previous_high = fig2_domain.lower[0]
+    for cell in arrangement.subdomains:
+        assert cell.region.interval_low == pytest.approx(previous_high)
+        previous_high = cell.region.interval_high
+    assert previous_high == pytest.approx(fig2_domain.upper[0])
+
+
+def test_sorted_lists_are_correct_inside_each_cell(fig2_functions, fig2_domain):
+    arrangement = build_arrangement(fig2_functions, fig2_domain)
+    rng = random.Random(0)
+    for cell in arrangement.subdomains:
+        for _ in range(5):
+            x = rng.uniform(cell.region.interval_low, cell.region.interval_high)
+            scores = [f.evaluate((x,)) for f in cell.sorted_functions]
+            assert scores == sorted(scores)
+
+
+def test_adjacent_cells_have_different_orders(fig2_functions, fig2_domain):
+    arrangement = build_arrangement(fig2_functions, fig2_domain)
+    orders = [cell.sorted_indices() for cell in arrangement.subdomains]
+    for left, right in zip(orders, orders[1:]):
+        assert left != right
+
+
+def test_locate_finds_containing_cell(fig2_functions, fig2_domain):
+    arrangement = build_arrangement(fig2_functions, fig2_domain)
+    rng = random.Random(1)
+    for _ in range(20):
+        x = (rng.uniform(0.0, 5.0),)
+        cell = arrangement.locate(x)
+        assert cell.contains(x)
+
+
+def test_locate_with_count_counts_cells(fig2_functions, fig2_domain):
+    arrangement = build_arrangement(fig2_functions, fig2_domain)
+    last_cell = arrangement.subdomains[-1]
+    witness = last_cell.witness
+    cell, inspected = arrangement.locate_with_count(witness)
+    assert cell.identifier == last_cell.identifier
+    assert inspected == arrangement.size
+
+
+def test_locate_outside_domain_raises(fig2_functions, fig2_domain):
+    arrangement = build_arrangement(fig2_functions, fig2_domain)
+    with pytest.raises(ValueError):
+        arrangement.locate((9.0,))
+
+
+def test_single_function_yields_single_cell(fig2_domain):
+    arrangement = build_arrangement(
+        [LinearFunction(index=0, coefficients=(1.0,))], fig2_domain
+    )
+    assert arrangement.size == 1
+    assert arrangement.subdomains[0].sorted_indices() == [0]
+
+
+def test_empty_function_set_rejected(fig2_domain):
+    with pytest.raises(ValueError):
+        build_arrangement([], fig2_domain)
+
+
+def test_2d_arrangement_orders_are_valid():
+    rng = random.Random(3)
+    functions = [
+        LinearFunction(index=i, coefficients=(rng.uniform(0, 4), rng.uniform(0, 4)),
+                       constant=rng.uniform(0, 1))
+        for i in range(5)
+    ]
+    domain = Domain.unit_box(2)
+    arrangement = build_arrangement(functions, domain)
+    assert arrangement.size >= 1
+    for cell in arrangement.subdomains:
+        scores = [f.evaluate(cell.witness) for f in cell.sorted_functions]
+        assert scores == sorted(scores)
+        assert cell.contains(cell.witness)

@@ -1,0 +1,120 @@
+"""Tests for the weight domain, constraints and regions."""
+
+import pytest
+
+from repro.geometry.domain import (
+    ABOVE,
+    BELOW,
+    Constraint,
+    Domain,
+    Region,
+    region_from_constraints,
+)
+from repro.geometry.functions import Hyperplane
+
+
+@pytest.fixture()
+def plane() -> Hyperplane:
+    # x - 0.5 = 0: above means x >= 0.5
+    return Hyperplane(i=0, j=1, normal=(1.0,), offset=-0.5)
+
+
+def test_unit_box_and_cube_constructors():
+    unit = Domain.unit_box(3)
+    assert unit.lower == (0.0, 0.0, 0.0) and unit.upper == (1.0, 1.0, 1.0)
+    cube = Domain.box(2, -1.0, 2.0)
+    assert cube.lower == (-1.0, -1.0) and cube.upper == (2.0, 2.0)
+
+
+def test_domain_rejects_mismatched_bounds():
+    with pytest.raises(ValueError):
+        Domain(lower=(0.0, 0.0), upper=(1.0,))
+
+
+def test_domain_rejects_degenerate_interval():
+    with pytest.raises(ValueError):
+        Domain(lower=(1.0,), upper=(1.0,))
+    with pytest.raises(ValueError):
+        Domain(lower=(2.0,), upper=(1.0,))
+
+
+def test_domain_rejects_empty():
+    with pytest.raises(ValueError):
+        Domain(lower=(), upper=())
+
+
+def test_domain_contains_and_center():
+    domain = Domain(lower=(0.0, -1.0), upper=(2.0, 1.0))
+    assert domain.contains((1.0, 0.0))
+    assert domain.contains((0.0, -1.0))  # boundary included
+    assert not domain.contains((3.0, 0.0))
+    assert not domain.contains((1.0,))  # wrong dimension
+    assert domain.center() == (1.0, 0.0)
+
+
+def test_constraint_side_validation(plane):
+    with pytest.raises(ValueError):
+        Constraint(plane, side=0)
+
+
+def test_constraint_satisfied_by(plane):
+    above = Constraint(plane, ABOVE)
+    below = Constraint(plane, BELOW)
+    assert above.satisfied_by((0.7,))
+    assert not above.satisfied_by((0.3,))
+    assert below.satisfied_by((0.3,))
+    assert not below.satisfied_by((0.7,))
+
+
+def test_constraint_describe(plane):
+    assert Constraint(plane, ABOVE).describe() == "f_0(X) - f_1(X) >= 0"
+    assert Constraint(plane, BELOW).describe() == "f_0(X) - f_1(X) < 0"
+
+
+def test_constraint_bytes_distinguish_sides(plane):
+    assert Constraint(plane, ABOVE).to_bytes() != Constraint(plane, BELOW).to_bytes()
+
+
+def test_region_full_and_contains(plane):
+    domain = Domain.unit_box(1)
+    region = Region.full(domain)
+    assert region.contains((0.5,))
+    constrained = region.with_constraint(Constraint(plane, ABOVE))
+    assert constrained.contains((0.9,))
+    assert not constrained.contains((0.1,))
+    assert len(constrained) == 1
+
+
+def test_region_tracks_interval_for_1d():
+    domain = Domain(lower=(0.0,), upper=(4.0,))
+    region = Region.full(domain)
+    assert region.interval_low == 0.0 and region.interval_high == 4.0
+    assert region.is_interval
+
+
+def test_region_constraint_bytes_change_with_constraints(plane):
+    domain = Domain.unit_box(1)
+    empty = Region.full(domain)
+    constrained = empty.with_constraint(Constraint(plane, ABOVE))
+    assert empty.constraint_bytes() != constrained.constraint_bytes()
+
+
+def test_region_describe_lists_inequalities(plane):
+    domain = Domain.unit_box(1)
+    region = Region.full(domain).with_constraint(Constraint(plane, BELOW))
+    assert region.describe() == ["f_0(X) - f_1(X) < 0"]
+
+
+def test_region_from_constraints_roundtrip(plane):
+    domain = Domain.unit_box(1)
+    constraints = (Constraint(plane, ABOVE),)
+    region = region_from_constraints(domain, constraints)
+    assert region.constraints == constraints
+    assert region.contains((0.8,))
+    assert not region.contains((0.2,))
+
+
+def test_region_outside_domain_is_not_contained(plane):
+    domain = Domain.unit_box(1)
+    region = Region.full(domain).with_constraint(Constraint(plane, ABOVE))
+    assert not region.contains((1.5,))

@@ -1,0 +1,141 @@
+"""Tests for the interval and LP split/witness engines."""
+
+import pytest
+
+from repro.geometry.domain import Domain, Region
+from repro.geometry.engine import IntervalEngine, LPEngine, make_engine
+from repro.geometry.functions import Hyperplane
+
+
+@pytest.fixture()
+def domain_1d() -> Domain:
+    return Domain(lower=(0.0,), upper=(10.0,))
+
+
+@pytest.fixture()
+def domain_2d() -> Domain:
+    return Domain.unit_box(2)
+
+
+def test_make_engine_dispatch(domain_1d, domain_2d):
+    assert isinstance(make_engine(domain_1d), IntervalEngine)
+    assert isinstance(make_engine(domain_2d), LPEngine)
+
+
+class TestIntervalEngine:
+    def test_splits_inside_interval(self, domain_1d):
+        engine = IntervalEngine()
+        region = Region.full(domain_1d)
+        plane = Hyperplane(i=0, j=1, normal=(1.0,), offset=-4.0)  # breakpoint at 4
+        assert engine.splits(region, plane)
+
+    def test_does_not_split_outside_interval(self, domain_1d):
+        engine = IntervalEngine()
+        region = Region.full(domain_1d)
+        plane = Hyperplane(i=0, j=1, normal=(1.0,), offset=-15.0)  # breakpoint at 15
+        assert not engine.splits(region, plane)
+
+    def test_does_not_split_on_boundary(self, domain_1d):
+        engine = IntervalEngine()
+        region = Region.full(domain_1d)
+        plane = Hyperplane(i=0, j=1, normal=(1.0,), offset=0.0)  # breakpoint at 0
+        assert not engine.splits(region, plane)
+
+    def test_degenerate_plane_never_splits(self, domain_1d):
+        engine = IntervalEngine()
+        region = Region.full(domain_1d)
+        plane = Hyperplane(i=0, j=1, normal=(0.0,), offset=-1.0)
+        assert not engine.splits(region, plane)
+
+    def test_split_positive_slope_orientation(self, domain_1d):
+        engine = IntervalEngine()
+        region = Region.full(domain_1d)
+        plane = Hyperplane(i=0, j=1, normal=(2.0,), offset=-8.0)  # breakpoint at 4
+        above, below = engine.split(region, plane)
+        # above: normal * x + offset >= 0  <=>  x >= 4
+        assert (above.interval_low, above.interval_high) == (4.0, 10.0)
+        assert (below.interval_low, below.interval_high) == (0.0, 4.0)
+        assert above.contains((5.0,)) and not above.contains((3.0,))
+
+    def test_split_negative_slope_orientation(self, domain_1d):
+        engine = IntervalEngine()
+        region = Region.full(domain_1d)
+        plane = Hyperplane(i=0, j=1, normal=(-1.0,), offset=3.0)  # breakpoint at 3
+        above, below = engine.split(region, plane)
+        # above: -x + 3 >= 0  <=>  x <= 3
+        assert (above.interval_low, above.interval_high) == (0.0, 3.0)
+        assert (below.interval_low, below.interval_high) == (3.0, 10.0)
+
+    def test_split_raises_when_not_splitting(self, domain_1d):
+        engine = IntervalEngine()
+        region = Region.full(domain_1d)
+        plane = Hyperplane(i=0, j=1, normal=(1.0,), offset=-20.0)
+        with pytest.raises(ValueError):
+            engine.split(region, plane)
+
+    def test_witness_is_interval_midpoint(self, domain_1d):
+        engine = IntervalEngine()
+        region = Region.full(domain_1d)
+        assert engine.witness(region) == (5.0,)
+
+    def test_rejects_multivariate_hyperplane(self, domain_1d):
+        engine = IntervalEngine()
+        region = Region.full(domain_1d)
+        plane = Hyperplane(i=0, j=1, normal=(1.0, 1.0), offset=0.0)
+        with pytest.raises(ValueError):
+            engine.splits(region, plane)
+
+
+class TestLPEngine:
+    def test_splits_through_box(self, domain_2d):
+        engine = LPEngine()
+        region = Region.full(domain_2d)
+        plane = Hyperplane(i=0, j=1, normal=(1.0, -1.0), offset=0.0)  # diagonal
+        assert engine.splits(region, plane)
+
+    def test_does_not_split_outside_box(self, domain_2d):
+        engine = LPEngine()
+        region = Region.full(domain_2d)
+        plane = Hyperplane(i=0, j=1, normal=(1.0, 1.0), offset=-5.0)  # x+y=5
+        assert not engine.splits(region, plane)
+
+    def test_degenerate_plane_never_splits(self, domain_2d):
+        engine = LPEngine()
+        region = Region.full(domain_2d)
+        plane = Hyperplane(i=0, j=1, normal=(0.0, 0.0), offset=1.0)
+        assert not engine.splits(region, plane)
+
+    def test_split_sides_partition_points(self, domain_2d):
+        engine = LPEngine()
+        region = Region.full(domain_2d)
+        plane = Hyperplane(i=0, j=1, normal=(1.0, -1.0), offset=0.0)
+        above, below = engine.split(region, plane)
+        assert above.contains((0.8, 0.2))
+        assert not above.contains((0.2, 0.8))
+        assert below.contains((0.2, 0.8))
+        assert not below.contains((0.8, 0.2))
+
+    def test_split_raises_when_not_splitting(self, domain_2d):
+        engine = LPEngine()
+        region = Region.full(domain_2d)
+        plane = Hyperplane(i=0, j=1, normal=(1.0, 1.0), offset=-5.0)
+        with pytest.raises(ValueError):
+            engine.split(region, plane)
+
+    def test_witness_is_interior_point(self, domain_2d):
+        engine = LPEngine()
+        region = Region.full(domain_2d)
+        plane = Hyperplane(i=0, j=1, normal=(1.0, -1.0), offset=0.0)
+        above, below = engine.split(region, plane)
+        for sub_region in (above, below):
+            witness = engine.witness(sub_region)
+            assert sub_region.contains(witness)
+
+    def test_consistent_with_interval_engine_on_1d(self):
+        domain = Domain(lower=(0.0,), upper=(10.0,))
+        region = Region.full(domain)
+        interval = IntervalEngine()
+        lp = LPEngine()
+        for offset in (-2.0, -5.0, -9.999, -11.0, 0.5):
+            plane = Hyperplane(i=0, j=1, normal=(1.0,), offset=offset)
+            assert interval.splits(region, plane) == lp.splits(region, plane)

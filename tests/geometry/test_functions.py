@@ -1,0 +1,101 @@
+"""Tests for linear score functions and intersection hyperplanes."""
+
+import pytest
+
+from repro.geometry.functions import Hyperplane, LinearFunction, intersection_hyperplane
+
+
+def test_evaluate_weighted_sum():
+    f = LinearFunction(index=1, coefficients=(3.9, 2.0, 4.0))
+    assert f.evaluate((1.0, 0.0, 0.0)) == pytest.approx(3.9)
+    assert f.evaluate((0.5, 0.5, 0.5)) == pytest.approx((3.9 + 2.0 + 4.0) / 2)
+
+
+def test_evaluate_with_constant_term():
+    f = LinearFunction(index=2, coefficients=(2.0,), constant=5.0)
+    assert f.evaluate((0.0,)) == pytest.approx(5.0)
+    assert f.evaluate((1.5,)) == pytest.approx(8.0)
+
+
+def test_call_is_evaluate():
+    f = LinearFunction(index=0, coefficients=(1.0, 1.0))
+    assert f((0.25, 0.75)) == f.evaluate((0.25, 0.75))
+
+
+def test_evaluate_rejects_wrong_dimension():
+    f = LinearFunction(index=0, coefficients=(1.0, 2.0))
+    with pytest.raises(ValueError, match="dimension"):
+        f.evaluate((1.0,))
+
+
+def test_empty_coefficients_rejected():
+    with pytest.raises(ValueError):
+        LinearFunction(index=0, coefficients=())
+
+
+def test_dimension_property():
+    assert LinearFunction(index=0, coefficients=(1.0, 2.0, 3.0)).dimension == 3
+
+
+def test_parallel_and_coincident_detection():
+    f = LinearFunction(index=0, coefficients=(1.0, 2.0), constant=1.0)
+    parallel = LinearFunction(index=1, coefficients=(1.0, 2.0), constant=3.0)
+    coincident = LinearFunction(index=2, coefficients=(1.0, 2.0), constant=1.0)
+    crossing = LinearFunction(index=3, coefficients=(2.0, 1.0), constant=1.0)
+    assert f.is_parallel_to(parallel)
+    assert not f.is_coincident_with(parallel)
+    assert f.is_coincident_with(coincident)
+    assert not f.is_parallel_to(crossing)
+
+
+def test_to_bytes_distinguishes_functions():
+    f1 = LinearFunction(index=0, coefficients=(1.0, 2.0))
+    f2 = LinearFunction(index=0, coefficients=(1.0, 2.0000001))
+    f3 = LinearFunction(index=1, coefficients=(1.0, 2.0))
+    assert f1.to_bytes() != f2.to_bytes()
+    assert f1.to_bytes() != f3.to_bytes()
+    assert f1.to_bytes() == LinearFunction(index=0, coefficients=(1.0, 2.0)).to_bytes()
+
+
+def test_intersection_hyperplane_coefficients():
+    f_i = LinearFunction(index=1, coefficients=(3.0, 1.0), constant=2.0)
+    f_j = LinearFunction(index=2, coefficients=(1.0, 4.0), constant=5.0)
+    hyperplane = intersection_hyperplane(f_i, f_j)
+    assert hyperplane is not None
+    assert hyperplane.i == 1 and hyperplane.j == 2
+    assert hyperplane.normal == (2.0, -3.0)
+    assert hyperplane.offset == -3.0
+
+
+def test_intersection_side_value_sign_matches_score_difference():
+    f_i = LinearFunction(index=1, coefficients=(3.0, 1.0), constant=2.0)
+    f_j = LinearFunction(index=2, coefficients=(1.0, 4.0), constant=5.0)
+    hyperplane = intersection_hyperplane(f_i, f_j)
+    for weights in [(0.2, 0.9), (0.9, 0.1), (0.5, 0.5)]:
+        difference = f_i.evaluate(weights) - f_j.evaluate(weights)
+        assert hyperplane.side_value(weights) == pytest.approx(difference)
+
+
+def test_parallel_functions_have_no_intersection():
+    f_i = LinearFunction(index=1, coefficients=(1.0, 1.0), constant=0.0)
+    f_j = LinearFunction(index=2, coefficients=(1.0, 1.0), constant=3.0)
+    assert intersection_hyperplane(f_i, f_j) is None
+
+
+def test_intersection_rejects_dimension_mismatch():
+    f_i = LinearFunction(index=1, coefficients=(1.0,))
+    f_j = LinearFunction(index=2, coefficients=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        intersection_hyperplane(f_i, f_j)
+
+
+def test_hyperplane_degenerate_detection():
+    assert Hyperplane(i=0, j=1, normal=(0.0, 0.0), offset=1.0).is_degenerate()
+    assert not Hyperplane(i=0, j=1, normal=(0.0, 1e-3), offset=1.0).is_degenerate()
+
+
+def test_hyperplane_name_and_bytes():
+    hyperplane = Hyperplane(i=3, j=7, normal=(1.0,), offset=-2.0)
+    assert hyperplane.name == "I_{3,7}"
+    other = Hyperplane(i=3, j=7, normal=(1.0,), offset=-2.5)
+    assert hyperplane.to_bytes() != other.to_bytes()

@@ -1,0 +1,53 @@
+"""Tests for deterministic function sorting."""
+
+import pytest
+
+from repro.geometry.functions import LinearFunction
+from repro.geometry.sorting import rank_of, sort_functions_at
+
+
+@pytest.fixture()
+def functions():
+    return [
+        LinearFunction(index=0, coefficients=(1.0,), constant=0.0),
+        LinearFunction(index=1, coefficients=(-1.0,), constant=4.0),
+        LinearFunction(index=2, coefficients=(0.5,), constant=1.0),
+    ]
+
+
+def test_sorted_ascending_at_witness(functions):
+    ordered = sort_functions_at(functions, (0.0,))
+    # Scores at x=0: f0=0, f2=1, f1=4.
+    assert [f.index for f in ordered] == [0, 2, 1]
+
+
+def test_order_changes_with_witness(functions):
+    ordered = sort_functions_at(functions, (4.0,))
+    # Scores at x=4: f1=0, f2=3, f0=4.
+    assert [f.index for f in ordered] == [1, 2, 0]
+
+
+def test_input_not_modified(functions):
+    original = list(functions)
+    sort_functions_at(functions, (2.0,))
+    assert functions == original
+
+
+def test_ties_break_by_index():
+    duplicates = [
+        LinearFunction(index=5, coefficients=(1.0,), constant=0.0),
+        LinearFunction(index=2, coefficients=(1.0,), constant=0.0),
+        LinearFunction(index=9, coefficients=(1.0,), constant=0.0),
+    ]
+    ordered = sort_functions_at(duplicates, (0.7,))
+    assert [f.index for f in ordered] == [2, 5, 9]
+
+
+def test_rank_of_returns_position(functions):
+    assert rank_of(functions, (0.0,), index=1) == 2
+    assert rank_of(functions, (4.0,), index=1) == 0
+
+
+def test_rank_of_unknown_index_raises(functions):
+    with pytest.raises(ValueError):
+        rank_of(functions, (0.0,), index=42)

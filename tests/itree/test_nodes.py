@@ -1,0 +1,73 @@
+"""Tests for I-tree nodes."""
+
+import pytest
+
+from repro.geometry.domain import Domain, Region
+from repro.geometry.engine import IntervalEngine
+from repro.geometry.functions import Hyperplane
+from repro.itree.nodes import ITreeNode
+
+
+@pytest.fixture()
+def domain():
+    return Domain(lower=(0.0,), upper=(10.0,))
+
+
+@pytest.fixture()
+def plane():
+    return Hyperplane(i=0, j=1, normal=(1.0,), offset=-5.0)
+
+
+def test_new_node_is_subdomain(domain):
+    node = ITreeNode(region=Region.full(domain))
+    assert node.is_subdomain
+    assert not node.is_intersection
+    assert node.hash_value is None
+    assert node.children == (None, None)
+
+
+def test_convert_to_intersection(domain, plane):
+    engine = IntervalEngine()
+    node = ITreeNode(region=Region.full(domain))
+    above_region, below_region = engine.split(node.region, plane)
+    above, below = node.convert_to_intersection(plane, above_region, below_region)
+    assert node.is_intersection
+    assert node.above is above and node.below is below
+    assert above.parent is node and below.parent is node
+    assert above.is_subdomain and below.is_subdomain
+
+
+def test_convert_twice_rejected(domain, plane):
+    engine = IntervalEngine()
+    node = ITreeNode(region=Region.full(domain))
+    above_region, below_region = engine.split(node.region, plane)
+    node.convert_to_intersection(plane, above_region, below_region)
+    with pytest.raises(ValueError):
+        node.convert_to_intersection(plane, above_region, below_region)
+
+
+def test_branch_for_follows_sign(domain, plane):
+    engine = IntervalEngine()
+    node = ITreeNode(region=Region.full(domain))
+    above_region, below_region = engine.split(node.region, plane)
+    above, below = node.convert_to_intersection(plane, above_region, below_region)
+    assert node.branch_for((7.0,)) is above
+    assert node.branch_for((3.0,)) is below
+
+
+def test_branch_for_on_leaf_rejected(domain):
+    node = ITreeNode(region=Region.full(domain))
+    with pytest.raises(ValueError):
+        node.branch_for((1.0,))
+
+
+def test_iter_subtree_and_depth(domain, plane):
+    engine = IntervalEngine()
+    root = ITreeNode(region=Region.full(domain))
+    above_region, below_region = engine.split(root.region, plane)
+    above, below = root.convert_to_intersection(plane, above_region, below_region)
+    nodes = list(root.iter_subtree())
+    assert set(map(id, nodes)) == {id(root), id(above), id(below)}
+    assert root.depth() == 0
+    assert above.depth() == 1
+    assert below.depth() == 1

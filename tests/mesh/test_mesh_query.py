@@ -1,0 +1,103 @@
+"""Tests for signature-mesh query processing."""
+
+import pytest
+
+from repro.core.errors import QueryProcessingError
+from repro.core.queries import KNNQuery, RangeQuery, TopKQuery
+from repro.mesh.builder import SignatureMesh
+from repro.metrics.counters import Counters
+
+
+@pytest.fixture()
+def mesh(univariate_dataset, univariate_template, hmac_keypair):
+    return SignatureMesh(univariate_dataset, univariate_template, signer=hmac_keypair.signer)
+
+
+def _scores(mesh, weights):
+    return sorted(f.evaluate(weights) for f in mesh.functions_by_id.values())
+
+
+def test_topk_returns_highest_scores(mesh, univariate_template):
+    weights = (0.7,)
+    query = TopKQuery(weights=weights, k=3)
+    result, vo = mesh.process_query(query)
+    assert len(result) == 3
+    all_scores = _scores(mesh, weights)
+    returned = [
+        mesh.functions_by_id[record.record_id].evaluate(weights) for record in result.records
+    ]
+    assert returned == sorted(returned)
+    assert returned == all_scores[-3:]
+    assert vo.right.token == "max"
+
+
+def test_range_returns_matching_records(mesh):
+    weights = (0.4,)
+    query = RangeQuery(weights=weights, low=2.0, high=5.0)
+    result, _vo = mesh.process_query(query)
+    for record in result.records:
+        score = mesh.functions_by_id[record.record_id].evaluate(weights)
+        assert 2.0 <= score <= 5.0
+    expected = [s for s in _scores(mesh, weights) if 2.0 <= s <= 5.0]
+    assert len(result) == len(expected)
+
+
+def test_knn_returns_nearest_scores(mesh):
+    weights = (0.55,)
+    query = KNNQuery(weights=weights, k=4, target=3.5)
+    result, _vo = mesh.process_query(query)
+    assert len(result) == 4
+    all_scores = _scores(mesh, weights)
+    returned = sorted(
+        abs(mesh.functions_by_id[record.record_id].evaluate(weights) - 3.5)
+        for record in result.records
+    )
+    expected = sorted(abs(s - 3.5) for s in all_scores)[:4]
+    assert returned == pytest.approx(expected)
+
+
+def test_vo_ships_one_signature_per_pair(mesh):
+    query = RangeQuery(weights=(0.5,), low=1.0, high=6.0)
+    result, vo = mesh.process_query(query)
+    assert vo.signature_count == len(result) + 1
+
+
+def test_empty_result_still_has_bracketing_pair(mesh):
+    weights = (0.5,)
+    scores = _scores(mesh, weights)
+    gap_low = scores[2] + 1e-6
+    gap_high = scores[3] - 1e-6
+    if gap_low >= gap_high:
+        pytest.skip("no usable score gap in this dataset")
+    query = RangeQuery(weights=weights, low=gap_low, high=gap_high)
+    result, vo = mesh.process_query(query)
+    assert result.is_empty
+    assert vo.signature_count == 1
+
+
+def test_counters_include_cell_scan(mesh):
+    counters = Counters()
+    query = TopKQuery(weights=(0.9,), k=2)
+    mesh.process_query(query, counters=counters)
+    assert counters.nodes_traversed >= 1
+
+
+def test_out_of_domain_query_rejected(mesh):
+    with pytest.raises(QueryProcessingError):
+        mesh.process_query(TopKQuery(weights=(3.0,), k=1))
+
+
+def test_wrong_dimension_query_rejected(mesh):
+    from repro.core.errors import InvalidQueryError
+
+    with pytest.raises(InvalidQueryError):
+        mesh.process_query(TopKQuery(weights=(0.5, 0.5), k=1))
+
+
+def test_boundary_entries_are_neighbours(mesh):
+    weights = (0.35,)
+    query = TopKQuery(weights=weights, k=2)
+    result, vo = mesh.process_query(query)
+    left_score = mesh.functions_by_id[vo.left.item.record_id].evaluate(weights)
+    first_score = mesh.functions_by_id[result.records[0].record_id].evaluate(weights)
+    assert left_score <= first_score

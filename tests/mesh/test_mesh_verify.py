@@ -1,0 +1,139 @@
+"""Tests for signature-mesh verification."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.queries import KNNQuery, RangeQuery, TopKQuery
+from repro.core.results import QueryResult
+from repro.crypto.signer import make_signer
+from repro.mesh.builder import SignatureMesh
+from repro.mesh.verify import verify_mesh_result
+from repro.metrics.counters import Counters
+
+
+@pytest.fixture()
+def setup(univariate_dataset, univariate_template, hmac_keypair):
+    mesh = SignatureMesh(univariate_dataset, univariate_template, signer=hmac_keypair.signer)
+    return mesh, univariate_dataset, univariate_template, hmac_keypair
+
+
+def _verify(setup, query, result, vo, verifier=None, counters=None):
+    mesh, dataset, template, keypair = setup
+    return verify_mesh_result(
+        query,
+        result,
+        vo,
+        template=template,
+        attribute_names=dataset.attribute_names,
+        verifier=verifier or keypair.verifier,
+        counters=counters,
+    )
+
+
+QUERIES = [
+    TopKQuery(weights=(0.35,), k=3),
+    RangeQuery(weights=(0.6,), low=2.0, high=5.0),
+    KNNQuery(weights=(0.8,), k=4, target=4.0),
+]
+
+
+@pytest.mark.parametrize("query", QUERIES, ids=lambda q: type(q).__name__)
+def test_honest_results_verify(setup, query):
+    mesh = setup[0]
+    result, vo = mesh.process_query(query)
+    report = _verify(setup, query, result, vo)
+    assert report.is_valid, report.failures
+
+
+def test_client_verifies_one_signature_per_pair(setup):
+    mesh = setup[0]
+    query = RangeQuery(weights=(0.5,), low=1.0, high=6.0)
+    result, vo = mesh.process_query(query)
+    counters = Counters()
+    report = _verify(setup, query, result, vo, counters=counters)
+    assert report.is_valid
+    assert counters.signatures_verified == len(result) + 1
+
+
+def test_dropped_record_detected(setup):
+    mesh = setup[0]
+    query = RangeQuery(weights=(0.5,), low=1.0, high=6.0)
+    result, vo = mesh.process_query(query)
+    assert len(result) >= 2
+    tampered = QueryResult(records=result.records[:-1])
+    report = _verify(setup, query, tampered, vo)
+    assert not report.is_valid
+    assert report.checks["pair-count"] is False
+
+
+def test_forged_record_detected(setup):
+    mesh = setup[0]
+    query = TopKQuery(weights=(0.45,), k=4)
+    result, vo = mesh.process_query(query)
+    records = list(result.records)
+    records[1] = dataclasses.replace(records[1], values=(records[1].values[0] + 2.0,
+                                                         records[1].values[1]))
+    report = _verify(setup, query, QueryResult(records=tuple(records)), vo)
+    assert not report.is_valid
+    assert report.checks["pair-signatures"] is False
+
+
+def test_tampered_pair_signature_detected(setup):
+    mesh = setup[0]
+    query = TopKQuery(weights=(0.45,), k=3)
+    result, vo = mesh.process_query(query)
+    pairs = list(vo.pair_signatures)
+    pairs[0] = dataclasses.replace(pairs[0], signature=bytes(len(pairs[0].signature)))
+    tampered_vo = dataclasses.replace(vo, pair_signatures=tuple(pairs))
+    report = _verify(setup, query, result, tampered_vo)
+    assert not report.is_valid
+
+
+def test_wrong_key_detected(setup):
+    mesh = setup[0]
+    query = TopKQuery(weights=(0.45,), k=3)
+    result, vo = mesh.process_query(query)
+    other = make_signer("hmac", rng=random.Random(31337))
+    report = _verify(setup, query, result, vo, verifier=other.verifier)
+    assert not report.is_valid
+
+
+def test_signature_from_wrong_subdomain_detected(setup):
+    """Coverage check: a pair signature must cover the query's weight vector."""
+    mesh = setup[0]
+    weights_a = (0.05,)
+    weights_b = (0.95,)
+    cell_a = mesh.locate_cell(weights_a)
+    cell_b = mesh.locate_cell(weights_b)
+    if cell_a.identifier == cell_b.identifier:
+        pytest.skip("weights landed in the same cell")
+    query = TopKQuery(weights=weights_a, k=2)
+    result, vo = mesh.process_query(query)
+    # Splice in the signatures of the same chain positions from another cell.
+    first_pair = vo.left.leaf_index
+    foreign = tuple(cell_b.pair_signatures[first_pair : first_pair + len(vo.pair_signatures)])
+    if len(foreign) != len(vo.pair_signatures):
+        pytest.skip("foreign cell chain too short for the splice")
+    tampered_vo = dataclasses.replace(vo, pair_signatures=foreign)
+    report = _verify(setup, query, result, tampered_vo)
+    assert not report.is_valid
+
+
+def test_out_of_domain_weights_detected(setup):
+    mesh = setup[0]
+    query = RangeQuery(weights=(0.5,), low=1.0, high=6.0)
+    result, vo = mesh.process_query(query)
+    bad_query = RangeQuery(weights=(5.0,), low=1.0, high=6.0)
+    report = _verify(setup, query=bad_query, result=result, vo=vo)
+    assert not report.is_valid
+    assert report.checks["weights-in-domain"] is False
+
+
+def test_report_contains_timing_breakdown(setup):
+    mesh = setup[0]
+    query = TopKQuery(weights=(0.45,), k=3)
+    result, vo = mesh.process_query(query)
+    report = _verify(setup, query, result, vo)
+    assert {"hashing", "signature", "query-recheck"} <= set(report.timings)

@@ -1,0 +1,81 @@
+"""Tests for the operation counters."""
+
+from repro.metrics.counters import Counters
+
+
+def test_counters_start_at_zero():
+    counters = Counters()
+    assert counters.snapshot() == {
+        "nodes_traversed": 0,
+        "hash_operations": 0,
+        "signatures_created": 0,
+        "signatures_verified": 0,
+        "comparisons": 0,
+    }
+
+
+def test_add_methods_increment():
+    counters = Counters()
+    counters.add_node()
+    counters.add_node(3)
+    counters.add_hash()
+    counters.add_signature_created(2)
+    counters.add_signature_verified()
+    counters.add_comparison(5)
+    assert counters.nodes_traversed == 4
+    assert counters.hash_operations == 1
+    assert counters.signatures_created == 2
+    assert counters.signatures_verified == 1
+    assert counters.comparisons == 5
+
+
+def test_extra_counters():
+    counters = Counters()
+    counters.add_extra("lp_calls")
+    counters.add_extra("lp_calls", 4)
+    assert counters.extra == {"lp_calls": 5}
+    assert counters.snapshot()["lp_calls"] == 5
+
+
+def test_reset_clears_everything():
+    counters = Counters()
+    counters.add_node(7)
+    counters.add_extra("x", 2)
+    counters.reset()
+    assert counters.nodes_traversed == 0
+    assert counters.extra == {}
+
+
+def test_merge_accumulates():
+    a = Counters()
+    b = Counters()
+    a.add_node(2)
+    a.add_extra("x", 1)
+    b.add_node(3)
+    b.add_hash(4)
+    b.add_extra("x", 2)
+    b.add_extra("y", 5)
+    a.merge(b)
+    assert a.nodes_traversed == 5
+    assert a.hash_operations == 4
+    assert a.extra == {"x": 3, "y": 5}
+
+
+def test_subtraction_gives_difference():
+    before = Counters()
+    before.add_node(2)
+    after = Counters()
+    after.add_node(9)
+    after.add_hash(3)
+    diff = after - before
+    assert diff.nodes_traversed == 7
+    assert diff.hash_operations == 3
+
+
+def test_copy_is_independent():
+    counters = Counters()
+    counters.add_node(1)
+    clone = counters.copy()
+    clone.add_node(10)
+    assert counters.nodes_traversed == 1
+    assert clone.nodes_traversed == 11

@@ -1,0 +1,29 @@
+"""Tests for the byte-size model."""
+
+from repro.metrics.sizes import DEFAULT_SIZE_MODEL, SizeModel
+
+
+def test_default_model_values():
+    assert DEFAULT_SIZE_MODEL.hash_size == 32
+    assert DEFAULT_SIZE_MODEL.float_size == 8
+
+
+def test_record_and_function_sizes_scale_with_dimension():
+    model = SizeModel()
+    assert model.record_size(3) == model.int_size + 3 * model.float_size
+    assert model.function_size(3) == model.int_size + 4 * model.float_size
+    assert model.record_size(5) > model.record_size(2)
+
+
+def test_hyperplane_and_constraint_sizes():
+    model = SizeModel()
+    assert model.constraint_size(2) == model.hyperplane_size(2) + model.int_size
+    assert model.hyperplane_size(2) == 2 * model.int_size + 3 * model.float_size
+
+
+def test_with_signature_size_returns_modified_copy():
+    model = SizeModel(signature_size=256)
+    bigger = model.with_signature_size(640)
+    assert bigger.signature_size == 640
+    assert model.signature_size == 256
+    assert bigger.hash_size == model.hash_size

@@ -1,0 +1,42 @@
+"""Tests for the timing helpers."""
+
+import time
+
+from repro.metrics.timing import Stopwatch, timed
+
+
+def test_stopwatch_accumulates_named_durations():
+    watch = Stopwatch()
+    with watch.measure("hashing"):
+        time.sleep(0.001)
+    with watch.measure("hashing"):
+        time.sleep(0.001)
+    with watch.measure("signature"):
+        pass
+    assert watch.get("hashing") >= 0.002
+    assert watch.get("signature") >= 0.0
+    assert watch.get("missing") == 0.0
+    assert watch.total() >= watch.get("hashing")
+
+
+def test_stopwatch_reset():
+    watch = Stopwatch()
+    with watch.measure("x"):
+        pass
+    watch.reset()
+    assert watch.durations == {}
+
+
+def test_timed_records_elapsed_time():
+    with timed() as elapsed:
+        time.sleep(0.001)
+    assert elapsed[0] >= 0.001
+
+
+def test_timed_records_even_on_exception():
+    try:
+        with timed() as elapsed:
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert elapsed[0] >= 0.0

@@ -1,0 +1,62 @@
+"""Property-based tests: window selectors agree with brute-force references."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.queryproc.knn import knn_window
+from repro.queryproc.range_query import range_window
+from repro.queryproc.topk import topk_window
+
+sorted_scores = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=50,
+).map(sorted)
+
+
+@given(scores=sorted_scores, k=st.integers(min_value=1, max_value=60))
+@settings(max_examples=100, deadline=None)
+def test_topk_is_suffix_of_length_min_k_n(scores, k):
+    window = topk_window(scores, k)
+    expected_length = min(k, len(scores))
+    assert window.length == expected_length
+    if expected_length:
+        assert window.end == len(scores) - 1
+        assert window.start == len(scores) - expected_length
+
+
+@given(scores=sorted_scores, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_range_window_matches_filter(scores, data):
+    low = data.draw(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    high = data.draw(st.floats(min_value=low, max_value=1e6, allow_nan=False))
+    window = range_window(scores, low, high)
+    expected = [i for i, score in enumerate(scores) if low <= score <= high]
+    assert list(window.indices()) == expected
+
+
+@given(scores=sorted_scores, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_knn_window_is_optimal(scores, data):
+    if not scores:
+        return
+    k = data.draw(st.integers(min_value=1, max_value=len(scores)))
+    target = data.draw(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    window = knn_window(scores, k, target)
+    assert window.length == k
+    chosen = [scores[i] for i in window.indices()]
+    # The multiset of distances must equal the k smallest distances overall.
+    chosen_distances = sorted(abs(score - target) for score in chosen)
+    best_distances = sorted(abs(score - target) for score in scores)[:k]
+    assert chosen_distances == best_distances
+
+
+@given(scores=sorted_scores, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_knn_window_is_contiguous(scores, data):
+    if not scores:
+        return
+    k = data.draw(st.integers(min_value=1, max_value=len(scores)))
+    target = data.draw(st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+    window = knn_window(scores, k, target)
+    indices = list(window.indices())
+    assert indices == list(range(indices[0], indices[-1] + 1))

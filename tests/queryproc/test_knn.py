@@ -1,0 +1,73 @@
+"""Tests for KNN-on-score window selection."""
+
+import pytest
+
+from repro.core.errors import InvalidQueryError
+from repro.queryproc.knn import knn_window
+
+
+def _bruteforce_distances(scores, k, target):
+    ranked = sorted(range(len(scores)), key=lambda i: (abs(scores[i] - target), scores[i]))
+    return sorted(abs(scores[i] - target) for i in ranked[:k])
+
+
+def test_knn_window_is_contiguous_and_correct_size():
+    scores = [1.0, 2.0, 4.0, 8.0, 16.0]
+    window = knn_window(scores, k=3, target=5.0)
+    assert window.length == 3
+    assert list(window.indices()) == [1, 2, 3]
+
+
+def test_knn_target_below_all_scores():
+    scores = [5.0, 6.0, 7.0]
+    window = knn_window(scores, k=2, target=0.0)
+    assert list(window.indices()) == [0, 1]
+
+
+def test_knn_target_above_all_scores():
+    scores = [5.0, 6.0, 7.0]
+    window = knn_window(scores, k=2, target=100.0)
+    assert list(window.indices()) == [1, 2]
+
+
+def test_knn_k_equals_size_returns_everything():
+    scores = [1.0, 2.0, 3.0]
+    window = knn_window(scores, k=3, target=2.0)
+    assert list(window.indices()) == [0, 1, 2]
+
+
+def test_knn_k_exceeds_size_returns_everything():
+    scores = [1.0, 2.0, 3.0]
+    window = knn_window(scores, k=9, target=2.0)
+    assert list(window.indices()) == [0, 1, 2]
+
+
+def test_knn_exact_hit_included():
+    scores = [1.0, 2.0, 3.0, 4.0]
+    window = knn_window(scores, k=1, target=3.0)
+    assert list(window.indices()) == [2]
+
+
+def test_knn_tie_prefers_lower_score():
+    scores = [1.0, 3.0]
+    window = knn_window(scores, k=1, target=2.0)
+    assert list(window.indices()) == [0]
+
+
+def test_knn_on_empty_list():
+    assert knn_window([], k=2, target=0.0).is_empty
+
+
+def test_knn_rejects_nonpositive_k():
+    with pytest.raises(InvalidQueryError):
+        knn_window([1.0], k=0, target=0.0)
+
+
+def test_knn_distances_match_bruteforce():
+    scores = [0.0, 0.5, 1.5, 2.5, 2.75, 6.0, 9.5]
+    for target in (-1.0, 0.6, 2.6, 5.0, 12.0):
+        for k in range(1, len(scores) + 1):
+            window = knn_window(scores, k, target)
+            assert window.length == k
+            got = sorted(abs(scores[i] - target) for i in window.indices())
+            assert got == pytest.approx(_bruteforce_distances(scores, k, target))

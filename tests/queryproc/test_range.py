@@ -1,0 +1,74 @@
+"""Tests for score-range window selection."""
+
+import pytest
+
+from repro.core.errors import InvalidQueryError
+from repro.queryproc.range_query import range_window
+
+
+def test_range_inclusive_boundaries():
+    scores = [1.0, 2.0, 3.0, 4.0, 5.0]
+    window = range_window(scores, 2.0, 4.0)
+    assert list(window.indices()) == [1, 2, 3]
+
+
+def test_range_strictly_inside():
+    scores = [1.0, 2.0, 3.0, 4.0, 5.0]
+    window = range_window(scores, 1.5, 4.5)
+    assert list(window.indices()) == [1, 2, 3]
+
+
+def test_range_covering_everything():
+    scores = [1.0, 2.0, 3.0]
+    window = range_window(scores, 0.0, 10.0)
+    assert list(window.indices()) == [0, 1, 2]
+
+
+def test_range_empty_result_positions_gap():
+    scores = [1.0, 2.0, 5.0, 6.0]
+    window = range_window(scores, 3.0, 4.0)
+    assert window.is_empty
+    assert window.left_boundary_position == 1
+    assert window.right_boundary_position == 2
+
+
+def test_range_below_everything_is_empty_at_front():
+    window = range_window([5.0, 6.0], 1.0, 2.0)
+    assert window.is_empty
+    assert window.left_boundary_position == -1
+
+
+def test_range_above_everything_is_empty_at_back():
+    window = range_window([5.0, 6.0], 8.0, 9.0)
+    assert window.is_empty
+    assert window.right_boundary_position == 2
+
+
+def test_range_with_duplicate_scores():
+    scores = [1.0, 2.0, 2.0, 2.0, 3.0]
+    window = range_window(scores, 2.0, 2.0)
+    assert list(window.indices()) == [1, 2, 3]
+
+
+def test_range_point_query_single_match():
+    scores = [1.0, 2.0, 3.0]
+    window = range_window(scores, 2.0, 2.0)
+    assert list(window.indices()) == [1]
+
+
+def test_range_on_empty_list():
+    assert range_window([], 0.0, 1.0).is_empty
+
+
+def test_range_rejects_inverted_boundaries():
+    with pytest.raises(InvalidQueryError):
+        range_window([1.0], 2.0, 1.0)
+
+
+def test_range_matches_bruteforce():
+    scores = [0.1, 0.4, 0.4, 1.7, 2.3, 2.3, 9.0]
+    cases = [(0.0, 0.4), (0.4, 2.3), (1.0, 1.5), (5.0, 10.0), (-5.0, -1.0)]
+    for low, high in cases:
+        window = range_window(scores, low, high)
+        expected = [i for i, s in enumerate(scores) if low <= s <= high]
+        assert list(window.indices()) == expected

@@ -1,0 +1,45 @@
+"""Tests for top-k window selection."""
+
+import pytest
+
+from repro.core.errors import InvalidQueryError
+from repro.queryproc.topk import topk_window
+
+
+def test_topk_selects_suffix():
+    window = topk_window([1.0, 3.0, 5.0, 7.0, 9.0], k=2)
+    assert (window.start, window.end) == (3, 4)
+
+
+def test_topk_equal_to_size_returns_everything():
+    window = topk_window([1.0, 2.0, 3.0], k=3)
+    assert (window.start, window.end) == (0, 2)
+
+
+def test_topk_larger_than_size_returns_everything():
+    window = topk_window([1.0, 2.0, 3.0], k=10)
+    assert (window.start, window.end) == (0, 2)
+    assert window.length == 3
+
+
+def test_topk_one():
+    window = topk_window([1.0, 2.0, 3.0], k=1)
+    assert (window.start, window.end) == (2, 2)
+
+
+def test_topk_on_empty_list_is_empty():
+    window = topk_window([], k=3)
+    assert window.is_empty
+
+
+def test_topk_rejects_nonpositive_k():
+    with pytest.raises(InvalidQueryError):
+        topk_window([1.0], k=0)
+
+
+def test_topk_matches_bruteforce():
+    scores = [0.5, 1.5, 1.5, 2.0, 7.25, 9.0]
+    for k in range(1, len(scores) + 1):
+        window = topk_window(scores, k)
+        expected = sorted(scores, reverse=True)[:k]
+        assert sorted((scores[i] for i in window.indices()), reverse=True) == expected

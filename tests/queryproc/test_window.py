@@ -1,0 +1,76 @@
+"""Tests for the ResultWindow container and the query dispatcher."""
+
+import pytest
+
+from repro.core.errors import InvalidQueryError
+from repro.core.queries import KNNQuery, RangeQuery, TopKQuery
+from repro.queryproc.window import ResultWindow, select_window
+
+
+def test_window_length_and_indices():
+    window = ResultWindow(start=2, end=5, size=10)
+    assert not window.is_empty
+    assert window.length == 4
+    assert list(window.indices()) == [2, 3, 4, 5]
+
+
+def test_window_boundary_positions():
+    window = ResultWindow(start=2, end=5, size=10)
+    assert window.left_boundary_position == 1
+    assert window.right_boundary_position == 6
+
+
+def test_window_boundaries_can_fall_outside_list():
+    window = ResultWindow(start=0, end=9, size=10)
+    assert window.left_boundary_position == -1
+    assert window.right_boundary_position == 10
+
+
+def test_empty_window():
+    window = ResultWindow.empty_at(3, 10)
+    assert window.is_empty
+    assert window.length == 0
+    assert list(window.indices()) == []
+    assert window.left_boundary_position == 2
+    assert window.right_boundary_position == 3
+
+
+def test_window_bounds_validation():
+    with pytest.raises(ValueError):
+        ResultWindow(start=0, end=10, size=10)
+    with pytest.raises(ValueError):
+        ResultWindow(start=-1, end=3, size=10)
+    with pytest.raises(ValueError):
+        ResultWindow(start=0, end=0, size=-1)
+
+
+def test_single_element_window():
+    window = ResultWindow(start=4, end=4, size=5)
+    assert window.length == 1
+    assert list(window.indices()) == [4]
+
+
+def test_select_window_dispatches_topk():
+    scores = [1.0, 2.0, 3.0, 4.0]
+    window = select_window(TopKQuery(weights=(0.5,), k=2), scores)
+    assert (window.start, window.end) == (2, 3)
+
+
+def test_select_window_dispatches_range():
+    scores = [1.0, 2.0, 3.0, 4.0]
+    window = select_window(RangeQuery(weights=(0.5,), low=1.5, high=3.5), scores)
+    assert (window.start, window.end) == (1, 2)
+
+
+def test_select_window_dispatches_knn():
+    scores = [1.0, 2.0, 3.0, 4.0]
+    window = select_window(KNNQuery(weights=(0.5,), k=2, target=3.1), scores)
+    assert (window.start, window.end) == (2, 3)
+
+
+def test_select_window_rejects_unknown_query():
+    class FakeQuery:
+        pass
+
+    with pytest.raises(InvalidQueryError):
+        select_window(FakeQuery(), [1.0, 2.0])

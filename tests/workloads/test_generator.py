@@ -1,0 +1,124 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro.core.queries import KNNQuery, RangeQuery, TopKQuery
+from repro.workloads.generator import (
+    WorkloadConfig,
+    make_dataset,
+    make_queries,
+    make_template,
+    make_weight_vector,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        WorkloadConfig(n_records=0)
+    with pytest.raises(ValueError):
+        WorkloadConfig(dimension=0)
+    with pytest.raises(ValueError):
+        WorkloadConfig(distribution="zipf")
+    with pytest.raises(ValueError):
+        WorkloadConfig(value_range=(5.0, 1.0))
+
+
+def test_attribute_names_include_baseline():
+    config = WorkloadConfig(dimension=2)
+    assert config.attribute_names[-1] == "baseline"
+    assert len(config.attribute_names) == 3
+
+
+@pytest.mark.parametrize("distribution", ["uniform", "correlated", "clustered"])
+def test_dataset_has_requested_shape(distribution):
+    config = WorkloadConfig(n_records=25, dimension=2, distribution=distribution, seed=4)
+    dataset = make_dataset(config)
+    assert len(dataset) == 25
+    assert dataset.attribute_names == config.attribute_names
+    low, high = config.value_range
+    for record in dataset:
+        assert len(record.values) == 3
+        assert all(low <= value <= high for value in record.values)
+
+
+def test_dataset_is_deterministic_per_seed():
+    config = WorkloadConfig(n_records=10, dimension=1, seed=7)
+    a = make_dataset(config)
+    b = make_dataset(config)
+    assert [r.values for r in a] == [r.values for r in b]
+    different = make_dataset(WorkloadConfig(n_records=10, dimension=1, seed=8))
+    assert [r.values for r in a] != [r.values for r in different]
+
+
+def test_univariate_template_uses_constant_attribute():
+    config = WorkloadConfig(n_records=5, dimension=1)
+    template = make_template(config)
+    assert template.dimension == 1
+    assert template.constant_attribute == "baseline"
+
+
+def test_multivariate_template_has_no_constant():
+    config = WorkloadConfig(n_records=5, dimension=3)
+    template = make_template(config)
+    assert template.dimension == 3
+    assert template.constant_attribute is None
+
+
+def test_template_matches_generated_dataset():
+    config = WorkloadConfig(n_records=8, dimension=2, seed=1)
+    dataset = make_dataset(config)
+    template = make_template(config)
+    functions = template.functions_for(dataset)
+    assert len(functions) == 8
+    assert all(f.dimension == 2 for f in functions)
+
+
+def test_weight_vector_stays_inside_domain():
+    config = WorkloadConfig(n_records=5, dimension=2)
+    template = make_template(config)
+    rng = random.Random(3)
+    for _ in range(20):
+        weights = make_weight_vector(template, rng)
+        assert template.domain.contains(weights)
+
+
+def test_make_queries_mixes_kinds():
+    config = WorkloadConfig(n_records=12, dimension=1, seed=2)
+    dataset = make_dataset(config)
+    template = make_template(config)
+    queries = make_queries(dataset, template, count=9, seed=5)
+    assert len(queries) == 9
+    kinds = {type(q) for q in queries}
+    assert kinds == {TopKQuery, RangeQuery, KNNQuery}
+
+
+def test_make_queries_single_kind_and_result_size():
+    config = WorkloadConfig(n_records=12, dimension=1, seed=2)
+    dataset = make_dataset(config)
+    template = make_template(config)
+    queries = make_queries(dataset, template, count=4, kinds=("topk",), result_size=5, seed=1)
+    assert all(isinstance(q, TopKQuery) and q.k == 5 for q in queries)
+
+
+def test_make_queries_rejects_unknown_kind():
+    config = WorkloadConfig(n_records=6, dimension=1)
+    dataset = make_dataset(config)
+    template = make_template(config)
+    with pytest.raises(ValueError):
+        make_queries(dataset, template, kinds=("median",))
+    with pytest.raises(ValueError):
+        make_queries(dataset, template, kinds=())
+
+
+def test_range_queries_target_populated_score_bands():
+    config = WorkloadConfig(n_records=20, dimension=1, seed=6)
+    dataset = make_dataset(config)
+    template = make_template(config)
+    queries = make_queries(dataset, template, count=6, kinds=("range",), result_size=4, seed=3)
+    functions = template.functions_for(dataset)
+    for query in queries:
+        scores = [f.evaluate(query.weights) for f in functions]
+        matching = [s for s in scores if query.low <= s <= query.high]
+        assert len(matching) >= 1
