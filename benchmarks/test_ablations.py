@@ -32,6 +32,9 @@ def test_ablation_geometry_engine(bench_config, benchmark):
     assert rows["interval"]["subdomains"] == rows["lp"]["subdomains"]
     assert rows["interval"]["insertion_checks"] == rows["lp"]["insertion_checks"]
     assert rows["interval"]["build_seconds"] < rows["lp"]["build_seconds"]
+    # The bulk fast path carves the same partition with one check per split.
+    assert rows["interval-bulk"]["subdomains"] == rows["interval"]["subdomains"]
+    assert rows["interval-bulk"]["insertion_checks"] < rows["interval"]["insertion_checks"]
 
 
 def test_ablation_signing_modes(bench_config, benchmark):

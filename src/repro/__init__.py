@@ -17,6 +17,27 @@ Quick start
 >>> execution, report = system.query_and_verify(TopKQuery(weights=(0.6, 0.4), k=2))
 >>> report.is_valid
 True
+
+Fast paths
+----------
+For the univariate interval configuration (the paper's benchmark setting)
+the IFMH-tree is built by a vectorized **bulk builder**: all pairwise
+breakpoints are computed in one numpy pass, sorted once, and assembled into
+a *balanced* I-tree -- no per-hyperplane BFS insertion.  The paper's
+incremental insertion remains the reference implementation and is used
+automatically for d >= 2 (the LP-engine configuration) and for ablations;
+select it explicitly with ``build_mode="incremental"`` on
+:class:`DataOwner` / :class:`~repro.ifmh.IFMHTree`, or validate the bulk
+assembly with ``build_mode="balanced-incremental"`` (the property tests
+check bit-identical root hashes between the two).
+
+On the query side, servers score a subdomain with a single cached
+``A @ w + b`` matvec and expose ``Server.execute_batch(queries)``, which
+amortizes the subdomain search and scoring across queries sharing a weight
+vector while keeping per-query cost counters isolated;
+``OutsourcedSystem.query_and_verify_batch`` runs the batched pipeline end to
+end.  Benchmark both fast paths with ``python -m repro.bench --fastpath``
+(or the CI gate ``python -m repro.bench --smoke``).
 """
 
 from repro.core import (

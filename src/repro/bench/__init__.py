@@ -11,13 +11,17 @@ Run every experiment and print the tables with::
 
     python -m repro.bench
 
+:mod:`repro.bench.fastpath` benchmarks the vectorized hot paths (bulk I-tree
+construction, batched query execution); run it with ``python -m repro.bench
+--fastpath`` or as the CI regression gate ``python -m repro.bench --smoke``.
+
 The pytest-benchmark targets under ``benchmarks/`` wrap the same experiment
 functions.
 """
 
 from repro.bench.harness import BenchConfig, SystemsUnderTest, build_systems, ExperimentResult
 from repro.bench.reporting import format_table, render_results
-from repro.bench import figures
+from repro.bench import fastpath, figures
 
 __all__ = [
     "BenchConfig",
@@ -26,5 +30,6 @@ __all__ = [
     "ExperimentResult",
     "format_table",
     "render_results",
+    "fastpath",
     "figures",
 ]

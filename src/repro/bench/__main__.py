@@ -5,6 +5,8 @@ Usage::
     python -m repro.bench                 # default (laptop-friendly) scales
     python -m repro.bench --n 20 40 60    # custom database-size sweep
     python -m repro.bench --quick         # smallest scales, hmac signatures
+    python -m repro.bench --smoke         # fast-path regression gate only
+    python -m repro.bench --fastpath      # full fast-path benchmark (n = 200)
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ import argparse
 import sys
 import time
 
+from repro.bench.fastpath import fastpath_experiments, run_smoke
 from repro.bench.figures import all_experiments
 from repro.bench.harness import BenchConfig
 from repro.bench.reporting import render_results
@@ -37,6 +40,24 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument(
         "--quick", action="store_true", help="smallest scales and hmac signatures (CI smoke run)"
     )
+    parser.add_argument(
+        "--build-mode",
+        choices=("auto", "bulk", "incremental", "balanced-incremental"),
+        default=None,
+        help="IFMH I-tree builder for the figures (default: incremental, the "
+        "paper's exact insertion-order tree shape; auto/bulk = the vectorized "
+        "balanced build for d = 1)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the fast-path benchmarks at reduced scale; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--fastpath",
+        action="store_true",
+        help="run only the fast-path benchmarks at full scale (n = 200 build comparison)",
+    )
     return parser.parse_args(argv)
 
 
@@ -60,13 +81,49 @@ def build_config(args: argparse.Namespace) -> BenchConfig:
         queries_per_point=args.queries or defaults.queries_per_point,
         signature_algorithm=args.algorithm or defaults.signature_algorithm,
         key_bits=args.key_bits if args.key_bits is not None else defaults.key_bits,
+        build_mode=args.build_mode or defaults.build_mode,
     )
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
-    config = build_config(args)
+    if args.smoke and args.fastpath:
+        print("error: --smoke and --fastpath are mutually exclusive")
+        return 2
+    if args.smoke or args.fastpath:
+        ignored = [
+            flag
+            for flag, given in (
+                ("--n", args.n is not None),
+                ("--fixed-n", args.fixed_n is not None),
+                ("--result-sizes", args.result_sizes is not None),
+                ("--queries", args.queries is not None),
+                ("--algorithm", args.algorithm is not None),
+                ("--key-bits", args.key_bits is not None),
+                ("--quick", args.quick),
+                ("--build-mode", args.build_mode is not None),
+            )
+            if given
+        ]
+        if ignored:
+            mode = "--smoke" if args.smoke else "--fastpath"
+            print(f"error: {mode} runs a fixed workload; {', '.join(ignored)} would be ignored")
+            return 2
     started = time.perf_counter()
+    if args.smoke:
+        results, failures = run_smoke(seed=args.seed)
+        print(render_results(results))
+        elapsed = time.perf_counter() - started
+        for failure in failures:
+            print(f"FAST-PATH REGRESSION: {failure}")
+        print(f"\ncompleted smoke run in {elapsed:.1f}s")
+        return 1 if failures else 0
+    if args.fastpath:
+        results = fastpath_experiments(seed=args.seed)
+        print(render_results(results))
+        print(f"\ncompleted {len(results)} experiments in {time.perf_counter() - started:.1f}s")
+        return 0
+    config = build_config(args)
     results = all_experiments(config)
     elapsed = time.perf_counter() - started
     print(render_results(results))

@@ -1,0 +1,202 @@
+"""Fast-path benchmarks: bulk I-tree construction and batched queries.
+
+Two experiments quantify the vectorized hot paths added on top of the paper
+reproduction:
+
+* :func:`build_comparison` -- incremental BFS insertion vs the vectorized
+  balanced bulk build of the univariate I-tree, at a given database size.
+  The two builders must carve the identical subdomain partition; the
+  interesting number is the construction-time speedup.
+
+* :func:`batch_comparison` -- per-query ``Server.execute`` vs
+  ``Server.execute_batch`` on a workload where several queries share a
+  weight vector (the common "one user, several analytics" shape).  Both
+  paths must return identical records; the interesting number is the
+  queries-per-second ratio.
+
+``python -m repro.bench --smoke`` runs both at reduced scale and exits
+non-zero when either fast path regresses below a conservative floor, so CI
+catches performance regressions without a full figure run.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List
+
+from repro.bench.harness import ExperimentResult
+from repro.core.owner import DataOwner
+from repro.core.queries import AnalyticQuery, KNNQuery, RangeQuery, TopKQuery
+from repro.core.server import Server
+from repro.itree.itree import ITree
+from repro.workloads.generator import (
+    WorkloadConfig,
+    make_dataset,
+    make_template,
+    make_weight_vector,
+)
+
+__all__ = [
+    "build_comparison",
+    "batch_comparison",
+    "fastpath_experiments",
+    "run_smoke",
+    "SMOKE_BUILD_SPEEDUP_FLOOR",
+    "SMOKE_BATCH_SPEEDUP_FLOOR",
+]
+
+#: Conservative floors used by the ``--smoke`` regression gate (the full
+#: n = 200 benchmark targets >= 5x build and > 1x batch speedups).
+SMOKE_BUILD_SPEEDUP_FLOOR = 2.0
+SMOKE_BATCH_SPEEDUP_FLOOR = 1.05
+
+
+def build_comparison(n_records: int = 200, seed: int = 0) -> ExperimentResult:
+    """Incremental vs bulk I-tree construction time at one database size."""
+    workload = WorkloadConfig(n_records=n_records, dimension=1, seed=seed)
+    dataset = make_dataset(workload)
+    template = make_template(workload)
+    functions = template.functions_for(dataset)
+    result = ExperimentResult(
+        experiment_id="fastpath-build",
+        title="I-tree construction: incremental insertion vs vectorized bulk build",
+        parameters={"n": n_records, "seed": seed},
+        columns=("builder", "build_seconds", "subdomains", "height", "speedup"),
+    )
+    timings = {}
+    partitions = {}
+    for builder in ("incremental", "bulk"):
+        started = time.perf_counter()
+        tree = ITree(functions, template.domain, builder=builder)
+        timings[builder] = time.perf_counter() - started
+        partitions[builder] = sorted(
+            (leaf.region.interval_low, leaf.region.interval_high) for leaf in tree.leaves()
+        )
+        result.add_row(
+            builder=builder,
+            build_seconds=timings[builder],
+            subdomains=tree.subdomain_count,
+            height=tree.height(),
+            speedup=1.0 if builder == "incremental" else timings["incremental"] / timings[builder],
+        )
+    if partitions["incremental"] != partitions["bulk"]:  # pragma: no cover - correctness guard
+        raise AssertionError("bulk build carved a different partition than the incremental build")
+    return result
+
+
+def _session_queries(
+    template, unique_weights: int, queries_per_weight: int, seed: int
+) -> List[AnalyticQuery]:
+    """A batch where each weight vector is shared by several query kinds."""
+    rng = random.Random(seed)
+    queries: List[AnalyticQuery] = []
+    for _ in range(unique_weights):
+        weights = make_weight_vector(template, rng)
+        for position in range(queries_per_weight):
+            kind = position % 3
+            if kind == 0:
+                queries.append(TopKQuery(weights=weights, k=3))
+            elif kind == 1:
+                queries.append(RangeQuery(weights=weights, low=2.0, high=7.0))
+            else:
+                queries.append(KNNQuery(weights=weights, k=3, target=rng.uniform(2.0, 8.0)))
+    return queries
+
+
+def batch_comparison(
+    n_records: int = 80,
+    unique_weights: int = 12,
+    queries_per_weight: int = 9,
+    seed: int = 0,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Per-query execution vs ``execute_batch`` throughput on shared weights.
+
+    Each mode runs ``repeats`` times against a fresh server and reports its
+    best wall-clock time, so a single scheduler hiccup on a loaded machine
+    cannot flip the comparison.
+    """
+    workload = WorkloadConfig(n_records=n_records, dimension=1, seed=seed)
+    dataset = make_dataset(workload)
+    template = make_template(workload)
+    owner = DataOwner(
+        dataset, template, scheme="one-signature", signature_algorithm="hmac",
+        rng=random.Random(seed),
+    )
+    queries = _session_queries(template, unique_weights, queries_per_weight, seed + 1)
+
+    def best_of(run):
+        best_seconds, executions = float("inf"), None
+        for _ in range(repeats):
+            server = Server(owner.outsource())
+            started = time.perf_counter()
+            executions = run(server)
+            best_seconds = min(best_seconds, time.perf_counter() - started)
+        return best_seconds, executions
+
+    single_seconds, single = best_of(lambda server: [server.execute(q) for q in queries])
+    batch_seconds, batched = best_of(lambda server: server.execute_batch(queries))
+
+    for alone, together in zip(single, batched):  # pragma: no branch - correctness guard
+        if alone.result.records != together.result.records:  # pragma: no cover
+            raise AssertionError("execute_batch returned different records than execute")
+
+    result = ExperimentResult(
+        experiment_id="fastpath-batch",
+        title="Server throughput: per-query execute vs execute_batch",
+        parameters={
+            "n": n_records,
+            "queries": len(queries),
+            "unique_weights": unique_weights,
+        },
+        columns=("mode", "seconds", "queries_per_second", "speedup"),
+    )
+    result.add_row(
+        mode="execute",
+        seconds=single_seconds,
+        queries_per_second=len(queries) / single_seconds,
+        speedup=1.0,
+    )
+    result.add_row(
+        mode="execute_batch",
+        seconds=batch_seconds,
+        queries_per_second=len(queries) / batch_seconds,
+        speedup=single_seconds / batch_seconds,
+    )
+    return result
+
+
+def fastpath_experiments(
+    build_n: int = 200,
+    batch_n: int = 80,
+    seed: int = 0,
+) -> List[ExperimentResult]:
+    """Both fast-path experiments at the requested scales."""
+    return [
+        build_comparison(n_records=build_n, seed=seed),
+        batch_comparison(n_records=batch_n, seed=seed),
+    ]
+
+
+def run_smoke(build_n: int = 120, batch_n: int = 60, seed: int = 0) -> tuple[List[ExperimentResult], List[str]]:
+    """Reduced-scale fast-path run returning (results, regression messages).
+
+    An empty message list means both fast paths cleared their floors.
+    """
+    results = fastpath_experiments(build_n=build_n, batch_n=batch_n, seed=seed)
+    failures: List[str] = []
+    build, batch = results
+    build_speedup = build.rows[-1]["speedup"]
+    if build_speedup < SMOKE_BUILD_SPEEDUP_FLOOR:
+        failures.append(
+            f"bulk build speedup {build_speedup:.2f}x below floor "
+            f"{SMOKE_BUILD_SPEEDUP_FLOOR:.2f}x at n={build_n}"
+        )
+    batch_speedup = batch.rows[-1]["speedup"]
+    if batch_speedup < SMOKE_BATCH_SPEEDUP_FLOOR:
+        failures.append(
+            f"execute_batch speedup {batch_speedup:.2f}x below floor "
+            f"{SMOKE_BATCH_SPEEDUP_FLOOR:.2f}x at n={batch_n}"
+        )
+    return results, failures

@@ -60,7 +60,7 @@ def _systems(
 ) -> SystemsUnderTest:
     algorithm = signature_algorithm or config.signature_algorithm
     bits = key_bits if key_bits is not None else config.key_bits
-    key = (config.seed, config.dimension, n_records, algorithm, bits)
+    key = (config.seed, config.dimension, n_records, algorithm, bits, config.build_mode)
     if key not in _SYSTEMS_CACHE:
         _SYSTEMS_CACHE[key] = build_systems(
             config, n_records, signature_algorithm=algorithm, key_bits=bits
@@ -340,7 +340,12 @@ def fig8b_vo_size_vs_database_size(
 def ablation_geometry_engine(
     config: Optional[BenchConfig] = None, n_records: int = 15
 ) -> ExperimentResult:
-    """A1: interval engine vs LP engine for the univariate I-tree build."""
+    """A1: interval engine vs LP engine for the univariate I-tree build.
+
+    Both engines run the paper's incremental insertion so their check counts
+    are comparable; a third row shows the interval engine's vectorized bulk
+    fast path on the same workload.
+    """
     config = config or BenchConfig()
     workload = config.workload(n_records)
     dataset = make_dataset(workload)
@@ -352,9 +357,14 @@ def ablation_geometry_engine(
         parameters={"n": n_records},
         columns=("engine", "build_seconds", "insertion_checks", "subdomains"),
     )
-    for name, engine in (("interval", IntervalEngine()), ("lp", LPEngine())):
+    variants = (
+        ("interval", IntervalEngine(), "incremental"),
+        ("lp", LPEngine(), "incremental"),
+        ("interval-bulk", IntervalEngine(), "bulk"),
+    )
+    for name, engine, builder in variants:
         started = time.perf_counter()
-        tree = ITree(functions, template.domain, engine=engine)
+        tree = ITree(functions, template.domain, engine=engine, builder=builder)
         elapsed = time.perf_counter() - started
         result.add_row(
             engine=name,

@@ -10,7 +10,8 @@ time -- is the paper's Fig. 7 metric and is recorded on the returned
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import threading
+from typing import Iterable, List, Optional, Union
 
 from repro.core.errors import VerificationError
 from repro.core.owner import PublicParameters, SIGNATURE_MESH
@@ -31,7 +32,10 @@ class Client:
 
     def __init__(self, parameters: PublicParameters):
         self.parameters = parameters
+        #: Cumulative verification cost across every verified result; mutated
+        #: only under a lock so concurrent verifications are safe.
         self.counters = Counters()
+        self._counters_lock = threading.Lock()
 
     # --------------------------------------------------------------- verify
     def verify(
@@ -81,8 +85,21 @@ class Client:
             report = VerificationReport()
             report.record("scheme", False, f"unknown scheme {params.scheme!r}")
             return report
-        self.counters.merge(per_query)
+        with self._counters_lock:
+            self.counters.merge(per_query)
         return report
+
+    def verify_batch(self, executions: Iterable[object]) -> List[VerificationReport]:
+        """Verify a batch of server executions (e.g. from ``execute_batch``).
+
+        Accepts any iterable of objects carrying ``query``, ``result`` and
+        ``verification_object`` attributes; each result is verified against
+        its own per-query counter.
+        """
+        return [
+            self.verify(e.query, e.result, e.verification_object)  # type: ignore[attr-defined]
+            for e in executions
+        ]
 
     def verify_or_raise(
         self,

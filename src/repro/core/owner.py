@@ -82,6 +82,10 @@ class DataOwner:
         IFMH hardening switch (see :class:`repro.ifmh.IFMHTree`).
     share_signatures:
         Mesh-only: enable the shared-signature optimization.
+    build_mode:
+        IFMH-only: I-tree construction strategy (``"auto"`` uses the
+        vectorized bulk build for the univariate interval configuration and
+        the paper's incremental insertion otherwise).
     engine:
         Geometry engine override.
     rng:
@@ -98,6 +102,7 @@ class DataOwner:
         key_bits: Optional[int] = None,
         bind_intersections: bool = True,
         share_signatures: bool = True,
+        build_mode: str = "auto",
         engine: Optional[SplitEngine] = None,
         rng: Optional[random.Random] = None,
         counters: Optional[Counters] = None,
@@ -123,6 +128,7 @@ class DataOwner:
                 engine=engine,
                 counters=self.counters,
                 bind_intersections=bind_intersections,
+                build_mode=build_mode,
             )
         else:
             self.ads = SignatureMesh(

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.client import Client
 from repro.core.owner import DataOwner
@@ -45,6 +45,7 @@ class OutsourcedSystem:
         key_bits: Optional[int] = None,
         bind_intersections: bool = True,
         share_signatures: bool = True,
+        build_mode: str = "auto",
         engine: Optional[SplitEngine] = None,
         rng: Optional[random.Random] = None,
     ) -> "OutsourcedSystem":
@@ -57,6 +58,7 @@ class OutsourcedSystem:
             key_bits=key_bits,
             bind_intersections=bind_intersections,
             share_signatures=share_signatures,
+            build_mode=build_mode,
             engine=engine,
             rng=rng,
         )
@@ -80,6 +82,14 @@ class OutsourcedSystem:
             counters=client_counters,
         )
         return execution, report
+
+    def query_and_verify_batch(
+        self, queries: "Sequence[AnalyticQuery]"
+    ) -> list[tuple[QueryExecution, VerificationReport]]:
+        """Run a batch through ``Server.execute_batch`` and verify every result."""
+        executions = self.server.execute_batch(queries)
+        reports = self.client.verify_batch(executions)
+        return list(zip(executions, reports))
 
     @property
     def scheme(self) -> str:

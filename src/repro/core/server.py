@@ -4,12 +4,32 @@ The server is *untrusted*: it holds the database and the owner-built ADS,
 answers analytic queries and attaches a verification object to every result.
 Its cost (the number of ADS nodes / mesh cells it touches per query) is the
 paper's Fig. 6 metric and is tracked on a per-query :class:`Counters`.
+
+Counter semantics
+-----------------
+Every query is processed against its own per-query :class:`Counters` (the
+one returned on :class:`QueryExecution`), so concurrent callers never see
+each other's costs.  ``Server.counters`` is the *cumulative* total across
+every query the server has served; it is only ever mutated under an internal
+lock, so :meth:`Server.execute` and :meth:`Server.execute_batch` are safe to
+call from multiple threads.
+
+Hot path
+--------
+IFMH scoring uses the per-leaf coefficient matrices cached by
+:meth:`repro.ifmh.IFMHTree.leaf_scores` (one ``A @ w + b`` matvec instead of
+a Python loop) plus a bounded LRU score cache keyed on ``(subdomain,
+weights)``.  :meth:`Server.execute_batch` additionally groups queries that
+share a weight vector so the subdomain search and the scoring run once per
+distinct weight vector instead of once per query.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.errors import QueryProcessingError
 from repro.core.owner import ServerPackage, SIGNATURE_MESH
@@ -23,6 +43,10 @@ from repro.metrics.counters import Counters
 from repro.queryproc.window import select_window
 
 __all__ = ["Server", "QueryExecution"]
+
+#: Default number of ``(subdomain, weights) -> scores`` entries kept by the
+#: server-side score cache.
+DEFAULT_SCORE_CACHE_SIZE = 1024
 
 
 @dataclass
@@ -43,37 +67,95 @@ class QueryExecution:
 class Server:
     """The cloud server of the three-party outsourcing model."""
 
-    def __init__(self, package: ServerPackage):
+    def __init__(self, package: ServerPackage, score_cache_size: int = DEFAULT_SCORE_CACHE_SIZE):
         self.package = package
         self.dataset = package.dataset
         self.ads = package.ads
         self.scheme = package.public_parameters.scheme
         self.template = package.public_parameters.template
         self.counters = Counters()
+        self._counters_lock = threading.Lock()
+        self._score_cache_lock = threading.Lock()
+        self._score_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._score_cache_size = score_cache_size
+        self.score_cache_hits = 0
+        self.score_cache_misses = 0
 
     # ----------------------------------------------------------- execution
     def execute(self, query: AnalyticQuery, counters: Optional[Counters] = None) -> QueryExecution:
-        """Process a query and build its verification object."""
+        """Process a query and build its verification object.
+
+        The returned execution carries an isolated per-query counter; the
+        server's cumulative :attr:`counters` are updated under a lock.
+        """
         query.validate(self.template.dimension)
         per_query = counters if counters is not None else Counters()
         if self.scheme == SIGNATURE_MESH:
             result, vo = self._execute_mesh(query, per_query)
         else:
             result, vo = self._execute_ifmh(query, per_query)
-        self.counters.merge(per_query)
+        with self._counters_lock:
+            self.counters.merge(per_query)
         return QueryExecution(
             query=query, result=result, verification_object=vo, counters=per_query
         )
 
-    def _execute_ifmh(
-        self, query: AnalyticQuery, counters: Counters
-    ) -> tuple[QueryResult, VerificationObject]:
+    def execute_batch(self, queries: Sequence[AnalyticQuery]) -> List[QueryExecution]:
+        """Process many queries, amortizing shared work across the batch.
+
+        Queries that share a weight vector reuse one subdomain search and one
+        score computation.  Every query still gets its own isolated
+        :class:`Counters` (charged the full cost of the search it used, as if
+        executed alone); the cumulative :attr:`counters` are merged once for
+        the whole batch, under the lock.
+        """
+        for query in queries:
+            query.validate(self.template.dimension)
+        if self.scheme == SIGNATURE_MESH:
+            executions = [self._execute_one_mesh(query) for query in queries]
+        else:
+            executions = self._execute_batch_ifmh(queries)
+        batch_total = Counters()
+        for execution in executions:
+            batch_total.merge(execution.counters)
+        with self._counters_lock:
+            self.counters.merge(batch_total)
+        return executions
+
+    # ---------------------------------------------------------------- IFMH
+    def _ifmh_tree(self) -> IFMHTree:
         tree = self.ads
         if not isinstance(tree, IFMHTree):  # pragma: no cover - defensive
             raise QueryProcessingError("server package scheme does not match its ADS")
-        trace = tree.search(query.weights, counters=counters)
+        return tree
+
+    def _cached_scores(self, tree: IFMHTree, leaf, weights: tuple) -> Sequence[float]:
+        """Leaf scores via the bounded LRU cache keyed on (subdomain, weights)."""
+        key = (leaf.subdomain_id, weights)
+        with self._score_cache_lock:
+            cached = self._score_cache.get(key)
+            if cached is not None:
+                self._score_cache.move_to_end(key)
+                self.score_cache_hits += 1
+                return cached
+            self.score_cache_misses += 1
+        scores = tuple(tree.leaf_scores(leaf, weights).tolist())
+        with self._score_cache_lock:
+            self._score_cache[key] = scores
+            while len(self._score_cache) > self._score_cache_size:
+                self._score_cache.popitem(last=False)
+        return scores
+
+    @staticmethod
+    def _finish_ifmh_query(
+        tree: IFMHTree,
+        trace,
+        scores,
+        query: AnalyticQuery,
+        counters: Counters,
+    ) -> tuple[QueryResult, VerificationObject]:
+        """Window selection, record lookup and VO construction for one query."""
         leaf = trace.leaf
-        scores = [function.evaluate(query.weights) for function in leaf.sorted_functions]
         window = select_window(query, scores)
         records = [
             tree.records_by_id[leaf.sorted_functions[position].index]
@@ -81,6 +163,48 @@ class Server:
         ]
         vo = build_verification_object(tree, trace, window, counters=counters)
         return QueryResult(records=tuple(records)), vo
+
+    def _execute_ifmh(
+        self, query: AnalyticQuery, counters: Counters
+    ) -> tuple[QueryResult, VerificationObject]:
+        tree = self._ifmh_tree()
+        trace = tree.search(query.weights, counters=counters)
+        scores = self._cached_scores(tree, trace.leaf, tuple(query.weights))
+        return self._finish_ifmh_query(tree, trace, scores, query, counters)
+
+    def _execute_batch_ifmh(self, queries: Sequence[AnalyticQuery]) -> List[QueryExecution]:
+        tree = self._ifmh_tree()
+        # One search + one score computation per distinct weight vector.
+        shared: Dict[tuple, tuple] = {}
+        executions: List[QueryExecution] = []
+        for query in queries:
+            weights = tuple(query.weights)
+            if weights not in shared:
+                search_counters = Counters()
+                trace = tree.search(weights, counters=search_counters)
+                scores = self._cached_scores(tree, trace.leaf, weights)
+                shared[weights] = (trace, scores, search_counters)
+            trace, scores, search_counters = shared[weights]
+            # Charge each query the search cost it would have paid alone.
+            per_query = search_counters.copy()
+            result, vo = self._finish_ifmh_query(tree, trace, scores, query, per_query)
+            executions.append(
+                QueryExecution(
+                    query=query,
+                    result=result,
+                    verification_object=vo,
+                    counters=per_query,
+                )
+            )
+        return executions
+
+    # ---------------------------------------------------------------- mesh
+    def _execute_one_mesh(self, query: AnalyticQuery) -> QueryExecution:
+        per_query = Counters()
+        result, vo = self._execute_mesh(query, per_query)
+        return QueryExecution(
+            query=query, result=result, verification_object=vo, counters=per_query
+        )
 
     def _execute_mesh(
         self, query: AnalyticQuery, counters: Counters

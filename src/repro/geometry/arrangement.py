@@ -17,12 +17,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
 from repro.geometry.domain import Domain, Region
 from repro.geometry.engine import SplitEngine, make_engine
-from repro.geometry.functions import Hyperplane, LinearFunction, intersection_hyperplane
+from repro.geometry.functions import (
+    COEFFICIENT_TOLERANCE,
+    Hyperplane,
+    LinearFunction,
+    intersection_hyperplane,
+)
 from repro.geometry.sorting import sort_functions_at
 
-__all__ = ["Subdomain", "Arrangement", "build_arrangement", "pairwise_hyperplanes"]
+__all__ = [
+    "Subdomain",
+    "Arrangement",
+    "build_arrangement",
+    "pairwise_hyperplanes",
+    "univariate_breakpoints",
+]
 
 
 @dataclass
@@ -99,6 +112,38 @@ def pairwise_hyperplanes(functions: Sequence[LinearFunction]) -> list[Hyperplane
             if hyperplane is not None:
                 hyperplanes.append(hyperplane)
     return hyperplanes
+
+
+def univariate_breakpoints(
+    functions: Sequence[LinearFunction],
+    slope_tolerance: float = COEFFICIENT_TOLERANCE,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """All pairwise breakpoints of a univariate function set, vectorized.
+
+    For every pair ``p < q`` (position order, matching
+    :func:`pairwise_hyperplanes`) with slope difference exceeding
+    ``slope_tolerance``, the crossing point ``x* = -(c_p - c_q)/(a_p - a_q)``
+    is computed in one numpy pass.  Returns ``(breakpoints, left, right,
+    normals, offsets)`` arrays where ``left[k]``/``right[k]`` are the
+    *positions* of the pair in ``functions``.  The per-element arithmetic is
+    bit-identical to :meth:`IntervalEngine._breakpoint` applied to
+    :func:`intersection_hyperplane`.
+    """
+    if any(f.dimension != 1 for f in functions):
+        raise ValueError("univariate_breakpoints requires 1-dimensional functions")
+    slopes = np.array([f.coefficients[0] for f in functions], dtype=float)
+    constants = np.array([f.constant for f in functions], dtype=float)
+    left, right = np.triu_indices(len(functions), k=1)
+    normals = slopes[left] - slopes[right]
+    offsets = constants[left] - constants[right]
+    crossing = np.abs(normals) > slope_tolerance
+    left, right, normals, offsets = (
+        left[crossing],
+        right[crossing],
+        normals[crossing],
+        offsets[crossing],
+    )
+    return -offsets / normals, left, right, normals, offsets
 
 
 def build_arrangement(

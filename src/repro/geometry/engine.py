@@ -29,6 +29,7 @@ from typing import Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro.core.errors import ConstructionError
 from repro.geometry.domain import ABOVE, BELOW, Constraint, Domain, Region
 from repro.geometry.functions import Hyperplane
 
@@ -36,6 +37,9 @@ __all__ = ["SplitEngine", "IntervalEngine", "LPEngine", "make_engine"]
 
 #: Minimum width (1-D) / interior radius (LP) for a side to count as non-empty.
 DEFAULT_TOLERANCE = 1e-9
+
+#: Default tolerance of the LP engine (looser: HiGHS works in floating point).
+DEFAULT_LP_TOLERANCE = 1e-7
 
 
 @runtime_checkable
@@ -83,8 +87,17 @@ class IntervalEngine:
             < region.interval_high - self.tolerance
         )
 
-    def split(self, region: Region, hyperplane: Hyperplane) -> tuple[Region, Region]:
-        if not self.splits(region, hyperplane):
+    def split(
+        self, region: Region, hyperplane: Hyperplane, check: bool = True
+    ) -> tuple[Region, Region]:
+        """Cut the region at the hyperplane's breakpoint.
+
+        ``check=False`` skips the ``splits`` validation -- used by the bulk
+        I-tree assembly, whose planner has already vetted every breakpoint
+        at insertion time (re-checking against the *final* region bounds
+        would be stricter than the incremental builder it mirrors).
+        """
+        if check and not self.splits(region, hyperplane):
             raise ValueError(f"{hyperplane.name} does not split the region")
         breakpoint = self._breakpoint(hyperplane)
         slope = hyperplane.normal[0]
@@ -120,7 +133,7 @@ class LPEngine:
     centres (the centre of the largest inscribed ball).
     """
 
-    tolerance: float = 1e-7
+    tolerance: float = DEFAULT_LP_TOLERANCE
 
     # ------------------------------------------------------------- helpers
     @staticmethod
@@ -161,8 +174,19 @@ class LPEngine:
                 method="highs",
             )
             if not result.success:
-                # Empty (or numerically empty) region: report a degenerate span.
-                return 0.0, 0.0
+                # A provably infeasible LP means the region is genuinely
+                # empty: report a degenerate span so it is never split.
+                if result.status == 2:
+                    return 0.0, 0.0
+                # Anything else (iteration limit, numerical difficulties,
+                # unbounded -- impossible over the domain box) is a *solver*
+                # failure.  Treating it as "no split" would silently merge
+                # subdomains, so surface it instead.
+                raise ConstructionError(
+                    f"LP solver failed while testing {hyperplane.name} against a region "
+                    f"with {len(region.constraints)} constraints "
+                    f"(status={result.status}: {result.message})"
+                )
             values.append(sign * result.fun + hyperplane.offset)
         minimum, maximum = values[0], values[1]
         return float(minimum), float(maximum)
@@ -218,7 +242,11 @@ class LPEngine:
 
 
 def make_engine(domain: Domain, tolerance: Optional[float] = None) -> SplitEngine:
-    """Pick the right engine for the domain's dimension."""
+    """Pick the right engine for the domain's dimension.
+
+    ``tolerance=None`` selects the engine's default; an explicit value --
+    including ``0.0`` (exact comparisons) -- is honoured as given.
+    """
     if domain.dimension == 1:
-        return IntervalEngine(tolerance=tolerance or DEFAULT_TOLERANCE)
-    return LPEngine(tolerance=tolerance or 1e-7)
+        return IntervalEngine(tolerance=DEFAULT_TOLERANCE if tolerance is None else tolerance)
+    return LPEngine(tolerance=DEFAULT_LP_TOLERANCE if tolerance is None else tolerance)

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+import numpy as np
+
 from repro.core.errors import ConstructionError
 from repro.core.records import Dataset, Record, UtilityTemplate
 from repro.crypto.hashing import HashFunction
@@ -60,6 +62,11 @@ class IFMHTree:
     bind_intersections:
         Bind each intersection's identity into its node hash (hardened
         default); ``False`` reproduces the paper's exact hash rule.
+    build_mode:
+        I-tree construction strategy (see :data:`repro.itree.itree.BUILDERS`).
+        The default ``"auto"`` picks the vectorized balanced bulk build for
+        the univariate interval configuration and falls back to the paper's
+        incremental insertion elsewhere (d >= 2, custom engines).
     """
 
     def __init__(
@@ -73,6 +80,7 @@ class IFMHTree:
         engine: Optional[SplitEngine] = None,
         counters: Optional[Counters] = None,
         bind_intersections: bool = True,
+        build_mode: str = "auto",
     ):
         if mode not in (ONE_SIGNATURE, MULTI_SIGNATURE):
             raise ConstructionError(
@@ -90,7 +98,13 @@ class IFMHTree:
         self.records_by_id: Dict[int, Record] = {r.record_id: r for r in dataset}
 
         functions = template.functions_for(dataset)
-        self.itree = ITree(functions, template.domain, engine=engine, counters=self.counters)
+        self.itree = ITree(
+            functions,
+            template.domain,
+            engine=engine,
+            counters=self.counters,
+            builder=build_mode,
+        )
         self._attach_fmh_trees()
         self._propagate_hashes()
         self.root_signature: Optional[bytes] = None
@@ -187,6 +201,34 @@ class IFMHTree:
     def search(self, weights: Sequence[float], counters: Optional[Counters] = None) -> SearchTrace:
         """Locate the subdomain containing ``weights`` (delegates to the I-tree)."""
         return self.itree.search(weights, counters=counters)
+
+    def leaf_scores(self, leaf: ITreeNode, weights: Sequence[float]) -> np.ndarray:
+        """Scores of a subdomain's sorted functions at ``weights``, as one matvec.
+
+        The leaf's ``(coefficient_matrix, constant_vector)`` pair is built on
+        first use and cached on the node, so the per-query hot path is a
+        single ``A @ w + b`` instead of a Python loop over score functions.
+        The result is ascending (the functions are sorted) and, for the
+        univariate configuration, *bit-identical* to
+        ``[f.evaluate(weights) for f in leaf.sorted_functions]``.
+
+        For d >= 2 a BLAS matvec can differ from the per-row ``np.dot`` used
+        by :meth:`LinearFunction.evaluate` by an ulp, which could flip a
+        window boundary on an exact score tie; those dimensions therefore
+        evaluate per function (they run at small n under the LP engine, so
+        the Python loop is not the bottleneck there).
+        """
+        if self.template.dimension > 1:
+            return np.array(
+                [f.evaluate(weights) for f in leaf.sorted_functions], dtype=float
+            )
+        cached = leaf.score_cache
+        if cached is None:
+            matrix = np.array([f.coefficients for f in leaf.sorted_functions], dtype=float)
+            constants = np.array([f.constant for f in leaf.sorted_functions], dtype=float)
+            cached = leaf.score_cache = (matrix, constants)
+        matrix, constants = cached
+        return matrix @ np.asarray(weights, dtype=float) + constants
 
     # ----------------------------------------------------------------- size
     def size_breakdown(self, size_model: SizeModel = DEFAULT_SIZE_MODEL) -> Dict[str, int]:

@@ -10,6 +10,6 @@ vector follows one root-to-leaf path.
 """
 
 from repro.itree.nodes import ITreeNode
-from repro.itree.itree import ITree, SearchStep, SearchTrace
+from repro.itree.itree import BUILDERS, ITree, SearchStep, SearchTrace
 
-__all__ = ["ITreeNode", "ITree", "SearchStep", "SearchTrace"]
+__all__ = ["BUILDERS", "ITreeNode", "ITree", "SearchStep", "SearchTrace"]

@@ -1,11 +1,26 @@
 """I-tree construction and search.
 
-Construction follows the paper's insertion algorithm (section 3.1, step 1):
-for every pair of functions, the intersection ``I_{i,j}`` is inserted with a
-breadth-first walk from the root; subdomain nodes whose region it cuts are
-converted into intersection nodes, and intersection nodes whose region it
-cuts forward the insertion to both children.  After all pairs are inserted,
-every leaf's functions are sorted at an interior witness point.
+Two construction paths are available:
+
+* The **incremental** path follows the paper's insertion algorithm (section
+  3.1, step 1): for every pair of functions, the intersection ``I_{i,j}`` is
+  inserted with a breadth-first walk from the root; subdomain nodes whose
+  region it cuts are converted into intersection nodes, and intersection
+  nodes whose region it cuts forward the insertion to both children.  It
+  works for any dimension and is kept as the reference implementation (and
+  for ablations).
+
+* The **bulk** path (univariate configuration only) computes all pairwise
+  breakpoints in one vectorized numpy pass, sorts them once, and assembles a
+  *balanced* I-tree directly -- no per-hyperplane BFS and no repeated
+  ``splits()`` engine calls.  The resulting partition is identical to the
+  incremental path's; the tree *shape* is the balanced one, which equals
+  what the incremental insertion would produce when fed the same hyperplanes
+  in median-first order (the ``"balanced-incremental"`` builder, used by the
+  property tests to check bit-identical structure and hashes).
+
+After construction, every leaf's functions are sorted at an interior witness
+point -- vectorized over all leaves at once on the bulk path.
 
 Search descends one root-to-leaf path, choosing the *above* child when
 ``f_i(X) - f_j(X) >= 0`` and the *below* child otherwise, and records the
@@ -19,16 +34,25 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
 from repro.core.errors import ConstructionError, QueryProcessingError
-from repro.geometry.arrangement import pairwise_hyperplanes
+from repro.geometry.arrangement import pairwise_hyperplanes, univariate_breakpoints
 from repro.geometry.domain import Domain, Region
-from repro.geometry.engine import SplitEngine, make_engine
-from repro.geometry.functions import Hyperplane, LinearFunction
+from repro.geometry.engine import IntervalEngine, SplitEngine, make_engine
+from repro.geometry.functions import COEFFICIENT_TOLERANCE, Hyperplane, LinearFunction
 from repro.geometry.sorting import sort_functions_at
 from repro.itree.nodes import ITreeNode
 from repro.metrics.counters import Counters
 
-__all__ = ["ITree", "SearchStep", "SearchTrace"]
+__all__ = ["ITree", "SearchStep", "SearchTrace", "BUILDERS"]
+
+#: Supported construction strategies (``"auto"`` resolves to one of the rest).
+BUILDERS = ("incremental", "bulk", "balanced-incremental", "auto")
+
+#: Leaves scored per vectorized chunk when finalizing a bulk-built tree
+#: (bounds peak memory to ``chunk * n_functions`` floats).
+_FINALIZE_CHUNK = 2048
 
 
 @dataclass(frozen=True)
@@ -78,6 +102,7 @@ class ITree:
         domain: Domain,
         engine: Optional[SplitEngine] = None,
         counters: Optional[Counters] = None,
+        builder: str = "auto",
     ):
         if not functions:
             raise ConstructionError("cannot build an I-tree over an empty function set")
@@ -86,17 +111,47 @@ class ITree:
             raise ConstructionError(f"functions disagree on dimension: {sorted(dimensions)}")
         if dimensions.pop() != domain.dimension:
             raise ConstructionError("function dimension does not match the domain")
+        if builder not in BUILDERS:
+            raise ConstructionError(f"unknown builder {builder!r}; expected one of {BUILDERS}")
         self.functions = list(functions)
         self.domain = domain
         self.engine = engine or make_engine(domain)
         self.counters = counters or Counters()
+        if builder == "auto":
+            builder = "bulk" if self._bulk_supported() else "incremental"
+        elif builder in ("bulk", "balanced-incremental") and not self._bulk_supported():
+            raise ConstructionError(
+                f"the {builder!r} builder requires a 1-D domain and an IntervalEngine"
+            )
+        self.builder = builder
         self.root = ITreeNode(region=Region.full(domain))
         self._insertion_checks = 0
-        self._build()
+        if builder == "bulk":
+            self._bulk_build()
+        elif builder == "balanced-incremental":
+            _, hyperplanes = self._bulk_plan()
+            order = _median_first_order(len(hyperplanes))
+            self._build([hyperplanes[k] for k in order])
+        else:
+            self._build(pairwise_hyperplanes(self.functions))
 
-    # ---------------------------------------------------------------- build
-    def _build(self) -> None:
-        for hyperplane in pairwise_hyperplanes(self.functions):
+    @classmethod
+    def bulk_build(
+        cls,
+        functions: Sequence[LinearFunction],
+        domain: Domain,
+        engine: Optional[SplitEngine] = None,
+        counters: Optional[Counters] = None,
+    ) -> "ITree":
+        """Build a balanced I-tree with the vectorized fast path (d = 1)."""
+        return cls(functions, domain, engine=engine, counters=counters, builder="bulk")
+
+    def _bulk_supported(self) -> bool:
+        return self.domain.dimension == 1 and isinstance(self.engine, IntervalEngine)
+
+    # ----------------------------------------------- build (incremental BFS)
+    def _build(self, hyperplanes: Iterable[Hyperplane]) -> None:
+        for hyperplane in hyperplanes:
             self._insert(hyperplane)
         self._finalize_leaves()
 
@@ -117,13 +172,141 @@ class ITree:
 
     def _finalize_leaves(self) -> None:
         """Sort the functions of every leaf and assign stable subdomain ids."""
-        subdomain_id = 0
         for node in self.root.iter_subtree():
             if node.is_subdomain:
                 node.witness = self.engine.witness(node.region)
                 node.sorted_functions = sort_functions_at(self.functions, node.witness)
+        self._assign_subdomain_ids()
+
+    def _assign_subdomain_ids(self) -> None:
+        """Stable ids in pre-order traversal order (shared by both builders)."""
+        subdomain_id = 0
+        for node in self.root.iter_subtree():
+            if node.is_subdomain:
                 node.subdomain_id = subdomain_id
                 subdomain_id += 1
+
+    # ------------------------------------------------- build (bulk, d = 1)
+    def _bulk_plan(self) -> tuple[np.ndarray, list[Hyperplane]]:
+        """Sorted, deduplicated breakpoints plus their hyperplanes.
+
+        Replicates the incremental path's pruning exactly: hyperplanes whose
+        slope difference is below the engine tolerance never split, nor do
+        breakpoints outside the open domain interval or within tolerance of
+        an already-kept breakpoint (those land on an existing boundary).
+        """
+        tolerance = self.engine.tolerance
+        slope_tolerance = max(tolerance, COEFFICIENT_TOLERANCE)
+        breakpoints, left, right, normals, offsets = univariate_breakpoints(
+            self.functions, slope_tolerance
+        )
+        low, high = self.domain.lower[0], self.domain.upper[0]
+        inside = (breakpoints > low + tolerance) & (breakpoints < high - tolerance)
+        # Candidate columns stay in pairwise (insertion) order here.
+        candidates = (
+            breakpoints[inside],
+            left[inside],
+            right[inside],
+            normals[inside],
+            offsets[inside],
+        )
+        order = np.argsort(candidates[0], kind="stable")
+        sorted_breakpoints = candidates[0][order]
+        # All comparisons below use the exact float forms of
+        # IntervalEngine.splits (``low + tol < bp < high - tol``) so the kept
+        # set agrees with the incremental builder bit for bit.
+        if len(sorted_breakpoints) == 0 or np.all(
+            sorted_breakpoints[1:] > sorted_breakpoints[:-1] + tolerance
+        ):
+            # Fast path: no two candidates within tolerance, so every
+            # insertion order keeps all of them.
+            breakpoints, left, right, normals, offsets = (c[order] for c in candidates)
+        else:
+            # Tolerance chains: which near-duplicates survive depends on the
+            # insertion order, so replay the incremental path's drop rule
+            # (a breakpoint is dropped iff it lands within tolerance of its
+            # containing leaf's boundaries, i.e. of its kept neighbours) in
+            # the same pairwise order -- the kept *set* then matches the
+            # incremental builder exactly.
+            import bisect
+
+            kept_values: list[float] = []
+            kept_positions: list[int] = []
+            for position, value in enumerate(candidates[0].tolist()):
+                slot = bisect.bisect_left(kept_values, value)
+                predecessor = kept_values[slot - 1] if slot else low
+                successor = kept_values[slot] if slot < len(kept_values) else high
+                if predecessor + tolerance < value < successor - tolerance:
+                    kept_values.insert(slot, value)
+                    kept_positions.insert(slot, position)
+            breakpoints, left, right, normals, offsets = (c[kept_positions] for c in candidates)
+        indices = [f.index for f in self.functions]
+        hyperplanes = [
+            Hyperplane(i=indices[p], j=indices[q], normal=(normal,), offset=offset)
+            for p, q, normal, offset in zip(
+                left.tolist(), right.tolist(), normals.tolist(), offsets.tolist()
+            )
+        ]
+        return breakpoints, hyperplanes
+
+    def _bulk_build(self) -> None:
+        """Assemble a balanced tree directly from the sorted breakpoints.
+
+        Produces exactly the tree that :meth:`_build` would produce when fed
+        the kept hyperplanes in median-first order, without any BFS walks or
+        redundant ``splits()`` probes.
+        """
+        _, hyperplanes = self._bulk_plan()
+        count = len(hyperplanes)
+        leaves: list[Optional[ITreeNode]] = [None] * (count + 1)
+        stack: list[tuple[ITreeNode, int, int]] = [(self.root, 0, count)]
+        while stack:
+            node, low, high = stack.pop()
+            if low >= high:
+                leaves[low] = node
+                continue
+            mid = (low + high) // 2
+            hyperplane = hyperplanes[mid]
+            # check=False: the planner vetted every breakpoint at insertion
+            # time; re-validating against the final (narrower) bounds here
+            # could reject 1-ulp-of-tolerance gaps the incremental insertion
+            # would have accepted.
+            above_region, below_region = self.engine.split(node.region, hyperplane, check=False)
+            above, below = node.convert_to_intersection(hyperplane, above_region, below_region)
+            self._insertion_checks += 1
+            # The child covering the smaller interval side holds the smaller
+            # breakpoints: ``above`` is right of the breakpoint for positive
+            # slopes and left of it for negative ones.
+            if hyperplane.normal[0] > 0:
+                left_child, right_child = below, above
+            else:
+                left_child, right_child = above, below
+            stack.append((left_child, low, mid))
+            stack.append((right_child, mid + 1, high))
+        self._finalize_leaves_bulk([leaf for leaf in leaves if leaf is not None])
+
+    def _finalize_leaves_bulk(self, leaves: Sequence[ITreeNode]) -> None:
+        """Vectorized leaf finalization: score every leaf witness in one pass.
+
+        Bit-compatible with :meth:`_finalize_leaves`: witnesses come from the
+        engine, per-element score arithmetic matches
+        :meth:`LinearFunction.evaluate` for d = 1, and the stable argsort over
+        index-ordered functions reproduces ``sort_functions_at`` exactly.
+        """
+        by_index = sorted(range(len(self.functions)), key=lambda p: self.functions[p].index)
+        ordered_functions = [self.functions[p] for p in by_index]
+        slopes = np.array([f.coefficients[0] for f in ordered_functions], dtype=float)
+        constants = np.array([f.constant for f in ordered_functions], dtype=float)
+        for leaf in leaves:
+            leaf.witness = self.engine.witness(leaf.region)
+        witnesses = np.array([leaf.witness[0] for leaf in leaves], dtype=float)
+        for start in range(0, len(leaves), _FINALIZE_CHUNK):
+            chunk = slice(start, start + _FINALIZE_CHUNK)
+            scores = witnesses[chunk, None] * slopes[None, :] + constants[None, :]
+            ranks = np.argsort(scores, axis=1, kind="stable")
+            for leaf, row in zip(leaves[chunk], ranks):
+                leaf.sorted_functions = [ordered_functions[t] for t in row.tolist()]
+        self._assign_subdomain_ids()
 
     # ------------------------------------------------------------ accessors
     @property
@@ -187,3 +370,23 @@ class ITree:
     def locate(self, weights: Sequence[float]) -> ITreeNode:
         """Convenience wrapper returning only the subdomain leaf."""
         return self.search(weights).leaf
+
+
+def _median_first_order(count: int) -> list[int]:
+    """Indices ``0..count-1`` in the insertion order that yields a balanced BST.
+
+    Each range contributes its median before either half, so every ancestor
+    precedes its descendants -- inserting sorted breakpoints in this order
+    through the incremental BFS reproduces the bulk-built balanced tree.
+    """
+    order: list[int] = []
+    stack = [(0, count)]
+    while stack:
+        low, high = stack.pop()
+        if low >= high:
+            continue
+        mid = (low + high) // 2
+        order.append(mid)
+        stack.append((mid + 1, high))
+        stack.append((low, mid))
+    return order

@@ -38,6 +38,10 @@ class ITreeNode:
     hash_value: Optional[bytes] = None
     #: FMH-tree attached to subdomain nodes by the IFMH construction.
     fmh_tree: object = None
+    #: Lazily cached ``(coefficient_matrix, constant_vector)`` numpy pair over
+    #: the sorted functions, filled by :meth:`repro.ifmh.IFMHTree.leaf_scores`
+    #: so server-side scoring is a single matvec.
+    score_cache: object = None
     #: Per-subdomain signature in multi-signature mode.
     signature: Optional[bytes] = None
     #: Stable identifier assigned to subdomain leaves after construction.

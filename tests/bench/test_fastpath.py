@@ -1,0 +1,41 @@
+"""Fast-path benchmark gates: bulk construction speedup and batch throughput.
+
+These are the acceptance benchmarks for the vectorized hot paths: at the
+paper-plus scale of n = 200 records the bulk build must be at least 5x
+faster than the incremental reference, and ``execute_batch`` must out-run
+per-query execution on a shared-weights workload.  Both assertions compare
+wall-clock ratios measured in the same process, so they are robust to a
+loaded CI machine.
+"""
+
+import pytest
+
+from repro.bench.fastpath import batch_comparison, build_comparison, run_smoke
+
+
+@pytest.mark.fastpath
+def test_bulk_build_at_least_5x_faster_at_n200():
+    result = build_comparison(n_records=200, seed=0)
+    rows = {row["builder"]: row for row in result.rows}
+    assert rows["incremental"]["subdomains"] == rows["bulk"]["subdomains"]
+    assert rows["bulk"]["height"] <= rows["incremental"]["height"]
+    assert rows["bulk"]["speedup"] >= 5.0, (
+        f"bulk build only {rows['bulk']['speedup']:.1f}x faster than incremental at n=200"
+    )
+
+
+@pytest.mark.fastpath
+def test_batch_execution_beats_per_query_throughput():
+    result = batch_comparison(n_records=80, unique_weights=12, queries_per_weight=9, seed=0)
+    rows = {row["mode"]: row for row in result.rows}
+    assert rows["execute_batch"]["queries_per_second"] > rows["execute"]["queries_per_second"], (
+        "execute_batch must out-run per-query execution on shared-weights workloads"
+    )
+
+
+@pytest.mark.fastpath
+def test_smoke_gate_passes():
+    """The CI smoke target (python -m repro.bench --smoke) must be green."""
+    results, failures = run_smoke()
+    assert len(results) == 2
+    assert failures == []

@@ -139,3 +139,105 @@ class TestLPEngine:
         for offset in (-2.0, -5.0, -9.999, -11.0, 0.5):
             plane = Hyperplane(i=0, j=1, normal=(1.0,), offset=offset)
             assert interval.splits(region, plane) == lp.splits(region, plane)
+
+
+class TestMakeEngineTolerance:
+    """Regression: an explicit ``tolerance=0.0`` must not fall back to defaults."""
+
+    def test_zero_tolerance_honoured_for_interval_engine(self, domain_1d):
+        engine = make_engine(domain_1d, tolerance=0.0)
+        assert isinstance(engine, IntervalEngine)
+        assert engine.tolerance == 0.0
+
+    def test_zero_tolerance_honoured_for_lp_engine(self, domain_2d):
+        engine = make_engine(domain_2d, tolerance=0.0)
+        assert isinstance(engine, LPEngine)
+        assert engine.tolerance == 0.0
+
+    def test_none_selects_defaults(self, domain_1d, domain_2d):
+        from repro.geometry.engine import DEFAULT_LP_TOLERANCE, DEFAULT_TOLERANCE
+
+        assert make_engine(domain_1d).tolerance == DEFAULT_TOLERANCE
+        assert make_engine(domain_2d).tolerance == DEFAULT_LP_TOLERANCE
+
+    def test_explicit_tolerance_forwarded(self, domain_1d, domain_2d):
+        assert make_engine(domain_1d, tolerance=1e-6).tolerance == 1e-6
+        assert make_engine(domain_2d, tolerance=1e-5).tolerance == 1e-5
+
+    def test_zero_tolerance_engine_still_splits(self, domain_1d):
+        engine = make_engine(domain_1d, tolerance=0.0)
+        region = Region.full(domain_1d)
+        plane = Hyperplane(i=0, j=1, normal=(1.0,), offset=-4.0)
+        assert engine.splits(region, plane)
+
+
+class TestLPEngineSolverFailure:
+    """Regression: solver failures must not masquerade as empty regions."""
+
+    def _tight_region(self, domain_2d) -> Region:
+        # A near-degenerate sliver: two almost-parallel half-spaces.
+        region = Region.full(domain_2d)
+        from repro.geometry.domain import ABOVE, BELOW, Constraint
+
+        lower = Hyperplane(i=0, j=1, normal=(1.0, -1.0), offset=0.0)
+        upper = Hyperplane(i=0, j=2, normal=(1.0, -1.0 + 1e-10), offset=1e-12)
+        region = region.with_constraint(Constraint(lower, ABOVE))
+        return region.with_constraint(Constraint(upper, BELOW))
+
+    def test_infeasible_region_reports_no_split(self, domain_2d):
+        """A provably empty region is genuine emptiness, not a failure."""
+        from repro.geometry.domain import ABOVE, BELOW, Constraint
+
+        engine = LPEngine()
+        plane = Hyperplane(i=0, j=1, normal=(1.0, 0.0), offset=-0.5)
+        region = Region.full(domain_2d)
+        # x + y >= 1.9 and x + y < 0.1 cannot both hold inside the unit box.
+        region = region.with_constraint(
+            Constraint(Hyperplane(i=0, j=1, normal=(1.0, 1.0), offset=-1.9), ABOVE)
+        )
+        region = region.with_constraint(
+            Constraint(Hyperplane(i=0, j=2, normal=(1.0, 1.0), offset=-0.1), BELOW)
+        )
+        assert not engine.splits(region, plane)
+
+    def test_near_degenerate_sliver_still_resolves(self, domain_2d):
+        """A numerically tight (but non-empty) 2-D region must not be merged away."""
+        engine = LPEngine()
+        region = self._tight_region(domain_2d)
+        plane = Hyperplane(i=1, j=2, normal=(1.0, 0.0), offset=-0.5)
+        # Must produce a definite answer (either way) without treating the
+        # region as empty: the sliver contains points on both sides of x=0.5.
+        assert engine.splits(region, plane)
+
+    def test_solver_failure_raises_construction_error(self, domain_2d, monkeypatch):
+        import scipy.optimize
+
+        from repro.core.errors import ConstructionError
+
+        class _Failed:
+            success = False
+            status = 4  # numerical difficulties
+            message = "simulated numerical failure"
+            fun = None
+
+        engine = LPEngine()
+        region = Region.full(domain_2d)
+        plane = Hyperplane(i=0, j=1, normal=(1.0, -1.0), offset=0.0)
+        monkeypatch.setattr(scipy.optimize, "linprog", lambda *a, **k: _Failed())
+        with pytest.raises(ConstructionError, match="LP solver failed"):
+            engine.splits(region, plane)
+
+    def test_infeasible_status_still_means_empty(self, domain_2d, monkeypatch):
+        import scipy.optimize
+
+        class _Infeasible:
+            success = False
+            status = 2  # infeasible: the region really is empty
+            message = "simulated infeasibility"
+            fun = None
+
+        engine = LPEngine()
+        region = Region.full(domain_2d)
+        plane = Hyperplane(i=0, j=1, normal=(1.0, -1.0), offset=0.0)
+        monkeypatch.setattr(scipy.optimize, "linprog", lambda *a, **k: _Infeasible())
+        assert not engine.splits(region, plane)
