@@ -9,8 +9,6 @@ backing the paper's security analysis (section 4.1).
 
 from __future__ import annotations
 
-import pytest
-
 from conftest import record_table
 from repro.bench.figures import (
     ablation_geometry_engine,

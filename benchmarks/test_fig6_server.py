@@ -11,8 +11,6 @@ scale, while both IFMH modes stay near-logarithmic and close to each other.
 
 from __future__ import annotations
 
-import pytest
-
 from conftest import record_table
 from repro.bench.figures import fig6_server_fixed_result, fig6d_result_length, _systems
 from repro.bench.harness import queries_with_result_size

@@ -11,8 +11,6 @@ the IMH search path).
 
 from __future__ import annotations
 
-import pytest
-
 from conftest import record_table
 from repro.bench.figures import (
     _systems,

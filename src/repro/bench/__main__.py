@@ -7,6 +7,8 @@ Usage::
     python -m repro.bench --quick         # smallest scales, hmac signatures
     python -m repro.bench --smoke         # fast-path regression gate only
     python -m repro.bench --fastpath      # full fast-path benchmark (n = 200)
+    python -m repro.bench --construction  # shared-structure hashing benchmark
+                                          # (sweeps n, writes BENCH_construction.json)
 """
 
 from __future__ import annotations
@@ -15,7 +17,12 @@ import argparse
 import sys
 import time
 
-from repro.bench.fastpath import fastpath_experiments, run_smoke
+from repro.bench.fastpath import (
+    CONSTRUCTION_REPORT_FILENAME,
+    fastpath_experiments,
+    run_construction,
+    run_smoke,
+)
 from repro.bench.figures import all_experiments
 from repro.bench.harness import BenchConfig
 from repro.bench.reporting import render_results
@@ -58,6 +65,13 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         action="store_true",
         help="run only the fast-path benchmarks at full scale (n = 200 build comparison)",
     )
+    parser.add_argument(
+        "--construction",
+        action="store_true",
+        help="run the shared-structure construction benchmark (IFMH hashing with the "
+        f"Merkle engine on vs off, n sweep up to 200) and write {CONSTRUCTION_REPORT_FILENAME}; "
+        "exit 1 if the physical-hash reduction misses its floor",
+    )
     return parser.parse_args(argv)
 
 
@@ -87,10 +101,19 @@ def build_config(args: argparse.Namespace) -> BenchConfig:
 
 def main(argv: list[str] | None = None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
-    if args.smoke and args.fastpath:
-        print("error: --smoke and --fastpath are mutually exclusive")
+    exclusive = [
+        flag
+        for flag, given in (
+            ("--smoke", args.smoke),
+            ("--fastpath", args.fastpath),
+            ("--construction", args.construction),
+        )
+        if given
+    ]
+    if len(exclusive) > 1:
+        print(f"error: {' and '.join(exclusive)} are mutually exclusive")
         return 2
-    if args.smoke or args.fastpath:
+    if args.smoke or args.fastpath or args.construction:
         ignored = [
             flag
             for flag, given in (
@@ -106,7 +129,7 @@ def main(argv: list[str] | None = None) -> int:
             if given
         ]
         if ignored:
-            mode = "--smoke" if args.smoke else "--fastpath"
+            mode = exclusive[0]
             print(f"error: {mode} runs a fixed workload; {', '.join(ignored)} would be ignored")
             return 2
     started = time.perf_counter()
@@ -123,6 +146,15 @@ def main(argv: list[str] | None = None) -> int:
         print(render_results(results))
         print(f"\ncompleted {len(results)} experiments in {time.perf_counter() - started:.1f}s")
         return 0
+    if args.construction:
+        results, failures = run_construction(seed=args.seed)
+        print(render_results(results))
+        elapsed = time.perf_counter() - started
+        for failure in failures:
+            print(f"CONSTRUCTION REGRESSION: {failure}")
+        print(f"wrote hashing trajectory to {CONSTRUCTION_REPORT_FILENAME}")
+        print(f"\ncompleted construction benchmark in {elapsed:.1f}s")
+        return 1 if failures else 0
     config = build_config(args)
     results = all_experiments(config)
     elapsed = time.perf_counter() - started

@@ -1,7 +1,7 @@
-"""Fast-path benchmarks: bulk I-tree construction and batched queries.
+"""Fast-path benchmarks: bulk I-tree construction, batched queries, hashing.
 
-Two experiments quantify the vectorized hot paths added on top of the paper
-reproduction:
+Three experiments quantify the vectorized/shared hot paths added on top of
+the paper reproduction:
 
 * :func:`build_comparison` -- incremental BFS insertion vs the vectorized
   balanced bulk build of the univariate I-tree, at a given database size.
@@ -14,22 +14,33 @@ reproduction:
   paths must return identical records; the interesting number is the
   queries-per-second ratio.
 
-``python -m repro.bench --smoke`` runs both at reduced scale and exits
-non-zero when either fast path regresses below a conservative floor, so CI
-catches performance regressions without a full figure run.
+* :func:`construction_comparison` -- the full IFMH (step 2/3) construction
+  with the shared-structure Merkle engine on vs off.  Root hashes must be
+  bit-identical and the *logical* hash counts equal; the interesting number
+  is the reduction in *physical* SHA-256 invocations.
+  ``python -m repro.bench --construction`` sweeps several database sizes
+  and records the hashing trajectory to ``BENCH_construction.json``.
+
+``python -m repro.bench --smoke`` runs all of them at reduced scale and
+exits non-zero when any fast path regresses below a conservative floor, so
+CI catches performance regressions without a full figure run.
 """
 
 from __future__ import annotations
 
+import gc
+import json
 import random
 import time
-from typing import List
+from typing import Dict, List, Optional, Sequence
 
 from repro.bench.harness import ExperimentResult
 from repro.core.owner import DataOwner
 from repro.core.queries import AnalyticQuery, KNNQuery, RangeQuery, TopKQuery
 from repro.core.server import Server
+from repro.ifmh.ifmh_tree import IFMHTree
 from repro.itree.itree import ITree
+from repro.metrics.counters import Counters
 from repro.workloads.generator import (
     WorkloadConfig,
     make_dataset,
@@ -40,20 +51,38 @@ from repro.workloads.generator import (
 __all__ = [
     "build_comparison",
     "batch_comparison",
+    "construction_comparison",
+    "run_construction",
     "fastpath_experiments",
     "run_smoke",
     "SMOKE_BUILD_SPEEDUP_FLOOR",
     "SMOKE_BATCH_SPEEDUP_FLOOR",
+    "SMOKE_CONSTRUCTION_REDUCTION_FLOOR",
+    "CONSTRUCTION_REDUCTION_FLOOR",
+    "CONSTRUCTION_REPORT_FILENAME",
 ]
 
 #: Conservative floors used by the ``--smoke`` regression gate (the full
 #: n = 200 benchmark targets >= 5x build and > 1x batch speedups).
 SMOKE_BUILD_SPEEDUP_FLOOR = 2.0
 SMOKE_BATCH_SPEEDUP_FLOOR = 1.05
+#: Physical-hash reduction the shared-structure engine must clear in the
+#: smoke run (n = 60; the full ``--construction`` gate demands >= 5x at
+#: n = 200, where sharing is far more effective).
+SMOKE_CONSTRUCTION_REDUCTION_FLOOR = 4.0
+#: Acceptance floor for the full construction benchmark at its largest n.
+CONSTRUCTION_REDUCTION_FLOOR = 5.0
+#: Where ``python -m repro.bench --construction`` records its trajectory.
+CONSTRUCTION_REPORT_FILENAME = "BENCH_construction.json"
 
 
-def build_comparison(n_records: int = 200, seed: int = 0) -> ExperimentResult:
-    """Incremental vs bulk I-tree construction time at one database size."""
+def build_comparison(n_records: int = 200, seed: int = 0, repeats: int = 3) -> ExperimentResult:
+    """Incremental vs bulk I-tree construction time at one database size.
+
+    Each builder runs ``repeats`` times and reports its best wall-clock
+    time (garbage collection forced beforehand), so a scheduler hiccup or
+    GC pause on a loaded machine cannot flip the comparison.
+    """
     workload = WorkloadConfig(n_records=n_records, dimension=1, seed=seed)
     dataset = make_dataset(workload)
     template = make_template(workload)
@@ -67,9 +96,13 @@ def build_comparison(n_records: int = 200, seed: int = 0) -> ExperimentResult:
     timings = {}
     partitions = {}
     for builder in ("incremental", "bulk"):
-        started = time.perf_counter()
-        tree = ITree(functions, template.domain, builder=builder)
-        timings[builder] = time.perf_counter() - started
+        best_seconds, tree = float("inf"), None
+        for _ in range(repeats):
+            gc.collect()
+            started = time.perf_counter()
+            tree = ITree(functions, template.domain, builder=builder)
+            best_seconds = min(best_seconds, time.perf_counter() - started)
+        timings[builder] = best_seconds
         partitions[builder] = sorted(
             (leaf.region.interval_low, leaf.region.interval_high) for leaf in tree.leaves()
         )
@@ -167,6 +200,122 @@ def batch_comparison(
     return result
 
 
+def construction_comparison(n_records: int = 200, seed: int = 0) -> ExperimentResult:
+    """IFMH construction with the shared-structure Merkle engine on vs off.
+
+    Both builds must produce the bit-identical root hash and the same
+    *logical* hash count (what Fig. 5a/7a report); the engine only changes
+    which of those hashes physically run.  The headline number is
+    ``physical_reduction``: naive physical SHA-256 invocations divided by
+    the engine's.
+    """
+    workload = WorkloadConfig(n_records=n_records, dimension=1, seed=seed)
+    dataset = make_dataset(workload)
+    template = make_template(workload)
+    result = ExperimentResult(
+        experiment_id="fastpath-construction",
+        title="IFMH construction: naive hashing vs shared-structure Merkle engine",
+        parameters={"n": n_records, "seed": seed},
+        columns=(
+            "hash_consing",
+            "build_seconds",
+            "logical_hashes",
+            "physical_hashes",
+            "physical_reduction",
+            "subdomains",
+        ),
+    )
+    observed: Dict[bool, Dict[str, object]] = {}
+    for hash_consing in (False, True):
+        counters = Counters()
+        started = time.perf_counter()
+        tree = IFMHTree(dataset, template, counters=counters, hash_consing=hash_consing)
+        build_seconds = time.perf_counter() - started
+        observed[hash_consing] = {
+            "root": tree.root_hash,
+            "logical": counters.hash_operations,
+            "physical": counters.physical_hash_operations,
+            "engine_stats": tree.merkle_engine_stats,
+        }
+        result.add_row(
+            hash_consing=hash_consing,
+            build_seconds=build_seconds,
+            logical_hashes=counters.hash_operations,
+            physical_hashes=counters.physical_hash_operations,
+            physical_reduction=(
+                1.0
+                if not hash_consing
+                else observed[False]["physical"] / counters.physical_hash_operations
+            ),
+            subdomains=tree.subdomain_count,
+        )
+    if observed[False]["root"] != observed[True]["root"]:  # pragma: no cover - correctness guard
+        raise AssertionError("shared-structure engine changed the IFMH root hash")
+    if observed[False]["logical"] != observed[True]["logical"]:  # pragma: no cover
+        raise AssertionError("shared-structure engine changed the logical hash count")
+    result.parameters["engine_stats"] = observed[True]["engine_stats"]
+    return result
+
+
+def run_construction(
+    n_values: Sequence[int] = (50, 100, 200),
+    seed: int = 0,
+    output_path: Optional[str] = CONSTRUCTION_REPORT_FILENAME,
+) -> tuple[List[ExperimentResult], List[str]]:
+    """Sweep the construction comparison and record the hashing trajectory.
+
+    Returns ``(results, failures)``; an empty failure list means the largest
+    scale cleared :data:`CONSTRUCTION_REDUCTION_FLOOR`.  When
+    ``output_path`` is set, the trajectory (per-n logical/physical counts
+    and timings for both variants, plus engine statistics) is written there
+    as JSON.
+    """
+    results = [construction_comparison(n_records=n, seed=seed) for n in n_values]
+    trajectory = []
+    for n_records, result in zip(n_values, results):
+        rows = {row["hash_consing"]: row for row in result.rows}
+        trajectory.append(
+            {
+                "n": n_records,
+                "subdomains": rows[True]["subdomains"],
+                "naive": {
+                    "build_seconds": rows[False]["build_seconds"],
+                    "logical_hashes": rows[False]["logical_hashes"],
+                    "physical_hashes": rows[False]["physical_hashes"],
+                },
+                "hash_consing": {
+                    "build_seconds": rows[True]["build_seconds"],
+                    "logical_hashes": rows[True]["logical_hashes"],
+                    "physical_hashes": rows[True]["physical_hashes"],
+                },
+                "physical_reduction": rows[True]["physical_reduction"],
+                "build_speedup": rows[False]["build_seconds"] / rows[True]["build_seconds"],
+                "engine_stats": result.parameters.get("engine_stats"),
+            }
+        )
+    headline = trajectory[-1]
+    failures: List[str] = []
+    if headline["physical_reduction"] < CONSTRUCTION_REDUCTION_FLOOR:
+        failures.append(
+            f"shared-structure engine reduced physical hashing only "
+            f"{headline['physical_reduction']:.2f}x at n={headline['n']} "
+            f"(floor {CONSTRUCTION_REDUCTION_FLOOR:.2f}x)"
+        )
+    if output_path is not None:
+        payload = {
+            "benchmark": "ifmh-construction-shared-structure",
+            "seed": seed,
+            "floor": CONSTRUCTION_REDUCTION_FLOOR,
+            "headline_n": headline["n"],
+            "headline_physical_reduction": headline["physical_reduction"],
+            "trajectory": trajectory,
+        }
+        with open(output_path, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+    return results, failures
+
+
 def fastpath_experiments(
     build_n: int = 200,
     batch_n: int = 80,
@@ -179,14 +328,20 @@ def fastpath_experiments(
     ]
 
 
-def run_smoke(build_n: int = 120, batch_n: int = 60, seed: int = 0) -> tuple[List[ExperimentResult], List[str]]:
+def run_smoke(
+    build_n: int = 120,
+    batch_n: int = 60,
+    construction_n: int = 60,
+    seed: int = 0,
+) -> tuple[List[ExperimentResult], List[str]]:
     """Reduced-scale fast-path run returning (results, regression messages).
 
-    An empty message list means both fast paths cleared their floors.
+    An empty message list means every fast path cleared its floor.
     """
     results = fastpath_experiments(build_n=build_n, batch_n=batch_n, seed=seed)
+    results.append(construction_comparison(n_records=construction_n, seed=seed))
     failures: List[str] = []
-    build, batch = results
+    build, batch, construction = results
     build_speedup = build.rows[-1]["speedup"]
     if build_speedup < SMOKE_BUILD_SPEEDUP_FLOOR:
         failures.append(
@@ -198,5 +353,11 @@ def run_smoke(build_n: int = 120, batch_n: int = 60, seed: int = 0) -> tuple[Lis
         failures.append(
             f"execute_batch speedup {batch_speedup:.2f}x below floor "
             f"{SMOKE_BATCH_SPEEDUP_FLOOR:.2f}x at n={batch_n}"
+        )
+    construction_reduction = construction.rows[-1]["physical_reduction"]
+    if construction_reduction < SMOKE_CONSTRUCTION_REDUCTION_FLOOR:
+        failures.append(
+            f"shared-structure physical-hash reduction {construction_reduction:.2f}x "
+            f"below floor {SMOKE_CONSTRUCTION_REDUCTION_FLOOR:.2f}x at n={construction_n}"
         )
     return results, failures

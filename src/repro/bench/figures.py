@@ -15,8 +15,6 @@ from typing import Dict, Optional, Sequence
 
 from repro.attacks.tamper import all_attacks
 from repro.bench.harness import (
-    APPROACHES,
-    ApproachHandle,
     BenchConfig,
     ExperimentResult,
     SystemsUnderTest,

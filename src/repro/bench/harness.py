@@ -20,14 +20,13 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.client import Client
 from repro.core.owner import DataOwner, SIGNATURE_MESH
 from repro.core.queries import AnalyticQuery, KNNQuery, RangeQuery, TopKQuery
 from repro.core.server import Server
 from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
-from repro.metrics.counters import Counters
 from repro.metrics.sizes import SizeModel
 from repro.workloads.generator import (
     WorkloadConfig,

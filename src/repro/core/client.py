@@ -13,7 +13,6 @@ from __future__ import annotations
 import threading
 from typing import Iterable, List, Optional, Union
 
-from repro.core.errors import VerificationError
 from repro.core.owner import PublicParameters, SIGNATURE_MESH
 from repro.core.queries import AnalyticQuery
 from repro.core.results import QueryResult, VerificationReport

@@ -86,6 +86,11 @@ class DataOwner:
         IFMH-only: I-tree construction strategy (``"auto"`` uses the
         vectorized bulk build for the univariate interval configuration and
         the paper's incremental insertion otherwise).
+    hash_consing:
+        IFMH-only: route FMH construction through the shared-structure
+        Merkle engine (interned leaf digests + hash-consed internal nodes).
+        On by default; every hash value and logical counter is bit-identical
+        either way, only the physical SHA-256 work drops.
     engine:
         Geometry engine override.
     rng:
@@ -103,6 +108,7 @@ class DataOwner:
         bind_intersections: bool = True,
         share_signatures: bool = True,
         build_mode: str = "auto",
+        hash_consing: bool = True,
         engine: Optional[SplitEngine] = None,
         rng: Optional[random.Random] = None,
         counters: Optional[Counters] = None,
@@ -129,6 +135,7 @@ class DataOwner:
                 counters=self.counters,
                 bind_intersections=bind_intersections,
                 build_mode=build_mode,
+                hash_consing=hash_consing,
             )
         else:
             self.ads = SignatureMesh(

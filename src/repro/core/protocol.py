@@ -46,6 +46,7 @@ class OutsourcedSystem:
         bind_intersections: bool = True,
         share_signatures: bool = True,
         build_mode: str = "auto",
+        hash_consing: bool = True,
         engine: Optional[SplitEngine] = None,
         rng: Optional[random.Random] = None,
     ) -> "OutsourcedSystem":
@@ -59,6 +60,7 @@ class OutsourcedSystem:
             bind_intersections=bind_intersections,
             share_signatures=share_signatures,
             build_mode=build_mode,
+            hash_consing=hash_consing,
             engine=engine,
             rng=rng,
         )

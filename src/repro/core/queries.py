@@ -10,7 +10,6 @@ in :mod:`repro.queryproc`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.core.errors import InvalidQueryError
 

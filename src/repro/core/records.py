@@ -10,10 +10,9 @@ weight variables.  The template turns every record into a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.crypto.serialization import (
-    encode_float,
     encode_float_vector,
     encode_int,
     encode_sequence,

@@ -10,7 +10,7 @@ passed, which failed and what the verification cost was.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.core.errors import VerificationError
 from repro.core.records import Record

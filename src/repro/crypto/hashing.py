@@ -6,6 +6,27 @@ or client) is routed through a :class:`HashFunction` instance so the number
 of hash operations can be counted exactly -- Fig. 7a of the paper reports
 "number of hashing operations", and the benchmark harness reproduces that
 figure from these counters rather than from estimates.
+
+Counting semantics
+------------------
+The shared-structure construction engine (:mod:`repro.merkle.engine`) can
+satisfy a hash the algorithm asks for from a cache instead of invoking
+SHA-256.  Two counters therefore coexist:
+
+* **logical** operations (:attr:`HashFunction.call_count`,
+  ``Counters.hash_operations``) -- every hash the paper's algorithm
+  *performs*, whether it was computed or served from a cache.  The Fig. 5a
+  and Fig. 7a experiments report this number, so reproduced figures are
+  unchanged by any caching the implementation does.
+* **physical** invocations (:attr:`HashFunction.physical_count`,
+  ``Counters.physical_hash_operations``) -- SHA-256 compressions that
+  actually ran.  The construction benchmark gates its speedup on this
+  number.
+
+:meth:`digest` and :meth:`combine` count one logical *and* one physical
+operation; a cache that answers a request without hashing calls
+:meth:`note_cached` to record the logical operation alone.  Code that never
+touches a cache (all client-side verification) keeps the two counts equal.
 """
 
 from __future__ import annotations
@@ -40,14 +61,21 @@ class HashFunction:
         object with an ``add_hash()`` method).  Every call to :meth:`digest`
         or :meth:`combine` increments it by one, matching the paper's
         definition of a "hashing operation" (one invocation of the one-way
-        hash, however many bytes it consumes).
+        hash, however many bytes it consumes).  If the counter also exposes
+        ``add_physical_hash()``, physical SHA-256 invocations are reported
+        to it as well (cache hits recorded via :meth:`note_cached` are
+        logical-only).
     """
 
     digest_size = DIGEST_SIZE
 
     def __init__(self, counter: Optional[object] = None) -> None:
-        self._counter = counter
+        # The counter's methods are bound once here; swapping a counter in
+        # afterwards is not supported (construct a new HashFunction instead).
+        self._add_hash = counter.add_hash if counter is not None else None
+        self._add_physical = getattr(counter, "add_physical_hash", None)
         self.call_count = 0
+        self.physical_count = 0
 
     # ------------------------------------------------------------------ API
     def digest(self, data: bytes) -> bytes:
@@ -73,15 +101,31 @@ class HashFunction:
         """Hash an iterable of byte strings as a single operation."""
         return self.combine(*items)
 
+    def note_cached(self, count: int = 1) -> None:
+        """Record ``count`` logical hash operations served from a cache.
+
+        The algorithm performed the operations (they appear in
+        ``call_count`` / ``Counters.hash_operations`` exactly as if they had
+        been computed), but no SHA-256 invocation ran, so the physical
+        counters are untouched.
+        """
+        self.call_count += count
+        if self._add_hash is not None:
+            self._add_hash(count)
+
     # ------------------------------------------------------------ internals
     def _count(self) -> None:
         self.call_count += 1
-        if self._counter is not None:
-            self._counter.add_hash()
+        self.physical_count += 1
+        if self._add_hash is not None:
+            self._add_hash()
+            if self._add_physical is not None:
+                self._add_physical()
 
     def reset(self) -> None:
-        """Reset the local call counter (the shared counter is untouched)."""
+        """Reset the local call counters (the shared counter is untouched)."""
         self.call_count = 0
+        self.physical_count = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"HashFunction(calls={self.call_count})"
+        return f"HashFunction(calls={self.call_count}, physical={self.physical_count})"

@@ -25,8 +25,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 import random
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Protocol, runtime_checkable
 
 from repro.crypto.dsa import DSAKeyPair, generate_dsa_keypair

@@ -25,7 +25,7 @@ Two engines implement these primitives:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence, runtime_checkable
+from typing import Optional, Protocol, runtime_checkable
 
 import numpy as np
 

@@ -28,6 +28,7 @@ from repro.crypto.signer import Signer
 from repro.geometry.engine import SplitEngine
 from repro.itree.itree import ITree, SearchTrace
 from repro.itree.nodes import ITreeNode
+from repro.merkle.engine import MerkleBuildEngine
 from repro.merkle.fmh_tree import FMHTree
 from repro.metrics.counters import Counters
 from repro.metrics.sizes import DEFAULT_SIZE_MODEL, SizeModel
@@ -67,6 +68,16 @@ class IFMHTree:
         The default ``"auto"`` picks the vectorized balanced bulk build for
         the univariate interval configuration and falls back to the paper's
         incremental insertion elsewhere (d >= 2, custom engines).
+    hash_consing:
+        Route step 2 through the shared-structure Merkle construction
+        engine (:class:`repro.merkle.engine.MerkleBuildEngine`): record
+        leaf digests are interned once per dataset and internal FMH nodes
+        are hash-consed across subdomains, collapsing the Theta(n^3)
+        physical SHA-256 work of the 1-D configuration toward
+        Theta(n^2 log n).  Every hash value, proof and counter-reported
+        *logical* hash count is bit-identical either way; pass ``False``
+        to force the naive per-subdomain hashing (ablations, property
+        tests).
     """
 
     def __init__(
@@ -81,6 +92,7 @@ class IFMHTree:
         counters: Optional[Counters] = None,
         bind_intersections: bool = True,
         build_mode: str = "auto",
+        hash_consing: bool = True,
     ):
         if mode not in (ONE_SIGNATURE, MULTI_SIGNATURE):
             raise ConstructionError(
@@ -95,7 +107,15 @@ class IFMHTree:
         self.counters = counters or Counters()
         self.hash_function = hash_function or HashFunction(self.counters)
         self.signer = signer
-        self.records_by_id: Dict[int, Record] = {r.record_id: r for r in dataset}
+        self.hash_consing = hash_consing
+        self.records_by_id: Dict[int, Record] = {}
+        for record in dataset:
+            if record.record_id in self.records_by_id:
+                raise ConstructionError(
+                    f"duplicate record id {record.record_id} in dataset; every record "
+                    "must have a unique id for the FMH leaf lists to be well-defined"
+                )
+            self.records_by_id[record.record_id] = record
 
         functions = template.functions_for(dataset)
         self.itree = ITree(
@@ -105,18 +125,33 @@ class IFMHTree:
             counters=self.counters,
             builder=build_mode,
         )
-        self._attach_fmh_trees()
+        engine = MerkleBuildEngine() if hash_consing else None
+        self._attach_fmh_trees(engine)
         self._propagate_hashes()
+        #: Hit/size statistics of the construction engine's tables (``None``
+        #: without hash-consing).  Only the snapshot survives: the tables
+        #: themselves are Theta(n^2 log n) and useless after construction,
+        #: so they are dropped with the engine when this method returns.
+        self.merkle_engine_stats: Optional[Dict[str, int]] = (
+            engine.stats() if engine is not None else None
+        )
         self.root_signature: Optional[bytes] = None
         if signer is not None:
             self._sign(signer)
 
     # ------------------------------------------------------------- step 2
-    def _attach_fmh_trees(self) -> None:
-        """Build one FMH-tree per subdomain leaf over its sorted record list."""
+    def _attach_fmh_trees(self, engine: Optional[MerkleBuildEngine]) -> None:
+        """Build one FMH-tree per subdomain leaf over its sorted record list.
+
+        With hash-consing enabled every tree shares the construction
+        engine's tables, so only structure not seen in any earlier
+        subdomain is physically hashed.
+        """
+        records_by_id = self.records_by_id
+        hash_function = self.hash_function
         for leaf in self.itree.leaves():
-            sorted_records = [self.records_by_id[f.index] for f in leaf.sorted_functions]
-            leaf.fmh_tree = FMHTree(sorted_records, hash_function=self.hash_function)
+            sorted_records = [records_by_id[f.index] for f in leaf.sorted_functions]
+            leaf.fmh_tree = FMHTree(sorted_records, hash_function=hash_function, engine=engine)
             leaf.hash_value = leaf.fmh_tree.root
 
     # ------------------------------------------------------------- step 3

@@ -13,10 +13,13 @@ paper's "invalid" marker) that the IMH-tree construction fills in bottom-up.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 from repro.geometry.domain import Region
 from repro.geometry.functions import Hyperplane, LinearFunction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.merkle.fmh_tree import FMHTree
 
 __all__ = ["ITreeNode"]
 
@@ -36,8 +39,11 @@ class ITreeNode:
     #: Merkle hash, ``None`` until the IMH propagation computes it
     #: (the paper's "0 / invalid" default).
     hash_value: Optional[bytes] = None
-    #: FMH-tree attached to subdomain nodes by the IFMH construction.
-    fmh_tree: object = None
+    #: FMH-tree attached to subdomain nodes by the IFMH construction (step 2).
+    #: Neighbouring subdomains' trees share leaf digests and hash-consed
+    #: internal nodes when built through the shared-structure engine, but
+    #: each leaf still owns an independent ``FMHTree`` view of its list.
+    fmh_tree: Optional["FMHTree"] = None
     #: Lazily cached ``(coefficient_matrix, constant_vector)`` numpy pair over
     #: the sorted functions, filled by :meth:`repro.ifmh.IFMHTree.leaf_scores`
     #: so server-side scoring is a single matvec.

@@ -5,12 +5,17 @@
 * :mod:`repro.merkle.fmh_tree` -- the Function Merkle Hash tree (FMH-tree):
   a Merkle tree over a subdomain's sorted function list bracketed by the
   ``f_min`` / ``f_max`` boundary tokens.
+* :mod:`repro.merkle.engine` -- the shared-structure construction engine
+  (leaf-digest intern pool + hash-consed internal-node cache) that collapses
+  the redundant hashing across the per-subdomain FMH-trees.
 """
 
 from repro.merkle.mh_tree import MerkleTree, MembershipProof, RangeProof
 from repro.merkle.fmh_tree import FMHTree, MIN_TOKEN, MAX_TOKEN, BoundaryEntry
+from repro.merkle.engine import MerkleBuildEngine
 
 __all__ = [
+    "MerkleBuildEngine",
     "MerkleTree",
     "MembershipProof",
     "RangeProof",

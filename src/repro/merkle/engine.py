@@ -1,0 +1,71 @@
+"""Shared-structure Merkle construction engine.
+
+The IFMH construction (paper section 3.1, step 2) builds one FMH-tree per
+subdomain.  Adjacent subdomains of the 1-D arrangement differ by a single
+adjacent transposition of the sorted record list, so their Merkle trees
+share almost every node; across the whole sweep only Theta(n^2 log n) of
+the Theta(n^3) internal nodes are distinct.  The engine exploits that shared
+structure with two tables that persist across every tree of one
+construction:
+
+* a :class:`~repro.crypto.intern_pool.LeafDigestPool` interning each
+  record's canonical bytes and leaf digest (plus the two boundary-token
+  digests, computed exactly once);
+* a hash-consed internal-node cache keyed on ``(left_digest,
+  right_digest)``, consulted by :class:`~repro.merkle.mh_tree.MerkleTree`
+  for every two-child combine.  Carried odd nodes are not hashed at all
+  (the paper's carry rule) and therefore never enter the cache.
+
+The engine changes *which* hashes physically run, never their values: every
+root, proof and verification result is bit-identical with or without it,
+and the logical hash counters (what the paper's figures report) are
+unchanged because cache hits are counted as performed operations (see
+:mod:`repro.crypto.hashing`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.crypto.hashing import HashFunction
+from repro.crypto.intern_pool import LeafDigestPool
+
+__all__ = ["MerkleBuildEngine"]
+
+
+class MerkleBuildEngine:
+    """Leaf intern pool plus hash-consed internal-node cache.
+
+    One engine instance is created per ADS construction and threaded
+    through every :class:`~repro.merkle.fmh_tree.FMHTree` built for it; the
+    tables are shared so structure discovered while building one subdomain's
+    tree is reused by every later subdomain.
+    """
+
+    __slots__ = ("leaf_pool", "node_cache")
+
+    def __init__(self) -> None:
+        self.leaf_pool = LeafDigestPool()
+        #: ``(left_digest, right_digest) -> parent_digest``; keys are full
+        #: 32-byte SHA-256 digests, so (absent collisions) consing is exact.
+        self.node_cache: Dict[Tuple[bytes, bytes], bytes] = {}
+
+    # ------------------------------------------------------------------ API
+    def leaf_digest(self, item: object, hash_function: HashFunction) -> bytes:
+        """Interned leaf digest of an item (see :class:`LeafDigestPool`)."""
+        return self.leaf_pool.item_digest(item, hash_function)
+
+    def token_digest(self, token: bytes, hash_function: HashFunction) -> bytes:
+        """Interned digest of a boundary token, computed exactly once."""
+        return self.leaf_pool.token_digest(token, hash_function)
+
+    # ------------------------------------------------------------ accessors
+    def stats(self) -> Dict[str, int]:
+        """Table sizes and pool hit rates for benchmark reporting."""
+        pool = self.leaf_pool.stats()
+        return {
+            "leaf_pool_entries": pool["entries"],
+            "leaf_pool_hits": pool["hits"],
+            "leaf_pool_misses": pool["misses"],
+            "distinct_internal_nodes": len(self.node_cache),
+        }

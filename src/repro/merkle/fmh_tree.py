@@ -21,11 +21,14 @@ window plus its two boundary leaves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.crypto.hashing import HashFunction
 from repro.merkle.mh_tree import MerkleTree, RangeProof
 from repro.queryproc.window import ResultWindow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.merkle.engine import MerkleBuildEngine
 
 __all__ = ["FMHTree", "MIN_TOKEN", "MAX_TOKEN", "BoundaryEntry", "Hashable"]
 
@@ -76,19 +79,45 @@ class BoundaryEntry:
 
 
 class FMHTree:
-    """Merkle tree over ``[f_min] + sorted items + [f_max]``."""
+    """Merkle tree over ``[f_min] + sorted items + [f_max]``.
+
+    Parameters
+    ----------
+    sorted_items:
+        The subdomain's sorted function/record list.
+    hash_function:
+        Counting SHA-256 wrapper (a fresh uncounted one by default).
+    engine:
+        Optional shared-structure construction engine
+        (:class:`repro.merkle.engine.MerkleBuildEngine`).  When given, leaf
+        digests are interned in the engine's pool and internal nodes are
+        hash-consed across every tree built with the same engine; the
+        resulting tree (root, levels, proofs) is bit-identical either way.
+    """
 
     def __init__(
         self,
         sorted_items: Sequence[Hashable],
         hash_function: Optional[HashFunction] = None,
+        engine: Optional["MerkleBuildEngine"] = None,
     ):
         self._hash = hash_function or HashFunction()
         self.sorted_items = list(sorted_items)
-        leaf_hashes = [self._hash.digest(MIN_TOKEN)]
-        leaf_hashes.extend(self._hash.digest(item.to_bytes()) for item in self.sorted_items)
-        leaf_hashes.append(self._hash.digest(MAX_TOKEN))
-        self.tree = MerkleTree(leaf_hashes, hash_function=self._hash)
+        if engine is None:
+            leaf_hashes = [self._hash.digest(MIN_TOKEN)]
+            leaf_hashes.extend(self._hash.digest(item.to_bytes()) for item in self.sorted_items)
+            leaf_hashes.append(self._hash.digest(MAX_TOKEN))
+            self.tree = MerkleTree(leaf_hashes, hash_function=self._hash)
+        else:
+            hash_function = self._hash
+            leaf_hashes = [engine.token_digest(MIN_TOKEN, hash_function)]
+            leaf_hashes.extend(
+                engine.leaf_digest(item, hash_function) for item in self.sorted_items
+            )
+            leaf_hashes.append(engine.token_digest(MAX_TOKEN, hash_function))
+            self.tree = MerkleTree(
+                leaf_hashes, hash_function=hash_function, node_cache=engine.node_cache
+            )
 
     # ------------------------------------------------------------ accessors
     @property
@@ -153,6 +182,12 @@ class FMHTree:
         itself; only off-range hashes come from the proof.  Any substituted,
         dropped or reordered item therefore changes the recomputed root.
         """
+        if left.leaf_index != proof.start or right.leaf_index != proof.end:
+            raise ValueError(
+                f"window boundaries sit at leaves ({left.leaf_index}, {right.leaf_index}) "
+                f"but the range proof covers leaves [{proof.start}, {proof.end}]: "
+                "the proof does not anchor this window"
+            )
         hashes = hash_function or HashFunction()
         leaf_hashes = [hashes.digest(left.leaf_bytes())]
         leaf_hashes.extend(hashes.digest(item.to_bytes()) for item in result_items)

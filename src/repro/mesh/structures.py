@@ -8,7 +8,6 @@ from typing import Optional, Sequence
 from repro.core.records import Record
 from repro.crypto.serialization import (
     encode_float,
-    encode_int,
     encode_sequence,
     encode_str,
 )

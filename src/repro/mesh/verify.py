@@ -26,7 +26,6 @@ from repro.core.records import UtilityTemplate
 from repro.core.results import QueryResult, VerificationReport
 from repro.crypto.hashing import HashFunction
 from repro.crypto.signer import Verifier
-from repro.merkle.fmh_tree import MAX_TOKEN, MIN_TOKEN
 from repro.mesh.structures import MeshVerificationObject
 from repro.metrics.counters import Counters
 

@@ -15,8 +15,8 @@ important knob is the template *dimension*:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.core.queries import AnalyticQuery, KNNQuery, RangeQuery, TopKQuery
 from repro.core.records import Dataset, UtilityTemplate

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.attacks.tamper import ATTACK_REGISTRY, Attack, all_attacks
+from repro.attacks.tamper import ATTACK_REGISTRY, all_attacks
 from repro.core.protocol import OutsourcedSystem
 from repro.core.queries import RangeQuery, TopKQuery
 from repro.core.results import QueryResult

@@ -37,5 +37,5 @@ def test_batch_execution_beats_per_query_throughput():
 def test_smoke_gate_passes():
     """The CI smoke target (python -m repro.bench --smoke) must be green."""
     results, failures = run_smoke()
-    assert len(results) == 2
+    assert len(results) == 3
     assert failures == []

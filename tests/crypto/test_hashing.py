@@ -2,8 +2,6 @@
 
 import hashlib
 
-import pytest
-
 from repro.crypto.hashing import DIGEST_SIZE, HashFunction, sha256, sha256_hex
 from repro.metrics.counters import Counters
 
@@ -77,3 +75,49 @@ def test_shared_counter_receives_hash_operations():
 def test_counter_not_required():
     h = HashFunction(None)
     assert isinstance(h.digest(b"x"), bytes)
+
+
+def test_physical_count_tracks_real_invocations():
+    counters = Counters()
+    h = HashFunction(counters)
+    h.digest(b"x")
+    h.combine(b"a", b"b")
+    assert h.physical_count == 2
+    assert counters.physical_hash_operations == 2
+
+
+def test_note_cached_is_logical_only():
+    counters = Counters()
+    h = HashFunction(counters)
+    h.digest(b"x")
+    h.note_cached()
+    h.note_cached(3)
+    assert h.call_count == 5
+    assert h.physical_count == 1
+    assert counters.hash_operations == 5
+    assert counters.physical_hash_operations == 1
+
+
+def test_reset_clears_physical_count():
+    h = HashFunction()
+    h.digest(b"x")
+    h.note_cached()
+    h.reset()
+    assert h.call_count == 0
+    assert h.physical_count == 0
+
+
+def test_counter_without_physical_method_still_works():
+    class HashOnly:
+        def __init__(self):
+            self.hashes = 0
+
+        def add_hash(self, count: int = 1):
+            self.hashes += count
+
+    counter = HashOnly()
+    h = HashFunction(counter)
+    h.digest(b"x")
+    h.note_cached()
+    assert counter.hashes == 2
+    assert h.physical_count == 1

@@ -1,0 +1,68 @@
+"""Tests for the leaf-digest intern pool."""
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import HashFunction, sha256
+from repro.crypto.intern_pool import LeafDigestPool
+from repro.merkle.fmh_tree import MAX_TOKEN, MIN_TOKEN
+from repro.metrics.counters import Counters
+
+
+@dataclass(frozen=True)
+class Item:
+    payload: bytes
+    encodings: list = None
+
+    def to_bytes(self) -> bytes:
+        if self.encodings is not None:
+            self.encodings.append(self.payload)
+        return self.payload
+
+
+def test_item_digest_matches_direct_hash():
+    pool = LeafDigestPool()
+    item = Item(b"record-bytes")
+    assert pool.item_digest(item, HashFunction()) == sha256(b"record-bytes")
+
+
+def test_item_encoded_and_hashed_once_per_object():
+    encodings = []
+    item = Item(b"payload", encodings)
+    pool = LeafDigestPool()
+    h = HashFunction()
+    first = pool.item_digest(item, h)
+    for _ in range(5):
+        assert pool.item_digest(item, h) == first
+    assert encodings == [b"payload"]  # to_bytes ran exactly once
+    assert h.physical_count == 1
+    assert h.call_count == 6  # every request is a logical operation
+    assert pool.hits == 5 and pool.misses == 1
+
+
+def test_distinct_objects_with_equal_bytes_get_equal_digests():
+    pool = LeafDigestPool()
+    h = HashFunction()
+    a, b = Item(b"same"), Item(b"same")
+    assert pool.item_digest(a, h) == pool.item_digest(b, h)
+    assert h.physical_count == 2  # identity-keyed: each object encoded once
+
+
+def test_token_digests_computed_exactly_once():
+    pool = LeafDigestPool()
+    counters = Counters()
+    h = HashFunction(counters)
+    for _ in range(4):
+        assert pool.token_digest(MIN_TOKEN, h) == sha256(MIN_TOKEN)
+        assert pool.token_digest(MAX_TOKEN, h) == sha256(MAX_TOKEN)
+    assert counters.physical_hash_operations == 2
+    assert counters.hash_operations == 8
+
+
+def test_len_and_stats():
+    pool = LeafDigestPool()
+    h = HashFunction()
+    pool.token_digest(MIN_TOKEN, h)
+    pool.item_digest(Item(b"x"), h)
+    pool.item_digest(Item(b"y"), h)
+    assert len(pool) == 3
+    assert pool.stats() == {"entries": 3, "hits": 0, "misses": 3}

@@ -1,8 +1,5 @@
 """Tests for the canonical byte encodings."""
 
-import math
-
-import pytest
 
 from repro.crypto.serialization import (
     encode_bytes,

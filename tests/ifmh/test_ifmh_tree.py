@@ -75,7 +75,7 @@ def test_multi_signature_digest_binds_constraints_and_root(multi_sig_tree, hmac_
     digest = multi_sig_tree.subdomain_digest(leaf)
     assert hmac_keypair.verifier.verify(digest, leaf.signature)
     # A different subdomain's signature does not verify for this digest.
-    other = [l for l in multi_sig_tree.itree.leaves() if l is not leaf][0]
+    other = [node for node in multi_sig_tree.itree.leaves() if node is not leaf][0]
     assert not hmac_keypair.verifier.verify(digest, other.signature)
 
 

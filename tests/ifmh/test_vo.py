@@ -4,9 +4,6 @@ import pytest
 
 from repro.ifmh.ifmh_tree import IFMHTree, MULTI_SIGNATURE, ONE_SIGNATURE
 from repro.ifmh.vo import (
-    FunctionVO,
-    MultiSignatureIV,
-    OneSignatureIV,
     VerificationObject,
     build_verification_object,
 )

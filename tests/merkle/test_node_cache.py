@@ -1,0 +1,105 @@
+"""The hash-consed node cache must never change what a MerkleTree computes.
+
+The shared-structure engine serves internal nodes from a ``(left, right)``
+-> parent table shared across trees.  These tests pin the contract: for any
+leaf multiset -- including every odd-carry shape from 1 to 17 leaves --
+cached and uncached builds produce identical roots, levels, membership
+proofs and range proofs, identical *logical* hash counts, and strictly
+fewer physical SHA-256 invocations once the cache is warm.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import HashFunction
+from repro.merkle.mh_tree import MerkleTree
+from repro.metrics.counters import Counters
+
+
+def _leaves(count):
+    return [hashlib.sha256(bytes([i])).digest() for i in range(count)]
+
+
+@pytest.mark.parametrize("count", list(range(1, 18)))
+def test_cached_build_is_bit_identical(count):
+    """Roots, levels and all proofs match the uncached build for 1..17 leaves."""
+    leaves = _leaves(count)
+    plain = MerkleTree(leaves)
+    cached = MerkleTree(leaves, node_cache={})
+    assert cached.root == plain.root
+    assert cached.levels == plain.levels
+    for index in range(count):
+        assert cached.membership_proof(index) == plain.membership_proof(index)
+    for start in range(count):
+        for end in range(start, count):
+            assert cached.range_proof(start, end) == plain.range_proof(start, end)
+
+
+@pytest.mark.parametrize("count", list(range(1, 18)))
+def test_cached_build_logical_count_unchanged(count):
+    """Cache hits still count as logical operations (figure counters stable)."""
+    plain_counters, warm_counters = Counters(), Counters()
+    leaves = _leaves(count)
+    MerkleTree(leaves, hash_function=HashFunction(plain_counters))
+    cache = {}
+    MerkleTree(leaves, hash_function=HashFunction(Counters()), node_cache=cache)
+    MerkleTree(leaves, hash_function=HashFunction(warm_counters), node_cache=cache)
+    assert warm_counters.hash_operations == plain_counters.hash_operations
+    # A warm cache answers every internal node without hashing.
+    assert warm_counters.physical_hash_operations == 0
+
+
+def test_warm_cache_skips_physical_hashing_for_shared_structure():
+    """Two trees differing in one leaf share all but one path's nodes."""
+    leaves = _leaves(16)
+    cache = {}
+    first = HashFunction()
+    MerkleTree(leaves, hash_function=first, node_cache=cache)
+    assert first.physical_count == 15  # cold cache computes every internal node
+
+    changed = list(leaves)
+    changed[7] = hashlib.sha256(b"changed").digest()
+    second = HashFunction()
+    tree = MerkleTree(changed, hash_function=second, node_cache=cache)
+    # Only the log2(16) = 4 nodes on the changed leaf's path are new.
+    assert second.physical_count == 4
+    assert second.call_count == 15
+    assert tree.root == MerkleTree(changed).root
+
+
+def test_carried_nodes_never_enter_the_cache():
+    """Odd-carry nodes are not hashed, so they must not be hash-consed."""
+    cache = {}
+    leaves = _leaves(5)
+    tree = MerkleTree(leaves, node_cache=cache)
+    # 5 leaves: levels 5-3-2-1 with carries at levels 0 and 1 -> 4 combines.
+    assert len(cache) == 4
+    assert tree.root == MerkleTree(leaves).root
+
+
+leaf_sets = st.lists(st.binary(min_size=0, max_size=8), min_size=1, max_size=40).map(
+    lambda blobs: [hashlib.sha256(blob).digest() for blob in blobs]
+)
+
+
+@given(leaves=leaf_sets, other=leaf_sets)
+@settings(max_examples=80, deadline=None)
+def test_property_shared_cache_never_changes_roots_or_counts(leaves, other):
+    """A cache shared across arbitrary trees is invisible to results.
+
+    Builds two unrelated trees through one cache (duplicated leaves,
+    adversarial sizes, shared subtrees between the two) and checks both
+    against fresh uncached builds, including the logical-count invariant.
+    """
+    cache = {}
+    for leaf_hashes in (leaves, other, leaves):
+        cached_hash = HashFunction()
+        cached = MerkleTree(leaf_hashes, hash_function=cached_hash, node_cache=cache)
+        plain_hash = HashFunction()
+        plain = MerkleTree(leaf_hashes, hash_function=plain_hash)
+        assert cached.root == plain.root
+        assert cached.levels == plain.levels
+        assert cached_hash.call_count == plain_hash.call_count
+        assert cached_hash.physical_count <= plain_hash.physical_count

@@ -8,6 +8,7 @@ def test_counters_start_at_zero():
     assert counters.snapshot() == {
         "nodes_traversed": 0,
         "hash_operations": 0,
+        "physical_hash_operations": 0,
         "signatures_created": 0,
         "signatures_verified": 0,
         "comparisons": 0,
@@ -27,6 +28,26 @@ def test_add_methods_increment():
     assert counters.signatures_created == 2
     assert counters.signatures_verified == 1
     assert counters.comparisons == 5
+
+
+def test_physical_hash_counter_tracks_separately():
+    counters = Counters()
+    counters.add_hash(5)
+    counters.add_physical_hash(2)
+    assert counters.hash_operations == 5
+    assert counters.physical_hash_operations == 2
+    assert counters.snapshot()["physical_hash_operations"] == 2
+    diff = counters - Counters(physical_hash_operations=1)
+    assert diff.physical_hash_operations == 1
+    clone = counters.copy()
+    clone.add_physical_hash()
+    assert counters.physical_hash_operations == 2
+    assert clone.physical_hash_operations == 3
+    merged = Counters()
+    merged.merge(counters)
+    assert merged.physical_hash_operations == 2
+    counters.reset()
+    assert counters.physical_hash_operations == 0
 
 
 def test_extra_counters():

@@ -1,7 +1,5 @@
 """Property-based end-to-end tests: honest answers always verify, across schemes."""
 
-import random
-
 from hypothesis import given, settings, strategies as st
 
 from repro.core.protocol import OutsourcedSystem

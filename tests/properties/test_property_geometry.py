@@ -1,7 +1,5 @@
 """Property-based tests for the arrangement and I-tree (function sortability)."""
 
-import random
-
 from hypothesis import given, settings, strategies as st
 
 from repro.geometry.arrangement import build_arrangement
