@@ -9,6 +9,9 @@ Usage::
     python -m repro.bench --fastpath      # full fast-path benchmark (n = 200)
     python -m repro.bench --construction  # shared-structure hashing benchmark
                                           # (sweeps n, writes BENCH_construction.json)
+    python -m repro.bench --scale         # thousand-record construction benchmark
+                                          # (sweeps n, writes BENCH_scale.json)
+    python -m repro.bench --scale --smoke # reduced-n scale gate (CI)
 """
 
 from __future__ import annotations
@@ -26,6 +29,12 @@ from repro.bench.fastpath import (
 from repro.bench.figures import all_experiments
 from repro.bench.harness import BenchConfig
 from repro.bench.reporting import render_results
+from repro.bench.scale import (
+    SCALE_REPORT_FILENAME,
+    SMOKE_SCALE_REPORT_FILENAME,
+    run_scale,
+    run_scale_smoke,
+)
 
 
 def _parse_args(argv: list[str]) -> argparse.Namespace:
@@ -72,6 +81,14 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         f"Merkle engine on vs off, n sweep up to 200) and write {CONSTRUCTION_REPORT_FILENAME}; "
         "exit 1 if the physical-hash reduction misses its floor",
     )
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="run the thousand-record construction benchmark (level-order batched "
+        f"engine vs node-at-a-time, n sweep up to 2000) and write {SCALE_REPORT_FILENAME}; "
+        "exit 1 if the wall-clock speedup misses its floor; combine with --smoke for "
+        f"the reduced-n CI gate (writes {SMOKE_SCALE_REPORT_FILENAME})",
+    )
     return parser.parse_args(argv)
 
 
@@ -107,13 +124,15 @@ def main(argv: list[str] | None = None) -> int:
             ("--smoke", args.smoke),
             ("--fastpath", args.fastpath),
             ("--construction", args.construction),
+            ("--scale", args.scale),
         )
         if given
     ]
-    if len(exclusive) > 1:
+    if len(exclusive) > 1 and exclusive != ["--smoke", "--scale"]:
+        # --scale --smoke is the one legal combination: the reduced-n scale gate.
         print(f"error: {' and '.join(exclusive)} are mutually exclusive")
         return 2
-    if args.smoke or args.fastpath or args.construction:
+    if args.smoke or args.fastpath or args.construction or args.scale:
         ignored = [
             flag
             for flag, given in (
@@ -133,6 +152,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {mode} runs a fixed workload; {', '.join(ignored)} would be ignored")
             return 2
     started = time.perf_counter()
+    if args.scale:
+        if args.smoke:
+            results, failures = run_scale_smoke(seed=args.seed)
+            report = SMOKE_SCALE_REPORT_FILENAME
+        else:
+            results, failures = run_scale(seed=args.seed)
+            report = SCALE_REPORT_FILENAME
+        print(render_results(results))
+        elapsed = time.perf_counter() - started
+        for failure in failures:
+            print(f"SCALE REGRESSION: {failure}")
+        print(f"wrote scale trajectory to {report}")
+        print(f"\ncompleted scale benchmark in {elapsed:.1f}s")
+        return 1 if failures else 0
     if args.smoke:
         results, failures = run_smoke(seed=args.seed)
         print(render_results(results))

@@ -12,7 +12,9 @@ pure-Python reproduction sweeps smaller ``n`` (tens to low hundreds) by
 default.  Every experiment takes its scale from a :class:`BenchConfig`, so
 larger sweeps are one argument away; the qualitative shapes reported in
 ``EXPERIMENTS.md`` are scale-invariant (they follow from the complexity
-analysis in section 4.2 of the paper).
+analysis in section 4.2 of the paper).  Thousand-record IFMH construction
+itself is benchmarked separately by ``python -m repro.bench --scale``
+(level-order batched engine, see ``docs/scaling.md``).
 """
 
 from __future__ import annotations

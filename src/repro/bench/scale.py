@@ -1,0 +1,214 @@
+"""Thousand-record-scale construction benchmark (``--scale``).
+
+The paper's construction experiments (Fig. 5a/7a) stop at small ``n``
+because the pure-Python reproduction was bottlenecked first on redundant
+SHA-256 work (removed by the PR 2 shared-structure engine) and then on
+per-node Python overhead (removed by the level-order batched arena build).
+This benchmark sweeps the IFMH construction into the thousands and gates
+the batched engine's wall-clock speedup over the node-at-a-time engine.
+
+``python -m repro.bench --scale`` runs the full sweep (n up to 2000; the
+node-at-a-time comparison is capped at n = 1000, where one naive-engine
+build already takes minutes) and writes ``BENCH_scale.json``;
+``python -m repro.bench --scale --smoke`` runs a reduced-n version of the
+same gate for CI.  All timings are best-of-``repeats`` with a forced
+``gc.collect()`` before every run, so a scheduler hiccup or GC pause on a
+loaded machine cannot flip a gate.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.fastpath import best_ifmh_build
+from repro.bench.harness import ExperimentResult
+from repro.workloads.generator import WorkloadConfig, make_dataset, make_template
+
+__all__ = [
+    "SCALE_N_VALUES",
+    "SCALE_COMPARE_MAX_N",
+    "SCALE_SPEEDUP_FLOOR",
+    "SCALE_REPEATS",
+    "SCALE_REPORT_FILENAME",
+    "SMOKE_SCALE_N_VALUES",
+    "SMOKE_SCALE_SPEEDUP_FLOOR",
+    "SMOKE_SCALE_REPORT_FILENAME",
+    "scale_point",
+    "run_scale",
+    "run_scale_smoke",
+]
+
+#: Database sizes of the full ``--scale`` sweep.
+SCALE_N_VALUES = (500, 1000, 2000)
+#: Largest n at which the node-at-a-time engine is also built for the
+#: speedup comparison; beyond it only the batched engine runs (a single
+#: node-at-a-time build at n = 2000 takes tens of minutes).
+SCALE_COMPARE_MAX_N = 1000
+#: Wall-clock construction speedup the batched engine must clear at the
+#: largest compared n (the acceptance gate: >= 3x at n = 1000).
+SCALE_SPEEDUP_FLOOR = 3.0
+#: Best-of-``SCALE_REPEATS`` timing with ``gc.collect()`` between runs.
+SCALE_REPEATS = 3
+#: Where ``python -m repro.bench --scale`` records its trajectory.
+SCALE_REPORT_FILENAME = "BENCH_scale.json"
+
+#: Reduced-n configuration used by ``--scale --smoke`` (CI).
+SMOKE_SCALE_N_VALUES = (120, 240)
+SMOKE_SCALE_SPEEDUP_FLOOR = 1.5
+SMOKE_SCALE_REPORT_FILENAME = "BENCH_scale_smoke.json"
+
+
+def scale_point(
+    n_records: int,
+    seed: int = 0,
+    repeats: int = SCALE_REPEATS,
+    compare: bool = True,
+) -> Dict[str, object]:
+    """One sweep point: batched engine, optionally vs node-at-a-time.
+
+    When ``compare`` is set, the node-at-a-time engine (PR 2,
+    ``batch_hashing=False``) is built on the same workload and the root
+    hash and logical hash counter are asserted bit-identical -- the
+    speedup must never come from computing something else.
+    """
+    workload = WorkloadConfig(n_records=n_records, dimension=1, seed=seed)
+    dataset = make_dataset(workload)
+    template = make_template(workload)
+
+    batched_seconds, batched_tree, batched_counters = best_ifmh_build(
+        dataset, template, repeats, hash_consing=True, batch_hashing=True
+    )
+    point: Dict[str, object] = {
+        "n": n_records,
+        "subdomains": batched_tree.subdomain_count,
+        "logical_hashes": batched_counters.hash_operations,
+        "batched": {
+            "build_seconds": batched_seconds,
+            "physical_hashes": batched_counters.physical_hash_operations,
+        },
+        "engine_stats": batched_tree.merkle_engine_stats,
+        "node_engine": None,
+        "speedup": None,
+    }
+    if compare:
+        batched_root = batched_tree.root_hash
+        del batched_tree
+        node_seconds, node_tree, node_counters = best_ifmh_build(
+            dataset, template, repeats, hash_consing=True, batch_hashing=False
+        )
+        if node_tree.root_hash != batched_root:  # pragma: no cover - correctness guard
+            raise AssertionError("batched engine changed the IFMH root hash")
+        if node_counters.hash_operations != batched_counters.hash_operations:
+            raise AssertionError(  # pragma: no cover - correctness guard
+                "batched engine changed the logical hash count"
+            )
+        point["node_engine"] = {
+            "build_seconds": node_seconds,
+            "physical_hashes": node_counters.physical_hash_operations,
+        }
+        point["speedup"] = node_seconds / batched_seconds
+        del node_tree
+    else:
+        del batched_tree
+    gc.collect()
+    return point
+
+
+def run_scale(
+    n_values: Sequence[int] = SCALE_N_VALUES,
+    seed: int = 0,
+    repeats: int = SCALE_REPEATS,
+    compare_max_n: int = SCALE_COMPARE_MAX_N,
+    speedup_floor: float = SCALE_SPEEDUP_FLOOR,
+    output_path: Optional[str] = SCALE_REPORT_FILENAME,
+) -> Tuple[List[ExperimentResult], List[str]]:
+    """Sweep the scale benchmark and gate the batched engine's speedup.
+
+    Returns ``(results, failures)``; an empty failure list means the
+    largest compared scale cleared ``speedup_floor``.  When ``output_path``
+    is set the trajectory is written there as JSON.
+    """
+    result = ExperimentResult(
+        experiment_id="scale-construction",
+        title="IFMH construction at scale: node-at-a-time vs level-order batched engine",
+        parameters={"seed": seed, "repeats": repeats, "floor": speedup_floor},
+        columns=(
+            "n",
+            "engine",
+            "build_seconds",
+            "speedup",
+            "logical_hashes",
+            "physical_hashes",
+            "subdomains",
+        ),
+    )
+    trajectory: List[Dict[str, object]] = []
+    for n_records in n_values:
+        point = scale_point(
+            n_records, seed=seed, repeats=repeats, compare=n_records <= compare_max_n
+        )
+        trajectory.append(point)
+        node = point["node_engine"]
+        if node is not None:
+            result.add_row(
+                n=n_records,
+                engine="node-at-a-time",
+                build_seconds=node["build_seconds"],
+                speedup=1.0,
+                logical_hashes=point["logical_hashes"],
+                physical_hashes=node["physical_hashes"],
+                subdomains=point["subdomains"],
+            )
+        batched = point["batched"]
+        result.add_row(
+            n=n_records,
+            engine="batched",
+            build_seconds=batched["build_seconds"],
+            speedup=point["speedup"] if point["speedup"] is not None else float("nan"),
+            logical_hashes=point["logical_hashes"],
+            physical_hashes=batched["physical_hashes"],
+            subdomains=point["subdomains"],
+        )
+
+    compared = [point for point in trajectory if point["speedup"] is not None]
+    failures: List[str] = []
+    headline: Optional[Dict[str, object]] = None
+    if not compared:
+        failures.append("no sweep point ran the node-at-a-time comparison; nothing to gate")
+    else:
+        headline = compared[-1]
+        if headline["speedup"] < speedup_floor:
+            failures.append(
+                f"batched engine sped construction up only {headline['speedup']:.2f}x "
+                f"at n={headline['n']} (floor {speedup_floor:.2f}x)"
+            )
+    if output_path is not None:
+        payload = {
+            "benchmark": "ifmh-construction-scale",
+            "seed": seed,
+            "repeats": repeats,
+            "floor": speedup_floor,
+            "headline_n": headline["n"] if headline else None,
+            "headline_speedup": headline["speedup"] if headline else None,
+            "trajectory": trajectory,
+        }
+        with open(output_path, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+    return [result], failures
+
+
+def run_scale_smoke(
+    seed: int = 0, output_path: Optional[str] = SMOKE_SCALE_REPORT_FILENAME
+) -> Tuple[List[ExperimentResult], List[str]]:
+    """Reduced-n scale gate for CI (same code path, minutes -> seconds)."""
+    return run_scale(
+        n_values=SMOKE_SCALE_N_VALUES,
+        seed=seed,
+        repeats=SCALE_REPEATS,
+        compare_max_n=max(SMOKE_SCALE_N_VALUES),
+        speedup_floor=SMOKE_SCALE_SPEEDUP_FLOOR,
+        output_path=output_path,
+    )

@@ -91,6 +91,11 @@ class DataOwner:
         Merkle engine (interned leaf digests + hash-consed internal nodes).
         On by default; every hash value and logical counter is bit-identical
         either way, only the physical SHA-256 work drops.
+    batch_hashing:
+        IFMH-only: advance the shared-structure construction level by
+        level across all subdomain trees at once (array-backed arena +
+        bulk hashing).  On by default; bit-identical to the node-at-a-time
+        engine, only faster.  Requires ``hash_consing``.
     engine:
         Geometry engine override.
     rng:
@@ -109,6 +114,7 @@ class DataOwner:
         share_signatures: bool = True,
         build_mode: str = "auto",
         hash_consing: bool = True,
+        batch_hashing: bool = True,
         engine: Optional[SplitEngine] = None,
         rng: Optional[random.Random] = None,
         counters: Optional[Counters] = None,
@@ -136,6 +142,7 @@ class DataOwner:
                 bind_intersections=bind_intersections,
                 build_mode=build_mode,
                 hash_consing=hash_consing,
+                batch_hashing=batch_hashing,
             )
         else:
             self.ads = SignatureMesh(

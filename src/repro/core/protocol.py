@@ -47,6 +47,7 @@ class OutsourcedSystem:
         share_signatures: bool = True,
         build_mode: str = "auto",
         hash_consing: bool = True,
+        batch_hashing: bool = True,
         engine: Optional[SplitEngine] = None,
         rng: Optional[random.Random] = None,
     ) -> "OutsourcedSystem":
@@ -61,6 +62,7 @@ class OutsourcedSystem:
             share_signatures=share_signatures,
             build_mode=build_mode,
             hash_consing=hash_consing,
+            batch_hashing=batch_hashing,
             engine=engine,
             rng=rng,
         )

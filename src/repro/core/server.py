@@ -157,10 +157,12 @@ class Server:
         """Window selection, record lookup and VO construction for one query."""
         leaf = trace.leaf
         window = select_window(query, scores)
-        records = [
-            tree.records_by_id[leaf.sorted_functions[position].index]
-            for position in window.indices()
-        ]
+        # The FMH-tree's sorted_items sequence is the subdomain's record
+        # list in sorted order (a lazy view over the shared permutation
+        # array on the batched path) -- the same objects the per-function
+        # records_by_id lookup would return, minus one indirection.
+        sorted_records = leaf.fmh_tree.sorted_items
+        records = [sorted_records[position] for position in window.indices()]
         vo = build_verification_object(tree, trace, window, counters=counters)
         return QueryResult(records=tuple(records)), vo
 

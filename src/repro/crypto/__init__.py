@@ -22,7 +22,7 @@ has no external crypto dependency:
   functions and subdomains so digests are stable across processes.
 """
 
-from repro.crypto.hashing import HashFunction, sha256_hex, sha256
+from repro.crypto.hashing import HashFunction, sha256_hex, sha256, sha256_many
 from repro.crypto.intern_pool import LeafDigestPool
 from repro.crypto.primes import is_probable_prime, generate_prime
 from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, RSAPrivateKey, generate_rsa_keypair
@@ -49,6 +49,7 @@ __all__ = [
     "LeafDigestPool",
     "sha256_hex",
     "sha256",
+    "sha256_many",
     "is_probable_prime",
     "generate_prime",
     "RSAKeyPair",

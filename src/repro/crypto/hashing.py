@@ -32,9 +32,9 @@ touches a cache (all client-side verification) keeps the two counts equal.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Sequence
 
-__all__ = ["HashFunction", "sha256", "sha256_hex", "DIGEST_SIZE"]
+__all__ = ["HashFunction", "sha256", "sha256_hex", "sha256_many", "DIGEST_SIZE"]
 
 #: Size in bytes of a SHA-256 digest.  Used by the size accounting in
 #: :mod:`repro.metrics.sizes`.
@@ -49,6 +49,21 @@ def sha256(data: bytes) -> bytes:
 def sha256_hex(data: bytes) -> str:
     """Return the hexadecimal SHA-256 digest of ``data``."""
     return hashlib.sha256(data).hexdigest()
+
+
+def sha256_many(preimages: Iterable[bytes]) -> List[bytes]:
+    """Digest every preimage in one tight pass.
+
+    This is the bulk-hashing primitive behind the level-order batched
+    Merkle construction (:mod:`repro.merkle.arena`): the caller gathers all
+    uncached preimages of one tree level into a contiguous buffer and hands
+    the row slices here, so the per-hash Python overhead is one loop
+    iteration instead of a counting-wrapper method call per node.  Accepts
+    any iterable of buffer-like objects (``bytes``, ``memoryview`` slices,
+    numpy rows).
+    """
+    _sha256 = hashlib.sha256
+    return [_sha256(preimage).digest() for preimage in preimages]
 
 
 class HashFunction:
@@ -100,6 +115,25 @@ class HashFunction:
     def digest_many(self, items: Iterable[bytes]) -> bytes:
         """Hash an iterable of byte strings as a single operation."""
         return self.combine(*items)
+
+    def digest_batch(self, preimages: Sequence[bytes]) -> List[bytes]:
+        """Hash many independent preimages in one bulk pass.
+
+        Each preimage is one logical *and* one physical operation, exactly
+        as if :meth:`digest` had been called once per entry; only the
+        per-call counting overhead is amortized (one counter update for the
+        whole batch).  Used by the level-order batched Merkle construction.
+        """
+        digests = sha256_many(preimages)
+        count = len(digests)
+        if count:
+            self.call_count += count
+            self.physical_count += count
+            if self._add_hash is not None:
+                self._add_hash(count)
+                if self._add_physical is not None:
+                    self._add_physical(count)
+        return digests
 
     def note_cached(self, count: int = 1) -> None:
         """Record ``count`` logical hash operations served from a cache.

@@ -11,5 +11,14 @@ vector follows one root-to-leaf path.
 
 from repro.itree.nodes import ITreeNode
 from repro.itree.itree import BUILDERS, ITree, SearchStep, SearchTrace
+from repro.itree.permutation import PermutedView, SharedFunctionOrder
 
-__all__ = ["BUILDERS", "ITreeNode", "ITree", "SearchStep", "SearchTrace"]
+__all__ = [
+    "BUILDERS",
+    "ITreeNode",
+    "ITree",
+    "SearchStep",
+    "SearchTrace",
+    "PermutedView",
+    "SharedFunctionOrder",
+]

@@ -43,6 +43,7 @@ from repro.geometry.engine import IntervalEngine, SplitEngine, make_engine
 from repro.geometry.functions import COEFFICIENT_TOLERANCE, Hyperplane, LinearFunction
 from repro.geometry.sorting import sort_functions_at
 from repro.itree.nodes import ITreeNode
+from repro.itree.permutation import SharedFunctionOrder
 from repro.metrics.counters import Counters
 
 __all__ = ["ITree", "SearchStep", "SearchTrace", "BUILDERS"]
@@ -126,6 +127,11 @@ class ITree:
         self.builder = builder
         self.root = ITreeNode(region=Region.full(domain))
         self._insertion_checks = 0
+        #: One shared 2-D permutation array covering every leaf's sorted
+        #: order (set by leaf finalization; leaves hold lazy views into it).
+        self.shared_order: Optional[SharedFunctionOrder] = None
+        self._subdomain_count: Optional[int] = None
+        self._node_count: Optional[int] = None
         if builder == "bulk":
             self._bulk_build()
         elif builder == "balanced-incremental":
@@ -171,20 +177,43 @@ class ITree:
                 queue.append(node.below)
 
     def _finalize_leaves(self) -> None:
-        """Sort the functions of every leaf and assign stable subdomain ids."""
+        """Sort the functions of every leaf and assign stable subdomain ids.
+
+        The per-leaf sorted lists are packed into one shared 2-D
+        permutation array (see :class:`SharedFunctionOrder`); every leaf
+        keeps a lazy view with the exact order ``sort_functions_at``
+        produced, so downstream behaviour is unchanged.
+        """
+        leaves = []
         for node in self.root.iter_subtree():
             if node.is_subdomain:
                 node.witness = self.engine.witness(node.region)
-                node.sorted_functions = sort_functions_at(self.functions, node.witness)
+                leaves.append((node, sort_functions_at(self.functions, node.witness)))
+        ordered_functions = sorted(self.functions, key=lambda f: f.index)
+        position_of = {id(f): p for p, f in enumerate(ordered_functions)}
+        permutation = np.empty((len(leaves), len(ordered_functions)), dtype=np.int32)
+        for row, (_node, sorted_list) in enumerate(leaves):
+            permutation[row] = [position_of[id(f)] for f in sorted_list]
+        self.shared_order = SharedFunctionOrder(ordered_functions, permutation)
+        for row, (node, _sorted_list) in enumerate(leaves):
+            node.sorted_functions = self.shared_order.view(row)
         self._assign_subdomain_ids()
 
     def _assign_subdomain_ids(self) -> None:
-        """Stable ids in pre-order traversal order (shared by both builders)."""
+        """Stable ids in pre-order traversal order (shared by both builders).
+
+        Also caches the node and subdomain counts: the tree is immutable
+        after construction, and the counts are read per benchmark run.
+        """
         subdomain_id = 0
+        node_count = 0
         for node in self.root.iter_subtree():
+            node_count += 1
             if node.is_subdomain:
                 node.subdomain_id = subdomain_id
                 subdomain_id += 1
+        self._subdomain_count = subdomain_id
+        self._node_count = node_count
 
     # ------------------------------------------------- build (bulk, d = 1)
     def _bulk_plan(self) -> tuple[np.ndarray, list[Hyperplane]]:
@@ -300,12 +329,16 @@ class ITree:
         for leaf in leaves:
             leaf.witness = self.engine.witness(leaf.region)
         witnesses = np.array([leaf.witness[0] for leaf in leaves], dtype=float)
+        # The argsort rows ARE the shared permutation: stored once as a 2-D
+        # integer array instead of Theta(leaves) Python lists of references.
+        permutation = np.empty((len(leaves), len(ordered_functions)), dtype=np.int32)
         for start in range(0, len(leaves), _FINALIZE_CHUNK):
             chunk = slice(start, start + _FINALIZE_CHUNK)
             scores = witnesses[chunk, None] * slopes[None, :] + constants[None, :]
-            ranks = np.argsort(scores, axis=1, kind="stable")
-            for leaf, row in zip(leaves[chunk], ranks):
-                leaf.sorted_functions = [ordered_functions[t] for t in row.tolist()]
+            permutation[chunk] = np.argsort(scores, axis=1, kind="stable")
+        self.shared_order = SharedFunctionOrder(ordered_functions, permutation)
+        for row, leaf in enumerate(leaves):
+            leaf.sorted_functions = self.shared_order.view(row)
         self._assign_subdomain_ids()
 
     # ------------------------------------------------------------ accessors
@@ -328,11 +361,17 @@ class ITree:
 
     @property
     def subdomain_count(self) -> int:
-        return sum(1 for _ in self.leaves())
+        """Number of subdomain leaves (cached at construction time)."""
+        if self._subdomain_count is None:
+            self._subdomain_count = sum(1 for _ in self.leaves())
+        return self._subdomain_count
 
     @property
     def node_count(self) -> int:
-        return sum(1 for _ in self.root.iter_subtree())
+        """Total node count (cached at construction time)."""
+        if self._node_count is None:
+            self._node_count = sum(1 for _ in self.root.iter_subtree())
+        return self._node_count
 
     def height(self) -> int:
         """Length of the longest root-to-leaf path (root alone = 0)."""

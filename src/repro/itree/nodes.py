@@ -35,7 +35,11 @@ class ITreeNode:
     parent: Optional["ITreeNode"] = field(default=None, repr=False)
     #: Filled for subdomain nodes once the functions have been sorted.
     witness: Optional[tuple[float, ...]] = None
-    sorted_functions: list[LinearFunction] = field(default_factory=list)
+    #: The leaf's functions in ascending score order.  After finalization
+    #: this is a lazy :class:`repro.itree.permutation.PermutedView` over the
+    #: tree's shared permutation array (list semantics for reads); the
+    #: plain-list default only exists pre-finalization.
+    sorted_functions: Sequence[LinearFunction] = field(default_factory=list)
     #: Merkle hash, ``None`` until the IMH propagation computes it
     #: (the paper's "0 / invalid" default).
     hash_value: Optional[bytes] = None

@@ -1,0 +1,110 @@
+"""Shared sorted-order storage for subdomain leaves.
+
+Every subdomain of the arrangement sorts the *same* ``n`` score functions;
+only the order differs, and adjacent subdomains differ by a single
+transposition.  Materializing one Python list of function references per
+leaf therefore costs Theta(n^2) list objects and Theta(n^2) pointers --
+the dominant memory (and allocation-time) term of the I-tree at
+thousand-record scale.
+
+:class:`SharedFunctionOrder` replaces those lists with one 2-D integer
+permutation array (one row per leaf, one column per sorted position) over a
+single index-ordered function list, plus vectorized per-function
+coefficient arrays that the IFMH scoring hot path indexes directly.
+Leaves hold :class:`PermutedView` objects -- lazy, read-only sequences that
+behave exactly like the old lists (iteration, indexing, ``len``) while
+borrowing one row of the shared array.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.geometry.functions import LinearFunction
+
+__all__ = ["SharedFunctionOrder", "PermutedView"]
+
+
+class PermutedView(Sequence):
+    """Read-only view of ``base[row[i]]`` -- one leaf's sorted order.
+
+    ``base`` is shared by every view (the index-ordered function or record
+    list); ``row`` is one row of the shared permutation array (a numpy
+    view, not a copy).  ``row_index`` records which row, so batch consumers
+    can gather many leaves' rows from the shared array at once.
+    """
+
+    __slots__ = ("base", "row", "row_index")
+
+    def __init__(self, base: Sequence, row: np.ndarray, row_index: int = -1):
+        self.base = base
+        self.row = row
+        self.row_index = row_index
+
+    def __len__(self) -> int:
+        return len(self.row)
+
+    def __getitem__(self, position):
+        if isinstance(position, slice):
+            base = self.base
+            return [base[p] for p in self.row[position].tolist()]
+        return self.base[self.row[position]]
+
+    def __iter__(self):
+        base = self.base
+        return iter([base[p] for p in self.row.tolist()])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PermutedView(row_index={self.row_index}, length={len(self.row)})"
+
+
+class SharedFunctionOrder:
+    """One permutation array holding every leaf's sorted function order.
+
+    Parameters
+    ----------
+    functions:
+        The score functions in ascending ``function.index`` order (the
+        canonical base order every permutation row refers to).
+    permutation:
+        ``(leaf_count, len(functions))`` integer array; row ``r`` lists the
+        base positions of leaf ``r``'s functions in ascending score order.
+    """
+
+    __slots__ = ("functions", "permutation", "coefficient_matrix", "constant_vector")
+
+    def __init__(self, functions: List[LinearFunction], permutation: np.ndarray):
+        if permutation.ndim != 2 or permutation.shape[1] != len(functions):
+            raise ValueError(
+                f"permutation shape {permutation.shape} does not cover "
+                f"{len(functions)} functions"
+            )
+        self.functions = functions
+        self.permutation = permutation
+        #: Per-function coefficient rows / constants in base order; a leaf's
+        #: score matrix is one fancy-index away (``matrix[permutation[r]]``),
+        #: bit-identical to rebuilding it from the function objects.
+        self.coefficient_matrix = np.array([f.coefficients for f in functions], dtype=float)
+        self.constant_vector = np.array([f.constant for f in functions], dtype=float)
+
+    @property
+    def leaf_count(self) -> int:
+        return self.permutation.shape[0]
+
+    @property
+    def function_count(self) -> int:
+        return self.permutation.shape[1]
+
+    def view(self, row_index: int) -> PermutedView:
+        """The lazy sorted-function sequence of leaf ``row_index``."""
+        return PermutedView(self.functions, self.permutation[row_index], row_index)
+
+    def permuted(self, base: Sequence, row_index: int) -> PermutedView:
+        """A view of any base-ordered sequence under leaf ``row_index``'s order."""
+        if len(base) != self.permutation.shape[1]:
+            raise ValueError(
+                f"base sequence has {len(base)} entries, expected {self.permutation.shape[1]}"
+            )
+        return PermutedView(base, self.permutation[row_index], row_index)

@@ -8,11 +8,15 @@
 * :mod:`repro.merkle.engine` -- the shared-structure construction engine
   (leaf-digest intern pool + hash-consed internal-node cache) that collapses
   the redundant hashing across the per-subdomain FMH-trees.
+* :mod:`repro.merkle.arena` -- the array-backed forest arena and the
+  level-order batched construction path (bulk hashing across all subdomain
+  trees at once, lazy per-tree views).
 """
 
 from repro.merkle.mh_tree import MerkleTree, MembershipProof, RangeProof
 from repro.merkle.fmh_tree import FMHTree, MIN_TOKEN, MAX_TOKEN, BoundaryEntry
 from repro.merkle.engine import MerkleBuildEngine
+from repro.merkle.arena import ArenaMerkleTree, ForestHasher, MerkleArena
 
 __all__ = [
     "MerkleBuildEngine",
@@ -23,4 +27,7 @@ __all__ = [
     "MIN_TOKEN",
     "MAX_TOKEN",
     "BoundaryEntry",
+    "MerkleArena",
+    "ArenaMerkleTree",
+    "ForestHasher",
 ]

@@ -1,0 +1,395 @@
+"""Array-backed Merkle forest arena and level-order batched construction.
+
+The IFMH construction (paper section 3.1, step 2) builds one FMH-tree per
+subdomain, and every one of those trees has the *same shape*: each
+subdomain's sorted list holds all ``n`` records bracketed by the two
+boundary tokens, so every tree is a Merkle tree over exactly ``n + 2``
+leaves.  PR 2's node-at-a-time engine already eliminated the redundant
+SHA-256 work; at thousand-record scale the remaining cost is pure Python
+per-node overhead -- one method call, one tuple key and one dict probe per
+logical node, times Theta(n^3) logical nodes.
+
+This module removes that overhead with two pieces:
+
+* :class:`MerkleArena` -- a flat node store: one ``(count, 32)`` uint8
+  digest matrix plus two integer child-index arrays.  A node is an integer;
+  structure shared between subdomain trees is shared by index, so the whole
+  forest costs Theta(distinct nodes) memory instead of Theta(total nodes)
+  object references.
+
+* :class:`ForestHasher` -- a level-order batched builder.  The forest is
+  represented as a 2-D matrix of digest indices (one row per tree, one
+  column per node of the current level) and advanced one level at a time
+  across *all* trees at once: pair keys are formed vectorially, cells equal
+  to the cell one row above are deduplicated without touching Python (in
+  subdomain order adjacent trees differ by a single transposition, so
+  almost every cell is such a repeat), and the few genuinely new pairs per
+  level are hashed in one bulk pass
+  (:func:`repro.crypto.hashing.sha256_many`) over a contiguous preimage
+  buffer.
+
+Counting semantics are identical to the node-at-a-time engine: every pair
+slot of every level of every tree is one *logical* hash operation (what
+Fig. 5a/7a report), while only the first occurrence of a ``(left, right)``
+digest pair costs a *physical* SHA-256 invocation.  Roots, levels, proofs
+and counters are bit-for-bit the values the per-tree
+:class:`~repro.merkle.mh_tree.MerkleTree` build produces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.crypto.hashing import DIGEST_SIZE, HashFunction
+from repro.merkle.mh_tree import MerkleTree, level_sizes
+
+__all__ = ["MerkleArena", "ArenaMerkleTree", "ForestHasher"]
+
+#: 8-byte big-endian length prefix of one digest, replicating the
+#: unambiguous ``H(len(x) | x | len(y) | y)`` framing of
+#: :meth:`repro.crypto.hashing.HashFunction.combine` for two-digest parents.
+_DIGEST_LENGTH_PREFIX = DIGEST_SIZE.to_bytes(8, "big")
+
+#: Bytes of one two-digest combine preimage (two prefixes + two digests).
+_PAIR_PREIMAGE_SIZE = 2 * (8 + DIGEST_SIZE)
+
+#: Upper bound on ``rows * level_width`` per processed chunk of the forest
+#: matrix (bounds peak memory of the vectorized level step).
+_CHUNK_ELEMENTS = 8_000_000
+
+
+class MerkleArena:
+    """Finalized flat node store for a forest of Merkle trees.
+
+    ``digests`` is a ``(count, 32)`` uint8 matrix; ``left`` / ``right``
+    hold the child node indices of internal nodes and ``-1`` for leaves.
+    Carried odd nodes (the paper's carry rule) are not separate nodes: a
+    carried node appears in several levels of a tree under the same index.
+    """
+
+    __slots__ = ("digests", "left", "right")
+
+    def __init__(self, digests: np.ndarray, left: np.ndarray, right: np.ndarray):
+        if digests.shape[0] != left.shape[0] or left.shape[0] != right.shape[0]:
+            raise ValueError("digest and child arrays disagree on node count")
+        self.digests = digests
+        self.left = left
+        self.right = right
+
+    def __len__(self) -> int:
+        return self.digests.shape[0]
+
+    def digest_bytes(self, index: int) -> bytes:
+        """The 32-byte digest of one node."""
+        return self.digests[index].tobytes()
+
+    # ------------------------------------------------------------ traversal
+    def index_levels(self, root_index: int, leaf_count: int) -> List[np.ndarray]:
+        """Node-index levels (bottom-up: leaves first) of one tree.
+
+        The tree shape is fully determined by ``leaf_count`` (see
+        :func:`repro.merkle.mh_tree.level_sizes`), so the levels are
+        reconstructed top-down from the child indices: paired parents
+        expand into two children, and when a level has odd size its last
+        node is the carried node of the level below (same index).
+        """
+        sizes = level_sizes(leaf_count)
+        levels = [np.array([root_index], dtype=np.int64)]
+        for level in range(len(sizes) - 1, 0, -1):
+            parents = levels[-1]
+            child_size = sizes[level - 1]
+            paired = child_size // 2
+            children = np.empty(child_size, dtype=np.int64)
+            children[0 : 2 * paired : 2] = self.left[parents[:paired]]
+            children[1 : 2 * paired : 2] = self.right[parents[:paired]]
+            if child_size % 2 == 1:
+                children[-1] = parents[-1]
+            levels.append(children)
+        levels.reverse()
+        return levels
+
+    def byte_levels(self, root_index: int, leaf_count: int) -> List[List[bytes]]:
+        """The tree's levels as lists of digest bytes (MerkleTree layout)."""
+        result: List[List[bytes]] = []
+        for indices in self.index_levels(root_index, leaf_count):
+            flat = self.digests[indices].tobytes()
+            result.append(
+                [flat[i * DIGEST_SIZE : (i + 1) * DIGEST_SIZE] for i in range(len(indices))]
+            )
+        return result
+
+
+class ArenaMerkleTree(MerkleTree):
+    """Lazy :class:`MerkleTree` view over an arena-resident tree.
+
+    Exposes the exact node-object API (``levels``, ``root``, proofs) of a
+    tree built leaf-up, but materializes the per-level digest lists only on
+    first use -- queries touch a handful of subdomains, so the Theta(total
+    nodes) list-of-bytes representation is never built for the rest of the
+    forest.  Proof construction and verification are inherited unchanged
+    from :class:`MerkleTree`, so verification objects are bit-identical.
+    """
+
+    def __init__(
+        self,
+        arena: MerkleArena,
+        root_index: int,
+        leaf_count: int,
+        hash_function: Optional[HashFunction] = None,
+    ):
+        # Deliberately does not call MerkleTree.__init__: nothing is hashed
+        # and no levels are stored until a proof needs them.
+        self._hash = hash_function or HashFunction()
+        self._arena = arena
+        self._root_index = root_index
+        self._leaf_count = leaf_count
+        self._materialized: Optional[List[List[bytes]]] = None
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def levels(self) -> List[List[bytes]]:  # type: ignore[override]
+        if self._materialized is None:
+            self._materialized = self._arena.byte_levels(self._root_index, self._leaf_count)
+        return self._materialized
+
+    @property
+    def leaf_count(self) -> int:
+        return self._leaf_count
+
+    @property
+    def height(self) -> int:
+        return len(level_sizes(self._leaf_count))
+
+    @property
+    def root(self) -> bytes:
+        return self._arena.digest_bytes(self._root_index)
+
+    @property
+    def node_count(self) -> int:
+        return sum(level_sizes(self._leaf_count))
+
+    def leaf_hash(self, index: int) -> bytes:
+        return self.levels[0][index]
+
+
+class _NodeStore:
+    """Growable backing arrays for digests and child indices."""
+
+    __slots__ = ("digests", "left", "right", "size")
+
+    def __init__(self, capacity: int = 1024):
+        self.digests = np.empty((capacity, DIGEST_SIZE), dtype=np.uint8)
+        self.left = np.full(capacity, -1, dtype=np.int64)
+        self.right = np.full(capacity, -1, dtype=np.int64)
+        self.size = 0
+
+    def reserve(self, count: int) -> int:
+        """Grow to fit ``count`` more nodes; return the first new index."""
+        start = self.size
+        needed = start + count
+        if needed > 1 << 32:
+            # Pair-cache keys pack two node indices into one int64
+            # ((left << 32) | right); past 2^32 nodes they would collide.
+            raise OverflowError("Merkle arena exceeds 2^32 nodes")
+        capacity = self.digests.shape[0]
+        if needed > capacity:
+            while capacity < needed:
+                capacity *= 2
+            digests = np.empty((capacity, DIGEST_SIZE), dtype=np.uint8)
+            digests[:start] = self.digests[:start]
+            left = np.full(capacity, -1, dtype=np.int64)
+            left[:start] = self.left[:start]
+            right = np.full(capacity, -1, dtype=np.int64)
+            right[:start] = self.right[:start]
+            self.digests, self.left, self.right = digests, left, right
+        self.size = needed
+        return start
+
+
+class ForestHasher:
+    """Level-order batched construction of many equal-shape Merkle trees.
+
+    One instance lives for one ADS construction.  Leaf preimages are
+    interned once (:meth:`intern_leaves`); the forest is then built level
+    by level across all trees at once (:meth:`build_forest`), and
+    :meth:`finalize` freezes the node store into a :class:`MerkleArena`
+    that the per-subdomain :class:`ArenaMerkleTree` views share.
+    """
+
+    def __init__(self) -> None:
+        self._store = _NodeStore()
+        #: ``digest -> node index`` for leaf digests, so equal-valued leaves
+        #: share one node exactly like the value-keyed node cache would.
+        self._digest_index: Dict[bytes, int] = {}
+        #: ``(left_index << 32) | right_index -> parent index``.
+        self._pair_cache: Dict[int, int] = {}
+        #: Leaf digest requests already counted (logically and physically)
+        #: by :meth:`intern_leaves` and not yet credited against a forest's
+        #: per-(tree, leaf) logical accounting.
+        self._uncredited_leaf_ops = 0
+        self._interned_payloads = 0
+        self._leaf_requests = 0
+        self._arena: Optional[MerkleArena] = None
+
+    # ------------------------------------------------------------------ API
+    def intern_leaves(self, payloads: Sequence[bytes], hash_function: HashFunction) -> np.ndarray:
+        """Digest and intern leaf preimages; return their node indices.
+
+        Every payload is physically hashed exactly once (one bulk pass),
+        matching the per-object accounting of the node-at-a-time engine's
+        leaf pool; payloads whose digests collide in value share one arena
+        node so that pair consing stays value-exact.
+        """
+        if self._arena is not None:
+            raise RuntimeError("the forest has been finalized; no more leaves can be interned")
+        digests = hash_function.digest_batch(payloads)
+        self._uncredited_leaf_ops += len(digests)
+        self._interned_payloads += len(digests)
+        indices = np.empty(len(digests), dtype=np.int64)
+        index_of = self._digest_index
+        store = self._store
+        for position, digest in enumerate(digests):
+            known = index_of.get(digest)
+            if known is None:
+                known = store.reserve(1)
+                store.digests[known] = np.frombuffer(digest, dtype=np.uint8)
+                index_of[digest] = known
+            indices[position] = known
+        return indices
+
+    def build_forest(self, leaf_matrix: np.ndarray, hash_function: HashFunction) -> np.ndarray:
+        """Build every tree of the forest; return per-tree root node indices.
+
+        ``leaf_matrix`` has one row per tree and one leaf node index per
+        column (all trees share one leaf count, the IFMH invariant).  The
+        matrix is processed in row chunks; within a chunk each level is
+        advanced with three vectorized passes (pair keys, repeat-of-row-
+        above dedup, parent scatter/forward-fill) and one bulk hash over
+        the level's genuinely new pairs.
+        """
+        if self._arena is not None:
+            raise RuntimeError("the forest has been finalized; no more trees can be built")
+        if leaf_matrix.ndim != 2:
+            raise ValueError("leaf_matrix must be 2-D (trees x leaves)")
+        tree_count, leaf_count = leaf_matrix.shape
+        if leaf_count == 0:
+            raise ValueError("a Merkle tree needs at least one leaf")
+        # Logical accounting for the leaf level: one operation per
+        # (tree, leaf) slot, exactly like one digest request per leaf of
+        # every tree; the interned first occurrences were already counted.
+        self._leaf_requests += tree_count * leaf_count
+        credited = min(self._uncredited_leaf_ops, tree_count * leaf_count)
+        self._uncredited_leaf_ops -= credited
+        hash_function.note_cached(tree_count * leaf_count - credited)
+
+        roots = np.empty(tree_count, dtype=np.int64)
+        chunk_rows = max(1, _CHUNK_ELEMENTS // leaf_count)
+        for start in range(0, tree_count, chunk_rows):
+            current = leaf_matrix[start : start + chunk_rows].astype(np.int64, copy=True)
+            width = leaf_count
+            while width > 1:
+                paired = width // 2
+                current = self._advance_level(current, paired, width - 2 * paired, hash_function)
+                width = paired + (width - 2 * paired)
+            roots[start : start + current.shape[0]] = current[:, 0]
+        return roots
+
+    def finalize(self) -> MerkleArena:
+        """Freeze the node store into the arena shared by all tree views.
+
+        The intern and pair tables are dropped -- only the flat digest and
+        child arrays survive, which is what the lazy views need.
+        """
+        if self._arena is None:
+            size = self._store.size
+            self._arena = MerkleArena(
+                digests=self._store.digests[:size],
+                left=self._store.left[:size],
+                right=self._store.right[:size],
+            )
+            self._digest_index = {}
+        return self._arena
+
+    def stats(self) -> Dict[str, int]:
+        """Table sizes and hit rates, in the node-at-a-time engine's shape."""
+        return {
+            "leaf_pool_entries": self._interned_payloads,
+            "leaf_pool_hits": self._leaf_requests - self._interned_payloads,
+            "leaf_pool_misses": self._interned_payloads,
+            "distinct_internal_nodes": len(self._pair_cache),
+        }
+
+    # ------------------------------------------------------------ internals
+    def _advance_level(
+        self, current: np.ndarray, paired: int, odd: int, hash_function: HashFunction
+    ) -> np.ndarray:
+        """One level step for a chunk: pair, dedup, bulk-hash, scatter."""
+        rows = current.shape[0]
+        keys = (current[:, 0 : 2 * paired : 2] << np.int64(32)) | current[:, 1 : 2 * paired : 2]
+        # A cell equal to the cell one row above is the same (left, right)
+        # pair and therefore the same parent; only "fresh" cells need the
+        # pair cache.  Adjacent subdomain trees differ by one transposition,
+        # so fresh cells are Theta(1) per row.
+        fresh = np.empty((rows, paired), dtype=bool)
+        fresh[0, :] = True
+        np.not_equal(keys[1:], keys[:-1], out=fresh[1:])
+        fresh_rows, fresh_cols = np.nonzero(fresh)
+        fresh_keys = keys[fresh_rows, fresh_cols]
+
+        cache = self._pair_cache
+        cache_get = cache.get
+        fresh_parents = np.empty(fresh_keys.shape[0], dtype=np.int64)
+        new_keys: List[int] = []
+        new_first = self._store.size
+        next_new = new_first
+        for position, key in enumerate(fresh_keys.tolist()):
+            parent = cache_get(key)
+            if parent is None:
+                parent = next_new
+                next_new += 1
+                cache[key] = parent
+                new_keys.append(key)
+            fresh_parents[position] = parent
+        if new_keys:
+            self._hash_new_pairs(new_keys, hash_function)
+        hash_function.note_cached(rows * paired - len(new_keys))
+
+        # Scatter the fresh parents, then forward-fill repeats down columns.
+        parents = np.zeros((rows, paired), dtype=np.int64)
+        parents[fresh_rows, fresh_cols] = fresh_parents
+        if rows > 1:
+            last_fresh = np.where(fresh, np.arange(rows)[:, None], 0)
+            np.maximum.accumulate(last_fresh, axis=0, out=last_fresh)
+            parents = parents[last_fresh, np.arange(paired)[None, :]]
+        if odd:
+            parents = np.concatenate([parents, current[:, -1:]], axis=1)
+        return parents
+
+    def _hash_new_pairs(self, new_keys: List[int], hash_function: HashFunction) -> None:
+        """Bulk-hash the level's new pairs and append them to the store."""
+        count = len(new_keys)
+        key_array = np.asarray(new_keys, dtype=np.int64)
+        left_index = key_array >> np.int64(32)
+        right_index = key_array & np.int64(0xFFFFFFFF)
+        start = self._store.reserve(count)
+        digests = self._store.digests
+        # Contiguous preimage buffer: len(left) | left | len(right) | right,
+        # the exact framing of HashFunction.combine for two digests.
+        buffer = np.empty((count, _PAIR_PREIMAGE_SIZE), dtype=np.uint8)
+        prefix = np.frombuffer(_DIGEST_LENGTH_PREFIX, dtype=np.uint8)
+        buffer[:, 0:8] = prefix
+        buffer[:, 8 : 8 + DIGEST_SIZE] = digests[left_index]
+        buffer[:, 8 + DIGEST_SIZE : 16 + DIGEST_SIZE] = prefix
+        buffer[:, 16 + DIGEST_SIZE :] = digests[right_index]
+        flat = memoryview(buffer.tobytes())
+        size = _PAIR_PREIMAGE_SIZE
+        new_digests = hash_function.digest_batch(
+            [flat[i * size : (i + 1) * size] for i in range(count)]
+        )
+        digests[start : start + count] = np.frombuffer(
+            b"".join(new_digests), dtype=np.uint8
+        ).reshape(count, DIGEST_SIZE)
+        self._store.left[start : start + count] = left_index
+        self._store.right[start : start + count] = right_index

@@ -119,6 +119,28 @@ class FMHTree:
                 leaf_hashes, hash_function=hash_function, node_cache=engine.node_cache
             )
 
+    @classmethod
+    def from_prebuilt(
+        cls,
+        sorted_items: Sequence[Hashable],
+        tree: MerkleTree,
+        hash_function: HashFunction,
+    ) -> "FMHTree":
+        """Wrap an already-built Merkle tree (the batched construction path).
+
+        ``sorted_items`` may be any read-only sequence (e.g. a lazy
+        :class:`repro.itree.permutation.PermutedView` over the shared
+        permutation array) and is *not* copied; ``tree`` is typically an
+        arena-backed lazy view whose levels materialize on first proof.
+        The resulting object is observationally identical to one built
+        through :meth:`__init__` over the same items.
+        """
+        self = cls.__new__(cls)
+        self._hash = hash_function
+        self.sorted_items = sorted_items
+        self.tree = tree
+        return self
+
     # ------------------------------------------------------------ accessors
     @property
     def root(self) -> bytes:

@@ -59,8 +59,12 @@ def test_run_construction_reports_regression_below_floor(monkeypatch, tmp_path):
 
 @pytest.mark.fastpath
 def test_construction_gate_at_n200():
-    """The acceptance benchmark: >= 5x fewer physical SHA-256 calls at n=200."""
-    result = construction_comparison(n_records=200, seed=0)
+    """The acceptance benchmark: >= 5x fewer physical SHA-256 calls at n=200.
+
+    ``repeats=1``: the gate is on the (deterministic) physical-hash
+    reduction, so repeating the builds would only slow the suite down.
+    """
+    result = construction_comparison(n_records=200, seed=0, repeats=1)
     rows = {row["hash_consing"]: row for row in result.rows}
     assert rows[True]["physical_reduction"] >= 5.0, (
         f"shared-structure engine only cut physical hashing "

@@ -1,0 +1,82 @@
+"""Gates for the thousand-record scale benchmark.
+
+The full acceptance run (``python -m repro.bench --scale``) sweeps n up to
+2000 and demands a >= 3x wall-clock speedup at n = 1000; these tests
+exercise the same code path at CI-friendly scale and check the JSON
+trajectory report.
+"""
+
+import json
+
+import repro.bench.scale as scale
+from repro.bench.scale import run_scale, run_scale_smoke, scale_point
+
+
+def test_scale_point_compares_engines_and_matches_counters():
+    point = scale_point(n_records=40, seed=0, repeats=1, compare=True)
+    assert point["n"] == 40
+    assert point["node_engine"] is not None
+    assert point["speedup"] == (
+        point["node_engine"]["build_seconds"] / point["batched"]["build_seconds"]
+    )
+    # Batching reschedules hashes; it must not change which hashes run.
+    assert point["batched"]["physical_hashes"] == point["node_engine"]["physical_hashes"]
+    assert point["batched"]["physical_hashes"] < point["logical_hashes"]
+    stats = point["engine_stats"]
+    assert stats["leaf_pool_entries"] == 40 + 2
+    assert stats["leaf_pool_misses"] == stats["leaf_pool_entries"]
+
+
+def test_scale_point_without_comparison_skips_node_engine():
+    point = scale_point(n_records=20, seed=0, repeats=1, compare=False)
+    assert point["node_engine"] is None
+    assert point["speedup"] is None
+
+
+def test_run_scale_writes_trajectory_and_caps_comparison(tmp_path):
+    output = tmp_path / "BENCH_scale.json"
+    results, failures = run_scale(
+        n_values=(20, 40, 60),
+        seed=0,
+        repeats=1,
+        compare_max_n=40,
+        speedup_floor=0.0,
+        output_path=str(output),
+    )
+    assert failures == []
+    (result,) = results
+    engines = [(row["n"], row["engine"]) for row in result.rows]
+    assert (20, "node-at-a-time") in engines and (40, "node-at-a-time") in engines
+    assert (60, "node-at-a-time") not in engines  # beyond the comparison cap
+    assert (60, "batched") in engines
+    payload = json.loads(output.read_text())
+    assert payload["headline_n"] == 40  # largest *compared* n gates the speedup
+    assert [point["n"] for point in payload["trajectory"]] == [20, 40, 60]
+    assert payload["trajectory"][-1]["node_engine"] is None
+    for point in payload["trajectory"][:2]:
+        assert point["batched"]["physical_hashes"] == point["node_engine"]["physical_hashes"]
+
+
+def test_run_scale_reports_regression_below_floor(tmp_path):
+    _results, failures = run_scale(
+        n_values=(20,),
+        seed=0,
+        repeats=1,
+        compare_max_n=20,
+        speedup_floor=10_000.0,
+        output_path=str(tmp_path / "out.json"),
+    )
+    assert len(failures) == 1
+    assert "floor" in failures[0]
+
+
+def test_run_scale_smoke_uses_reduced_configuration(tmp_path, monkeypatch):
+    monkeypatch.setattr(scale, "SMOKE_SCALE_N_VALUES", (15, 30))
+    monkeypatch.setattr(scale, "SMOKE_SCALE_SPEEDUP_FLOOR", 0.0)
+    output = tmp_path / "BENCH_scale_smoke.json"
+    results, failures = run_scale_smoke(seed=0, output_path=str(output))
+    assert failures == []
+    payload = json.loads(output.read_text())
+    assert [point["n"] for point in payload["trajectory"]] == [15, 30]
+    assert payload["trajectory"][-1]["speedup"] is not None
+    assert len(results) == 1

@@ -1,0 +1,215 @@
+"""The level-order batched engine must be observationally invisible.
+
+These tests compare full IFMH builds with batching on vs off (both through
+the shared-structure engine, PR 2's node-at-a-time path as the reference):
+roots, per-subdomain FMH roots and levels, subdomain digests, verification
+objects and client verdicts must be bit-identical, and *both* hash counters
+-- logical (what Fig. 5a/7a report) and physical (what actually ran) --
+must be equal: batching changes how the hashes are scheduled, not which
+hashes exist.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.client import Client
+from repro.core.owner import DataOwner
+from repro.core.queries import KNNQuery, RangeQuery, TopKQuery
+from repro.core.records import Dataset, UtilityTemplate
+from repro.core.server import Server
+from repro.crypto.hashing import HashFunction, sha256
+from repro.geometry.domain import Domain
+from repro.ifmh.ifmh_tree import IFMHTree, MULTI_SIGNATURE, ONE_SIGNATURE
+from repro.merkle.arena import ArenaMerkleTree, ForestHasher
+from repro.merkle.mh_tree import MerkleTree
+from repro.metrics.counters import Counters
+from repro.workloads.generator import WorkloadConfig, make_dataset, make_template
+
+
+def _build_pair(dataset, template, mode=ONE_SIGNATURE, **kwargs):
+    """The same IFMH built node-at-a-time and through the batched engine."""
+    trees, counters = {}, {}
+    for batch_hashing in (False, True):
+        counter = Counters()
+        trees[batch_hashing] = IFMHTree(
+            dataset,
+            template,
+            mode=mode,
+            counters=counter,
+            hash_consing=True,
+            batch_hashing=batch_hashing,
+            **kwargs,
+        )
+        counters[batch_hashing] = counter
+    return trees, counters
+
+
+@pytest.mark.parametrize("mode", [ONE_SIGNATURE, MULTI_SIGNATURE])
+def test_roots_digests_levels_and_counters_identical(
+    univariate_dataset, univariate_template, mode
+):
+    trees, counters = _build_pair(univariate_dataset, univariate_template, mode=mode)
+    node, batched = trees[False], trees[True]
+    assert batched.root_hash == node.root_hash
+    for a, b in zip(batched.itree.leaves(), node.itree.leaves()):
+        assert a.hash_value == b.hash_value
+        assert a.fmh_tree.tree.levels == b.fmh_tree.tree.levels
+    # Digest the subdomains only after snapshotting the build counters.
+    assert counters[True].hash_operations == counters[False].hash_operations
+    assert (
+        counters[True].physical_hash_operations == counters[False].physical_hash_operations
+    ), "batching must not change which hashes physically run"
+    for a, b in zip(batched.itree.leaves(), node.itree.leaves()):
+        assert batched.subdomain_digest(a) == node.subdomain_digest(b)
+    assert batched.merkle_engine_stats == node.merkle_engine_stats
+
+
+def test_incremental_builder_also_batches(univariate_dataset, univariate_template):
+    """The batched path covers the paper's incremental I-tree too."""
+    trees, counters = _build_pair(
+        univariate_dataset, univariate_template, build_mode="incremental"
+    )
+    assert trees[True].root_hash == trees[False].root_hash
+    assert counters[True].hash_operations == counters[False].hash_operations
+    assert counters[True].physical_hash_operations == counters[False].physical_hash_operations
+
+
+def test_multivariate_lp_path_also_batches(applicant_dataset, bivariate_template):
+    """d >= 2 (LP engine, incremental insertion): still bit-identical."""
+    trees, counters = _build_pair(applicant_dataset, bivariate_template)
+    assert trees[True].root_hash == trees[False].root_hash
+    assert counters[True].hash_operations == counters[False].hash_operations
+    assert counters[True].physical_hash_operations == counters[False].physical_hash_operations
+
+
+@pytest.mark.parametrize("scheme", [ONE_SIGNATURE, MULTI_SIGNATURE])
+def test_vos_and_client_verdicts_identical_end_to_end(scheme):
+    """Same queries against both builds: identical VOs, both verify."""
+    workload = WorkloadConfig(n_records=25, dimension=1, seed=2)
+    dataset, template = make_dataset(workload), make_template(workload)
+    queries = [
+        TopKQuery(weights=(0.4,), k=5),
+        RangeQuery(weights=(0.6,), low=1.0, high=7.0),
+        KNNQuery(weights=(0.2,), k=3, target=4.0),
+    ]
+    executions = {}
+    for batch_hashing in (False, True):
+        owner = DataOwner(
+            dataset,
+            template,
+            scheme=scheme,
+            signature_algorithm="hmac",
+            hash_consing=True,
+            batch_hashing=batch_hashing,
+            rng=random.Random(17),
+        )
+        server = Server(owner.outsource())
+        client = Client(owner.public_parameters())
+        executions[batch_hashing] = []
+        for query in queries:
+            execution = server.execute(query)
+            report = client.verify(query, execution.result, execution.verification_object)
+            assert report.is_valid, report.failures
+            executions[batch_hashing].append(execution)
+    for node, batched in zip(executions[False], executions[True]):
+        assert batched.result.records == node.result.records
+        assert batched.verification_object == node.verification_object
+
+
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=8.0, allow_nan=False).map(
+                lambda v: round(v, 2)
+            ),
+            st.floats(min_value=0.0, max_value=6.0, allow_nan=False).map(
+                lambda v: round(v, 2)
+            ),
+        ),
+        min_size=1,
+        max_size=14,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_property_batched_and_node_builds_agree(rows):
+    """Adversarial leaf counts and tied slopes: batching stays invisible.
+
+    The leaf counts ``len(rows) + 2`` sweep through every odd-carry shape
+    from 3 to 16 leaves, and duplicate rows exercise equal-scoring records
+    (distinct leaf digests -- the record id is part of the encoding -- but
+    tied sort positions).
+    """
+    dataset = Dataset.from_rows(("factor", "baseline"), rows)
+    template = UtilityTemplate(
+        attributes=("factor",),
+        domain=Domain(lower=(0.0,), upper=(1.0,)),
+        constant_attribute="baseline",
+    )
+    trees, counters = _build_pair(dataset, template)
+    assert trees[True].root_hash == trees[False].root_hash
+    for a, b in zip(trees[True].itree.leaves(), trees[False].itree.leaves()):
+        assert a.hash_value == b.hash_value
+        assert a.fmh_tree.tree.levels == b.fmh_tree.tree.levels
+    assert counters[True].hash_operations == counters[False].hash_operations
+    assert counters[True].physical_hash_operations == counters[False].physical_hash_operations
+
+
+@given(
+    leaf_count=st.integers(min_value=1, max_value=17),
+    tree_count=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_forest_matches_per_tree_merkle_builds(leaf_count, tree_count, data):
+    """Random permuted forests at every carry shape match MerkleTree."""
+    payloads = [b"record-%d" % i for i in range(leaf_count)]
+    rows = [
+        data.draw(st.permutations(payloads), label=f"row-{t}") for t in range(tree_count)
+    ]
+    hashes = HashFunction()
+    hasher = ForestHasher()
+    indices = hasher.intern_leaves(payloads, hashes)
+    index_of = {payload: int(index) for payload, index in zip(payloads, indices)}
+    matrix = np.array([[index_of[p] for p in row] for row in rows], dtype=np.int64)
+    roots = hasher.build_forest(matrix, hashes)
+    arena = hasher.finalize()
+    for row, root in zip(rows, roots.tolist()):
+        plain = MerkleTree([sha256(p) for p in row])
+        view = ArenaMerkleTree(arena, root, leaf_count)
+        assert view.root == plain.root
+        assert view.levels == plain.levels
+
+
+@pytest.mark.slow
+def test_thousand_record_end_to_end_smoke():
+    """n = 1000: batched construction, query processing and verification.
+
+    The full node-at-a-time comparison at this scale lives in
+    ``python -m repro.bench --scale``; this smoke proves the batched ADS
+    itself serves verifiable queries at thousand-record scale.
+    """
+    workload = WorkloadConfig(n_records=1000, dimension=1, seed=0)
+    dataset, template = make_dataset(workload), make_template(workload)
+    owner = DataOwner(
+        dataset,
+        template,
+        scheme=ONE_SIGNATURE,
+        signature_algorithm="hmac",
+        rng=random.Random(3),
+    )
+    assert owner.ads.batch_hashing
+    server = Server(owner.outsource())
+    client = Client(owner.public_parameters())
+    queries = [
+        TopKQuery(weights=(0.31,), k=10),
+        RangeQuery(weights=(0.62,), low=2.0, high=2.2),
+        KNNQuery(weights=(0.93,), k=5, target=5.0),
+    ]
+    for query in queries:
+        execution = server.execute(query)
+        report = client.verify(query, execution.result, execution.verification_object)
+        assert report.is_valid, report.failures
+    assert owner.ads.subdomain_count > 100_000
