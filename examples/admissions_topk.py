@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 
-from repro import OutsourcedSystem, TopKQuery
+from repro import OutsourcedSystem, SystemConfig, TopKQuery
 from repro.metrics import Counters
 from repro.workloads import admissions_scenario
 
@@ -40,9 +40,9 @@ def main() -> None:
         system = OutsourcedSystem.setup(
             scenario.dataset,
             scenario.template,
-            scheme=scheme,
-            signature_algorithm="rsa",
-            key_bits=1024,
+            config=SystemConfig(
+                scheme=scheme, signature_algorithm="rsa", key_bits=1024
+            ),
             rng=random.Random(7),
         )
         owner = system.owner

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 
-from repro import OutsourcedSystem, RangeQuery
+from repro import OutsourcedSystem, RangeQuery, SystemConfig
 from repro.attacks import all_attacks
 from repro.workloads import credit_risk_scenario
 
@@ -30,9 +30,9 @@ def main() -> None:
     system = OutsourcedSystem.setup(
         scenario.dataset,
         scenario.template,
-        scheme="multi-signature",
-        signature_algorithm="rsa",
-        key_bits=1024,
+        config=SystemConfig(
+            scheme="multi-signature", signature_algorithm="rsa", key_bits=1024
+        ),
         rng=random.Random(5),
     )
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 
-from repro import KNNQuery, OutsourcedSystem
+from repro import KNNQuery, OutsourcedSystem, SystemConfig
 from repro.metrics import Counters
 from repro.workloads import patient_risk_scenario
 
@@ -39,9 +39,9 @@ def main() -> None:
         systems[scheme] = OutsourcedSystem.setup(
             scenario.dataset,
             scenario.template,
-            scheme=scheme,
-            signature_algorithm="rsa",
-            key_bits=1024,
+            config=SystemConfig(
+                scheme=scheme, signature_algorithm="rsa", key_bits=1024
+            ),
             rng=random.Random(11),
         )
 

@@ -38,6 +38,21 @@ vector while keeping per-query cost counters isolated;
 ``OutsourcedSystem.query_and_verify_batch`` runs the batched pipeline end to
 end.  Benchmark both fast paths with ``python -m repro.bench --fastpath``
 (or the CI gate ``python -m repro.bench --smoke``).
+
+Publishable artifacts
+---------------------
+Construction is configured by one frozen :class:`SystemConfig` threaded
+through every layer, and the finished ADS can be published to disk and
+cold-started without rebuilding:
+
+>>> system = OutsourcedSystem.setup(dataset, template,
+...                                 config=SystemConfig(scheme="one-signature"))
+>>> system.owner.publish("ads.npz")                      # doctest: +SKIP
+>>> server = Server.from_artifact("ads.npz")             # doctest: +SKIP
+
+Loading re-hashes nothing and answers queries bit-identically to the
+in-process build (``python -m repro.bench --coldstart`` gates load >= 10x
+faster than rebuild at n = 1000); see ``docs/artifacts.md``.
 """
 
 from repro.core import (
@@ -60,6 +75,7 @@ from repro.core import (
     SIGNATURE_MESH,
     Server,
     ServerPackage,
+    SystemConfig,
     TopKQuery,
     UtilityTemplate,
     VerificationError,
@@ -94,6 +110,7 @@ __all__ = [
     "SIGNATURE_MESH",
     "Server",
     "ServerPackage",
+    "SystemConfig",
     "TopKQuery",
     "UtilityTemplate",
     "VerificationError",

@@ -12,6 +12,9 @@ Usage::
     python -m repro.bench --scale         # thousand-record construction benchmark
                                           # (sweeps n, writes BENCH_scale.json)
     python -m repro.bench --scale --smoke # reduced-n scale gate (CI)
+    python -m repro.bench --coldstart     # build-vs-artifact-load benchmark
+                                          # (sweeps n, writes BENCH_coldstart.json)
+    python -m repro.bench --coldstart --smoke  # reduced-n cold-start gate (CI)
 """
 
 from __future__ import annotations
@@ -20,6 +23,12 @@ import argparse
 import sys
 import time
 
+from repro.bench.coldstart import (
+    COLDSTART_REPORT_FILENAME,
+    SMOKE_COLDSTART_REPORT_FILENAME,
+    run_coldstart,
+    run_coldstart_smoke,
+)
 from repro.bench.fastpath import (
     CONSTRUCTION_REPORT_FILENAME,
     fastpath_experiments,
@@ -89,6 +98,14 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         "exit 1 if the wall-clock speedup misses its floor; combine with --smoke for "
         f"the reduced-n CI gate (writes {SMOKE_SCALE_REPORT_FILENAME})",
     )
+    parser.add_argument(
+        "--coldstart",
+        action="store_true",
+        help="run the cold-start benchmark (owner-side rebuild vs Server.from_artifact "
+        f"load, n sweep up to 1000) and write {COLDSTART_REPORT_FILENAME}; exit 1 if "
+        "loading is not >= 10x faster than rebuilding at the largest n; combine with "
+        f"--smoke for the reduced-n CI gate (writes {SMOKE_COLDSTART_REPORT_FILENAME})",
+    )
     return parser.parse_args(argv)
 
 
@@ -125,14 +142,18 @@ def main(argv: list[str] | None = None) -> int:
             ("--fastpath", args.fastpath),
             ("--construction", args.construction),
             ("--scale", args.scale),
+            ("--coldstart", args.coldstart),
         )
         if given
     ]
-    if len(exclusive) > 1 and exclusive != ["--smoke", "--scale"]:
-        # --scale --smoke is the one legal combination: the reduced-n scale gate.
+    if len(exclusive) > 1 and exclusive not in (
+        ["--smoke", "--scale"],
+        ["--smoke", "--coldstart"],
+    ):
+        # --smoke combines only with --scale / --coldstart (their CI gates).
         print(f"error: {' and '.join(exclusive)} are mutually exclusive")
         return 2
-    if args.smoke or args.fastpath or args.construction or args.scale:
+    if args.smoke or args.fastpath or args.construction or args.scale or args.coldstart:
         ignored = [
             flag
             for flag, given in (
@@ -152,6 +173,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {mode} runs a fixed workload; {', '.join(ignored)} would be ignored")
             return 2
     started = time.perf_counter()
+    if args.coldstart:
+        if args.smoke:
+            results, failures = run_coldstart_smoke(seed=args.seed)
+            report = SMOKE_COLDSTART_REPORT_FILENAME
+        else:
+            results, failures = run_coldstart(seed=args.seed)
+            report = COLDSTART_REPORT_FILENAME
+        print(render_results(results))
+        elapsed = time.perf_counter() - started
+        for failure in failures:
+            print(f"COLDSTART REGRESSION: {failure}")
+        print(f"wrote cold-start trajectory to {report}")
+        print(f"\ncompleted cold-start benchmark in {elapsed:.1f}s")
+        return 1 if failures else 0
     if args.scale:
         if args.smoke:
             results, failures = run_scale_smoke(seed=args.seed)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.client import Client
+from repro.core.config import SystemConfig
 from repro.core.owner import DataOwner, SIGNATURE_MESH
 from repro.core.queries import AnalyticQuery, KNNQuery, RangeQuery, TopKQuery
 from repro.core.server import Server
@@ -92,6 +93,21 @@ class BenchConfig:
             seed=self.seed,
         )
 
+    def system_config(
+        self,
+        approach: str,
+        signature_algorithm: Optional[str] = None,
+        key_bits: Optional[int] = None,
+    ) -> SystemConfig:
+        """The build configuration for one approach at this bench's settings."""
+        return SystemConfig(
+            scheme=approach,
+            signature_algorithm=signature_algorithm or self.signature_algorithm,
+            key_bits=key_bits if key_bits is not None else self.key_bits,
+            share_signatures=self.mesh_share_signatures,
+            build_mode=self.build_mode,
+        )
+
 
 @dataclass
 class ApproachHandle:
@@ -138,21 +154,18 @@ def build_systems(
     workload = config.workload(n_records)
     dataset = make_dataset(workload)
     template = make_template(workload)
-    algorithm = signature_algorithm or config.signature_algorithm
-    bits = key_bits if key_bits is not None else config.key_bits
     keypair_rng = random.Random(config.seed + 12345)
 
     handles: Dict[str, ApproachHandle] = {}
     for approach in approaches:
+        system_config = config.system_config(
+            approach, signature_algorithm=signature_algorithm, key_bits=key_bits
+        )
         started = time.perf_counter()
         owner = DataOwner(
             dataset,
             template,
-            scheme=approach,
-            signature_algorithm=algorithm,
-            key_bits=bits,
-            share_signatures=config.mesh_share_signatures,
-            build_mode=config.build_mode,
+            config=system_config,
             rng=random.Random(keypair_rng.random()),
         )
         build_seconds = time.perf_counter() - started

@@ -7,6 +7,7 @@ from repro.core.errors import (
     ReproError,
     VerificationError,
 )
+from repro.core.config import SystemConfig, resolve_config
 from repro.core.records import Dataset, Record, UtilityTemplate
 from repro.core.queries import AnalyticQuery, KNNQuery, RangeQuery, TopKQuery
 from repro.core.results import QueryResult, VerificationReport
@@ -35,6 +36,8 @@ __all__ = [
     "ServerPackage",
     "SCHEMES",
     "SIGNATURE_MESH",
+    "SystemConfig",
+    "resolve_config",
     "QueryExecution",
     "Server",
     "Client",

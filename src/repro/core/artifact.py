@@ -1,0 +1,368 @@
+"""Versioned on-disk ADS artifacts: publish once, cold-start anywhere.
+
+The paper's outsourcing model separates a *one-time* owner-side ADS
+construction from a long-lived, heavily-queried server.  This module makes
+that separation real on disk: :func:`save_artifact` (usually called as
+:meth:`repro.core.owner.DataOwner.publish`) writes a single ``.npz``-backed
+bundle holding everything a server or client needs, and
+:meth:`repro.core.server.Server.from_artifact` /
+:meth:`repro.core.client.Client.from_artifact` reconstruct fully functional
+parties from it with **zero re-hashing** -- roots, verification objects,
+verdicts and both hash counters are bit-identical to an in-process build.
+
+Format layout (one numpy ``.npz`` archive)
+------------------------------------------
+``meta``
+    UTF-8 JSON header: magic + ``format_version``, the build's
+    :class:`~repro.core.config.SystemConfig` echo, the public parameters
+    (template, schema, scheme, public verification key), the I-tree builder
+    that produced the shape, the owner's root signature (one-signature
+    mode), the root-of-roots digest and informational counts.
+``checksum``
+    32-byte SHA-256 over the meta bytes plus every data array (name, shape
+    and raw bytes).  Verified before anything is reconstructed.
+``dataset_*``
+    Record ids (int64), the attribute-value matrix (float64) and labels.
+``ads_*``
+    Scheme-specific arrays: for IFMH, the pre-order I-tree structure, the
+    shared permutation array, the flat Merkle arena (digest matrix + child
+    indices), per-subdomain root indices, intersection hashes and (multi
+    mode) per-subdomain signatures; for the mesh, cells, flattened regions
+    and the deduplicated pair-signature table.
+
+Versioning policy
+-----------------
+``format_version`` is bumped on any incompatible layout change; loaders
+accept exactly the versions they know (currently ``1``) and reject anything
+newer with a clear error instead of misreading it.  Unknown trailing arrays
+are ignored, so purely additive extensions may keep the version.
+
+Integrity
+---------
+Loading verifies (a) the whole-payload checksum and (b) that the stored
+root-of-roots digest matches one recomputed from the loaded arrays, so a
+truncated, bit-flipped or hand-edited artifact fails with
+:class:`~repro.core.errors.ConstructionError` rather than serving wrong
+answers.  These checks use plain (uncounted) SHA-256: they are file
+integrity, not ADS hashing, and the loaded structures' hash counters stay
+at zero.  Note the checks are *defence in depth* for operators -- a
+malicious server is still caught by client-side verification, exactly as in
+the paper's threat model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import zipfile
+from dataclasses import dataclass
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.core.config import SIGNATURE_MESH, SystemConfig
+from repro.core.errors import ConstructionError
+from repro.core.owner import DataOwner, PublicParameters, ServerPackage
+from repro.core.records import Dataset, Record
+from repro.ifmh.ifmh_tree import IFMHTree
+from repro.mesh.builder import SignatureMesh
+from repro.metrics.counters import Counters
+
+__all__ = [
+    "ARTIFACT_MAGIC",
+    "ARTIFACT_FORMAT_VERSION",
+    "LoadedArtifact",
+    "save_artifact",
+    "load_artifact",
+    "load_public_parameters",
+]
+
+#: Identifies the file as an ADS artifact (first field of the JSON header).
+ARTIFACT_MAGIC = "repro-ads-artifact"
+
+#: Current on-disk layout version (see the module docstring for the policy).
+ARTIFACT_FORMAT_VERSION = 1
+
+#: Layout versions this loader understands.
+SUPPORTED_FORMAT_VERSIONS = (1,)
+
+#: npz entry names reserved for the header (everything else is data).
+_META_KEY = "meta"
+_CHECKSUM_KEY = "checksum"
+
+
+@dataclass(frozen=True)
+class LoadedArtifact:
+    """A fully reconstructed artifact: server package + its build config."""
+
+    package: ServerPackage
+    config: SystemConfig
+    meta: Dict[str, Any]
+
+    @property
+    def dataset(self) -> Dataset:
+        return self.package.dataset
+
+    @property
+    def ads(self) -> Union[IFMHTree, SignatureMesh]:
+        return self.package.ads
+
+    @property
+    def public_parameters(self) -> PublicParameters:
+        return self.package.public_parameters
+
+
+# ---------------------------------------------------------------------------
+# Integrity digests
+# ---------------------------------------------------------------------------
+def _payload_checksum(meta_bytes: bytes, arrays: Dict[str, np.ndarray]) -> bytes:
+    """SHA-256 over the header and every data array (order-independent)."""
+    digest = hashlib.sha256()
+    digest.update(meta_bytes)
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.digest()
+
+
+def _ifmh_roots_digest(
+    arena_digests: np.ndarray, root_indices: np.ndarray, root_hash: bytes
+) -> str:
+    """Root-of-roots: every subdomain's FMH root digest plus the tree root."""
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(arena_digests[root_indices]).tobytes())
+    digest.update(root_hash)
+    return digest.hexdigest()
+
+
+def _mesh_roots_digest(signature_matrix: np.ndarray) -> str:
+    """Mesh equivalent of the root-of-roots: the unique signature table."""
+    return hashlib.sha256(
+        np.ascontiguousarray(signature_matrix).tobytes()
+    ).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Save
+# ---------------------------------------------------------------------------
+def _dataset_arrays(dataset: Dataset) -> Dict[str, np.ndarray]:
+    return {
+        "dataset_record_ids": np.asarray(
+            [record.record_id for record in dataset.records], dtype=np.int64
+        ),
+        "dataset_values": np.asarray(
+            [record.values for record in dataset.records], dtype=np.float64
+        ).reshape(len(dataset.records), len(dataset.attribute_names)),
+        "dataset_labels": np.asarray(
+            [record.label for record in dataset.records], dtype=np.str_
+        ),
+    }
+
+
+def save_artifact(owner: DataOwner, path: Union[str, "os.PathLike[str]"]) -> None:
+    """Write the owner's finished ADS to ``path`` as a versioned artifact.
+
+    The private signing key never leaves the owner: only signatures and the
+    public verification key are written.  Prefer calling this through
+    :meth:`repro.core.owner.DataOwner.publish`.
+    """
+    ads = owner.ads
+    arrays = _dataset_arrays(owner.dataset)
+    for name, array in ads.to_arrays().items():
+        arrays[f"ads_{name}"] = array
+
+    meta: Dict[str, Any] = {
+        "magic": ARTIFACT_MAGIC,
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "config": owner.config.to_dict(),
+        "public_parameters": owner.public_parameters().to_payload(),
+        "attribute_names": list(owner.dataset.attribute_names),
+        "counts": {
+            "records": len(owner.dataset),
+        },
+    }
+    if isinstance(ads, IFMHTree):
+        meta["itree_builder"] = ads.itree.builder
+        meta["root_signature"] = (
+            ads.root_signature.hex() if ads.root_signature is not None else None
+        )
+        meta["roots_digest"] = _ifmh_roots_digest(
+            arrays["ads_arena_digests"], arrays["ads_leaf_root_index"], ads.root_hash
+        )
+        meta["counts"]["subdomains"] = ads.subdomain_count
+        meta["counts"]["arena_nodes"] = int(arrays["ads_arena_digests"].shape[0])
+    else:
+        meta["roots_digest"] = _mesh_roots_digest(arrays["ads_sig_bytes"])
+        meta["counts"]["cells"] = ads.cell_count
+        meta["counts"]["signatures"] = ads.signature_count
+
+    meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
+    checksum = np.frombuffer(_payload_checksum(meta_bytes, arrays), dtype=np.uint8)
+    entries = {
+        _META_KEY: np.frombuffer(meta_bytes, dtype=np.uint8),
+        _CHECKSUM_KEY: checksum,
+        **arrays,
+    }
+    if hasattr(path, "write"):
+        np.savez(path, **entries)
+        return
+    # np.savez appends ".npz" to bare string paths; writing through an open
+    # handle keeps the caller's path verbatim.
+    with open(path, "wb") as stream:
+        np.savez(stream, **entries)
+
+
+# ---------------------------------------------------------------------------
+# Load
+# ---------------------------------------------------------------------------
+def _path_text(path) -> str:
+    return os.fspath(path) if not hasattr(path, "read") else "<buffer>"
+
+
+def _read_entries(path) -> Dict[str, np.ndarray]:
+    try:
+        with np.load(path, allow_pickle=False) as bundle:
+            return {name: bundle[name] for name in bundle.files}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, ValueError, KeyError, OSError, EOFError) as error:
+        raise ConstructionError(
+            f"cannot read ADS artifact {_path_text(path)!r}: "
+            f"file is not a readable artifact bundle ({error})"
+        ) from None
+
+
+def _parse_meta(entries: Dict[str, np.ndarray], path_text: str) -> Dict[str, Any]:
+    if _META_KEY not in entries or _CHECKSUM_KEY not in entries:
+        raise ConstructionError(
+            f"ADS artifact {path_text!r} is missing its header; "
+            "the file is truncated or not an artifact"
+        )
+    meta_bytes = entries[_META_KEY].tobytes()
+    try:
+        meta = json.loads(meta_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ConstructionError(
+            f"ADS artifact {path_text!r} has a corrupt header ({error})"
+        ) from None
+    if meta.get("magic") != ARTIFACT_MAGIC:
+        raise ConstructionError(
+            f"{path_text!r} is not an ADS artifact (bad magic {meta.get('magic')!r})"
+        )
+    version = meta.get("format_version")
+    if version not in SUPPORTED_FORMAT_VERSIONS:
+        raise ConstructionError(
+            f"ADS artifact {path_text!r} uses format version {version!r}; "
+            f"this build reads versions {SUPPORTED_FORMAT_VERSIONS}"
+        )
+    arrays = {
+        name: array
+        for name, array in entries.items()
+        if name not in (_META_KEY, _CHECKSUM_KEY)
+    }
+    expected = entries[_CHECKSUM_KEY].tobytes()
+    actual = _payload_checksum(meta_bytes, arrays)
+    if expected != actual:
+        raise ConstructionError(
+            f"ADS artifact {path_text!r} failed its integrity check "
+            "(truncated or tampered); refusing to load"
+        )
+    return meta
+
+
+def _rebuild_dataset(
+    entries: Dict[str, np.ndarray], attribute_names: tuple[str, ...]
+) -> Dataset:
+    record_ids = np.asarray(entries["dataset_record_ids"], dtype=np.int64).tolist()
+    values = np.asarray(entries["dataset_values"], dtype=np.float64).tolist()
+    labels = [str(label) for label in entries["dataset_labels"].tolist()]
+    records = [
+        Record(record_id=record_id, values=tuple(row), label=label)
+        for record_id, row, label in zip(record_ids, values, labels)
+    ]
+    return Dataset(attribute_names=attribute_names, records=records)
+
+
+def load_artifact(path: Union[str, "os.PathLike[str]"]) -> LoadedArtifact:
+    """Load, integrity-check and reconstruct a published ADS artifact.
+
+    Raises :class:`~repro.core.errors.ConstructionError` on truncated,
+    tampered or version-incompatible files.  The reconstruction re-hashes
+    nothing: the returned package's counters are zero and its structures
+    answer queries bit-identically to the build that was published.
+    """
+    path_text = _path_text(path)
+    entries = _read_entries(path)
+    meta = _parse_meta(entries, path_text)
+    config = SystemConfig.from_dict(meta["config"])
+    parameters = PublicParameters.from_payload(meta["public_parameters"])
+    dataset = _rebuild_dataset(entries, tuple(meta["attribute_names"]))
+    ads_arrays = {
+        name[len("ads_") :]: array
+        for name, array in entries.items()
+        if name.startswith("ads_")
+    }
+
+    if config.scheme == SIGNATURE_MESH:
+        mesh = SignatureMesh.from_arrays(
+            dataset, parameters.template, ads_arrays, config=config, counters=Counters()
+        )
+        if _mesh_roots_digest(ads_arrays["sig_bytes"]) != meta.get("roots_digest"):
+            raise ConstructionError(
+                f"ADS artifact {path_text!r}: stored signature-table digest does not "
+                "match the loaded arrays; refusing to load"
+            )
+        ads: Union[IFMHTree, SignatureMesh] = mesh
+    else:
+        root_signature_hex = meta.get("root_signature")
+        tree = IFMHTree.from_arrays(
+            dataset,
+            parameters.template,
+            ads_arrays,
+            config=config,
+            root_signature=(
+                bytes.fromhex(root_signature_hex) if root_signature_hex else None
+            ),
+            builder=meta.get("itree_builder", "auto"),
+            counters=Counters(),
+        )
+        recomputed = _ifmh_roots_digest(
+            ads_arrays["arena_digests"],
+            np.asarray(ads_arrays["leaf_root_index"], dtype=np.int64),
+            tree.root_hash,
+        )
+        if recomputed != meta.get("roots_digest"):
+            raise ConstructionError(
+                f"ADS artifact {path_text!r}: stored root-of-roots digest does not "
+                "match the digests recomputed from the loaded arrays; refusing to load"
+            )
+        ads = tree
+
+    package = ServerPackage(dataset=dataset, ads=ads, public_parameters=parameters)
+    return LoadedArtifact(package=package, config=config, meta=meta)
+
+
+def load_public_parameters(path: Union[str, "os.PathLike[str]"]) -> PublicParameters:
+    """Load only the public verification parameters from an artifact.
+
+    Runs the same header and whole-payload integrity checks as
+    :func:`load_artifact` but skips the (comparatively expensive) structure
+    reconstruction -- this is all a verifying client needs.
+    """
+    path_text = _path_text(path)
+    entries = _read_entries(path)
+    meta = _parse_meta(entries, path_text)
+    return PublicParameters.from_payload(meta["public_parameters"])
+
+
+# Re-exported for discoverability next to the loaders.
+def save_artifact_bytes(owner: DataOwner) -> bytes:
+    """In-memory variant of :func:`save_artifact` (tests, network shipping)."""
+    buffer = io.BytesIO()
+    save_artifact(owner, buffer)
+    return buffer.getvalue()

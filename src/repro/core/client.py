@@ -36,6 +36,20 @@ class Client:
         self.counters = Counters()
         self._counters_lock = threading.Lock()
 
+    @classmethod
+    def from_artifact(cls, path) -> "Client":
+        """Create a verifying client from a published ADS artifact.
+
+        Only the public parameters (template, schema, scheme, public
+        verification key) are read -- a client never needs the ADS arrays
+        themselves -- but the artifact's integrity checksum is still
+        verified, and a truncated or tampered file raises
+        :class:`~repro.core.errors.ConstructionError`.
+        """
+        from repro.core.artifact import load_public_parameters
+
+        return cls(load_public_parameters(path))
+
     # --------------------------------------------------------------- verify
     def verify(
         self,

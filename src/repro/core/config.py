@@ -1,0 +1,183 @@
+"""Unified system configuration for the outsourcing pipeline.
+
+Before this module existed, every layer of the build path --
+:meth:`repro.core.protocol.OutsourcedSystem.setup`,
+:class:`repro.core.owner.DataOwner`, :class:`repro.ifmh.IFMHTree`,
+:class:`repro.mesh.builder.SignatureMesh` and the benchmark harness --
+re-declared the same sprawl of eight-plus keyword arguments and forwarded
+them by hand.  :class:`SystemConfig` replaces that with one frozen,
+validated object that is threaded through the stack and echoed verbatim
+into published ADS artifacts (:mod:`repro.core.artifact`), so a server
+cold-started from disk knows exactly how its ADS was built.
+
+Every constructor that takes ``config=`` also keeps its legacy keyword
+arguments as a thin shim (see :func:`resolve_config`): passing the old
+kwargs builds a :class:`SystemConfig` behind the scenes, and passing both a
+config and explicit kwargs applies the kwargs as overrides on top of the
+config.  Existing call sites therefore keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.core.errors import ConstructionError
+
+__all__ = [
+    "ONE_SIGNATURE",
+    "MULTI_SIGNATURE",
+    "SIGNATURE_MESH",
+    "SCHEMES",
+    "BUILD_MODES",
+    "SystemConfig",
+    "resolve_config",
+]
+
+#: The two IFMH scheme names (mirrors :mod:`repro.ifmh.ifmh_tree`; declared
+#: here as plain strings so the config module sits below every other layer).
+ONE_SIGNATURE = "one-signature"
+MULTI_SIGNATURE = "multi-signature"
+
+#: Scheme name of the signature-mesh baseline.
+SIGNATURE_MESH = "signature-mesh"
+
+#: All supported verification schemes.
+SCHEMES = (ONE_SIGNATURE, MULTI_SIGNATURE, SIGNATURE_MESH)
+
+#: Supported I-tree construction strategies (mirrors
+#: :data:`repro.itree.itree.BUILDERS`, declared here to avoid an import
+#: cycle through the geometry stack).
+BUILD_MODES = ("incremental", "bulk", "balanced-incremental", "auto")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Frozen build configuration of one outsourced system.
+
+    Parameters
+    ----------
+    scheme:
+        ``"one-signature"``, ``"multi-signature"`` or ``"signature-mesh"``.
+    signature_algorithm:
+        ``"rsa"`` (default), ``"dsa"`` or ``"hmac"`` (test-only).
+    key_bits:
+        Key-size override passed to the signature scheme (``None`` = the
+        scheme's default).
+    bind_intersections:
+        IFMH hardening switch (see :class:`repro.ifmh.IFMHTree`).
+    share_signatures:
+        Mesh-only: enable the shared-signature optimization.
+    build_mode:
+        IFMH-only: I-tree construction strategy (``"auto"`` uses the
+        vectorized bulk build for the univariate interval configuration and
+        the paper's incremental insertion otherwise).
+    hash_consing:
+        IFMH-only: route FMH construction through the shared-structure
+        Merkle engine.  Bit-identical either way, only the physical SHA-256
+        work changes.
+    batch_hashing:
+        IFMH-only: level-order batched construction through the array
+        arena.  Requires ``hash_consing``; when ``hash_consing`` is off the
+        flag is normalized to ``False`` (the one place this implication is
+        enforced -- constructors no longer re-derive it).
+    tolerance:
+        Geometry-engine tolerance.  ``None`` selects the engine's default;
+        an explicit value -- **including 0.0** (exact comparisons) -- is
+        honoured as given, closing the trap where the tolerance could only
+        be set by hand-building a :class:`repro.geometry.engine.SplitEngine`.
+    """
+
+    scheme: str = ONE_SIGNATURE
+    signature_algorithm: str = "rsa"
+    key_bits: Optional[int] = None
+    bind_intersections: bool = True
+    share_signatures: bool = True
+    build_mode: str = "auto"
+    hash_consing: bool = True
+    batch_hashing: bool = True
+    tolerance: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ConstructionError(
+                f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}"
+            )
+        if self.build_mode not in BUILD_MODES:
+            raise ConstructionError(
+                f"unknown build_mode {self.build_mode!r}; expected one of {BUILD_MODES}"
+            )
+        if not isinstance(self.signature_algorithm, str) or not self.signature_algorithm:
+            raise ConstructionError(
+                f"signature_algorithm must be a scheme name, got {self.signature_algorithm!r}"
+            )
+        if self.key_bits is not None and self.key_bits <= 0:
+            raise ConstructionError(f"key_bits must be positive, got {self.key_bits}")
+        if self.tolerance is not None and self.tolerance < 0:
+            raise ConstructionError(f"tolerance must be >= 0, got {self.tolerance}")
+        # The one implication of the build flags: batched level-order
+        # hashing runs *inside* the shared-structure engine, so without
+        # hash-consing there is nothing to batch.  Normalized here once so
+        # no constructor needs its own ``batch_hashing and hash_consing``.
+        if self.batch_hashing and not self.hash_consing:
+            object.__setattr__(self, "batch_hashing", False)
+
+    # -------------------------------------------------------------- helpers
+    @property
+    def is_ifmh(self) -> bool:
+        """True for the two IFMH schemes (false for the mesh baseline)."""
+        return self.scheme in (ONE_SIGNATURE, MULTI_SIGNATURE)
+
+    def replace(self, **changes: Any) -> "SystemConfig":
+        """A copy of this config with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def make_engine(self, domain) -> "object":
+        """The geometry engine this configuration calls for.
+
+        Delegates to :func:`repro.geometry.engine.make_engine`, honouring an
+        explicit ``tolerance`` -- including ``0.0``.
+        """
+        from repro.geometry.engine import make_engine
+
+        return make_engine(domain, tolerance=self.tolerance)
+
+    # ------------------------------------------------------------ dict codec
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (echoed into published ADS artifacts)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SystemConfig":
+        """Rebuild a config from :meth:`to_dict` output (extra keys rejected)."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConstructionError(
+                f"unknown SystemConfig fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls(**data)
+
+
+def resolve_config(config: Optional[SystemConfig], **overrides: Any) -> SystemConfig:
+    """Merge a ``config=`` argument with legacy keyword arguments.
+
+    ``overrides`` maps field names to explicitly passed legacy kwargs;
+    entries whose value is ``None`` are treated as "not passed" (every
+    legacy kwarg shim defaults to ``None``).  With no config, the overrides
+    are applied on top of the :class:`SystemConfig` defaults; with a
+    config, they are applied on top of that config -- so
+    ``setup(config=cfg, scheme="multi-signature")`` means "cfg, but
+    multi-signature".
+    """
+    given = {name: value for name, value in overrides.items() if value is not None}
+    if config is None:
+        return SystemConfig(**given)
+    if not isinstance(config, SystemConfig):
+        raise ConstructionError(
+            f"config must be a SystemConfig, got {type(config).__name__}"
+        )
+    if not given:
+        return config
+    return config.replace(**given)

@@ -6,20 +6,29 @@ multi-signature IFMH or the signature-mesh baseline), packages the database
 plus the ADS for the cloud server, and publishes the public parameters
 (template, schema, public key, scheme configuration) that any data user
 needs in order to verify query results.
+
+Construction is configured by one :class:`repro.core.config.SystemConfig`
+object threaded through every layer; the legacy per-kwarg interface is kept
+as a thin shim on top of it.  :meth:`DataOwner.publish` writes the finished
+ADS to disk as a versioned artifact (:mod:`repro.core.artifact`) from which
+:meth:`repro.core.server.Server.from_artifact` cold-starts without
+rebuilding or re-hashing anything.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Union
 
-from repro.core.errors import ConstructionError
+from repro.core.config import SCHEMES, SIGNATURE_MESH, SystemConfig, resolve_config
 from repro.core.records import Dataset, UtilityTemplate
 from repro.crypto.hashing import HashFunction
+from repro.crypto.serialization import verifier_from_payload, verifier_to_payload
 from repro.crypto.signer import KeyPair, Verifier, make_signer
+from repro.geometry.domain import Domain
 from repro.geometry.engine import SplitEngine
-from repro.ifmh.ifmh_tree import IFMHTree, MULTI_SIGNATURE, ONE_SIGNATURE
+from repro.ifmh.ifmh_tree import IFMHTree
 from repro.mesh.builder import SignatureMesh
 from repro.metrics.counters import Counters
 from repro.metrics.sizes import DEFAULT_SIZE_MODEL, SizeModel
@@ -31,12 +40,6 @@ __all__ = [
     "ServerPackage",
     "DataOwner",
 ]
-
-#: Scheme name of the baseline (the two IFMH scheme names live in repro.ifmh).
-SIGNATURE_MESH = "signature-mesh"
-
-#: All supported verification schemes.
-SCHEMES = (ONE_SIGNATURE, MULTI_SIGNATURE, SIGNATURE_MESH)
 
 
 @dataclass(frozen=True)
@@ -55,10 +58,53 @@ class PublicParameters:
     verifier: Verifier
     bind_intersections: bool = True
 
+    # ---------------------------------------------------------- dict codec
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe form of the public parameters (artifact header)."""
+        template = self.template
+        return {
+            "template": {
+                "attributes": list(template.attributes),
+                "domain_lower": list(template.domain.lower),
+                "domain_upper": list(template.domain.upper),
+                "constant_attribute": template.constant_attribute,
+            },
+            "attribute_names": list(self.attribute_names),
+            "scheme": self.scheme,
+            "signature_algorithm": self.signature_algorithm,
+            "verifier": verifier_to_payload(self.verifier),
+            "bind_intersections": bool(self.bind_intersections),
+        }
 
-@dataclass
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "PublicParameters":
+        """Rebuild public parameters from :meth:`to_payload` output."""
+        template_data = payload["template"]
+        template = UtilityTemplate(
+            attributes=tuple(template_data["attributes"]),
+            domain=Domain(
+                lower=tuple(template_data["domain_lower"]),
+                upper=tuple(template_data["domain_upper"]),
+            ),
+            constant_attribute=template_data["constant_attribute"],
+        )
+        return cls(
+            template=template,
+            attribute_names=tuple(payload["attribute_names"]),
+            scheme=payload["scheme"],
+            signature_algorithm=payload["signature_algorithm"],
+            verifier=verifier_from_payload(payload["verifier"]),
+            bind_intersections=bool(payload["bind_intersections"]),
+        )
+
+
+@dataclass(frozen=True)
 class ServerPackage:
-    """What the data owner uploads to the cloud server."""
+    """What the data owner uploads to the cloud server.
+
+    Frozen: the package is a hand-off between trust domains, and nothing
+    downstream may swap its dataset, ADS or public parameters in place.
+    """
 
     dataset: Dataset
     ads: Union[IFMHTree, SignatureMesh]
@@ -72,6 +118,11 @@ class DataOwner:
     ----------
     dataset / template:
         The table to outsource and its published utility-function template.
+    config:
+        A :class:`repro.core.config.SystemConfig` bundling the scheme and
+        every build switch.  The remaining keyword arguments are the legacy
+        per-field interface: passed without a config they build one; passed
+        *with* a config they override the corresponding fields.
     scheme:
         ``"one-signature"``, ``"multi-signature"`` or ``"signature-mesh"``.
     signature_algorithm:
@@ -96,8 +147,11 @@ class DataOwner:
         level across all subdomain trees at once (array-backed arena +
         bulk hashing).  On by default; bit-identical to the node-at-a-time
         engine, only faster.  Requires ``hash_consing``.
+    tolerance:
+        Geometry-engine tolerance (``None`` = engine default; an explicit
+        ``0.0`` is honoured).
     engine:
-        Geometry engine override.
+        Geometry engine override (takes precedence over ``tolerance``).
     rng:
         Seeded random source for reproducible key generation.
     """
@@ -107,52 +161,64 @@ class DataOwner:
         dataset: Dataset,
         template: UtilityTemplate,
         *,
-        scheme: str = ONE_SIGNATURE,
-        signature_algorithm: str = "rsa",
+        config: Optional[SystemConfig] = None,
+        scheme: Optional[str] = None,
+        signature_algorithm: Optional[str] = None,
         key_bits: Optional[int] = None,
-        bind_intersections: bool = True,
-        share_signatures: bool = True,
-        build_mode: str = "auto",
-        hash_consing: bool = True,
-        batch_hashing: bool = True,
+        bind_intersections: Optional[bool] = None,
+        share_signatures: Optional[bool] = None,
+        build_mode: Optional[str] = None,
+        hash_consing: Optional[bool] = None,
+        batch_hashing: Optional[bool] = None,
+        tolerance: Optional[float] = None,
         engine: Optional[SplitEngine] = None,
         rng: Optional[random.Random] = None,
         counters: Optional[Counters] = None,
         keypair: Optional[KeyPair] = None,
     ):
-        if scheme not in SCHEMES:
-            raise ConstructionError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+        config = resolve_config(
+            config,
+            scheme=scheme,
+            signature_algorithm=signature_algorithm,
+            key_bits=key_bits,
+            bind_intersections=bind_intersections,
+            share_signatures=share_signatures,
+            build_mode=build_mode,
+            hash_consing=hash_consing,
+            batch_hashing=batch_hashing,
+            tolerance=tolerance,
+        )
+        self.config = config
         self.dataset = dataset
         self.template = template
-        self.scheme = scheme
-        self.bind_intersections = bind_intersections
+        self.scheme = config.scheme
+        self.bind_intersections = config.bind_intersections
         self.counters = counters or Counters()
-        self.keypair = keypair or make_signer(signature_algorithm, rng=rng, key_bits=key_bits)
+        self.keypair = keypair or make_signer(
+            config.signature_algorithm, rng=rng, key_bits=config.key_bits
+        )
         self.hash_function = HashFunction(self.counters)
-
-        if scheme in (ONE_SIGNATURE, MULTI_SIGNATURE):
+        # engine=None lets the ADS constructor derive one from the config
+        # (honouring config.tolerance); an explicit engine takes precedence.
+        if config.is_ifmh:
             self.ads: Union[IFMHTree, SignatureMesh] = IFMHTree(
                 dataset,
                 template,
-                mode=scheme,
+                config=config,
                 signer=self.keypair.signer,
                 hash_function=self.hash_function,
                 engine=engine,
                 counters=self.counters,
-                bind_intersections=bind_intersections,
-                build_mode=build_mode,
-                hash_consing=hash_consing,
-                batch_hashing=batch_hashing,
             )
         else:
             self.ads = SignatureMesh(
                 dataset,
                 template,
+                config=config,
                 signer=self.keypair.signer,
                 hash_function=self.hash_function,
                 engine=engine,
                 counters=self.counters,
-                share_signatures=share_signatures,
             )
 
     # ------------------------------------------------------------ publishing
@@ -174,6 +240,19 @@ class DataOwner:
             ads=self.ads,
             public_parameters=self.public_parameters(),
         )
+
+    def publish(self, path) -> None:
+        """Write the finished ADS to ``path`` as a versioned artifact.
+
+        The artifact is everything a cold-starting server (and any client)
+        needs: dataset, flat digest arrays, root indices, permutation
+        array, signatures and public parameters -- see
+        :mod:`repro.core.artifact` for the format.  Loading it back with
+        :meth:`repro.core.server.Server.from_artifact` re-hashes nothing.
+        """
+        from repro.core.artifact import save_artifact
+
+        save_artifact(self, path)
 
     # --------------------------------------------------------------- metrics
     @property

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.client import Client
+from repro.core.config import SystemConfig, resolve_config
 from repro.core.owner import DataOwner
 from repro.core.queries import AnalyticQuery
 from repro.core.records import Dataset, UtilityTemplate
@@ -28,9 +29,14 @@ __all__ = ["OutsourcedSystem"]
 
 @dataclass
 class OutsourcedSystem:
-    """A wired-up owner / server / client triple."""
+    """A wired-up owner / server / client triple.
 
-    owner: DataOwner
+    ``owner`` is ``None`` for systems cold-started from a published
+    artifact (:meth:`from_artifact`): the artifact carries no private key,
+    so there is no owner to impersonate.
+    """
+
+    owner: Optional[DataOwner]
     server: Server
     client: Client
 
@@ -40,21 +46,31 @@ class OutsourcedSystem:
         dataset: Dataset,
         template: UtilityTemplate,
         *,
-        scheme: str = "one-signature",
-        signature_algorithm: str = "rsa",
+        config: Optional[SystemConfig] = None,
+        scheme: Optional[str] = None,
+        signature_algorithm: Optional[str] = None,
         key_bits: Optional[int] = None,
-        bind_intersections: bool = True,
-        share_signatures: bool = True,
-        build_mode: str = "auto",
-        hash_consing: bool = True,
-        batch_hashing: bool = True,
+        bind_intersections: Optional[bool] = None,
+        share_signatures: Optional[bool] = None,
+        build_mode: Optional[str] = None,
+        hash_consing: Optional[bool] = None,
+        batch_hashing: Optional[bool] = None,
+        tolerance: Optional[float] = None,
         engine: Optional[SplitEngine] = None,
         rng: Optional[random.Random] = None,
     ) -> "OutsourcedSystem":
-        """Build the owner's ADS, hand it to a server and create a client."""
-        owner = DataOwner(
-            dataset,
-            template,
+        """Build the owner's ADS, hand it to a server and create a client.
+
+        Configuration is one :class:`~repro.core.config.SystemConfig`
+        threaded through every layer; the individual keyword arguments
+        remain as a shim (without ``config`` they build one, with
+        ``config`` they override its fields).  ``tolerance`` reaches the
+        geometry engine through the config, so exact comparisons
+        (``tolerance=0.0``) no longer require hand-building a
+        :class:`~repro.geometry.engine.SplitEngine`.
+        """
+        config = resolve_config(
+            config,
             scheme=scheme,
             signature_algorithm=signature_algorithm,
             key_bits=key_bits,
@@ -63,12 +79,29 @@ class OutsourcedSystem:
             build_mode=build_mode,
             hash_consing=hash_consing,
             batch_hashing=batch_hashing,
-            engine=engine,
-            rng=rng,
+            tolerance=tolerance,
         )
+        owner = DataOwner(dataset, template, config=config, engine=engine, rng=rng)
         server = Server(owner.outsource())
         client = Client(owner.public_parameters())
         return cls(owner=owner, server=server, client=client)
+
+    @classmethod
+    def from_artifact(cls, path) -> "OutsourcedSystem":
+        """Cold-start a server/client pair from a published ADS artifact.
+
+        The returned system has no :attr:`owner` (the private key never
+        ships in an artifact); queries and verification work exactly as in
+        an in-process system.
+        """
+        from repro.core.artifact import load_artifact
+
+        loaded = load_artifact(path)
+        return cls(
+            owner=None,
+            server=Server(loaded.package),
+            client=Client(loaded.public_parameters),
+        )
 
     # ------------------------------------------------------------- pipeline
     def query_and_verify(
@@ -97,4 +130,4 @@ class OutsourcedSystem:
 
     @property
     def scheme(self) -> str:
-        return self.owner.scheme
+        return self.server.scheme

@@ -81,6 +81,24 @@ class Server:
         self.score_cache_hits = 0
         self.score_cache_misses = 0
 
+    @classmethod
+    def from_artifact(
+        cls, path, score_cache_size: int = DEFAULT_SCORE_CACHE_SIZE
+    ) -> "Server":
+        """Cold-start a server from a published ADS artifact on disk.
+
+        The artifact (written by :meth:`repro.core.owner.DataOwner.publish`)
+        is integrity-checked and reconstructed without re-hashing anything;
+        the resulting server answers queries with verdicts, verification
+        objects and cost counters bit-identical to one handed the same ADS
+        in process.  Raises
+        :class:`~repro.core.errors.ConstructionError` for truncated,
+        tampered or version-incompatible files.
+        """
+        from repro.core.artifact import load_artifact
+
+        return cls(load_artifact(path).package, score_cache_size=score_cache_size)
+
     # ----------------------------------------------------------- execution
     def execute(self, query: AnalyticQuery, counters: Optional[Counters] = None) -> QueryExecution:
         """Process a query and build its verification object.

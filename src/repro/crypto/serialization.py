@@ -6,12 +6,22 @@ an unambiguous, deterministic encoding: every value is prefixed with a type
 tag and a length so concatenation ambiguities (the classic ``H(a | b)``
 pitfall) cannot occur, and floating point values are encoded from their IEEE
 754 bit pattern so the encoding is exact.
+
+This module also hosts the *verification-key codec* used by published ADS
+artifacts (:mod:`repro.core.artifact`): :func:`verifier_to_payload` turns a
+:class:`repro.crypto.signer.Verifier` into a JSON-safe dict of public key
+material, and :func:`verifier_from_payload` rebuilds a verify-only object
+from it.  Only public information crosses this boundary for the public-key
+schemes; the test-only ``"hmac"`` scheme is symmetric, so its payload
+necessarily contains the shared secret (never use it when the artifact
+leaves a trusted machine).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
 
 __all__ = [
     "encode_int",
@@ -20,6 +30,8 @@ __all__ = [
     "encode_bytes",
     "encode_float_vector",
     "encode_sequence",
+    "verifier_to_payload",
+    "verifier_from_payload",
 ]
 
 _TAG_INT = b"\x01"
@@ -66,3 +78,88 @@ def encode_sequence(parts: Iterable[bytes]) -> bytes:
     """Encode a sequence of already-encoded parts as a composite blob."""
     payload = b"".join(parts)
     return _with_length(_TAG_SEQ, payload)
+
+
+# ---------------------------------------------------------------------------
+# Verification-key codec (ADS artifacts)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class LoadedRSAVerifier:
+    """Verify-only RSA key rebuilt from an artifact (public material only)."""
+
+    public: "object"  # repro.crypto.rsa.RSAPublicKey
+    scheme: str = "rsa"
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return self.public.verify(message, signature)
+
+    @property
+    def signature_size(self) -> int:
+        return self.public.signature_size
+
+
+@dataclass(frozen=True)
+class LoadedDSAVerifier:
+    """Verify-only DSA key rebuilt from an artifact (public material only)."""
+
+    public: "object"  # repro.crypto.dsa.DSAPublicKey
+    scheme: str = "dsa"
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return self.public.verify(message, signature)
+
+    @property
+    def signature_size(self) -> int:
+        return self.public.signature_size
+
+
+def verifier_to_payload(verifier: "object") -> Dict[str, str]:
+    """JSON-safe public-key material of a verifier.
+
+    Large integers are encoded as lowercase hex strings.  Raises
+    :class:`TypeError` for verifier objects whose key material cannot be
+    introspected (custom registered schemes must provide their own codec).
+    """
+    scheme = getattr(verifier, "scheme", None)
+    if scheme == "rsa":
+        public = verifier.public if hasattr(verifier, "public") else verifier.keypair.public
+        return {"scheme": "rsa", "n": format(public.n, "x"), "e": format(public.e, "x")}
+    if scheme == "dsa":
+        public = verifier.public if hasattr(verifier, "public") else verifier.keypair.public
+        params = public.parameters
+        return {
+            "scheme": "dsa",
+            "p": format(params.p, "x"),
+            "q": format(params.q, "x"),
+            "g": format(params.g, "x"),
+            "y": format(public.y, "x"),
+        }
+    if scheme == "hmac":
+        return {"scheme": "hmac", "key": verifier.key.hex()}
+    raise TypeError(f"cannot serialize verifier for scheme {scheme!r}")
+
+
+def verifier_from_payload(payload: Dict[str, str]) -> "object":
+    """Rebuild a verify-only object from :func:`verifier_to_payload` output."""
+    scheme = payload.get("scheme")
+    if scheme == "rsa":
+        from repro.crypto.rsa import RSAPublicKey
+
+        return LoadedRSAVerifier(
+            public=RSAPublicKey(n=int(payload["n"], 16), e=int(payload["e"], 16))
+        )
+    if scheme == "dsa":
+        from repro.crypto.dsa import DSAParameters, DSAPublicKey
+
+        parameters = DSAParameters(
+            p=int(payload["p"], 16), q=int(payload["q"], 16), g=int(payload["g"], 16)
+        )
+        return LoadedDSAVerifier(
+            public=DSAPublicKey(parameters=parameters, y=int(payload["y"], 16))
+        )
+    if scheme == "hmac":
+        # Symmetric, so the rebuilt verifier IS the scheme's own verifier.
+        from repro.crypto.signer import _HMACVerifier
+
+        return _HMACVerifier(key=bytes.fromhex(payload["key"]))
+    raise TypeError(f"cannot rebuild verifier for scheme {scheme!r}")

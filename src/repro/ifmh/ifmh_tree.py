@@ -21,6 +21,12 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.core.config import (
+    MULTI_SIGNATURE,
+    ONE_SIGNATURE,
+    SystemConfig,
+    resolve_config,
+)
 from repro.core.errors import ConstructionError
 from repro.core.records import Dataset, Record, UtilityTemplate
 from repro.crypto.hashing import HashFunction
@@ -29,16 +35,13 @@ from repro.geometry.engine import SplitEngine
 from repro.itree.itree import ITree, SearchTrace
 from repro.itree.nodes import ITreeNode
 from repro.itree.permutation import PermutedView
-from repro.merkle.arena import ArenaMerkleTree
+from repro.merkle.arena import ArenaMerkleTree, MerkleArena, arena_from_level_trees
 from repro.merkle.engine import MerkleBuildEngine
 from repro.merkle.fmh_tree import FMHTree, MAX_TOKEN, MIN_TOKEN
 from repro.metrics.counters import Counters
 from repro.metrics.sizes import DEFAULT_SIZE_MODEL, SizeModel
 
 __all__ = ["IFMHTree", "ONE_SIGNATURE", "MULTI_SIGNATURE"]
-
-ONE_SIGNATURE = "one-signature"
-MULTI_SIGNATURE = "multi-signature"
 
 
 class IFMHTree:
@@ -97,39 +100,37 @@ class IFMHTree:
         dataset: Dataset,
         template: UtilityTemplate,
         *,
-        mode: str = ONE_SIGNATURE,
+        config: Optional[SystemConfig] = None,
+        mode: Optional[str] = None,
         signer: Optional[Signer] = None,
         hash_function: Optional[HashFunction] = None,
         engine: Optional[SplitEngine] = None,
         counters: Optional[Counters] = None,
-        bind_intersections: bool = True,
-        build_mode: str = "auto",
-        hash_consing: bool = True,
-        batch_hashing: bool = True,
+        bind_intersections: Optional[bool] = None,
+        build_mode: Optional[str] = None,
+        hash_consing: Optional[bool] = None,
+        batch_hashing: Optional[bool] = None,
     ):
-        if mode not in (ONE_SIGNATURE, MULTI_SIGNATURE):
+        if mode is not None and mode not in (ONE_SIGNATURE, MULTI_SIGNATURE):
             raise ConstructionError(
                 f"unknown IFMH mode {mode!r}; expected {ONE_SIGNATURE!r} or {MULTI_SIGNATURE!r}"
             )
-        if len(dataset) == 0:
-            raise ConstructionError("cannot build an IFMH-tree over an empty dataset")
-        self.dataset = dataset
-        self.template = template
-        self.mode = mode
-        self.bind_intersections = bind_intersections
-        self.counters = counters or Counters()
-        self.hash_function = hash_function or HashFunction(self.counters)
-        self.signer = signer
-        self.hash_consing = hash_consing
-        self.batch_hashing = batch_hashing and hash_consing
-        self.records_by_id: Dict[int, Record] = {}
-        for record in dataset:
-            if record.record_id in self.records_by_id:
-                raise ConstructionError(
-                    f"duplicate record id {record.record_id} in dataset; every record "
-                    "must have a unique id for the FMH leaf lists to be well-defined"
-                )
-            self.records_by_id[record.record_id] = record
+        config = resolve_config(
+            config,
+            scheme=mode,
+            bind_intersections=bind_intersections,
+            build_mode=build_mode,
+            hash_consing=hash_consing,
+            batch_hashing=batch_hashing,
+        )
+        if not config.is_ifmh:
+            raise ConstructionError(
+                f"unknown IFMH mode {config.scheme!r}; expected "
+                f"{ONE_SIGNATURE!r} or {MULTI_SIGNATURE!r}"
+            )
+        self._init_common(dataset, template, config, counters, hash_function, signer)
+        if engine is None and config.tolerance is not None:
+            engine = config.make_engine(template.domain)
 
         functions = template.functions_for(dataset)
         self.itree = ITree(
@@ -137,9 +138,9 @@ class IFMHTree:
             template.domain,
             engine=engine,
             counters=self.counters,
-            builder=build_mode,
+            builder=config.build_mode,
         )
-        engine = MerkleBuildEngine(batched=self.batch_hashing) if hash_consing else None
+        engine = MerkleBuildEngine(batched=self.batch_hashing) if self.hash_consing else None
         self._attach_fmh_trees(engine)
         self._propagate_hashes()
         #: Hit/size statistics of the construction engine's tables (``None``
@@ -152,6 +153,41 @@ class IFMHTree:
         self.root_signature: Optional[bytes] = None
         if signer is not None:
             self._sign(signer)
+
+    def _init_common(
+        self,
+        dataset: Dataset,
+        template: UtilityTemplate,
+        config: SystemConfig,
+        counters: Optional[Counters],
+        hash_function: Optional[HashFunction],
+        signer: Optional[Signer],
+    ) -> None:
+        """State shared by fresh construction and artifact reconstruction."""
+        if len(dataset) == 0:
+            raise ConstructionError("cannot build an IFMH-tree over an empty dataset")
+        self.config = config
+        self.dataset = dataset
+        self.template = template
+        self.mode = config.scheme
+        self.bind_intersections = config.bind_intersections
+        self.counters = counters or Counters()
+        self.hash_function = hash_function or HashFunction(self.counters)
+        self.signer = signer
+        self.hash_consing = config.hash_consing
+        self.batch_hashing = config.batch_hashing
+        #: Set only on artifact-loaded trees: the shared arena plus the
+        #: per-subdomain data needed to attach a leaf's FMH view on first
+        #: use (queries touch a handful of subdomains; the rest never pay).
+        self._lazy_forest = None
+        self.records_by_id: Dict[int, Record] = {}
+        for record in dataset:
+            if record.record_id in self.records_by_id:
+                raise ConstructionError(
+                    f"duplicate record id {record.record_id} in dataset; every record "
+                    "must have a unique id for the FMH leaf lists to be well-defined"
+                )
+            self.records_by_id[record.record_id] = record
 
     # ------------------------------------------------------------- step 2
     def _attach_fmh_trees(self, engine: Optional[MerkleBuildEngine]) -> None:
@@ -263,8 +299,182 @@ class IFMHTree:
         result with the subdomain node's hash (its FMH root) and hashes
         again; the final digest is what gets signed.
         """
+        if self._lazy_forest is not None:
+            self._ensure_leaf(leaf)
         inequality_hash = self.hash_function.digest(leaf.region.constraint_bytes())
         return self.hash_function.combine(inequality_hash, leaf.hash_value)
+
+    # --------------------------------------------------------------- codecs
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Serialize the full ADS into flat arrays (artifact export).
+
+        The result bundles the I-tree structure arrays
+        (:meth:`repro.itree.itree.ITree.to_arrays`), the FMH forest in
+        arena form (``arena_*`` plus one root index per subdomain, in
+        subdomain order), every intersection node's hash (pre-order) and --
+        in multi-signature mode -- the per-subdomain signatures.  Builds
+        that did not go through the batched engine are re-encoded into an
+        equivalent arena by value, without hashing anything
+        (:func:`repro.merkle.arena.arena_from_level_trees`).
+        """
+        leaves = list(self._materialized_leaves())
+        arrays = self.itree.to_arrays()
+        first_tree = leaves[0].fmh_tree.tree
+        if isinstance(first_tree, ArenaMerkleTree):
+            arena = first_tree.arena
+            root_indices = np.fromiter(
+                (leaf.fmh_tree.tree.root_index for leaf in leaves),
+                dtype=np.int64,
+                count=len(leaves),
+            )
+        else:
+            arena, root_indices = arena_from_level_trees(
+                [leaf.fmh_tree.tree for leaf in leaves]
+            )
+        arena_arrays = arena.to_arrays()
+        arrays["arena_digests"] = arena_arrays["digests"]
+        # Child indices fit int32 far below the arena's 2^32-node cap; the
+        # loader widens back to int64.  Halves the on-disk index volume.
+        child_dtype = np.int32 if len(arena) < 2**31 else np.int64
+        arrays["arena_left"] = arena_arrays["left"].astype(child_dtype)
+        arrays["arena_right"] = arena_arrays["right"].astype(child_dtype)
+        arrays["leaf_root_index"] = root_indices.astype(child_dtype)
+
+        intersection_hashes = [
+            node.hash_value for node in self.itree.root.iter_subtree() if node.is_intersection
+        ]
+        blob = b"".join(intersection_hashes)
+        arrays["intersection_hash"] = np.frombuffer(blob, dtype=np.uint8).reshape(
+            len(intersection_hashes), self.hash_function.digest_size
+        )
+        if self.mode == MULTI_SIGNATURE:
+            signatures = [leaf.signature for leaf in leaves]
+            if any(signature is None for signature in signatures):
+                raise ConstructionError("cannot serialize an unsigned multi-signature tree")
+            sizes = {len(signature) for signature in signatures}
+            if len(sizes) != 1:
+                raise ConstructionError("subdomain signatures disagree on size")
+            arrays["leaf_signature"] = np.frombuffer(
+                b"".join(signatures), dtype=np.uint8
+            ).reshape(len(signatures), sizes.pop())
+        return arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        dataset: Dataset,
+        template: UtilityTemplate,
+        arrays: Dict[str, np.ndarray],
+        *,
+        config: SystemConfig,
+        root_signature: Optional[bytes] = None,
+        builder: str = "auto",
+        counters: Optional[Counters] = None,
+        engine: Optional[SplitEngine] = None,
+    ) -> "IFMHTree":
+        """Rebuild a fully functional tree from :meth:`to_arrays` output.
+
+        **Nothing is re-hashed**: every digest (subdomain FMH roots,
+        intersection hashes, the signed root) comes straight out of the
+        loaded arrays, so the fresh counters attached to the returned tree
+        stay at zero and subsequent queries produce verification objects
+        and cost counters bit-identical to the original in-process build.
+        Per-subdomain FMH views (and lazily loaded leaf regions) attach on
+        first query touch -- a cold-started server pays for the subdomains
+        it serves, not the whole forest.  The private signing key never
+        ships in an artifact, so the loaded tree carries signatures but no
+        signer.
+        """
+        if not config.is_ifmh:
+            raise ConstructionError(
+                f"IFMH arrays require an IFMH scheme, got {config.scheme!r}"
+            )
+        self = cls.__new__(cls)
+        self._init_common(dataset, template, config, counters, None, None)
+        self.merkle_engine_stats = None
+        if engine is None:
+            engine = config.make_engine(template.domain)
+        functions = template.functions_for(dataset)
+        self.itree = ITree.from_arrays(
+            functions,
+            template.domain,
+            arrays,
+            engine=engine,
+            counters=self.counters,
+            builder=builder,
+        )
+        internal_nodes = self.itree.loaded_internal_nodes
+        leaf_nodes = self.itree.loaded_leaf_nodes
+
+        arena = MerkleArena.from_arrays(
+            arrays["arena_digests"], arrays["arena_left"], arrays["arena_right"]
+        )
+        root_index_array = np.asarray(arrays["leaf_root_index"], dtype=np.int64)
+        if root_index_array.shape[0] != len(leaf_nodes):
+            raise ConstructionError(
+                "artifact root-index array does not cover every subdomain"
+            )
+        if root_index_array.size and (
+            root_index_array.min() < 0 or root_index_array.max() >= len(arena)
+        ):
+            raise ConstructionError("artifact root indices reference nonexistent nodes")
+        digest_size = self.hash_function.digest_size
+        intersection_matrix = np.ascontiguousarray(
+            arrays["intersection_hash"], dtype=np.uint8
+        )
+        if intersection_matrix.shape != (len(internal_nodes), digest_size):
+            raise ConstructionError("artifact hash arrays do not match the I-tree shape")
+
+        # Stored hashes are attached in bulk: one blob slice per node, no
+        # tree traversal (the loaders kept pre-order node lists).
+        intersection_blob = intersection_matrix.tobytes()
+        for position, node in enumerate(internal_nodes):
+            start = position * digest_size
+            node.hash_value = intersection_blob[start : start + digest_size]
+        root_blob = arena.digests[root_index_array].tobytes()
+        for position, node in enumerate(leaf_nodes):
+            start = position * digest_size
+            node.hash_value = root_blob[start : start + digest_size]
+        if self.mode == MULTI_SIGNATURE:
+            matrix = np.ascontiguousarray(arrays["leaf_signature"], dtype=np.uint8)
+            if matrix.shape[0] != len(leaf_nodes):
+                raise ConstructionError(
+                    "multi-signature artifact carries a signature count that does "
+                    "not match its subdomain count"
+                )
+            width = matrix.shape[1]
+            signature_blob = matrix.tobytes()
+            for position, node in enumerate(leaf_nodes):
+                node.signature = signature_blob[position * width : (position + 1) * width]
+
+        ordered_records = [self.records_by_id[f.index] for f in self.itree.shared_order.functions]
+        self._lazy_forest = (
+            arena,
+            len(ordered_records) + 2,
+            ordered_records,
+            root_index_array.tolist(),
+        )
+        self.root_signature = root_signature
+        return self
+
+    def _ensure_leaf(self, leaf: ITreeNode) -> None:
+        """Attach a lazily loaded subdomain's region and FMH view (idempotent)."""
+        if leaf.fmh_tree is not None or self._lazy_forest is None:
+            return
+        self.itree.materialize_leaf(leaf)
+        arena, fmh_leaf_count, ordered_records, root_indices = self._lazy_forest
+        view = ArenaMerkleTree(
+            arena, root_indices[leaf.subdomain_id], fmh_leaf_count, self.hash_function
+        )
+        ordered = leaf.sorted_functions
+        sorted_records = PermutedView(ordered_records, ordered.row, ordered.row_index)
+        leaf.fmh_tree = FMHTree.from_prebuilt(sorted_records, view, self.hash_function)
+
+    def _materialized_leaves(self):
+        """All subdomain leaves, forcing lazy attachment (metrics paths)."""
+        for leaf in self.itree.leaves():
+            self._ensure_leaf(leaf)
+            yield leaf
 
     # ------------------------------------------------------------ accessors
     @property
@@ -285,7 +495,7 @@ class IFMHTree:
     @property
     def fmh_node_count(self) -> int:
         """Total nodes across every FMH-tree."""
-        return sum(leaf.fmh_tree.node_count for leaf in self.itree.leaves())
+        return sum(leaf.fmh_tree.node_count for leaf in self._materialized_leaves())
 
     @property
     def node_count(self) -> int:
@@ -294,16 +504,29 @@ class IFMHTree:
 
     @property
     def signature_count(self) -> int:
-        """Number of signatures the data owner created (Fig. 5a)."""
-        if self.signer is None:
-            return 0
+        """Number of signatures the structure carries (Fig. 5a).
+
+        Counts what is actually attached, so artifact-loaded trees (which
+        carry signatures but no signer) report the same number as the
+        build that published them.
+        """
         if self.mode == ONE_SIGNATURE:
-            return 1
+            return 0 if self.root_signature is None else 1
+        if self.signer is None and self._lazy_forest is None:
+            return 0
         return self.subdomain_count
 
     def search(self, weights: Sequence[float], counters: Optional[Counters] = None) -> SearchTrace:
-        """Locate the subdomain containing ``weights`` (delegates to the I-tree)."""
-        return self.itree.search(weights, counters=counters)
+        """Locate the subdomain containing ``weights`` (delegates to the I-tree).
+
+        On artifact-loaded trees the landed subdomain's FMH view and region
+        are attached here, so every consumer of the returned trace sees a
+        fully materialized leaf.
+        """
+        trace = self.itree.search(weights, counters=counters)
+        if self._lazy_forest is not None:
+            self._ensure_leaf(trace.leaf)
+        return trace
 
     def leaf_scores(self, leaf: ITreeNode, weights: Sequence[float]) -> np.ndarray:
         """Scores of a subdomain's sorted functions at ``weights``, as one matvec.
@@ -352,7 +575,7 @@ class IFMHTree:
             + size_model.hash_size
         ) + self.subdomain_count * (2 * size_model.pointer_size + size_model.hash_size)
         fmh_bytes = self.fmh_node_count * (size_model.hash_size + 3 * size_model.pointer_size)
-        record_refs = sum(leaf.fmh_tree.item_count for leaf in self.itree.leaves())
+        record_refs = sum(leaf.fmh_tree.item_count for leaf in self._materialized_leaves())
         list_bytes = record_refs * size_model.pointer_size
         signature_bytes = self.signature_count * size_model.signature_size
         return {

@@ -32,13 +32,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.errors import ConstructionError, QueryProcessingError
 from repro.geometry.arrangement import pairwise_hyperplanes, univariate_breakpoints
-from repro.geometry.domain import Domain, Region
+from repro.geometry.domain import ABOVE, BELOW, Constraint, Domain, Region
 from repro.geometry.engine import IntervalEngine, SplitEngine, make_engine
 from repro.geometry.functions import COEFFICIENT_TOLERANCE, Hyperplane, LinearFunction
 from repro.geometry.sorting import sort_functions_at
@@ -130,6 +130,8 @@ class ITree:
         #: One shared 2-D permutation array covering every leaf's sorted
         #: order (set by leaf finalization; leaves hold lazy views into it).
         self.shared_order: Optional[SharedFunctionOrder] = None
+        #: Set only on artifact-loaded trees (see :meth:`from_arrays`).
+        self._lazy_leaf_data = None
         self._subdomain_count: Optional[int] = None
         self._node_count: Optional[int] = None
         if builder == "bulk":
@@ -341,6 +343,229 @@ class ITree:
             leaf.sorted_functions = self.shared_order.view(row)
         self._assign_subdomain_ids()
 
+    # --------------------------------------------------------------- codecs
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Serialize the tree's structure into flat arrays (artifact export).
+
+        The tree is written in pre-order (the :meth:`ITreeNode.iter_subtree`
+        order: node, above-subtree, below-subtree).  ``node_is_leaf`` has
+        one entry per node; hyperplane columns have one entry per
+        intersection node (in pre-order-internal order) and the leaf
+        columns one entry per subdomain (in pre-order-leaf order, which is
+        subdomain-id order).  Regions are *not* stored: they are fully
+        determined by the descent and rebuilt bit-identically by
+        :meth:`from_arrays`.
+        """
+        if self.shared_order is None:
+            raise ConstructionError("cannot serialize an unfinalized I-tree")
+        if self._lazy_leaf_data is not None:
+            # Re-publishing a loaded tree: every leaf must be materialized
+            # so its witness and sorted view can be read back out.
+            for leaf in self.loaded_leaf_nodes:
+                self.materialize_leaf(leaf)
+        dimension = self.domain.dimension
+        flags: list[int] = []
+        hyper_i: list[int] = []
+        hyper_j: list[int] = []
+        hyper_normal: list[tuple[float, ...]] = []
+        hyper_offset: list[float] = []
+        leaf_witness: list[tuple[float, ...]] = []
+        leaf_row: list[int] = []
+        for node in self.root.iter_subtree():
+            if node.is_subdomain:
+                flags.append(1)
+                leaf_witness.append(node.witness)
+                leaf_row.append(node.sorted_functions.row_index)
+            else:
+                flags.append(0)
+                hyper_i.append(node.hyperplane.i)
+                hyper_j.append(node.hyperplane.j)
+                hyper_normal.append(node.hyperplane.normal)
+                hyper_offset.append(node.hyperplane.offset)
+        arrays = {
+            "node_is_leaf": np.asarray(flags, dtype=np.uint8),
+            "hyper_i": np.asarray(hyper_i, dtype=np.int64),
+            "hyper_j": np.asarray(hyper_j, dtype=np.int64),
+            "hyper_normal": np.asarray(hyper_normal, dtype=np.float64).reshape(
+                len(hyper_offset), dimension
+            ),
+            "hyper_offset": np.asarray(hyper_offset, dtype=np.float64),
+            "leaf_witness": np.asarray(leaf_witness, dtype=np.float64).reshape(
+                len(leaf_row), dimension
+            ),
+            "leaf_row": np.asarray(leaf_row, dtype=np.int64),
+        }
+        arrays.update(_encode_permutation(self.shared_order.permutation))
+        return arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        functions: Sequence[LinearFunction],
+        domain: Domain,
+        arrays: Dict[str, np.ndarray],
+        *,
+        engine: Optional[SplitEngine] = None,
+        counters: Optional[Counters] = None,
+        builder: str = "auto",
+    ) -> "ITree":
+        """Rebuild a finalized tree from :meth:`to_arrays` output.
+
+        No geometry engine runs and nothing is hashed.  The node skeleton
+        (structure + hyperplanes -- everything a search touches) is built
+        eagerly; per-leaf state (region, witness, sorted-function view) is
+        *lazy*: :meth:`materialize_leaf` derives it on first use with the
+        same arithmetic the construction-time splits used (the interval
+        rule of :class:`~repro.geometry.engine.IntervalEngine` for d = 1,
+        plain constraint accumulation for the LP configuration), so every
+        materialized region's constraint set -- and therefore every
+        multi-signature subdomain digest -- is bit-identical to the
+        original build's.  Queries touch a handful of subdomains, so a
+        cold-started server never pays for the other hundred thousand;
+        intermediate node regions stay ``None`` (nothing reads them after
+        construction).  Loaded nodes are exposed in pre-order via
+        :attr:`loaded_internal_nodes` / :attr:`loaded_leaf_nodes` so the
+        IFMH layer can attach stored hashes without another traversal.
+        """
+        self = cls.__new__(cls)
+        self.functions = list(functions)
+        self.domain = domain
+        self.engine = engine or make_engine(domain)
+        self.counters = counters or Counters()
+        self.builder = builder
+        self._insertion_checks = 0
+        ordered_functions = sorted(self.functions, key=lambda f: f.index)
+        permutation = _decode_permutation(arrays)
+        self.shared_order = SharedFunctionOrder(ordered_functions, permutation)
+
+        flags = np.asarray(arrays["node_is_leaf"], dtype=np.uint8).tolist()
+        hyper_i = np.asarray(arrays["hyper_i"], dtype=np.int64).tolist()
+        hyper_j = np.asarray(arrays["hyper_j"], dtype=np.int64).tolist()
+        hyper_normal = np.asarray(arrays["hyper_normal"], dtype=np.float64).tolist()
+        hyper_offset = np.asarray(arrays["hyper_offset"], dtype=np.float64).tolist()
+        leaf_witness = np.asarray(arrays["leaf_witness"], dtype=np.float64).tolist()
+        leaf_row = np.asarray(arrays["leaf_row"], dtype=np.int64).tolist()
+        internal_count = len(hyper_offset)
+        leaf_count = len(leaf_row)
+        if len(flags) != internal_count + leaf_count:
+            raise ConstructionError(
+                f"I-tree arrays disagree: {len(flags)} nodes vs "
+                f"{internal_count} internal + {leaf_count} leaves"
+            )
+        if leaf_count != permutation.shape[0]:
+            raise ConstructionError(
+                f"I-tree arrays disagree: {leaf_count} leaves vs "
+                f"{permutation.shape[0]} permutation rows"
+            )
+
+        # Hot loop: one node object per array entry, nothing else.  The
+        # fast constructors skip (frozen) dataclass __init__ machinery; the
+        # values come straight from the validated arrays.
+        new_hyperplane = Hyperplane.__new__
+        set_frozen = object.__setattr__
+        root = ITreeNode(region=Region.full(domain))
+        internal_nodes: list[ITreeNode] = []
+        leaf_nodes: list[ITreeNode] = []
+        stack = [root]
+        pop = stack.pop
+        push = stack.append
+        internal_cursor = 0
+        leaf_cursor = 0
+        for is_leaf in flags:
+            if not stack:
+                raise ConstructionError("I-tree node flags describe a malformed tree")
+            node = pop()
+            if is_leaf:
+                node.subdomain_id = leaf_cursor
+                leaf_nodes.append(node)
+                leaf_cursor += 1
+                continue
+            hyperplane = new_hyperplane(Hyperplane)
+            set_frozen(hyperplane, "i", hyper_i[internal_cursor])
+            set_frozen(hyperplane, "j", hyper_j[internal_cursor])
+            set_frozen(hyperplane, "normal", tuple(hyper_normal[internal_cursor]))
+            set_frozen(hyperplane, "offset", hyper_offset[internal_cursor])
+            internal_cursor += 1
+            node.hyperplane = hyperplane
+            internal_nodes.append(node)
+            node.above = above = ITreeNode(region=None, parent=node)
+            node.below = below = ITreeNode(region=None, parent=node)
+            # Pre-order: the above subtree is consumed before the below one.
+            push(below)
+            push(above)
+        if stack or internal_cursor != internal_count or leaf_cursor != leaf_count:
+            raise ConstructionError("I-tree arrays describe a malformed tree")
+        self.root = root
+        self.loaded_internal_nodes = internal_nodes
+        self.loaded_leaf_nodes = leaf_nodes
+        self._lazy_leaf_data = (leaf_witness, leaf_row)
+        self._subdomain_count = leaf_count
+        self._node_count = len(flags)
+        return self
+
+    def materialize_leaf(self, leaf: ITreeNode) -> None:
+        """Fill a lazily loaded subdomain's region, witness and sorted view.
+
+        No-op for eagerly built trees and already-materialized leaves.  The
+        region is replayed down the leaf's root path with exactly the
+        arithmetic of the original construction, so its constraint tuple
+        (and interval bounds for d = 1) is bit-identical to the eager
+        build's.
+        """
+        data = getattr(self, "_lazy_leaf_data", None)
+        if data is None or leaf.witness is not None:
+            return
+        witnesses, rows = data
+        path: list[ITreeNode] = []
+        node = leaf
+        while node.parent is not None:
+            path.append(node)
+            node = node.parent
+        path.reverse()
+        domain = self.domain
+        univariate = domain.dimension == 1
+        if univariate:
+            low, high = domain.lower[0], domain.upper[0]
+        else:
+            low = high = float("nan")
+        constraints: tuple = ()
+        set_frozen = object.__setattr__
+        new_constraint = Constraint.__new__
+        parent = self.root
+        for child in path:
+            hyperplane = parent.hyperplane
+            took_above = parent.above is child
+            if univariate:
+                # Replicates IntervalEngine.split exactly (same float ops).
+                slope = hyperplane.normal[0]
+                breakpoint = -hyperplane.offset / slope
+                if slope > 0:
+                    if took_above:
+                        low = breakpoint
+                    else:
+                        high = breakpoint
+                elif took_above:
+                    high = breakpoint
+                else:
+                    low = breakpoint
+            constraint = new_constraint(Constraint)
+            set_frozen(constraint, "hyperplane", hyperplane)
+            set_frozen(constraint, "side", ABOVE if took_above else BELOW)
+            constraints = constraints + (constraint,)
+            parent = child
+        region = Region.__new__(Region)
+        set_frozen(region, "domain", domain)
+        set_frozen(region, "constraints", constraints)
+        set_frozen(region, "interval_low", low)
+        set_frozen(region, "interval_high", high)
+        subdomain_id = leaf.subdomain_id
+        leaf.region = region
+        leaf.sorted_functions = self.shared_order.view(rows[subdomain_id])
+        # The witness doubles as the done-marker, so it is assigned last:
+        # a concurrent materialization that observes it non-None must be
+        # able to read every other leaf field (execute_batch is threaded).
+        leaf.witness = tuple(witnesses[subdomain_id])
+
     # ------------------------------------------------------------ accessors
     @property
     def insertion_checks(self) -> int:
@@ -409,6 +634,61 @@ class ITree:
     def locate(self, weights: Sequence[float]) -> ITreeNode:
         """Convenience wrapper returning only the subdomain leaf."""
         return self.search(weights).leaf
+
+
+def _encode_permutation(permutation: np.ndarray) -> dict[str, np.ndarray]:
+    """Row-delta encoding of the shared permutation array (artifact export).
+
+    Adjacent subdomains of the 1-D arrangement differ by a single adjacent
+    transposition, so consecutive permutation rows are almost identical and
+    the dense ``(leaves, n)`` matrix -- by far the largest part of a
+    thousand-record artifact -- compresses to the first row plus the
+    per-row changed cells.  Rows are compared in storage order whatever the
+    builder produced; when the delta form would not actually be smaller
+    (tiny trees, adversarial orders) the dense matrix is stored as
+    ``permutation`` instead, and the decoder accepts either.
+    """
+    dense = np.ascontiguousarray(permutation, dtype=np.int32)
+    rows = dense.shape[0]
+    if rows > 1:
+        changed = dense[1:] != dense[:-1]
+        changed_rows, changed_cols = np.nonzero(changed)
+        delta_cells = changed_cols.shape[0]
+        if 2 * delta_cells + rows + dense.shape[1] < dense.size // 2:
+            return {
+                "perm_row0": dense[0].copy(),
+                "perm_delta_counts": np.bincount(
+                    changed_rows, minlength=rows - 1
+                ).astype(np.int64),
+                "perm_delta_col": changed_cols.astype(np.int32),
+                "perm_delta_val": dense[1:][changed],
+            }
+    return {"permutation": dense}
+
+
+def _decode_permutation(arrays: dict) -> np.ndarray:
+    """Rebuild the dense permutation matrix from either stored encoding."""
+    if "permutation" in arrays:
+        return np.ascontiguousarray(arrays["permutation"], dtype=np.int32)
+    row0 = np.ascontiguousarray(arrays["perm_row0"], dtype=np.int32)
+    counts = np.asarray(arrays["perm_delta_counts"], dtype=np.int64)
+    columns = np.ascontiguousarray(arrays["perm_delta_col"], dtype=np.int64)
+    values = np.ascontiguousarray(arrays["perm_delta_val"], dtype=np.int32)
+    rows = counts.shape[0] + 1
+    permutation = np.empty((rows, row0.shape[0]), dtype=np.int32)
+    permutation[0] = row0
+    bounds = np.empty(rows, dtype=np.int64)
+    bounds[0] = 0
+    np.cumsum(counts, out=bounds[1:])
+    starts = bounds.tolist()
+    for row in range(1, rows):
+        previous = permutation[row - 1]
+        current = permutation[row]
+        current[:] = previous
+        start, stop = starts[row - 1], starts[row]
+        if start != stop:
+            current[columns[start:stop]] = values[start:stop]
+    return permutation
 
 
 def _median_first_order(count: int) -> list[int]:

@@ -45,7 +45,7 @@ import numpy as np
 from repro.crypto.hashing import DIGEST_SIZE, HashFunction
 from repro.merkle.mh_tree import MerkleTree, level_sizes
 
-__all__ = ["MerkleArena", "ArenaMerkleTree", "ForestHasher"]
+__all__ = ["MerkleArena", "ArenaMerkleTree", "ForestHasher", "arena_from_level_trees"]
 
 #: 8-byte big-endian length prefix of one digest, replicating the
 #: unambiguous ``H(len(x) | x | len(y) | y)`` framing of
@@ -84,6 +84,35 @@ class MerkleArena:
     def digest_bytes(self, index: int) -> bytes:
         """The 32-byte digest of one node."""
         return self.digests[index].tobytes()
+
+    # -------------------------------------------------------------- codecs
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The arena's backing arrays, ready for serialization.
+
+        The returned arrays are the live backing store (no copy); artifact
+        writers treat them as read-only.
+        """
+        return {"digests": self.digests, "left": self.left, "right": self.right}
+
+    @classmethod
+    def from_arrays(
+        cls, digests: np.ndarray, left: np.ndarray, right: np.ndarray
+    ) -> "MerkleArena":
+        """Rebuild an arena from serialized arrays (shape-validated)."""
+        digests = np.ascontiguousarray(digests, dtype=np.uint8)
+        left = np.ascontiguousarray(left, dtype=np.int64)
+        right = np.ascontiguousarray(right, dtype=np.int64)
+        if digests.ndim != 2 or digests.shape[1] != DIGEST_SIZE:
+            raise ValueError(
+                f"arena digest matrix must be (count, {DIGEST_SIZE}), got {digests.shape}"
+            )
+        count = digests.shape[0]
+        for name, child in (("left", left), ("right", right)):
+            if child.ndim != 1 or child.shape[0] != count:
+                raise ValueError(f"arena {name}-child array does not match {count} nodes")
+            if child.size and (child.min() < -1 or child.max() >= count):
+                raise ValueError(f"arena {name}-child array references nonexistent nodes")
+        return cls(digests=digests, left=left, right=right)
 
     # ------------------------------------------------------------ traversal
     def index_levels(self, root_index: int, leaf_count: int) -> List[np.ndarray]:
@@ -148,6 +177,16 @@ class ArenaMerkleTree(MerkleTree):
         self._materialized: Optional[List[List[bytes]]] = None
 
     # ------------------------------------------------------------ accessors
+    @property
+    def arena(self) -> MerkleArena:
+        """The shared arena this view reads from (artifact export)."""
+        return self._arena
+
+    @property
+    def root_index(self) -> int:
+        """Arena node index of this tree's root (artifact export)."""
+        return self._root_index
+
     @property
     def levels(self) -> List[List[bytes]]:  # type: ignore[override]
         if self._materialized is None:
@@ -393,3 +432,67 @@ class ForestHasher:
         ).reshape(count, DIGEST_SIZE)
         self._store.left[start : start + count] = left_index
         self._store.right[start : start + count] = right_index
+
+
+def arena_from_level_trees(trees: Sequence[MerkleTree]) -> tuple[MerkleArena, np.ndarray]:
+    """Re-encode materialized Merkle trees into one shared arena (no hashing).
+
+    The artifact writer (:mod:`repro.core.artifact`) always publishes the
+    FMH forest in arena form.  Builds that went through the batched engine
+    already live in an arena; builds with ``batch_hashing=False`` (or
+    ``hash_consing=False``) hold ordinary per-subdomain
+    :class:`~repro.merkle.mh_tree.MerkleTree` objects, which this function
+    folds into an equivalent arena purely by value: leaves are interned by
+    digest, internal nodes by their ``(left, right)`` child indices --
+    exactly the sharing rule of :class:`ForestHasher` -- so no SHA-256 runs
+    and the per-tree levels reconstructed from the arena are bit-identical
+    to the originals.
+
+    Returns ``(arena, root_indices)`` with one root index per input tree.
+    """
+    digests: List[bytes] = []
+    left: List[int] = []
+    right: List[int] = []
+    digest_index: Dict[bytes, int] = {}
+    pair_index: Dict[tuple[int, int], int] = {}
+    roots = np.empty(len(trees), dtype=np.int64)
+    for position, tree in enumerate(trees):
+        levels = tree.levels
+        below: List[int] = []
+        for digest in levels[0]:
+            index = digest_index.get(digest)
+            if index is None:
+                index = len(digests)
+                digests.append(digest)
+                left.append(-1)
+                right.append(-1)
+                digest_index[digest] = index
+            below.append(index)
+        for level in levels[1:]:
+            current: List[int] = []
+            for slot, digest in enumerate(level):
+                first = 2 * slot
+                if first + 1 < len(below):
+                    key = (below[first], below[first + 1])
+                    index = pair_index.get(key)
+                    if index is None:
+                        index = len(digests)
+                        digests.append(digest)
+                        left.append(key[0])
+                        right.append(key[1])
+                        pair_index[key] = index
+                    current.append(index)
+                else:
+                    # Odd-node carry: same node, one level up.
+                    current.append(below[first])
+            below = current
+        roots[position] = below[0]
+    digest_matrix = np.frombuffer(b"".join(digests), dtype=np.uint8).reshape(
+        len(digests), DIGEST_SIZE
+    )
+    arena = MerkleArena(
+        digests=digest_matrix,
+        left=np.asarray(left, dtype=np.int64),
+        right=np.asarray(right, dtype=np.int64),
+    )
+    return arena, roots

@@ -24,6 +24,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
+from repro.core.config import SIGNATURE_MESH, SystemConfig, resolve_config
 from repro.core.errors import ConstructionError, QueryProcessingError
 from repro.core.queries import AnalyticQuery
 from repro.core.records import Dataset, Record, UtilityTemplate
@@ -31,7 +34,9 @@ from repro.core.results import QueryResult
 from repro.crypto.hashing import HashFunction
 from repro.crypto.signer import Signer
 from repro.geometry.arrangement import build_arrangement
+from repro.geometry.domain import ABOVE, BELOW, Constraint, Region
 from repro.geometry.engine import SplitEngine
+from repro.geometry.functions import Hyperplane
 from repro.merkle.fmh_tree import BoundaryEntry
 from repro.mesh.structures import (
     CoverageRegion,
@@ -46,6 +51,11 @@ from repro.queryproc.window import ResultWindow, select_window
 
 __all__ = ["SignatureMesh"]
 
+#: Chain-entry sentinels used by the artifact codec (record positions are
+#: >= 0, so the tokens use negative codes).
+_MIN_SENTINEL = -1
+_MAX_SENTINEL = -2
+
 
 class SignatureMesh:
     """The signature-mesh authenticated data structure (baseline)."""
@@ -55,22 +65,20 @@ class SignatureMesh:
         dataset: Dataset,
         template: UtilityTemplate,
         *,
+        config: Optional[SystemConfig] = None,
         signer: Optional[Signer] = None,
         hash_function: Optional[HashFunction] = None,
         engine: Optional[SplitEngine] = None,
         counters: Optional[Counters] = None,
-        share_signatures: bool = True,
+        share_signatures: Optional[bool] = None,
     ):
-        if len(dataset) == 0:
-            raise ConstructionError("cannot build a signature mesh over an empty dataset")
-        self.dataset = dataset
-        self.template = template
-        self.counters = counters or Counters()
-        self.hash_function = hash_function or HashFunction(self.counters)
-        self.signer = signer
-        self.share_signatures = share_signatures and template.dimension == 1
-
-        self.records_by_id: Dict[int, Record] = {r.record_id: r for r in dataset}
+        # The scheme field is normalized: a SignatureMesh *is* the mesh.
+        config = resolve_config(
+            config, scheme=SIGNATURE_MESH, share_signatures=share_signatures
+        )
+        self._init_common(dataset, template, config, counters, hash_function, signer)
+        if engine is None and config.tolerance is not None:
+            engine = config.make_engine(template.domain)
         functions = template.functions_for(dataset)
         self.functions_by_id = {f.index: f for f in functions}
         self.arrangement = build_arrangement(functions, template.domain, engine=engine)
@@ -87,6 +95,27 @@ class SignatureMesh:
         self.unique_signatures: List[PairSignature] = []
         if signer is not None:
             self._sign_all(signer)
+
+    def _init_common(
+        self,
+        dataset: Dataset,
+        template: UtilityTemplate,
+        config: SystemConfig,
+        counters: Optional[Counters],
+        hash_function: Optional[HashFunction],
+        signer: Optional[Signer],
+    ) -> None:
+        """State shared by fresh construction and artifact reconstruction."""
+        if len(dataset) == 0:
+            raise ConstructionError("cannot build a signature mesh over an empty dataset")
+        self.config = config
+        self.dataset = dataset
+        self.template = template
+        self.counters = counters or Counters()
+        self.hash_function = hash_function or HashFunction(self.counters)
+        self.signer = signer
+        self.share_signatures = config.share_signatures and template.dimension == 1
+        self.records_by_id: Dict[int, Record] = {r.record_id: r for r in dataset}
 
     # ------------------------------------------------------------- signing
     def _chain_keys(self, cell: MeshCell) -> list[tuple]:
@@ -243,6 +272,187 @@ class SignatureMesh:
         """Total serialized size in bytes."""
         return sum(self.size_breakdown(size_model).values())
 
+    # --------------------------------------------------------------- codecs
+    def _encode_entry(self, record: Optional[Record], token: Optional[str]) -> int:
+        if token == "min":
+            return _MIN_SENTINEL
+        if token == "max":
+            return _MAX_SENTINEL
+        return self._position_of[record.record_id]
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Serialize the mesh into flat arrays (artifact export).
+
+        Cells become one permutation matrix over the dataset order plus
+        flattened per-cell constraint arrays; the distinct pair signatures
+        are stored once each (chain entries as dataset positions, tokens as
+        negative sentinels) and every cell references them by index, so the
+        shared-signature structure survives the round trip exactly.
+        """
+        dimension = self.template.dimension
+        records = self.dataset.records
+        self._position_of = {record.record_id: p for p, record in enumerate(records)}
+        cells = self.cells
+        chain = len(records) + 1  # pairs per cell (records + 2 tokens - 1)
+        order = np.empty((len(cells), len(records)), dtype=np.int32)
+        placements = np.empty((len(cells), chain), dtype=np.int64)
+        signature_index = {id(pair): k for k, pair in enumerate(self.unique_signatures)}
+        for row, cell in enumerate(cells):
+            if len(cell.sorted_records) != len(records):
+                raise ConstructionError(
+                    "mesh cell does not cover the full record set; cannot serialize"
+                )
+            order[row] = [self._position_of[r.record_id] for r in cell.sorted_records]
+            if len(cell.pair_signatures) != chain:
+                raise ConstructionError("cannot serialize an unsigned signature mesh")
+            placements[row] = [signature_index[id(p)] for p in cell.pair_signatures]
+        arrays: Dict[str, np.ndarray] = {
+            "cell_order": order,
+            "cell_pairs": placements,
+            "cell_witness": np.asarray(
+                [cell.witness for cell in cells], dtype=np.float64
+            ).reshape(len(cells), dimension),
+            "cell_interval": np.asarray(
+                [
+                    (cell.region.interval_low, cell.region.interval_high)
+                    for cell in cells
+                ],
+                dtype=np.float64,
+            ),
+        }
+        arrays.update(
+            _flatten_constraints("cell_constraint", [cell.region.constraints for cell in cells], dimension)
+        )
+
+        unique = self.unique_signatures
+        sizes = {len(pair.signature) for pair in unique}
+        if len(sizes) > 1:
+            raise ConstructionError("mesh signatures disagree on size")
+        signature_size = sizes.pop() if sizes else 0
+        arrays["sig_bytes"] = np.frombuffer(
+            b"".join(pair.signature for pair in unique), dtype=np.uint8
+        ).reshape(len(unique), signature_size)
+        arrays["sig_left"] = np.asarray(
+            [self._encode_entry(p.left_record, p.left_token) for p in unique], dtype=np.int64
+        )
+        arrays["sig_right"] = np.asarray(
+            [self._encode_entry(p.right_record, p.right_token) for p in unique], dtype=np.int64
+        )
+        arrays["sig_cov_kind"] = np.asarray(
+            [0 if p.coverage.kind == "interval" else 1 for p in unique], dtype=np.uint8
+        )
+        arrays["sig_cov_interval"] = np.asarray(
+            [(p.coverage.low, p.coverage.high) for p in unique], dtype=np.float64
+        ).reshape(len(unique), 2)
+        arrays.update(
+            _flatten_constraints(
+                "sig_cov_constraint", [p.coverage.constraints for p in unique], dimension
+            )
+        )
+        del self._position_of
+        return arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        dataset: Dataset,
+        template: UtilityTemplate,
+        arrays: Dict[str, np.ndarray],
+        *,
+        config: SystemConfig,
+        counters: Optional[Counters] = None,
+    ) -> "SignatureMesh":
+        """Rebuild a fully functional mesh from :meth:`to_arrays` output.
+
+        The arrangement is **not** recomputed (no geometry engine runs and
+        nothing is hashed or signed): cells, regions, witnesses and the
+        shared pair-signature graph come straight out of the arrays.  The
+        private signing key never ships in an artifact, so the loaded mesh
+        carries signatures but no signer.
+        """
+        self = cls.__new__(cls)
+        self._init_common(dataset, template, config, counters, None, None)
+        functions = template.functions_for(dataset)
+        self.functions_by_id = {f.index: f for f in functions}
+        #: The flat arrangement object only drives construction; a loaded
+        #: mesh serves queries from its cells alone.
+        self.arrangement = None
+
+        records = dataset.records
+        dimension = template.dimension
+        univariate = dimension == 1
+        domain = template.domain
+
+        entries = _unflatten_constraints("sig_cov_constraint", arrays, dimension)
+        sig_bytes = np.ascontiguousarray(arrays["sig_bytes"], dtype=np.uint8)
+        signature_size = sig_bytes.shape[1]
+        signature_blob = sig_bytes.tobytes()
+        sig_left = np.asarray(arrays["sig_left"], dtype=np.int64).tolist()
+        sig_right = np.asarray(arrays["sig_right"], dtype=np.int64).tolist()
+        cov_kind = np.asarray(arrays["sig_cov_kind"], dtype=np.uint8).tolist()
+        cov_interval = np.asarray(arrays["sig_cov_interval"], dtype=np.float64).tolist()
+
+        def decode_entry(code: int) -> tuple[Optional[Record], Optional[str]]:
+            if code == _MIN_SENTINEL:
+                return None, "min"
+            if code == _MAX_SENTINEL:
+                return None, "max"
+            return records[code], None
+
+        unique: List[PairSignature] = []
+        for position in range(len(sig_left)):
+            left_record, left_token = decode_entry(sig_left[position])
+            right_record, right_token = decode_entry(sig_right[position])
+            if cov_kind[position] == 0:
+                low, high = cov_interval[position]
+                coverage = CoverageRegion(kind="interval", low=low, high=high)
+            else:
+                coverage = CoverageRegion(
+                    kind="constraints", constraints=entries[position]
+                )
+            unique.append(
+                PairSignature(
+                    left_record=left_record,
+                    right_record=right_record,
+                    coverage=coverage,
+                    signature=signature_blob[
+                        position * signature_size : (position + 1) * signature_size
+                    ],
+                    left_token=left_token,
+                    right_token=right_token,
+                )
+            )
+        self.unique_signatures = unique
+
+        cell_constraints = _unflatten_constraints("cell_constraint", arrays, dimension)
+        order = np.asarray(arrays["cell_order"], dtype=np.int64).tolist()
+        placements = np.asarray(arrays["cell_pairs"], dtype=np.int64).tolist()
+        witnesses = np.asarray(arrays["cell_witness"], dtype=np.float64).tolist()
+        intervals = np.asarray(arrays["cell_interval"], dtype=np.float64).tolist()
+        cells: List[MeshCell] = []
+        for identifier in range(len(order)):
+            if univariate:
+                low, high = intervals[identifier]
+                region = Region(
+                    domain=domain,
+                    constraints=cell_constraints[identifier],
+                    interval_low=low,
+                    interval_high=high,
+                )
+            else:
+                region = Region(domain=domain, constraints=cell_constraints[identifier])
+            cells.append(
+                MeshCell(
+                    identifier=identifier,
+                    region=region,
+                    witness=tuple(witnesses[identifier]),
+                    sorted_records=[records[p] for p in order[identifier]],
+                    pair_signatures=[unique[k] for k in placements[identifier]],
+                )
+            )
+        self.cells = cells
+        return self
+
     # ------------------------------------------------------------ queries
     def locate_cell(self, weights: Sequence[float], counters: Optional[Counters] = None) -> MeshCell:
         """Linear scan for the cell containing ``weights`` (counted)."""
@@ -291,3 +501,54 @@ class SignatureMesh:
         if position >= len(cell.sorted_records):
             return BoundaryEntry(leaf_index=cell.chain_length - 1, token="max")
         return BoundaryEntry(leaf_index=position + 1, item=cell.sorted_records[position])
+
+
+# ---------------------------------------------------------------------------
+# Constraint-list (de)flattening shared by the artifact codec
+# ---------------------------------------------------------------------------
+def _flatten_constraints(
+    prefix: str, constraint_lists: Sequence[Sequence[Constraint]], dimension: int
+) -> Dict[str, np.ndarray]:
+    """Flatten variable-length constraint tuples into fixed dtype arrays."""
+    counts = np.asarray([len(entry) for entry in constraint_lists], dtype=np.int64)
+    flat = [constraint for entry in constraint_lists for constraint in entry]
+    return {
+        f"{prefix}_counts": counts,
+        f"{prefix}_i": np.asarray([c.hyperplane.i for c in flat], dtype=np.int64),
+        f"{prefix}_j": np.asarray([c.hyperplane.j for c in flat], dtype=np.int64),
+        f"{prefix}_normal": np.asarray(
+            [c.hyperplane.normal for c in flat], dtype=np.float64
+        ).reshape(len(flat), dimension),
+        f"{prefix}_offset": np.asarray([c.hyperplane.offset for c in flat], dtype=np.float64),
+        f"{prefix}_side": np.asarray([c.side for c in flat], dtype=np.int8),
+    }
+
+
+def _unflatten_constraints(
+    prefix: str, arrays: Dict[str, np.ndarray], dimension: int
+) -> List[tuple[Constraint, ...]]:
+    """Rebuild the per-entry constraint tuples written by ``_flatten_constraints``."""
+    counts = np.asarray(arrays[f"{prefix}_counts"], dtype=np.int64).tolist()
+    i_values = np.asarray(arrays[f"{prefix}_i"], dtype=np.int64).tolist()
+    j_values = np.asarray(arrays[f"{prefix}_j"], dtype=np.int64).tolist()
+    normals = np.asarray(arrays[f"{prefix}_normal"], dtype=np.float64).tolist()
+    offsets = np.asarray(arrays[f"{prefix}_offset"], dtype=np.float64).tolist()
+    sides = np.asarray(arrays[f"{prefix}_side"], dtype=np.int8).tolist()
+    entries: List[tuple[Constraint, ...]] = []
+    cursor = 0
+    for count in counts:
+        entry = tuple(
+            Constraint(
+                Hyperplane(
+                    i=i_values[position],
+                    j=j_values[position],
+                    normal=tuple(normals[position]),
+                    offset=offsets[position],
+                ),
+                ABOVE if sides[position] == ABOVE else BELOW,
+            )
+            for position in range(cursor, cursor + count)
+        )
+        entries.append(entry)
+        cursor += count
+    return entries

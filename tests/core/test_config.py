@@ -1,0 +1,170 @@
+"""SystemConfig: validation, the legacy-kwarg shim and tolerance threading."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import (
+    SCHEMES,
+    SIGNATURE_MESH,
+    SystemConfig,
+    resolve_config,
+)
+from repro.core.errors import ConstructionError
+from repro.core.owner import DataOwner
+from repro.core.protocol import OutsourcedSystem
+from repro.geometry.engine import DEFAULT_TOLERANCE, IntervalEngine, LPEngine
+from repro.ifmh.ifmh_tree import IFMHTree
+
+
+# -------------------------------------------------------------- validation
+def test_defaults_are_the_library_defaults():
+    config = SystemConfig()
+    assert config.scheme == "one-signature"
+    assert config.signature_algorithm == "rsa"
+    assert config.bind_intersections and config.share_signatures
+    assert config.build_mode == "auto"
+    assert config.hash_consing and config.batch_hashing
+    assert config.key_bits is None and config.tolerance is None
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ConstructionError, match="unknown scheme"):
+        SystemConfig(scheme="three-signature")
+    assert "three-signature" not in SCHEMES
+
+
+def test_unknown_build_mode_rejected():
+    with pytest.raises(ConstructionError, match="unknown build_mode"):
+        SystemConfig(build_mode="recursive")
+
+
+def test_bad_key_bits_and_tolerance_rejected():
+    with pytest.raises(ConstructionError, match="key_bits"):
+        SystemConfig(key_bits=0)
+    with pytest.raises(ConstructionError, match="tolerance"):
+        SystemConfig(tolerance=-1e-9)
+
+
+def test_batch_hashing_requires_hash_consing():
+    """The implication is enforced once, in the config."""
+    config = SystemConfig(hash_consing=False, batch_hashing=True)
+    assert config.batch_hashing is False
+    assert SystemConfig(hash_consing=True).batch_hashing is True
+
+
+def test_config_is_frozen():
+    config = SystemConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.scheme = SIGNATURE_MESH
+
+
+def test_dict_round_trip():
+    config = SystemConfig(scheme="multi-signature", key_bits=512, tolerance=0.0)
+    assert SystemConfig.from_dict(config.to_dict()) == config
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ConstructionError, match="unknown SystemConfig fields"):
+        SystemConfig.from_dict({"scheme": "one-signature", "sharding": True})
+
+
+# ------------------------------------------------------------ resolve_config
+def test_resolve_without_config_builds_from_kwargs():
+    config = resolve_config(None, scheme="multi-signature", hash_consing=False)
+    assert config.scheme == "multi-signature"
+    assert config.hash_consing is False and config.batch_hashing is False
+
+
+def test_resolve_with_config_applies_overrides():
+    base = SystemConfig(scheme="one-signature", signature_algorithm="hmac")
+    merged = resolve_config(base, scheme="multi-signature")
+    assert merged.scheme == "multi-signature"
+    assert merged.signature_algorithm == "hmac"
+    assert resolve_config(base) is base
+
+
+def test_resolve_rejects_non_config_objects():
+    with pytest.raises(ConstructionError, match="SystemConfig"):
+        resolve_config({"scheme": "one-signature"})
+
+
+# ----------------------------------------------------- threading through APIs
+def test_owner_legacy_kwargs_equal_config_object(univariate_dataset, univariate_template, hmac_keypair):
+    legacy = DataOwner(
+        univariate_dataset,
+        univariate_template,
+        scheme="multi-signature",
+        signature_algorithm="hmac",
+        build_mode="incremental",
+        keypair=hmac_keypair,
+    )
+    configured = DataOwner(
+        univariate_dataset,
+        univariate_template,
+        config=SystemConfig(
+            scheme="multi-signature",
+            signature_algorithm="hmac",
+            build_mode="incremental",
+        ),
+        keypair=hmac_keypair,
+    )
+    assert legacy.config == configured.config
+    assert legacy.ads.root_hash == configured.ads.root_hash
+    assert legacy.ads.itree.builder == configured.ads.itree.builder == "incremental"
+
+
+def test_owner_rejects_unknown_scheme(univariate_dataset, univariate_template):
+    with pytest.raises(ConstructionError, match="unknown scheme"):
+        DataOwner(univariate_dataset, univariate_template, scheme="bogus")
+
+
+def test_tolerance_reaches_the_interval_engine(univariate_dataset, univariate_template):
+    """tolerance=0.0 must be honoured, not treated as falsy (the PR 1 trap)."""
+    tree = IFMHTree(
+        univariate_dataset,
+        univariate_template,
+        config=SystemConfig(tolerance=0.0),
+    )
+    assert isinstance(tree.itree.engine, IntervalEngine)
+    assert tree.itree.engine.tolerance == 0.0
+    default = IFMHTree(univariate_dataset, univariate_template)
+    assert default.itree.engine.tolerance == DEFAULT_TOLERANCE
+
+
+def test_tolerance_reaches_the_lp_engine(applicant_dataset, bivariate_template, hmac_keypair):
+    owner = DataOwner(
+        applicant_dataset,
+        bivariate_template,
+        config=SystemConfig(signature_algorithm="hmac", tolerance=1e-6),
+        keypair=hmac_keypair,
+    )
+    assert isinstance(owner.ads.itree.engine, LPEngine)
+    assert owner.ads.itree.engine.tolerance == 1e-6
+
+
+def test_setup_threads_tolerance_without_hand_built_engine(
+    univariate_dataset, univariate_template
+):
+    system = OutsourcedSystem.setup(
+        univariate_dataset,
+        univariate_template,
+        scheme="one-signature",
+        signature_algorithm="hmac",
+        tolerance=0.0,
+    )
+    assert system.owner.ads.itree.engine.tolerance == 0.0
+    assert system.owner.config.tolerance == 0.0
+
+
+def test_mesh_gets_config(univariate_dataset, univariate_template, hmac_keypair):
+    owner = DataOwner(
+        univariate_dataset,
+        univariate_template,
+        config=SystemConfig(
+            scheme=SIGNATURE_MESH, signature_algorithm="hmac", share_signatures=False
+        ),
+        keypair=hmac_keypair,
+    )
+    assert owner.ads.share_signatures is False
+    assert owner.ads.config.scheme == SIGNATURE_MESH

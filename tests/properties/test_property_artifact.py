@@ -1,0 +1,112 @@
+"""Publish -> load must be observationally invisible.
+
+Property test for the versioned ADS artifact (:mod:`repro.core.artifact`):
+for adversarial datasets -- every odd-carry FMH leaf shape from 3 to 16
+leaves, duplicate rows, tied slopes -- a server and client cold-started
+from the published file must reproduce the in-process build bit for bit:
+roots, per-subdomain digests, verification objects, verdicts, and both
+hash counters (logical and physical), with zero ADS hashing on load.
+"""
+
+import io
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.artifact import load_artifact, save_artifact_bytes
+from repro.core.client import Client
+from repro.core.config import SCHEMES, SystemConfig
+from repro.core.owner import DataOwner
+from repro.core.queries import KNNQuery, RangeQuery, TopKQuery
+from repro.core.records import Dataset, UtilityTemplate
+from repro.core.server import Server
+from repro.geometry.domain import Domain
+from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
+
+_ROWS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=8.0, allow_nan=False).map(
+            lambda v: round(v, 2)
+        ),
+        st.floats(min_value=0.0, max_value=6.0, allow_nan=False).map(
+            lambda v: round(v, 2)
+        ),
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+def _system(rows, scheme):
+    dataset = Dataset.from_rows(("factor", "baseline"), rows)
+    template = UtilityTemplate(
+        attributes=("factor",),
+        domain=Domain(lower=(0.0,), upper=(1.0,)),
+        constant_attribute="baseline",
+    )
+    owner = DataOwner(
+        dataset,
+        template,
+        config=SystemConfig(scheme=scheme, signature_algorithm="hmac"),
+        rng=random.Random(11),
+    )
+    return owner, Server(owner.outsource()), Client(owner.public_parameters())
+
+
+def _queries(count):
+    return [
+        TopKQuery(weights=(0.41,), k=min(3, count)),
+        RangeQuery(weights=(0.73,), low=0.5, high=7.5),
+        KNNQuery(weights=(0.27,), k=min(2, count), target=3.0),
+        RangeQuery(weights=(0.5,), low=90.0, high=95.0),  # empty window
+    ]
+
+
+@given(rows=_ROWS, scheme=st.sampled_from(SCHEMES))
+@settings(max_examples=30, deadline=None)
+def test_property_round_trip_is_bit_identical(rows, scheme):
+    """Leaf counts ``len(rows) + 2`` sweep every odd-carry shape 3..16."""
+    owner, warm_server, warm_client = _system(rows, scheme)
+    loaded = load_artifact(io.BytesIO(save_artifact_bytes(owner)))
+    assert loaded.ads.counters.hash_operations == 0
+    assert loaded.ads.counters.physical_hash_operations == 0
+    cold_server = Server(loaded.package)
+    cold_client = Client(loaded.public_parameters)
+
+    if scheme in (ONE_SIGNATURE, MULTI_SIGNATURE):
+        assert loaded.ads.root_hash == owner.ads.root_hash
+        for warm_leaf, cold_leaf in zip(
+            owner.ads.itree.leaves(), loaded.ads.itree.leaves()
+        ):
+            assert cold_leaf.hash_value == warm_leaf.hash_value
+        if scheme == MULTI_SIGNATURE:
+            for warm_leaf, cold_leaf in zip(
+                owner.ads.itree.leaves(), loaded.ads.itree.leaves()
+            ):
+                assert loaded.ads.subdomain_digest(cold_leaf) == owner.ads.subdomain_digest(
+                    warm_leaf
+                )
+
+    for query in _queries(len(rows)):
+        warm = warm_server.execute(query)
+        cold = cold_server.execute(query)
+        assert cold.result == warm.result
+        assert cold.verification_object == warm.verification_object
+        assert cold.counters.snapshot() == warm.counters.snapshot()
+        warm_report = warm_client.verify(query, warm.result, warm.verification_object)
+        cold_report = cold_client.verify(query, cold.result, cold.verification_object)
+        assert cold_report.is_valid, cold_report.failures
+        assert cold_report.summary() == warm_report.summary()
+        assert cold_report.counters.snapshot() == warm_report.counters.snapshot()
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_single_record_every_scheme_round_trips(scheme):
+    owner, warm_server, _ = _system([(2.0, 1.0)], scheme)
+    loaded = load_artifact(io.BytesIO(save_artifact_bytes(owner)))
+    cold_server = Server(loaded.package)
+    query = TopKQuery(weights=(0.5,), k=1)
+    assert cold_server.execute(query).verification_object == warm_server.execute(
+        query
+    ).verification_object
