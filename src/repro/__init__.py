@@ -53,6 +53,21 @@ cold-started without rebuilding:
 Loading re-hashes nothing and answers queries bit-identically to the
 in-process build (``python -m repro.bench --coldstart`` gates load >= 10x
 faster than rebuild at n = 1000); see ``docs/artifacts.md``.
+
+Incremental updates
+-------------------
+The live ADS absorbs record changes without a rebuild:
+
+>>> system.owner.insert(Record(record_id=99, values=(3.3, 2.5)))  # doctest: +SKIP
+>>> system.owner.delete(42)                                       # doctest: +SKIP
+>>> system.owner.publish("ads-epoch2.npz", base="ads.npz")        # doctest: +SKIP
+
+Each batch rebuilds only the changed paths against the persisted Merkle
+arena, bumps the ADS epoch (bound into every signed message, so stale
+servers fail verification) and stays bit-identical to a from-scratch
+build of the final dataset (``python -m repro.bench --update`` gates
+single-record updates >= 10x faster than a rebuild at n = 1000); see
+``docs/updates.md``.
 """
 
 from repro.core import (
@@ -77,6 +92,7 @@ from repro.core import (
     ServerPackage,
     SystemConfig,
     TopKQuery,
+    UpdateReport,
     UtilityTemplate,
     VerificationError,
     VerificationReport,
@@ -112,6 +128,7 @@ __all__ = [
     "ServerPackage",
     "SystemConfig",
     "TopKQuery",
+    "UpdateReport",
     "UtilityTemplate",
     "VerificationError",
     "VerificationReport",

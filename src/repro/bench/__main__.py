@@ -15,6 +15,9 @@ Usage::
     python -m repro.bench --coldstart     # build-vs-artifact-load benchmark
                                           # (sweeps n, writes BENCH_coldstart.json)
     python -m repro.bench --coldstart --smoke  # reduced-n cold-start gate (CI)
+    python -m repro.bench --update        # single-record update vs full rebuild
+                                          # (n = 1000, writes BENCH_update.json)
+    python -m repro.bench --update --smoke     # reduced-n update gate (CI)
 """
 
 from __future__ import annotations
@@ -43,6 +46,12 @@ from repro.bench.scale import (
     SMOKE_SCALE_REPORT_FILENAME,
     run_scale,
     run_scale_smoke,
+)
+from repro.bench.update import (
+    SMOKE_UPDATE_REPORT_FILENAME,
+    UPDATE_REPORT_FILENAME,
+    run_update,
+    run_update_smoke,
 )
 
 
@@ -106,6 +115,14 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         "loading is not >= 10x faster than rebuilding at the largest n; combine with "
         f"--smoke for the reduced-n CI gate (writes {SMOKE_COLDSTART_REPORT_FILENAME})",
     )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="run the incremental-update benchmark (single-record insert/delete vs "
+        f"full rebuild at n = 1000) and write {UPDATE_REPORT_FILENAME}; exit 1 if "
+        "either update is not >= 10x faster than rebuilding; combine with --smoke "
+        f"for the reduced-n CI gate (writes {SMOKE_UPDATE_REPORT_FILENAME})",
+    )
     return parser.parse_args(argv)
 
 
@@ -143,17 +160,26 @@ def main(argv: list[str] | None = None) -> int:
             ("--construction", args.construction),
             ("--scale", args.scale),
             ("--coldstart", args.coldstart),
+            ("--update", args.update),
         )
         if given
     ]
     if len(exclusive) > 1 and exclusive not in (
         ["--smoke", "--scale"],
         ["--smoke", "--coldstart"],
+        ["--smoke", "--update"],
     ):
-        # --smoke combines only with --scale / --coldstart (their CI gates).
+        # --smoke combines only with --scale / --coldstart / --update gates.
         print(f"error: {' and '.join(exclusive)} are mutually exclusive")
         return 2
-    if args.smoke or args.fastpath or args.construction or args.scale or args.coldstart:
+    if (
+        args.smoke
+        or args.fastpath
+        or args.construction
+        or args.scale
+        or args.coldstart
+        or args.update
+    ):
         ignored = [
             flag
             for flag, given in (
@@ -173,6 +199,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {mode} runs a fixed workload; {', '.join(ignored)} would be ignored")
             return 2
     started = time.perf_counter()
+    if args.update:
+        if args.smoke:
+            results, failures = run_update_smoke(seed=args.seed)
+            report = SMOKE_UPDATE_REPORT_FILENAME
+        else:
+            results, failures = run_update(seed=args.seed)
+            report = UPDATE_REPORT_FILENAME
+        print(render_results(results))
+        elapsed = time.perf_counter() - started
+        for failure in failures:
+            print(f"UPDATE REGRESSION: {failure}")
+        print(f"wrote update trajectory to {report}")
+        print(f"\ncompleted update benchmark in {elapsed:.1f}s")
+        return 1 if failures else 0
     if args.coldstart:
         if args.smoke:
             results, failures = run_coldstart_smoke(seed=args.seed)

@@ -11,7 +11,14 @@ from repro.core.config import SystemConfig, resolve_config
 from repro.core.records import Dataset, Record, UtilityTemplate
 from repro.core.queries import AnalyticQuery, KNNQuery, RangeQuery, TopKQuery
 from repro.core.results import QueryResult, VerificationReport
-from repro.core.owner import DataOwner, PublicParameters, ServerPackage, SCHEMES, SIGNATURE_MESH
+from repro.core.owner import (
+    DataOwner,
+    PublicParameters,
+    ServerPackage,
+    UpdateReport,
+    SCHEMES,
+    SIGNATURE_MESH,
+)
 from repro.core.server import QueryExecution, Server
 from repro.core.client import Client
 from repro.core.protocol import OutsourcedSystem
@@ -34,6 +41,7 @@ __all__ = [
     "DataOwner",
     "PublicParameters",
     "ServerPackage",
+    "UpdateReport",
     "SCHEMES",
     "SIGNATURE_MESH",
     "SystemConfig",

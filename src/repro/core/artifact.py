@@ -83,14 +83,24 @@ __all__ = [
 ARTIFACT_MAGIC = "repro-ads-artifact"
 
 #: Current on-disk layout version (see the module docstring for the policy).
-ARTIFACT_FORMAT_VERSION = 1
+#: Version 2 adds the ``epoch`` header field and delta artifacts; version 1
+#: files load unchanged (epoch defaults to 0).
+ARTIFACT_FORMAT_VERSION = 2
 
 #: Layout versions this loader understands.
-SUPPORTED_FORMAT_VERSIONS = (1,)
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
 
 #: npz entry names reserved for the header (everything else is data).
 _META_KEY = "meta"
 _CHECKSUM_KEY = "checksum"
+
+#: Arrays that only ever *grow* under incremental updates: a delta artifact
+#: ships just their appended tail (entry name suffixed ``_tail``).
+_APPEND_ONLY = ("ads_arena_digests", "ads_arena_left", "ads_arena_right")
+
+#: Suffix marking a delta entry holding the appended rows of an
+#: append-only array.
+_TAIL_SUFFIX = "__tail"
 
 
 @dataclass(frozen=True)
@@ -164,12 +174,24 @@ def _dataset_arrays(dataset: Dataset) -> Dict[str, np.ndarray]:
     }
 
 
-def save_artifact(owner: DataOwner, path: Union[str, "os.PathLike[str]"]) -> None:
+def save_artifact(
+    owner: DataOwner,
+    path: Union[str, "os.PathLike[str]"],
+    *,
+    base: Union[str, "os.PathLike[str]", None] = None,
+) -> None:
     """Write the owner's finished ADS to ``path`` as a versioned artifact.
 
     The private signing key never leaves the owner: only signatures and the
     public verification key are written.  Prefer calling this through
     :meth:`repro.core.owner.DataOwner.publish`.
+
+    With ``base`` (a previously published *full* artifact of this lineage)
+    a **delta artifact** is written: arrays identical to the base are
+    inherited by name, the append-only Merkle arena ships only its new
+    tail, and the header pins the base's payload checksum and epoch --
+    loading the delta against any other base (or replaying it) raises
+    :class:`~repro.core.errors.ConstructionError`.
     """
     ads = owner.ads
     arrays = _dataset_arrays(owner.dataset)
@@ -182,6 +204,7 @@ def save_artifact(owner: DataOwner, path: Union[str, "os.PathLike[str]"]) -> Non
         "config": owner.config.to_dict(),
         "public_parameters": owner.public_parameters().to_payload(),
         "attribute_names": list(owner.dataset.attribute_names),
+        "epoch": int(owner.epoch),
         "counts": {
             "records": len(owner.dataset),
         },
@@ -201,6 +224,10 @@ def save_artifact(owner: DataOwner, path: Union[str, "os.PathLike[str]"]) -> Non
         meta["counts"]["cells"] = ads.cell_count
         meta["counts"]["signatures"] = ads.signature_count
 
+    if base is not None:
+        arrays, delta_info = _delta_arrays(arrays, base)
+        meta["delta"] = delta_info
+
     meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
     checksum = np.frombuffer(_payload_checksum(meta_bytes, arrays), dtype=np.uint8)
     entries = {
@@ -215,6 +242,47 @@ def save_artifact(owner: DataOwner, path: Union[str, "os.PathLike[str]"]) -> Non
     # handle keeps the caller's path verbatim.
     with open(path, "wb") as stream:
         np.savez(stream, **entries)
+
+
+def _delta_arrays(
+    arrays: Dict[str, np.ndarray], base
+) -> tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Reduce the full array set to a delta against a published base file."""
+    base_entries = _read_entries(base)
+    base_meta = _parse_meta(base_entries, _path_text(base))
+    if "delta" in base_meta:
+        raise ConstructionError(
+            "delta artifacts must be written against a full base artifact, "
+            "not against another delta"
+        )
+    inherited: list[str] = []
+    delta: Dict[str, np.ndarray] = {}
+    for name, array in arrays.items():
+        base_array = base_entries.get(name)
+        stored = np.asarray(array)
+        if name in _APPEND_ONLY and base_array is not None:
+            base_len = base_array.shape[0]
+            if (
+                stored.shape[0] >= base_len
+                and stored.dtype == base_array.dtype
+                and stored.shape[1:] == base_array.shape[1:]
+                and np.array_equal(stored[:base_len], base_array)
+            ):
+                delta[name + _TAIL_SUFFIX] = stored[base_len:]
+                continue
+        if (
+            base_array is not None
+            and stored.dtype == base_array.dtype
+            and np.array_equal(stored, base_array)
+        ):
+            inherited.append(name)
+            continue
+        delta[name] = stored
+    return delta, {
+        "base_checksum": base_entries[_CHECKSUM_KEY].tobytes().hex(),
+        "base_epoch": int(base_meta.get("epoch", 0)),
+        "inherited": sorted(inherited),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -288,19 +356,82 @@ def _rebuild_dataset(
     return Dataset(attribute_names=attribute_names, records=records)
 
 
-def load_artifact(path: Union[str, "os.PathLike[str]"]) -> LoadedArtifact:
+def _splice_delta(
+    entries: Dict[str, np.ndarray],
+    meta: Dict[str, Any],
+    base,
+    path_text: str,
+) -> Dict[str, np.ndarray]:
+    """Materialize a delta artifact's full array set against its base."""
+    info = meta["delta"]
+    if base is None:
+        raise ConstructionError(
+            f"ADS artifact {path_text!r} is a delta; pass the base artifact it "
+            "was published against (base=...)"
+        )
+    base_entries = _read_entries(base)
+    base_meta = _parse_meta(base_entries, _path_text(base))
+    actual = base_entries[_CHECKSUM_KEY].tobytes().hex()
+    if actual != info.get("base_checksum"):
+        raise ConstructionError(
+            f"ADS delta artifact {path_text!r} was published against a different "
+            f"base than {_path_text(base)!r}; refusing to splice"
+        )
+    base_epoch = int(base_meta.get("epoch", 0))
+    epoch = int(meta.get("epoch", 0))
+    if epoch <= base_epoch:
+        raise ConstructionError(
+            f"ADS delta artifact {path_text!r} carries epoch {epoch}, not newer "
+            f"than its base's epoch {base_epoch}; stale or replayed delta"
+        )
+    spliced: Dict[str, np.ndarray] = {}
+    for name in info.get("inherited", []):
+        if name not in base_entries:
+            raise ConstructionError(
+                f"ADS delta artifact {path_text!r} inherits missing base array {name!r}"
+            )
+        spliced[name] = base_entries[name]
+    for name, array in entries.items():
+        if name in (_META_KEY, _CHECKSUM_KEY):
+            continue
+        if name.endswith(_TAIL_SUFFIX):
+            stem = name[: -len(_TAIL_SUFFIX)]
+            if stem not in base_entries:
+                raise ConstructionError(
+                    f"ADS delta artifact {path_text!r} appends to missing base "
+                    f"array {stem!r}"
+                )
+            spliced[stem] = np.concatenate([base_entries[stem], array], axis=0)
+        else:
+            spliced[name] = array
+    return spliced
+
+
+def load_artifact(
+    path: Union[str, "os.PathLike[str]"],
+    *,
+    base: Union[str, "os.PathLike[str]", None] = None,
+) -> LoadedArtifact:
     """Load, integrity-check and reconstruct a published ADS artifact.
 
     Raises :class:`~repro.core.errors.ConstructionError` on truncated,
     tampered or version-incompatible files.  The reconstruction re-hashes
     nothing: the returned package's counters are zero and its structures
     answer queries bit-identically to the build that was published.
+
+    Delta artifacts (published with ``publish(path, base=...)``) require
+    the matching base file via ``base``; a wrong base or a delta whose
+    epoch is not newer than the base's is refused.
     """
     path_text = _path_text(path)
     entries = _read_entries(path)
     meta = _parse_meta(entries, path_text)
+    if "delta" in meta:
+        arrays = _splice_delta(entries, meta, base, path_text)
+        entries = {**arrays, _META_KEY: entries[_META_KEY], _CHECKSUM_KEY: entries[_CHECKSUM_KEY]}
     config = SystemConfig.from_dict(meta["config"])
     parameters = PublicParameters.from_payload(meta["public_parameters"])
+    epoch = int(meta.get("epoch", 0))
     dataset = _rebuild_dataset(entries, tuple(meta["attribute_names"]))
     ads_arrays = {
         name[len("ads_") :]: array
@@ -310,7 +441,12 @@ def load_artifact(path: Union[str, "os.PathLike[str]"]) -> LoadedArtifact:
 
     if config.scheme == SIGNATURE_MESH:
         mesh = SignatureMesh.from_arrays(
-            dataset, parameters.template, ads_arrays, config=config, counters=Counters()
+            dataset,
+            parameters.template,
+            ads_arrays,
+            config=config,
+            counters=Counters(),
+            epoch=epoch,
         )
         if _mesh_roots_digest(ads_arrays["sig_bytes"]) != meta.get("roots_digest"):
             raise ConstructionError(
@@ -330,6 +466,7 @@ def load_artifact(path: Union[str, "os.PathLike[str]"]) -> LoadedArtifact:
             ),
             builder=meta.get("itree_builder", "auto"),
             counters=Counters(),
+            epoch=epoch,
         )
         recomputed = _ifmh_roots_digest(
             ads_arrays["arena_digests"],

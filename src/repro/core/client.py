@@ -78,6 +78,7 @@ class Client:
                 attribute_names=params.attribute_names,
                 verifier=params.verifier,
                 counters=per_query,
+                epoch=params.epoch,
             )
         elif params.scheme in (ONE_SIGNATURE, MULTI_SIGNATURE):
             if not isinstance(verification_object, VerificationObject):
@@ -93,6 +94,7 @@ class Client:
                 verifier=params.verifier,
                 bind_intersections=params.bind_intersections,
                 counters=per_query,
+                epoch=params.epoch,
             )
         else:  # pragma: no cover - PublicParameters are built by DataOwner
             report = VerificationReport()

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.core.config import SCHEMES, SIGNATURE_MESH, SystemConfig, resolve_config
-from repro.core.records import Dataset, UtilityTemplate
+from repro.core.errors import ConstructionError
+from repro.core.records import Dataset, Record, UtilityTemplate
 from repro.crypto.hashing import HashFunction
 from repro.crypto.serialization import verifier_from_payload, verifier_to_payload
 from repro.crypto.signer import KeyPair, Verifier, make_signer
@@ -38,6 +39,7 @@ __all__ = [
     "SCHEMES",
     "PublicParameters",
     "ServerPackage",
+    "UpdateReport",
     "DataOwner",
 ]
 
@@ -57,6 +59,12 @@ class PublicParameters:
     signature_algorithm: str
     verifier: Verifier
     bind_intersections: bool = True
+    #: Current ADS epoch.  0 for an initial build; every applied update
+    #: batch bumps it, and from epoch 1 on the owner binds it into all
+    #: signed messages -- a client holding current parameters therefore
+    #: rejects results served from a stale (pre-update) ADS even though
+    #: their signatures were once genuine.
+    epoch: int = 0
 
     # ---------------------------------------------------------- dict codec
     def to_payload(self) -> Dict[str, Any]:
@@ -74,6 +82,7 @@ class PublicParameters:
             "signature_algorithm": self.signature_algorithm,
             "verifier": verifier_to_payload(self.verifier),
             "bind_intersections": bool(self.bind_intersections),
+            "epoch": int(self.epoch),
         }
 
     @classmethod
@@ -95,7 +104,24 @@ class PublicParameters:
             signature_algorithm=payload["signature_algorithm"],
             verifier=verifier_from_payload(payload["verifier"]),
             bind_intersections=bool(payload["bind_intersections"]),
+            epoch=int(payload.get("epoch", 0)),
         )
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """Summary of one applied update batch.
+
+    ``strategy`` records which maintenance path ran: ``"incremental"`` for
+    the changed-path rebuild against the persisted arena, ``"rebuild"``
+    for a full reconstruction (ineligible configurations, forced rebuilds,
+    or rare tolerance-cluster cascades).
+    """
+
+    inserted: int
+    deleted: int
+    epoch: int
+    strategy: str
 
 
 @dataclass(frozen=True)
@@ -175,6 +201,7 @@ class DataOwner:
         rng: Optional[random.Random] = None,
         counters: Optional[Counters] = None,
         keypair: Optional[KeyPair] = None,
+        epoch: int = 0,
     ):
         config = resolve_config(
             config,
@@ -198,6 +225,7 @@ class DataOwner:
             config.signature_algorithm, rng=rng, key_bits=config.key_bits
         )
         self.hash_function = HashFunction(self.counters)
+        self._engine = engine
         # engine=None lets the ADS constructor derive one from the config
         # (honouring config.tolerance); an explicit engine takes precedence.
         if config.is_ifmh:
@@ -209,6 +237,7 @@ class DataOwner:
                 hash_function=self.hash_function,
                 engine=engine,
                 counters=self.counters,
+                epoch=epoch,
             )
         else:
             self.ads = SignatureMesh(
@@ -219,7 +248,246 @@ class DataOwner:
                 hash_function=self.hash_function,
                 engine=engine,
                 counters=self.counters,
+                epoch=epoch,
             )
+
+    @classmethod
+    def from_artifact(cls, path, *, keypair: KeyPair, base=None) -> "DataOwner":
+        """Restart a data owner from its own published artifact.
+
+        The artifact never carries the private key, so the owner supplies
+        its ``keypair`` (which must match the published verification key).
+        The reconstructed ADS re-hashes nothing and stays lazy like any
+        artifact load; incremental updates pick up right where the
+        published epoch left off.
+        """
+        from repro.core.artifact import load_artifact
+
+        loaded = load_artifact(path, base=base)
+        parameters = loaded.public_parameters
+        probe = b"repro:owner:keypair-probe"
+        if not parameters.verifier.verify(probe, keypair.signer.sign(probe)):
+            raise ConstructionError(
+                "the supplied keypair does not match the artifact's published "
+                "verification key"
+            )
+        self = cls.__new__(cls)
+        self.config = loaded.config
+        self.dataset = loaded.dataset
+        self.template = parameters.template
+        self.scheme = loaded.config.scheme
+        self.bind_intersections = loaded.config.bind_intersections
+        self.counters = loaded.ads.counters
+        self.keypair = keypair
+        self.hash_function = loaded.ads.hash_function
+        self._engine = None
+        self.ads = loaded.ads
+        self.ads.signer = keypair.signer
+        return self
+
+    # -------------------------------------------------------------- updates
+    @property
+    def epoch(self) -> int:
+        """Current ADS epoch (0 = initial build, +1 per applied batch)."""
+        return self.ads.epoch
+
+    def insert(self, record: Record) -> "UpdateReport":
+        """Insert one record; equivalent to ``apply_updates(inserts=[record])``."""
+        return self.apply_updates(inserts=(record,))
+
+    def delete(self, record_id: int) -> "UpdateReport":
+        """Delete one record; equivalent to ``apply_updates(deletes=[record_id])``."""
+        return self.apply_updates(deletes=(record_id,))
+
+    def apply_updates(
+        self,
+        inserts: Sequence[Record] = (),
+        deletes: Sequence[int] = (),
+        *,
+        strategy: str = "auto",
+    ) -> "UpdateReport":
+        """Apply a batch of record deletes and inserts to the live ADS.
+
+        Deletes are applied first (each id must exist), then inserts are
+        appended (each id must be free after the deletes -- so a delete
+        plus an insert of the same id replaces the record).  The whole
+        batch advances the ADS by **one epoch**; the new epoch is bound
+        into every re-signed message, so servers still holding the
+        pre-update ADS fail verification against the owner's refreshed
+        public parameters.
+
+        ``strategy`` selects the maintenance path:
+
+        * ``"auto"`` (default) -- the changed-path incremental rebuild
+          (:mod:`repro.ifmh.updates`) where it applies (univariate bulk
+          IFMH builds with batched hashing), a full rebuild elsewhere
+          (d >= 2 LP geometry, ablation builders, the signature mesh).
+        * ``"incremental"`` -- require the changed-path rebuild; raises
+          :class:`~repro.core.errors.ConstructionError` if ineligible.
+        * ``"rebuild"`` -- force a full rebuild (ablations, tests).
+
+        Either way the post-update state is **bit-identical** (roots,
+        verification objects, verdicts, per-query counters) to a fresh
+        :class:`DataOwner` built over the final dataset at the same epoch.
+        """
+        if strategy not in ("auto", "incremental", "rebuild"):
+            raise ConstructionError(
+                f"unknown update strategy {strategy!r}; "
+                "expected 'auto', 'incremental' or 'rebuild'"
+            )
+        inserts = list(inserts)
+        deletes = list(deletes)
+        if not inserts and not deletes:
+            raise ConstructionError("an update batch needs at least one insert or delete")
+        if len(set(deletes)) != len(deletes):
+            raise ConstructionError("duplicate record id in the delete batch")
+
+        records = list(self.dataset.records)
+        present = {record.record_id for record in records}
+        for record_id in deletes:
+            if record_id not in present:
+                raise ConstructionError(
+                    f"cannot delete record id {record_id}: no such record"
+                )
+            present.discard(record_id)
+        for record in inserts:
+            if record.record_id in present:
+                raise ConstructionError(
+                    f"cannot insert duplicate record id {record.record_id}"
+                )
+            present.add(record.record_id)
+        if len(records) - len(deletes) + len(inserts) == 0:
+            raise ConstructionError(
+                "updates must leave at least one record; deleting the whole "
+                "dataset is not supported (retire the ADS instead)"
+            )
+
+        new_epoch = self.epoch + 1
+        if strategy == "rebuild":
+            report = self._rebuild_update(records, deletes, inserts, new_epoch)
+        else:
+            report = self._incremental_update(records, deletes, inserts, new_epoch)
+            if report is None:
+                if strategy == "incremental":
+                    raise ConstructionError(
+                        "incremental updates require a univariate bulk-built IFMH "
+                        "tree with batched hashing; use strategy='auto' to fall "
+                        "back to a rebuild"
+                    )
+                report = self._rebuild_update(records, deletes, inserts, new_epoch)
+        return report
+
+    def _final_records(
+        self, records: list, deletes: Sequence[int], inserts: Sequence[Record]
+    ) -> list:
+        removed = set(deletes)
+        kept = [record for record in records if record.record_id not in removed]
+        kept.extend(inserts)
+        return kept
+
+    def _rebuild_update(
+        self, records: list, deletes: Sequence[int], inserts: Sequence[Record], epoch: int
+    ) -> "UpdateReport":
+        """Full reconstruction of the final dataset at the new epoch."""
+        dataset = Dataset(
+            attribute_names=self.dataset.attribute_names,
+            records=self._final_records(records, deletes, inserts),
+        )
+        if self.config.is_ifmh:
+            self.ads = IFMHTree(
+                dataset,
+                self.template,
+                config=self.config,
+                signer=self.keypair.signer,
+                hash_function=self.hash_function,
+                engine=self._engine,
+                counters=self.counters,
+                epoch=epoch,
+            )
+        else:
+            self.ads = SignatureMesh(
+                dataset,
+                self.template,
+                config=self.config,
+                signer=self.keypair.signer,
+                hash_function=self.hash_function,
+                engine=self._engine,
+                counters=self.counters,
+                epoch=epoch,
+            )
+        self.dataset = dataset
+        return UpdateReport(
+            inserted=len(inserts), deleted=len(deletes), epoch=epoch, strategy="rebuild"
+        )
+
+    def _incremental_update(
+        self, records: list, deletes: Sequence[int], inserts: Sequence[Record], epoch: int
+    ) -> Optional["UpdateReport"]:
+        """Changed-path maintenance; ``None`` when the ADS is ineligible.
+
+        The batch applies as a sequence of single-record steps -- each step
+        is bit-identical to a fresh build of its intermediate dataset, so
+        the final state matches a fresh build of the final dataset.  Only
+        the last step signs (at the batch's new epoch); intermediate
+        signatures would be discarded anyway.
+        """
+        from repro.ifmh.updates import apply_incremental_update
+
+        if not self.config.is_ifmh:
+            return None
+        steps: list[tuple[Optional[Record], Optional[int]]] = [
+            (None, record_id) for record_id in deletes
+        ] + [(record, None) for record in inserts]
+        if len(deletes) == len(records) and inserts:
+            # The deletes would drain every current record, and single-record
+            # steps cannot build an empty intermediate ADS -- front-load one
+            # insert whose id is free right now to keep every step non-empty.
+            current_ids = {record.record_id for record in records}
+            lead = next(
+                (
+                    position
+                    for position, (record, _record_id) in enumerate(steps)
+                    if record is not None and record.record_id not in current_ids
+                ),
+                None,
+            )
+            if lead is None:
+                # Every insert reuses an id being deleted (a whole-dataset
+                # replace-in-place): no safe step order exists, rebuild.
+                return None
+            steps.insert(0, steps.pop(lead))
+        tree = self.ads
+        dataset = self.dataset
+        current_records = list(records)
+        for position, (record, record_id) in enumerate(steps):
+            last = position == len(steps) - 1
+            if record_id is not None:
+                current_records = [
+                    r for r in current_records if r.record_id != record_id
+                ]
+            else:
+                current_records = current_records + [record]
+            dataset = Dataset(
+                attribute_names=self.dataset.attribute_names, records=current_records
+            )
+            tree = apply_incremental_update(
+                tree,
+                dataset,
+                inserted=record,
+                deleted_id=record_id,
+                epoch=epoch,
+                sign=last,
+            )
+            if tree is None:
+                return None
+        self.ads = tree
+        self.dataset = dataset
+        return UpdateReport(
+            inserted=len(inserts),
+            deleted=len(deletes),
+            epoch=epoch,
+            strategy="incremental",
+        )
 
     # ------------------------------------------------------------ publishing
     def public_parameters(self) -> PublicParameters:
@@ -231,6 +499,7 @@ class DataOwner:
             signature_algorithm=self.keypair.scheme,
             verifier=self.keypair.verifier,
             bind_intersections=self.bind_intersections,
+            epoch=self.epoch,
         )
 
     def outsource(self) -> ServerPackage:
@@ -241,7 +510,7 @@ class DataOwner:
             public_parameters=self.public_parameters(),
         )
 
-    def publish(self, path) -> None:
+    def publish(self, path, *, base=None) -> None:
         """Write the finished ADS to ``path`` as a versioned artifact.
 
         The artifact is everything a cold-starting server (and any client)
@@ -249,10 +518,17 @@ class DataOwner:
         array, signatures and public parameters -- see
         :mod:`repro.core.artifact` for the format.  Loading it back with
         :meth:`repro.core.server.Server.from_artifact` re-hashes nothing.
+
+        With ``base`` (the path of a previously published artifact of this
+        ADS lineage) a **delta artifact** is written instead: unchanged
+        arrays are inherited from the base by checksum reference, and the
+        append-only Merkle arena ships only its new tail.  Loading a delta
+        requires the matching base file; splicing it onto any other base
+        raises :class:`~repro.core.errors.ConstructionError`.
         """
         from repro.core.artifact import save_artifact
 
-        save_artifact(self, path)
+        save_artifact(self, path, base=base)
 
     # --------------------------------------------------------------- metrics
     @property

@@ -87,16 +87,17 @@ class OutsourcedSystem:
         return cls(owner=owner, server=server, client=client)
 
     @classmethod
-    def from_artifact(cls, path) -> "OutsourcedSystem":
+    def from_artifact(cls, path, *, base=None) -> "OutsourcedSystem":
         """Cold-start a server/client pair from a published ADS artifact.
 
         The returned system has no :attr:`owner` (the private key never
         ships in an artifact); queries and verification work exactly as in
-        an in-process system.
+        an in-process system.  ``base`` names the full artifact a delta
+        was published against (see :meth:`repro.core.owner.DataOwner.publish`).
         """
         from repro.core.artifact import load_artifact
 
-        loaded = load_artifact(path)
+        loaded = load_artifact(path, base=base)
         return cls(
             owner=None,
             server=Server(loaded.package),

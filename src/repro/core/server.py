@@ -83,7 +83,12 @@ class Server:
 
     @classmethod
     def from_artifact(
-        cls, path, score_cache_size: int = DEFAULT_SCORE_CACHE_SIZE
+        cls,
+        path,
+        score_cache_size: int = DEFAULT_SCORE_CACHE_SIZE,
+        *,
+        base=None,
+        expected_epoch: Optional[int] = None,
     ) -> "Server":
         """Cold-start a server from a published ADS artifact on disk.
 
@@ -94,10 +99,27 @@ class Server:
         in process.  Raises
         :class:`~repro.core.errors.ConstructionError` for truncated,
         tampered or version-incompatible files.
+
+        ``base`` names the full artifact a *delta* artifact was published
+        against (required for deltas, rejected when it does not match).
+        ``expected_epoch`` pins the ADS epoch the operator expects to
+        serve: loading an artifact from any other epoch -- a stale
+        pre-update file or a replayed old delta -- raises
+        :class:`~repro.core.errors.ConstructionError` instead of silently
+        serving data that clients will reject.
         """
         from repro.core.artifact import load_artifact
+        from repro.core.errors import ConstructionError
 
-        return cls(load_artifact(path).package, score_cache_size=score_cache_size)
+        loaded = load_artifact(path, base=base)
+        if expected_epoch is not None:
+            epoch = int(loaded.meta.get("epoch", 0))
+            if epoch != expected_epoch:
+                raise ConstructionError(
+                    f"ADS artifact {path!r} carries epoch {epoch}, but this server "
+                    f"expects epoch {expected_epoch}; stale or replayed artifact"
+                )
+        return cls(loaded.package, score_cache_size=score_cache_size)
 
     # ----------------------------------------------------------- execution
     def execute(self, query: AnalyticQuery, counters: Optional[Counters] = None) -> QueryExecution:

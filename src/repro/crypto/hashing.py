@@ -34,11 +34,49 @@ from __future__ import annotations
 import hashlib
 from typing import Iterable, List, Optional, Sequence
 
-__all__ = ["HashFunction", "sha256", "sha256_hex", "sha256_many", "DIGEST_SIZE"]
+__all__ = [
+    "HashFunction",
+    "sha256",
+    "sha256_hex",
+    "sha256_many",
+    "epoch_token",
+    "epoch_bound_combine",
+    "DIGEST_SIZE",
+]
 
 #: Size in bytes of a SHA-256 digest.  Used by the size accounting in
 #: :mod:`repro.metrics.sizes`.
 DIGEST_SIZE = 32
+
+
+def epoch_token(epoch: int) -> bytes:
+    """Canonical byte encoding of an ADS epoch, bound into signed messages.
+
+    Epoch 0 (the initial build) signs the legacy message with no token, so
+    every pre-update digest and signature is unchanged; from epoch 1 on the
+    token is combined into the message, which is what lets a verifying
+    client -- who learns the current epoch from the owner's public
+    parameters -- reject responses served from a stale (pre-update) ADS
+    even though their signatures were once genuine.
+    """
+    if epoch < 0:
+        raise ValueError(f"epoch must be >= 0, got {epoch}")
+    return b"repro:ads:epoch:" + str(int(epoch)).encode("ascii")
+
+
+def epoch_bound_combine(
+    hash_function: "HashFunction", epoch: int, *parts: bytes
+) -> bytes:
+    """``combine(*parts)`` with the epoch token appended from epoch 1 on.
+
+    The single place that encodes the "epoch 0 keeps the legacy message"
+    rule for every multi-part signed message (multi-signature subdomain
+    digests, mesh pair digests): signers and verifiers both call this, so
+    the two sides cannot drift.
+    """
+    if epoch == 0:
+        return hash_function.combine(*parts)
+    return hash_function.combine(*parts, epoch_token(epoch))
 
 
 def sha256(data: bytes) -> bytes:

@@ -29,7 +29,7 @@ from repro.core.config import (
 )
 from repro.core.errors import ConstructionError
 from repro.core.records import Dataset, Record, UtilityTemplate
-from repro.crypto.hashing import HashFunction
+from repro.crypto.hashing import HashFunction, epoch_bound_combine
 from repro.crypto.signer import Signer
 from repro.geometry.engine import SplitEngine
 from repro.itree.itree import ITree, SearchTrace
@@ -110,6 +110,7 @@ class IFMHTree:
         build_mode: Optional[str] = None,
         hash_consing: Optional[bool] = None,
         batch_hashing: Optional[bool] = None,
+        epoch: int = 0,
     ):
         if mode is not None and mode not in (ONE_SIGNATURE, MULTI_SIGNATURE):
             raise ConstructionError(
@@ -128,7 +129,7 @@ class IFMHTree:
                 f"unknown IFMH mode {config.scheme!r}; expected "
                 f"{ONE_SIGNATURE!r} or {MULTI_SIGNATURE!r}"
             )
-        self._init_common(dataset, template, config, counters, hash_function, signer)
+        self._init_common(dataset, template, config, counters, hash_function, signer, epoch)
         if engine is None and config.tolerance is not None:
             engine = config.make_engine(template.domain)
 
@@ -162,10 +163,13 @@ class IFMHTree:
         counters: Optional[Counters],
         hash_function: Optional[HashFunction],
         signer: Optional[Signer],
+        epoch: int = 0,
     ) -> None:
         """State shared by fresh construction and artifact reconstruction."""
         if len(dataset) == 0:
             raise ConstructionError("cannot build an IFMH-tree over an empty dataset")
+        if epoch < 0:
+            raise ConstructionError(f"epoch must be >= 0, got {epoch}")
         self.config = config
         self.dataset = dataset
         self.template = template
@@ -176,10 +180,20 @@ class IFMHTree:
         self.signer = signer
         self.hash_consing = config.hash_consing
         self.batch_hashing = config.batch_hashing
+        #: ADS epoch: 0 for an initial build, bumped by every applied update
+        #: batch and bound into all signed messages from epoch 1 on.
+        self.epoch = int(epoch)
         #: Set only on artifact-loaded trees: the shared arena plus the
         #: per-subdomain data needed to attach a leaf's FMH view on first
         #: use (queries touch a handful of subdomains; the rest never pay).
         self._lazy_forest = None
+        #: Batched-build forest handles ``(arena, root_indices, row_ids)``
+        #: in ``leaves()`` order, kept for the incremental-update path.
+        self._batched_forest = None
+        self._batched_leaf_map = None
+        #: Set by the incremental updater: everything the *next* update
+        #: needs without touching (or materializing) the node structures.
+        self._incremental_state = None
         self.records_by_id: Dict[int, Record] = {}
         for record in dataset:
             if record.record_id in self.records_by_id:
@@ -232,6 +246,16 @@ class IFMHTree:
         leaf_indices = engine.intern_leaf_batch(payloads, hash_function)
         record_leaf_index = leaf_indices[:-2]
         min_index, max_index = int(leaf_indices[-2]), int(leaf_indices[-1])
+        #: record id -> arena leaf index, free to stash here and exactly
+        #: what the incremental-update path needs to splice new leaf rows.
+        self._batched_leaf_map = (
+            {
+                record.record_id: int(index)
+                for record, index in zip(ordered_records, record_leaf_index)
+            },
+            min_index,
+            max_index,
+        )
 
         tree_count = len(leaves)
         leaf_count = len(ordered_records) + 2
@@ -250,6 +274,7 @@ class IFMHTree:
             ]
         roots = engine.build_forest(leaf_matrix, hash_function)
         arena = engine.finalize_arena()
+        self._batched_forest = (arena, roots, row_ids)
         for leaf, root_index in zip(leaves, roots.tolist()):
             view = ArenaMerkleTree(arena, root_index, leaf_count, hash_function=hash_function)
             sorted_records = PermutedView(
@@ -283,9 +308,21 @@ class IFMHTree:
         return self.hash_function.combine(node.above.hash_value, node.below.hash_value)
 
     # ------------------------------------------------------------- step 4
+    def signed_root_message(self) -> bytes:
+        """The message the one-signature root signature covers.
+
+        Epoch 0 signs the raw root hash (the paper's rule, unchanged for
+        initial builds); later epochs bind the epoch token into the message
+        so a stale pre-update root cannot be replayed against a client that
+        knows the current epoch.
+        """
+        if self.epoch == 0:
+            return self.root_hash
+        return epoch_bound_combine(self.hash_function, self.epoch, self.root_hash)
+
     def _sign(self, signer: Signer) -> None:
         if self.mode == ONE_SIGNATURE:
-            self.root_signature = signer.sign(self.root_hash)
+            self.root_signature = signer.sign(self.signed_root_message())
             self.counters.add_signature_created()
             return
         for leaf in self.itree.leaves():
@@ -297,12 +334,15 @@ class IFMHTree:
 
         The paper hashes the subdomain's inequality set, concatenates the
         result with the subdomain node's hash (its FMH root) and hashes
-        again; the final digest is what gets signed.
+        again; the final digest is what gets signed.  From epoch 1 on the
+        epoch token is combined in as well (see :meth:`signed_root_message`).
         """
         if self._lazy_forest is not None:
             self._ensure_leaf(leaf)
         inequality_hash = self.hash_function.digest(leaf.region.constraint_bytes())
-        return self.hash_function.combine(inequality_hash, leaf.hash_value)
+        return epoch_bound_combine(
+            self.hash_function, self.epoch, inequality_hash, leaf.hash_value
+        )
 
     # --------------------------------------------------------------- codecs
     def to_arrays(self) -> Dict[str, np.ndarray]:
@@ -371,6 +411,8 @@ class IFMHTree:
         builder: str = "auto",
         counters: Optional[Counters] = None,
         engine: Optional[SplitEngine] = None,
+        epoch: int = 0,
+        require_signatures: bool = True,
     ) -> "IFMHTree":
         """Rebuild a fully functional tree from :meth:`to_arrays` output.
 
@@ -390,8 +432,30 @@ class IFMHTree:
                 f"IFMH arrays require an IFMH scheme, got {config.scheme!r}"
             )
         self = cls.__new__(cls)
-        self._init_common(dataset, template, config, counters, None, None)
+        self._init_common(dataset, template, config, counters, None, None, epoch)
         self.merkle_engine_stats = None
+        self._load_arrays(
+            arrays,
+            builder=builder,
+            engine=engine,
+            root_signature=root_signature,
+            require_signatures=require_signatures,
+        )
+        return self
+
+    def _load_arrays(
+        self,
+        arrays: Dict[str, np.ndarray],
+        *,
+        builder: str,
+        engine: Optional[SplitEngine],
+        root_signature: Optional[bytes],
+        require_signatures: bool,
+    ) -> None:
+        """Attach the array-form ADS to ``self`` (see :meth:`from_arrays`)."""
+        dataset = self.dataset
+        template = self.template
+        config = self.config
         if engine is None:
             engine = config.make_engine(template.domain)
         functions = template.functions_for(dataset)
@@ -435,7 +499,12 @@ class IFMHTree:
         for position, node in enumerate(leaf_nodes):
             start = position * digest_size
             node.hash_value = root_blob[start : start + digest_size]
-        if self.mode == MULTI_SIGNATURE:
+        if self.mode == MULTI_SIGNATURE and (
+            require_signatures or "leaf_signature" in arrays
+        ):
+            # The update path reconstructs first and signs at the new epoch
+            # afterwards (require_signatures=False); artifact loads always
+            # carry the published signatures.
             matrix = np.ascontiguousarray(arrays["leaf_signature"], dtype=np.uint8)
             if matrix.shape[0] != len(leaf_nodes):
                 raise ConstructionError(
@@ -455,7 +524,66 @@ class IFMHTree:
             root_index_array.tolist(),
         )
         self.root_signature = root_signature
+
+    # ----------------------------------------------------- deferred updates
+    @classmethod
+    def from_update(
+        cls,
+        dataset: Dataset,
+        template: UtilityTemplate,
+        arrays: Dict[str, np.ndarray],
+        *,
+        config: SystemConfig,
+        counters: Optional[Counters],
+        engine: Optional[SplitEngine],
+        epoch: int,
+        root_hash: bytes,
+        subdomain_count: int,
+        signer: Optional[Signer] = None,
+    ) -> "IFMHTree":
+        """An incrementally updated tree whose node structures load lazily.
+
+        The changed-path update (:mod:`repro.ifmh.updates`) already knows
+        the new root digest, subdomain count and every array of the new
+        ADS; rebuilding the I-tree node skeleton eagerly would cost more
+        than the rest of the update.  It is deferred instead: the first
+        access to :attr:`itree` (a search, a metrics walk, ``to_arrays``)
+        triggers the same :meth:`from_arrays` reconstruction an artifact
+        load performs.  Signing does not force it -- the root hash is
+        served from the update's propagation pass.
+        """
+        self = cls.__new__(cls)
+        self._init_common(dataset, template, config, counters, None, signer, epoch)
+        self.merkle_engine_stats = None
+        self.root_signature = None
+        self._deferred_load = (arrays, engine)
+        self._deferred_root_hash = root_hash
+        self._deferred_subdomain_count = int(subdomain_count)
         return self
+
+    def _materialize_deferred(self) -> None:
+        """Run the deferred :meth:`from_arrays` reconstruction (idempotent)."""
+        payload = self.__dict__.pop("_deferred_load", None)
+        if payload is None:
+            return
+        arrays, engine = payload
+        self._load_arrays(
+            arrays,
+            builder="bulk",
+            engine=engine,
+            root_signature=self.root_signature,
+            require_signatures=False,
+        )
+
+    def __getattr__(self, name: str):
+        # Only ever reached for attributes not yet set: a deferred update
+        # has no ``itree`` until something touches the node structures.
+        if name == "itree" and "_deferred_load" in self.__dict__:
+            self._materialize_deferred()
+            return self.__dict__["itree"]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     def _ensure_leaf(self, leaf: ITreeNode) -> None:
         """Attach a lazily loaded subdomain's region and FMH view (idempotent)."""
@@ -479,12 +607,16 @@ class IFMHTree:
     # ------------------------------------------------------------ accessors
     @property
     def root_hash(self) -> bytes:
+        if "_deferred_load" in self.__dict__:
+            return self._deferred_root_hash
         if self.itree.root.hash_value is None:
             raise ConstructionError("hash propagation has not run")
         return self.itree.root.hash_value
 
     @property
     def subdomain_count(self) -> int:
+        if "_deferred_load" in self.__dict__:
+            return self._deferred_subdomain_count
         return self.itree.subdomain_count
 
     @property

@@ -28,7 +28,7 @@ from repro.core.queries import AnalyticQuery
 from repro.core.recheck import recheck_query
 from repro.core.records import Record, UtilityTemplate
 from repro.core.results import QueryResult, VerificationReport
-from repro.crypto.hashing import HashFunction
+from repro.crypto.hashing import HashFunction, epoch_bound_combine
 from repro.crypto.signer import Verifier
 from repro.geometry.domain import region_from_constraints
 from repro.geometry.functions import LinearFunction
@@ -63,8 +63,15 @@ def verify_result(
     verifier: Verifier,
     bind_intersections: bool = True,
     counters: Optional[Counters] = None,
+    epoch: int = 0,
 ) -> VerificationReport:
-    """Verify that ``result`` is a sound and complete answer to ``query``."""
+    """Verify that ``result`` is a sound and complete answer to ``query``.
+
+    ``epoch`` is the current ADS epoch from the owner's public parameters;
+    from epoch 1 on it is bound into the signed message, so responses
+    served from a stale (pre-update) ADS fail the signature check even
+    though their signatures were once genuine.
+    """
     report = VerificationReport()
     counters = counters if counters is not None else Counters()
     report.counters = counters
@@ -112,7 +119,11 @@ def verify_result(
             directions_consistent,
             "the IMH search path does not follow the query's weight vector",
         )
-        signature_ok = verifier.verify(root_hash, vo.root_signature)
+        if epoch == 0:
+            message = root_hash
+        else:
+            message = epoch_bound_combine(hash_function, epoch, root_hash)
+        signature_ok = verifier.verify(message, vo.root_signature)
         counters.add_signature_verified()
         report.record(
             "root-signature",
@@ -127,7 +138,7 @@ def verify_result(
             "the proven subdomain does not contain the query's weight vector",
         )
         inequality_hash = hash_function.digest(region.constraint_bytes())
-        digest = hash_function.combine(inequality_hash, fmh_root)
+        digest = epoch_bound_combine(hash_function, epoch, inequality_hash, fmh_root)
         signature_ok = verifier.verify(digest, vo.multi_signature_iv.signature)
         counters.add_signature_verified()
         report.record(

@@ -43,10 +43,10 @@ from repro.geometry.engine import IntervalEngine, SplitEngine, make_engine
 from repro.geometry.functions import COEFFICIENT_TOLERANCE, Hyperplane, LinearFunction
 from repro.geometry.sorting import sort_functions_at
 from repro.itree.nodes import ITreeNode
-from repro.itree.permutation import SharedFunctionOrder
+from repro.itree.permutation import LazySplicedPermutation, SharedFunctionOrder
 from repro.metrics.counters import Counters
 
-__all__ = ["ITree", "SearchStep", "SearchTrace", "BUILDERS"]
+__all__ = ["ITree", "SearchStep", "SearchTrace", "BulkPlanState", "BUILDERS"]
 
 #: Supported construction strategies (``"auto"`` resolves to one of the rest).
 BUILDERS = ("incremental", "bulk", "balanced-incremental", "auto")
@@ -54,6 +54,44 @@ BUILDERS = ("incremental", "bulk", "balanced-incremental", "auto")
 #: Leaves scored per vectorized chunk when finalizing a bulk-built tree
 #: (bounds peak memory to ``chunk * n_functions`` floats).
 _FINALIZE_CHUNK = 2048
+
+
+@dataclass(frozen=True)
+class BulkPlanState:
+    """The bulk builder's kept-breakpoint plan, in sorted array form.
+
+    Stashed on bulk-built (and bulk-published, artifact-loaded) trees so the
+    incremental-update path (:mod:`repro.ifmh.updates`) can splice new
+    breakpoints into the plan instead of re-deriving it from the node
+    objects.  Column ``k`` of every array describes the ``k``-th kept
+    breakpoint in ascending order: its crossing value, the two function
+    (record) ids of the pair, and the hyperplane's 1-D normal/offset --
+    exactly the fields of the :class:`~repro.geometry.functions.Hyperplane`
+    the tree's ``k``-th (by breakpoint order) intersection node carries.
+    """
+
+    breakpoints: np.ndarray
+    hyper_i: np.ndarray
+    hyper_j: np.ndarray
+    hyper_normal: np.ndarray
+    hyper_offset: np.ndarray
+
+    @classmethod
+    def from_hyperplanes(
+        cls, breakpoints: np.ndarray, hyperplanes: Sequence[Hyperplane]
+    ) -> "BulkPlanState":
+        count = len(hyperplanes)
+        return cls(
+            breakpoints=np.ascontiguousarray(breakpoints, dtype=np.float64),
+            hyper_i=np.fromiter((h.i for h in hyperplanes), dtype=np.int64, count=count),
+            hyper_j=np.fromiter((h.j for h in hyperplanes), dtype=np.int64, count=count),
+            hyper_normal=np.fromiter(
+                (h.normal[0] for h in hyperplanes), dtype=np.float64, count=count
+            ),
+            hyper_offset=np.fromiter(
+                (h.offset for h in hyperplanes), dtype=np.float64, count=count
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -130,6 +168,14 @@ class ITree:
         #: One shared 2-D permutation array covering every leaf's sorted
         #: order (set by leaf finalization; leaves hold lazy views into it).
         self.shared_order: Optional[SharedFunctionOrder] = None
+        #: Sorted kept-breakpoint plan (bulk builds only; derived lazily for
+        #: bulk-published artifact loads).  ``None`` for incremental shapes.
+        self.bulk_state: Optional[BulkPlanState] = None
+        #: Change points of the shared permutation -- ``(rows, cols, vals)``
+        #: of the cells where row ``t`` differs from row ``t - 1`` (bulk
+        #: builds only).  The incremental-update path consumes these instead
+        #: of re-diffing the dense matrix.
+        self.perm_change = None
         #: Set only on artifact-loaded trees (see :meth:`from_arrays`).
         self._lazy_leaf_data = None
         self._subdomain_count: Optional[int] = None
@@ -287,7 +333,8 @@ class ITree:
         the kept hyperplanes in median-first order, without any BFS walks or
         redundant ``splits()`` probes.
         """
-        _, hyperplanes = self._bulk_plan()
+        breakpoints, hyperplanes = self._bulk_plan()
+        self.bulk_state = BulkPlanState.from_hyperplanes(breakpoints, hyperplanes)
         count = len(hyperplanes)
         leaves: list[Optional[ITreeNode]] = [None] * (count + 1)
         stack: list[tuple[ITreeNode, int, int]] = [(self.root, 0, count)]
@@ -339,6 +386,7 @@ class ITree:
             scores = witnesses[chunk, None] * slopes[None, :] + constants[None, :]
             permutation[chunk] = np.argsort(scores, axis=1, kind="stable")
         self.shared_order = SharedFunctionOrder(ordered_functions, permutation)
+        self.perm_change = _permutation_change_points(permutation)
         for row, leaf in enumerate(leaves):
             leaf.sorted_functions = self.shared_order.view(row)
         self._assign_subdomain_ids()
@@ -395,7 +443,9 @@ class ITree:
             ),
             "leaf_row": np.asarray(leaf_row, dtype=np.int64),
         }
-        arrays.update(_encode_permutation(self.shared_order.permutation))
+        arrays.update(
+            _encode_permutation(self.shared_order.permutation, self.perm_change)
+        )
         return arrays
 
     @classmethod
@@ -437,6 +487,35 @@ class ITree:
         ordered_functions = sorted(self.functions, key=lambda f: f.index)
         permutation = _decode_permutation(arrays)
         self.shared_order = SharedFunctionOrder(ordered_functions, permutation)
+        self.bulk_state = None
+        self.perm_change = None
+        if builder == "bulk" and domain.dimension == 1:
+            if "perm_delta_col" in arrays:
+                # The artifact's row-delta permutation encoding *is* the
+                # change-point list the update path wants.
+                counts = np.asarray(arrays["perm_delta_counts"], dtype=np.int64)
+                self.perm_change = (
+                    np.repeat(np.arange(1, counts.shape[0] + 1, dtype=np.int64), counts),
+                    np.asarray(arrays["perm_delta_col"], dtype=np.int64),
+                    np.asarray(arrays["perm_delta_val"], dtype=np.int64),
+                )
+            elif isinstance(permutation, np.ndarray):
+                self.perm_change = _permutation_change_points(permutation)
+            # Re-derive the sorted kept-breakpoint plan from the stored
+            # hyperplane columns (same floats, same -offset/slope arithmetic
+            # as IntervalEngine._breakpoint), so loaded bulk trees stay
+            # eligible for incremental updates.
+            normals = np.asarray(arrays["hyper_normal"], dtype=np.float64).reshape(-1)
+            offsets = np.asarray(arrays["hyper_offset"], dtype=np.float64)
+            breakpoints = -offsets / normals
+            order = np.argsort(breakpoints, kind="stable")
+            self.bulk_state = BulkPlanState(
+                breakpoints=breakpoints[order],
+                hyper_i=np.asarray(arrays["hyper_i"], dtype=np.int64)[order],
+                hyper_j=np.asarray(arrays["hyper_j"], dtype=np.int64)[order],
+                hyper_normal=normals[order],
+                hyper_offset=offsets[order],
+            )
 
         flags = np.asarray(arrays["node_is_leaf"], dtype=np.uint8).tolist()
         hyper_i = np.asarray(arrays["hyper_i"], dtype=np.int64).tolist()
@@ -636,7 +715,47 @@ class ITree:
         return self.search(weights).leaf
 
 
-def _encode_permutation(permutation: np.ndarray) -> dict[str, np.ndarray]:
+#: Rows diffed per chunk when extracting permutation change points (bounds
+#: the transient boolean matrix to a few MB however large the build is).
+_CHANGE_POINT_CHUNK = 8192
+
+
+def _permutation_change_points(
+    permutation: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(rows, cols, vals)`` of the cells where row ``t`` differs from
+    ``t - 1`` -- the representation the incremental-update path consumes
+    (and, shifted, what the artifact's row-delta encoding stores).
+
+    Computed eagerly at build time (a ~1% scan of a bulk build) so the
+    first incremental update never pays a dense diff; the chunking keeps
+    the transient comparison matrix small at any scale.
+    """
+    total = permutation.shape[0]
+    empty = np.empty(0, dtype=np.int64)
+    if total <= 1:
+        return empty, empty, empty
+    rows_out: list = []
+    cols_out: list = []
+    vals_out: list = []
+    for start in range(1, total, _CHANGE_POINT_CHUNK):
+        stop = min(start + _CHANGE_POINT_CHUNK, total)
+        block = permutation[start:stop]
+        changed = block != permutation[start - 1 : stop - 1]
+        change_rows, change_cols = np.nonzero(changed)
+        rows_out.append(change_rows + start)
+        cols_out.append(change_cols.astype(np.int64))
+        vals_out.append(block[changed].astype(np.int64))
+    return (
+        np.concatenate(rows_out),
+        np.concatenate(cols_out),
+        np.concatenate(vals_out),
+    )
+
+
+def _encode_permutation(
+    permutation: np.ndarray, change_points=None
+) -> dict[str, np.ndarray]:
     """Row-delta encoding of the shared permutation array (artifact export).
 
     Adjacent subdomains of the 1-D arrangement differ by a single adjacent
@@ -646,22 +765,25 @@ def _encode_permutation(permutation: np.ndarray) -> dict[str, np.ndarray]:
     per-row changed cells.  Rows are compared in storage order whatever the
     builder produced; when the delta form would not actually be smaller
     (tiny trees, adversarial orders) the dense matrix is stored as
-    ``permutation`` instead, and the decoder accepts either.
+    ``permutation`` instead, and the decoder accepts either.  A caller that
+    already holds the change points (bulk builds cache them for the update
+    path) passes them in; otherwise they are derived here.
     """
     dense = np.ascontiguousarray(permutation, dtype=np.int32)
     rows = dense.shape[0]
     if rows > 1:
-        changed = dense[1:] != dense[:-1]
-        changed_rows, changed_cols = np.nonzero(changed)
-        delta_cells = changed_cols.shape[0]
+        if change_points is None:
+            change_points = _permutation_change_points(dense)
+        change_rows, change_cols, change_vals = change_points
+        delta_cells = change_cols.shape[0]
         if 2 * delta_cells + rows + dense.shape[1] < dense.size // 2:
             return {
                 "perm_row0": dense[0].copy(),
                 "perm_delta_counts": np.bincount(
-                    changed_rows, minlength=rows - 1
+                    change_rows - 1, minlength=rows - 1
                 ).astype(np.int64),
-                "perm_delta_col": changed_cols.astype(np.int32),
-                "perm_delta_val": dense[1:][changed],
+                "perm_delta_col": change_cols.astype(np.int32),
+                "perm_delta_val": change_vals.astype(np.int32),
             }
     return {"permutation": dense}
 
@@ -669,7 +791,12 @@ def _encode_permutation(permutation: np.ndarray) -> dict[str, np.ndarray]:
 def _decode_permutation(arrays: dict) -> np.ndarray:
     """Rebuild the dense permutation matrix from either stored encoding."""
     if "permutation" in arrays:
-        return np.ascontiguousarray(arrays["permutation"], dtype=np.int32)
+        permutation = arrays["permutation"]
+        if isinstance(permutation, LazySplicedPermutation):
+            # Incremental updates hand their row-lazy permutation through
+            # the same reconstruction path; it densifies only on publish.
+            return permutation
+        return np.ascontiguousarray(permutation, dtype=np.int32)
     row0 = np.ascontiguousarray(arrays["perm_row0"], dtype=np.int32)
     counts = np.asarray(arrays["perm_delta_counts"], dtype=np.int64)
     columns = np.ascontiguousarray(arrays["perm_delta_col"], dtype=np.int64)

@@ -24,7 +24,133 @@ import numpy as np
 
 from repro.geometry.functions import LinearFunction
 
-__all__ = ["SharedFunctionOrder", "PermutedView"]
+__all__ = ["SharedFunctionOrder", "PermutedView", "LazySplicedPermutation"]
+
+
+class LazySplicedPermutation:
+    """Row-lazy permutation produced by an incremental update.
+
+    The updated forest's sorted rows are, for almost every subdomain, the
+    previous epoch's row with one record spliced in at its rank (insert) or
+    one column cut out (delete); only the few subdomains around touched
+    breakpoints were re-sorted.  Materializing the dense ``(rows, n)``
+    matrix eagerly would cost more than the whole changed-path rebuild, so
+    this object stores the splice descriptors instead and computes rows on
+    demand -- queries touch a handful of subdomains, and
+    :func:`numpy.asarray` (``__array__``) densifies everything when an
+    artifact is published.
+
+    Parameters
+    ----------
+    base:
+        The previous permutation -- a dense int32 matrix or another lazy
+        permutation (chains are densified past a small depth by the
+        updater).
+    source_row:
+        For every new row, the base row it derives from.
+    mode / positions:
+        ``"insert"``: ``splice_position`` is the inserted function's base
+        position; ``row_rank[k]`` the sorted slot it takes in row ``k``.
+        ``"delete"``: ``splice_position`` is the removed function's old
+        base position; ``row_rank[k]`` the column cut out of row ``k``.
+    overrides:
+        ``{row: dense int32 row}`` for re-sorted subdomains (these ignore
+        the splice descriptor entirely).
+    """
+
+    __slots__ = ("base", "source_row", "mode", "splice_position", "row_rank", "overrides", "shape", "depth")
+
+    ndim = 2
+    dtype = np.dtype(np.int32)
+
+    def __init__(self, base, source_row, mode, splice_position, row_rank, overrides):
+        if mode not in ("insert", "delete"):
+            raise ValueError(f"unknown splice mode {mode!r}")
+        self.base = base
+        self.source_row = np.asarray(source_row, dtype=np.int64)
+        self.mode = mode
+        self.splice_position = int(splice_position)
+        self.row_rank = np.asarray(row_rank, dtype=np.int64)
+        self.overrides = overrides
+        width = base.shape[1] + (1 if mode == "insert" else -1)
+        self.shape = (self.source_row.shape[0], width)
+        self.depth = getattr(base, "depth", 0) + 1
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def __getitem__(self, row: int) -> np.ndarray:
+        override = self.overrides.get(row)
+        if override is not None:
+            return override
+        source = np.asarray(self.base[self.source_row[row]])
+        position = self.splice_position
+        out = np.empty(self.shape[1], dtype=np.int32)
+        slot = int(self.row_rank[row])
+        if self.mode == "insert":
+            remapped = source + (source >= position)
+            out[:slot] = remapped[:slot]
+            out[slot] = position
+            out[slot + 1 :] = remapped[slot:]
+        else:
+            remapped = source - (source > position)
+            out[:slot] = remapped[:slot]
+            out[slot:] = remapped[slot + 1 :]
+        return out
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        dense = self.materialize()
+        if dtype is not None and dense.dtype != dtype:
+            return dense.astype(dtype)
+        return dense
+
+    def materialize(self) -> np.ndarray:
+        """The dense int32 matrix (vectorized: run-grouped slice splices).
+
+        Chains are flattened iteratively -- one full gather/splice pass per
+        stacked layer, never more than two dense matrices alive.
+        """
+        chain: list[LazySplicedPermutation] = []
+        node = self
+        while isinstance(node, LazySplicedPermutation):
+            chain.append(node)
+            node = node.base
+        dense = np.ascontiguousarray(node, dtype=np.int32)
+        for layer in reversed(chain):
+            dense = layer._apply(dense)
+        return dense
+
+    def _apply(self, base: np.ndarray) -> np.ndarray:
+        """One layer's splice applied to its (dense) base matrix."""
+        rows, width = self.shape
+        position = self.splice_position
+        gathered = base[self.source_row]
+        out = np.empty((rows, width), dtype=np.int32)
+        ranks = self.row_rank
+        boundaries = np.nonzero(np.diff(ranks))[0] + 1
+        starts = np.concatenate([[0], boundaries, [rows]])
+        if self.mode == "insert":
+            remapped = gathered + (gathered >= position)
+            for run in range(starts.shape[0] - 1):
+                a, b = int(starts[run]), int(starts[run + 1])
+                if a == b:
+                    continue
+                slot = int(ranks[a])
+                out[a:b, :slot] = remapped[a:b, :slot]
+                out[a:b, slot] = position
+                out[a:b, slot + 1 :] = remapped[a:b, slot:]
+        else:
+            remapped = gathered - (gathered > position)
+            for run in range(starts.shape[0] - 1):
+                a, b = int(starts[run]), int(starts[run + 1])
+                if a == b:
+                    continue
+                slot = int(ranks[a])
+                out[a:b, :slot] = remapped[a:b, :slot]
+                out[a:b, slot:] = remapped[a:b, slot + 1 :]
+        for row, override in self.overrides.items():
+            out[row] = override
+        return out
 
 
 class PermutedView(Sequence):

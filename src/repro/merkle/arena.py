@@ -45,7 +45,13 @@ import numpy as np
 from repro.crypto.hashing import DIGEST_SIZE, HashFunction
 from repro.merkle.mh_tree import MerkleTree, level_sizes
 
-__all__ = ["MerkleArena", "ArenaMerkleTree", "ForestHasher", "arena_from_level_trees"]
+__all__ = [
+    "MerkleArena",
+    "ArenaMerkleTree",
+    "ForestHasher",
+    "DeltaForestHasher",
+    "arena_from_level_trees",
+]
 
 #: 8-byte big-endian length prefix of one digest, replicating the
 #: unambiguous ``H(len(x) | x | len(y) | y)`` framing of
@@ -246,6 +252,37 @@ class _NodeStore:
         self.size = needed
         return start
 
+    def append_pair_nodes(
+        self, left_index: np.ndarray, right_index: np.ndarray, hash_function: HashFunction
+    ) -> int:
+        """Reserve, hash and store one parent node per ``(left, right)`` pair.
+
+        Assembles the ``H(len(x) | x | len(y) | y)`` two-digest preimages
+        into one contiguous buffer, hashes them in a single bulk pass and
+        writes digests plus child indices into the reserved slots; returns
+        the first new index.  Shared by the full level-order builder and
+        the changed-path delta builder so the pair framing exists in
+        exactly one place.
+        """
+        count = int(left_index.shape[0])
+        start = self.reserve(count)
+        digests = self.digests
+        buffer = np.empty((count, _PAIR_PREIMAGE_SIZE), dtype=np.uint8)
+        prefix = np.frombuffer(_DIGEST_LENGTH_PREFIX, dtype=np.uint8)
+        buffer[:, 0:8] = prefix
+        buffer[:, 8 : 8 + DIGEST_SIZE] = digests[left_index]
+        buffer[:, 8 + DIGEST_SIZE : 16 + DIGEST_SIZE] = prefix
+        buffer[:, 16 + DIGEST_SIZE :] = digests[right_index]
+        # Buffer rows go to the bulk hasher directly (hashlib accepts any
+        # C-contiguous buffer) -- no per-row memoryview slicing.
+        new_digests = hash_function.digest_batch(buffer)
+        digests[start : start + count] = np.frombuffer(
+            b"".join(new_digests), dtype=np.uint8
+        ).reshape(count, DIGEST_SIZE)
+        self.left[start : start + count] = left_index
+        self.right[start : start + count] = right_index
+        return start
+
 
 class ForestHasher:
     """Level-order batched construction of many equal-shape Merkle trees.
@@ -408,31 +445,278 @@ class ForestHasher:
 
     def _hash_new_pairs(self, new_keys: List[int], hash_function: HashFunction) -> None:
         """Bulk-hash the level's new pairs and append them to the store."""
-        count = len(new_keys)
         key_array = np.asarray(new_keys, dtype=np.int64)
-        left_index = key_array >> np.int64(32)
-        right_index = key_array & np.int64(0xFFFFFFFF)
-        start = self._store.reserve(count)
-        digests = self._store.digests
-        # Contiguous preimage buffer: len(left) | left | len(right) | right,
-        # the exact framing of HashFunction.combine for two digests.
-        buffer = np.empty((count, _PAIR_PREIMAGE_SIZE), dtype=np.uint8)
-        prefix = np.frombuffer(_DIGEST_LENGTH_PREFIX, dtype=np.uint8)
-        buffer[:, 0:8] = prefix
-        buffer[:, 8 : 8 + DIGEST_SIZE] = digests[left_index]
-        buffer[:, 8 + DIGEST_SIZE : 16 + DIGEST_SIZE] = prefix
-        buffer[:, 16 + DIGEST_SIZE :] = digests[right_index]
-        flat = memoryview(buffer.tobytes())
-        size = _PAIR_PREIMAGE_SIZE
-        new_digests = hash_function.digest_batch(
-            [flat[i * size : (i + 1) * size] for i in range(count)]
+        self._store.append_pair_nodes(
+            key_array >> np.int64(32), key_array & np.int64(0xFFFFFFFF), hash_function
         )
-        digests[start : start + count] = np.frombuffer(
-            b"".join(new_digests), dtype=np.uint8
-        ).reshape(count, DIGEST_SIZE)
-        self._store.left[start : start + count] = left_index
-        self._store.right[start : start + count] = right_index
 
+
+#: Bits reserved for the tree index in the delta builder's packed
+#: ``(column, tree)`` entry keys; forests are far below 2^40 trees.
+_TREE_BITS = 40
+
+
+class DeltaForestHasher:
+    """Changed-path rebuild of an equal-shape Merkle forest against a seed arena.
+
+    The incremental-update path (:mod:`repro.ifmh.updates`) knows the *new*
+    forest's leaf matrix only in change-point form: tree 0's full leaf row
+    plus, for every later tree, the cells that differ from the tree before
+    it (adjacent subdomains differ by a couple of cells).  This builder
+    advances all trees one level at a time exactly like
+    :class:`ForestHasher`, but it represents every level sparsely as sorted
+    ``(column, tree, node)`` change entries, so the work per level is
+    proportional to the number of *changed* cells -- Theta(trees * log n)
+    for a single-record update -- instead of the full ``trees x width``
+    matrix.
+
+    Pairs already present in the seed arena are reused by index (no SHA-256
+    runs); only pairs that exist in no seeded tree are hashed, in one bulk
+    pass per level, and appended to the node store.  The finalized arena
+    therefore *extends* the seed arena: every old node keeps its index, so
+    lazy views over the previous forest remain valid, and the appended tail
+    is exactly what a delta artifact ships.
+    """
+
+    def __init__(
+        self,
+        seed: MerkleArena,
+        pair_tables: Optional[tuple] = None,
+    ) -> None:
+        count = len(seed)
+        self._seed_size = count
+        self._store = _NodeStore(capacity=max(1024, count))
+        self._store.reserve(count)
+        self._store.digests[:count] = seed.digests
+        self._store.left[:count] = seed.left
+        self._store.right[:count] = seed.right
+        if pair_tables is not None:
+            # Sorted pair tables carried over from the previous update
+            # (see :meth:`sorted_pair_tables`) -- skips the argsort.
+            self._seed_keys, self._seed_parents = pair_tables
+        else:
+            # Seed pair table in vectorized form: sorted packed (left,
+            # right) keys of every internal node, probed with searchsorted.
+            internal = np.nonzero(seed.left >= 0)[0]
+            keys = (seed.left[internal] << np.int64(32)) | seed.right[internal]
+            order = np.argsort(keys, kind="stable")
+            self._seed_keys = keys[order]
+            self._seed_parents = internal[order]
+        # Pairs appended during this build, in the same sorted-key form.
+        self._new_keys = np.empty(0, dtype=np.int64)
+        self._new_parents = np.empty(0, dtype=np.int64)
+        self._leaf_index: Optional[Dict[bytes, int]] = None
+        self._arena: Optional[MerkleArena] = None
+
+    def sorted_pair_tables(self) -> tuple:
+        """Merged sorted ``(keys, parents)`` covering seed plus new pairs.
+
+        Hand these to the next update's :class:`DeltaForestHasher` so it
+        starts with ready-made lookup tables.
+        """
+        if self._new_keys.shape[0] == 0:
+            return self._seed_keys, self._seed_parents
+        slots = np.searchsorted(self._seed_keys, self._new_keys)
+        keys = np.insert(self._seed_keys, slots, self._new_keys)
+        parents = np.insert(self._seed_parents, slots, self._new_parents)
+        return keys, parents
+
+    # ------------------------------------------------------------------ API
+    def intern_leaf(self, payload: bytes, hash_function: HashFunction) -> int:
+        """Digest one new leaf payload and return its (deduplicated) node index.
+
+        Matches :meth:`ForestHasher.intern_leaves` semantics: the payload is
+        hashed once; if a leaf with the same digest already exists in the
+        seeded store it is reused so pair consing stays value-exact.
+        """
+        if self._arena is not None:
+            raise RuntimeError("the forest has been finalized; no more leaves can be interned")
+        if self._leaf_index is None:
+            store = self._store
+            leaves = np.nonzero(store.left[: store.size] < 0)[0]
+            self._leaf_index = {
+                store.digests[int(index)].tobytes(): int(index) for index in leaves
+            }
+        digest = hash_function.digest(payload)
+        known = self._leaf_index.get(digest)
+        if known is None:
+            known = self._store.reserve(1)
+            self._store.digests[known] = np.frombuffer(digest, dtype=np.uint8)
+            self._leaf_index[digest] = known
+        return int(known)
+
+    def leaf_index_of(self, digest: bytes) -> Optional[int]:
+        """Node index of an existing leaf digest (``None`` when absent)."""
+        store = self._store
+        if self._leaf_index is None:
+            leaves = np.nonzero(store.left[: store.size] < 0)[0]
+            self._leaf_index = {
+                store.digests[int(index)].tobytes(): int(index) for index in leaves
+            }
+        return self._leaf_index.get(digest)
+
+    def build(
+        self,
+        base_row: np.ndarray,
+        change_tree: np.ndarray,
+        change_col: np.ndarray,
+        change_value: np.ndarray,
+        tree_count: int,
+        hash_function: HashFunction,
+    ) -> np.ndarray:
+        """Build every tree of the change-point forest; return root indices.
+
+        ``base_row`` is tree 0's full leaf row (node indices, length = the
+        shared leaf count); ``(change_tree, change_col, change_value)``
+        lists the cells where tree ``t >= 1`` differs from tree ``t - 1``.
+        Redundant entries (a listed cell whose value does not actually
+        change) are tolerated and compressed away.
+        """
+        if self._arena is not None:
+            raise RuntimeError("the forest has been finalized; no more trees can be built")
+        width = int(base_row.shape[0])
+        if width < 1:
+            raise ValueError("a Merkle tree needs at least one leaf")
+        if tree_count < 1:
+            raise ValueError("the forest needs at least one tree")
+        if np.any(change_tree < 1) or np.any(change_tree >= tree_count):
+            raise ValueError("change entries must reference trees 1..tree_count-1")
+        tree_bits = np.int64(_TREE_BITS)
+        columns = np.concatenate(
+            [np.arange(width, dtype=np.int64), np.asarray(change_col, dtype=np.int64)]
+        )
+        trees = np.concatenate(
+            [np.zeros(width, dtype=np.int64), np.asarray(change_tree, dtype=np.int64)]
+        )
+        values = np.concatenate(
+            [np.asarray(base_row, dtype=np.int64), np.asarray(change_value, dtype=np.int64)]
+        )
+        order = np.argsort((columns << tree_bits) | trees, kind="stable")
+        columns, trees, values = columns[order], trees[order], values[order]
+
+        while width > 1:
+            paired = width // 2
+            odd = width - 2 * paired
+            entry_keys = (columns << tree_bits) | trees
+            in_pair = columns < 2 * paired
+            # Candidate parent cells: one per changed child cell, deduped.
+            candidate_keys = np.unique(
+                ((columns[in_pair] >> 1) << tree_bits) | trees[in_pair]
+            )
+            cand_col = candidate_keys >> tree_bits
+            cand_tree = candidate_keys & ((np.int64(1) << tree_bits) - 1)
+            # Child values at (2c, t) / (2c+1, t): latest change entry with
+            # that column and tree <= t.  Every column has a tree-0 entry,
+            # so the searchsorted probe always lands inside the column.
+            left_at = np.searchsorted(
+                entry_keys, ((cand_col * 2) << tree_bits) | cand_tree, side="right"
+            )
+            right_at = np.searchsorted(
+                entry_keys, ((cand_col * 2 + 1) << tree_bits) | cand_tree, side="right"
+            )
+            left_value = values[left_at - 1]
+            right_value = values[right_at - 1]
+            parent_value = self._resolve_pairs(left_value, right_value, hash_function)
+
+            next_columns = cand_col
+            next_trees = cand_tree
+            next_values = parent_value
+            if odd:
+                carried = columns == width - 1
+                next_columns = np.concatenate(
+                    [next_columns, np.full(int(carried.sum()), paired, dtype=np.int64)]
+                )
+                next_trees = np.concatenate([next_trees, trees[carried]])
+                next_values = np.concatenate([next_values, values[carried]])
+                order = np.argsort(
+                    (next_columns << tree_bits) | next_trees, kind="stable"
+                )
+                next_columns = next_columns[order]
+                next_trees = next_trees[order]
+                next_values = next_values[order]
+            # Compress: drop entries whose value equals the previous entry
+            # of the same column (no actual change; tree-0 entries survive
+            # because they open their column).
+            keep = np.empty(next_columns.shape[0], dtype=bool)
+            keep[0] = True
+            np.not_equal(next_values[1:], next_values[:-1], out=keep[1:])
+            keep[1:] |= next_columns[1:] != next_columns[:-1]
+            columns = next_columns[keep]
+            trees = next_trees[keep]
+            values = next_values[keep]
+            width = paired + odd
+
+        roots = np.repeat(values, np.diff(np.append(trees, tree_count)))
+        if roots.shape[0] != tree_count:  # pragma: no cover - internal invariant
+            raise RuntimeError("delta forest produced a malformed root sequence")
+        return roots
+
+    def finalize(self) -> MerkleArena:
+        """Freeze the extended node store into an arena (seed nodes first)."""
+        if self._arena is None:
+            size = self._store.size
+            self._arena = MerkleArena(
+                digests=self._store.digests[:size],
+                left=self._store.left[:size],
+                right=self._store.right[:size],
+            )
+            self._leaf_index = None
+        return self._arena
+
+    @property
+    def appended_nodes(self) -> int:
+        """Nodes added on top of the seed arena (delta-artifact tail size)."""
+        return self._store.size - self._seed_size
+
+    # ------------------------------------------------------------ internals
+    def _resolve_pairs(
+        self, left_value: np.ndarray, right_value: np.ndarray, hash_function: HashFunction
+    ) -> np.ndarray:
+        """Map ``(left, right)`` child pairs to parent node indices.
+
+        Pairs found in the seed arena (or appended earlier in this build)
+        are cache hits; the rest are hashed in one bulk pass and appended.
+        """
+        pair_keys = (left_value << np.int64(32)) | right_value
+        parents = np.empty(pair_keys.shape[0], dtype=np.int64)
+        missing = np.ones(pair_keys.shape[0], dtype=bool)
+        for keys, targets in ((self._seed_keys, self._seed_parents), (self._new_keys, self._new_parents)):
+            if keys.shape[0] == 0:
+                continue
+            at = np.searchsorted(keys, pair_keys)
+            at[at == keys.shape[0]] = keys.shape[0] - 1
+            hit = missing & (keys[at] == pair_keys)
+            parents[hit] = targets[at[hit]]
+            missing &= ~hit
+        miss_keys = pair_keys[missing]
+        if miss_keys.shape[0]:
+            order = np.argsort(miss_keys, kind="stable")
+            sorted_miss = miss_keys[order]
+            first = np.empty(sorted_miss.shape[0], dtype=bool)
+            first[0] = True
+            np.not_equal(sorted_miss[1:], sorted_miss[:-1], out=first[1:])
+            group = np.cumsum(first) - 1
+            fresh_keys = sorted_miss[first]
+            start = self._store.append_pair_nodes(
+                fresh_keys >> np.int64(32),
+                fresh_keys & np.int64(0xFFFFFFFF),
+                hash_function,
+            )
+            fresh_parents = np.arange(
+                start, start + fresh_keys.shape[0], dtype=np.int64
+            )
+            scattered = np.empty(sorted_miss.shape[0], dtype=np.int64)
+            scattered[order] = fresh_parents[group]
+            parents[missing] = scattered
+            merged = np.concatenate([self._new_keys, fresh_keys])
+            merged_parents = np.concatenate([self._new_parents, fresh_parents])
+            order = np.argsort(merged, kind="stable")
+            self._new_keys = merged[order]
+            self._new_parents = merged_parents[order]
+            hash_function.note_cached(pair_keys.shape[0] - fresh_keys.shape[0])
+        else:
+            hash_function.note_cached(pair_keys.shape[0])
+        return parents
 
 def arena_from_level_trees(trees: Sequence[MerkleTree]) -> tuple[MerkleArena, np.ndarray]:
     """Re-encode materialized Merkle trees into one shared arena (no hashing).

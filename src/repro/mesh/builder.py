@@ -31,7 +31,7 @@ from repro.core.errors import ConstructionError, QueryProcessingError
 from repro.core.queries import AnalyticQuery
 from repro.core.records import Dataset, Record, UtilityTemplate
 from repro.core.results import QueryResult
-from repro.crypto.hashing import HashFunction
+from repro.crypto.hashing import HashFunction, epoch_bound_combine
 from repro.crypto.signer import Signer
 from repro.geometry.arrangement import build_arrangement
 from repro.geometry.domain import ABOVE, BELOW, Constraint, Region
@@ -71,12 +71,13 @@ class SignatureMesh:
         engine: Optional[SplitEngine] = None,
         counters: Optional[Counters] = None,
         share_signatures: Optional[bool] = None,
+        epoch: int = 0,
     ):
         # The scheme field is normalized: a SignatureMesh *is* the mesh.
         config = resolve_config(
             config, scheme=SIGNATURE_MESH, share_signatures=share_signatures
         )
-        self._init_common(dataset, template, config, counters, hash_function, signer)
+        self._init_common(dataset, template, config, counters, hash_function, signer, epoch)
         if engine is None and config.tolerance is not None:
             engine = config.make_engine(template.domain)
         functions = template.functions_for(dataset)
@@ -104,16 +105,21 @@ class SignatureMesh:
         counters: Optional[Counters],
         hash_function: Optional[HashFunction],
         signer: Optional[Signer],
+        epoch: int = 0,
     ) -> None:
         """State shared by fresh construction and artifact reconstruction."""
         if len(dataset) == 0:
             raise ConstructionError("cannot build a signature mesh over an empty dataset")
+        if epoch < 0:
+            raise ConstructionError(f"epoch must be >= 0, got {epoch}")
         self.config = config
         self.dataset = dataset
         self.template = template
         self.counters = counters or Counters()
         self.hash_function = hash_function or HashFunction(self.counters)
         self.signer = signer
+        #: ADS epoch, bound into every pair digest from epoch 1 on.
+        self.epoch = int(epoch)
         self.share_signatures = config.share_signatures and template.dimension == 1
         self.records_by_id: Dict[int, Record] = {r.record_id: r for r in dataset}
 
@@ -137,8 +143,15 @@ class SignatureMesh:
             self._sign_per_cell(signer)
 
     def _pair_digest(self, left_bytes: bytes, right_bytes: bytes, coverage: CoverageRegion) -> bytes:
-        """The paper's pair digest ``H(H(r_j) | H(r_{j+1}) | B_i)``."""
-        return self.hash_function.combine(
+        """The paper's pair digest ``H(H(r_j) | H(r_{j+1}) | B_i)``.
+
+        From epoch 1 on the epoch token is combined in, so pair signatures
+        from a superseded mesh cannot be replayed against a client holding
+        the owner's current parameters.
+        """
+        return epoch_bound_combine(
+            self.hash_function,
+            self.epoch,
             self.hash_function.digest(left_bytes),
             self.hash_function.digest(right_bytes),
             coverage.to_bytes(),
@@ -361,6 +374,7 @@ class SignatureMesh:
         *,
         config: SystemConfig,
         counters: Optional[Counters] = None,
+        epoch: int = 0,
     ) -> "SignatureMesh":
         """Rebuild a fully functional mesh from :meth:`to_arrays` output.
 
@@ -371,7 +385,7 @@ class SignatureMesh:
         carries signatures but no signer.
         """
         self = cls.__new__(cls)
-        self._init_common(dataset, template, config, counters, None, None)
+        self._init_common(dataset, template, config, counters, None, None, epoch)
         functions = template.functions_for(dataset)
         self.functions_by_id = {f.index: f for f in functions}
         #: The flat arrangement object only drives construction; a loaded

@@ -24,7 +24,7 @@ from repro.core.queries import AnalyticQuery
 from repro.core.recheck import recheck_query
 from repro.core.records import UtilityTemplate
 from repro.core.results import QueryResult, VerificationReport
-from repro.crypto.hashing import HashFunction
+from repro.crypto.hashing import HashFunction, epoch_bound_combine
 from repro.crypto.signer import Verifier
 from repro.mesh.structures import MeshVerificationObject
 from repro.metrics.counters import Counters
@@ -41,8 +41,14 @@ def verify_mesh_result(
     attribute_names: Sequence[str],
     verifier: Verifier,
     counters: Optional[Counters] = None,
+    epoch: int = 0,
 ) -> VerificationReport:
-    """Verify a signature-mesh query result."""
+    """Verify a signature-mesh query result.
+
+    ``epoch`` (from the owner's public parameters) is bound into every
+    recomputed pair digest from epoch 1 on, rejecting pair signatures
+    served from a superseded mesh.
+    """
     report = VerificationReport()
     counters = counters if counters is not None else Counters()
     report.counters = counters
@@ -75,7 +81,9 @@ def verify_mesh_result(
         coverage_ok = True
         for position, pair in enumerate(vo.pair_signatures):
             started = time.perf_counter()
-            digest = hash_function.combine(
+            digest = epoch_bound_combine(
+                hash_function,
+                epoch,
                 hash_function.digest(chain_bytes[position]),
                 hash_function.digest(chain_bytes[position + 1]),
                 pair.coverage.to_bytes(),

@@ -1,13 +1,21 @@
-"""Tests for the adversary simulation (tampering transforms)."""
+"""Tests for the adversary simulation (tampering transforms) and for the
+epoch/delta attacks an out-of-date or malicious server can mount against
+the update subsystem: serving a pre-update ADS after the owner moved on,
+splicing a delta artifact onto the wrong base, and replaying old files."""
 
 import random
 
 import pytest
 
 from repro.attacks.tamper import ATTACK_REGISTRY, all_attacks
+from repro.core.client import Client
+from repro.core.errors import ConstructionError
+from repro.core.owner import DataOwner
 from repro.core.protocol import OutsourcedSystem
 from repro.core.queries import RangeQuery, TopKQuery
+from repro.core.records import Record
 from repro.core.results import QueryResult
+from repro.core.server import Server
 
 
 @pytest.fixture()
@@ -103,6 +111,144 @@ def test_attacks_needing_records_skip_empty_results(system):
 def test_attack_callable_uses_default_rng(execution):
     attack = ATTACK_REGISTRY["drop-record"]
     assert attack(execution.result, execution.verification_object) is not None
+
+
+# ---------------------------------------------------------------------------
+# Epoch / stale-ADS attacks (update subsystem)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", ["one-signature", "multi-signature", "signature-mesh"])
+def test_stale_server_fails_verification_after_update(
+    univariate_dataset, univariate_template, scheme
+):
+    """A server still serving epoch k after the owner published k+1 must
+    fail client verification: its signatures were genuine once, but the
+    current public parameters bind the new epoch into every signed
+    message."""
+    system = OutsourcedSystem.setup(
+        univariate_dataset, univariate_template, scheme=scheme, signature_algorithm="hmac"
+    )
+    owner = system.owner
+    stale_server = system.server  # holds the epoch-0 package
+    query = RangeQuery(weights=(0.5,), low=1.0, high=6.0)
+
+    owner.insert(Record(record_id=99, values=(4.2, 1.7)))
+    assert owner.epoch == 1
+    current_client = Client(owner.public_parameters())
+
+    stale = stale_server.execute(query)
+    report = current_client.verify(query, stale.result, stale.verification_object)
+    assert not report.is_valid, f"stale epoch went undetected under {scheme}"
+
+    # An up-to-date server passes against the same client.
+    fresh = Server(owner.outsource()).execute(query)
+    assert current_client.verify(
+        query, fresh.result, fresh.verification_object
+    ).is_valid
+
+
+def test_stale_artifact_fails_verification_after_update(
+    univariate_dataset, univariate_template, tmp_path
+):
+    """Same attack through the artifact path: a pre-update file keeps
+    loading (it is internally consistent) but its answers are rejected by
+    clients holding the owner's refreshed parameters, and an operator
+    pinning ``expected_epoch`` refuses to even serve it."""
+    system = OutsourcedSystem.setup(
+        univariate_dataset,
+        univariate_template,
+        scheme="one-signature",
+        signature_algorithm="hmac",
+    )
+    owner = system.owner
+    stale_path = tmp_path / "epoch0.npz"
+    owner.publish(stale_path)
+    owner.delete(3)
+
+    stale_server = Server.from_artifact(stale_path)
+    query = TopKQuery(weights=(0.55,), k=3)
+    stale = stale_server.execute(query)
+    current_client = Client(owner.public_parameters())
+    assert not current_client.verify(
+        query, stale.result, stale.verification_object
+    ).is_valid
+
+    with pytest.raises(ConstructionError, match="stale or replayed"):
+        Server.from_artifact(stale_path, expected_epoch=owner.epoch)
+
+
+def test_delta_artifact_on_wrong_base_is_rejected(
+    univariate_dataset, univariate_template, tmp_path
+):
+    system = OutsourcedSystem.setup(
+        univariate_dataset,
+        univariate_template,
+        scheme="one-signature",
+        signature_algorithm="hmac",
+    )
+    owner = system.owner
+    base_path = tmp_path / "base.npz"
+    owner.publish(base_path)
+    owner.insert(Record(record_id=77, values=(1.1, 0.9)))
+    delta_path = tmp_path / "delta.npz"
+    owner.publish(delta_path, base=base_path)
+
+    # The right base splices cleanly...
+    server = Server.from_artifact(delta_path, base=base_path, expected_epoch=1)
+    live = Server(owner.outsource())
+    query = TopKQuery(weights=(0.5,), k=3)
+    assert (
+        server.execute(query).verification_object
+        == live.execute(query).verification_object
+    )
+
+    # ...any other base is refused outright.
+    rows = [(1.0, 2.0), (3.0, 4.0), (5.0, 6.0)]
+    from repro.core.records import Dataset
+
+    other = DataOwner(
+        Dataset.from_rows(("factor", "baseline"), rows),
+        univariate_template,
+        config=owner.config,
+        keypair=owner.keypair,
+    )
+    wrong_base = tmp_path / "wrong.npz"
+    other.publish(wrong_base)
+    with pytest.raises(ConstructionError, match="different base"):
+        Server.from_artifact(delta_path, base=wrong_base)
+
+    # A delta without its base cannot be loaded at all.
+    with pytest.raises(ConstructionError, match="pass the base artifact"):
+        Server.from_artifact(delta_path)
+
+    # Splicing a delta onto itself (a replay) is refused by the epoch rule.
+    with pytest.raises(ConstructionError):
+        Server.from_artifact(delta_path, base=delta_path)
+
+
+def test_replayed_delta_epoch_is_rejected(
+    univariate_dataset, univariate_template, tmp_path
+):
+    """A delta whose epoch is not newer than its base's is a replay."""
+    system = OutsourcedSystem.setup(
+        univariate_dataset,
+        univariate_template,
+        scheme="one-signature",
+        signature_algorithm="hmac",
+    )
+    owner = system.owner
+    owner.insert(Record(record_id=55, values=(2.0, 2.0)))
+    newer = tmp_path / "epoch1.npz"
+    owner.publish(newer)
+    owner.delete(55)
+    delta = tmp_path / "epoch2-delta.npz"
+    owner.publish(delta, base=newer)
+    # Spliced onto a base that is already *past* the delta's epoch.
+    owner.insert(Record(record_id=56, values=(2.5, 2.5)))
+    owner.insert(Record(record_id=57, values=(2.7, 2.7)))
+    future = tmp_path / "epoch4.npz"
+    owner.publish(future)
+    with pytest.raises(ConstructionError, match="different base|stale or replayed|not newer"):
+        Server.from_artifact(delta, base=future)
 
 
 @pytest.mark.parametrize("scheme", ["one-signature", "multi-signature", "signature-mesh"])

@@ -1,0 +1,108 @@
+"""Shared test oracles.
+
+The repo's correctness bar for every state-preserving transformation --
+publishing and reloading an artifact (PR 4), applying incremental updates
+(PR 5) -- is the same: the transformed system must be observationally
+**bit-identical** to a reference system.  The assertion block lives here
+once so the artifact and update property suites (and any future
+transformation) use one oracle.
+"""
+
+from __future__ import annotations
+
+from repro.core.client import Client
+from repro.core.owner import DataOwner
+from repro.core.server import Server
+from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
+from repro.mesh.builder import SignatureMesh
+
+
+def assert_queries_bit_identical(expected, actual, queries, require_valid=True):
+    """Both (server, client) pairs must answer every query identically.
+
+    Checks results, verification objects, per-query server counters,
+    verdict summaries and client-side verification counters -- the full
+    observable surface of a query round trip.  With ``require_valid``
+    (the default) every verdict must also be *valid*: two systems agreeing
+    on a rejection is not equivalence.  Coarse-tolerance suites pass
+    ``require_valid=False``, because a large engine tolerance legitimately
+    merges subdomains whose records genuinely cross -- the scheme then
+    rejects some honest answers, identically on both sides.
+    """
+    expected_server, expected_client = expected
+    actual_server, actual_client = actual
+    for query in queries:
+        expected_execution = expected_server.execute(query)
+        actual_execution = actual_server.execute(query)
+        assert actual_execution.result == expected_execution.result, query
+        assert (
+            actual_execution.verification_object
+            == expected_execution.verification_object
+        ), query
+        assert (
+            actual_execution.counters.snapshot()
+            == expected_execution.counters.snapshot()
+        ), query
+        expected_report = expected_client.verify(
+            query, expected_execution.result, expected_execution.verification_object
+        )
+        actual_report = actual_client.verify(
+            query, actual_execution.result, actual_execution.verification_object
+        )
+        if require_valid:
+            assert actual_report.is_valid, (query, actual_report.failures)
+        assert actual_report.summary() == expected_report.summary(), query
+        assert (
+            actual_report.counters.snapshot() == expected_report.counters.snapshot()
+        ), query
+
+
+def assert_ads_state_identical(expected_ads, actual_ads):
+    """Owner-side ADS state must match hash for hash (scheme-aware)."""
+    assert type(actual_ads) is type(expected_ads)
+    if isinstance(expected_ads, SignatureMesh):
+        assert actual_ads.cell_count == expected_ads.cell_count
+        assert [pair.signature for pair in actual_ads.unique_signatures] == [
+            pair.signature for pair in expected_ads.unique_signatures
+        ]
+        return
+    assert actual_ads.root_hash == expected_ads.root_hash
+    assert actual_ads.root_signature == expected_ads.root_signature
+    for expected_leaf, actual_leaf in zip(
+        expected_ads.itree.leaves(), actual_ads.itree.leaves()
+    ):
+        assert actual_leaf.hash_value == expected_leaf.hash_value
+    if expected_ads.mode == MULTI_SIGNATURE:
+        for expected_leaf, actual_leaf in zip(
+            expected_ads.itree.leaves(), actual_ads.itree.leaves()
+        ):
+            assert actual_ads.subdomain_digest(actual_leaf) == expected_ads.subdomain_digest(
+                expected_leaf
+            )
+            assert actual_leaf.signature == expected_leaf.signature
+    assert expected_ads.mode in (ONE_SIGNATURE, MULTI_SIGNATURE)
+
+
+def assert_matches_fresh_rebuild(owner: DataOwner, queries, require_valid=True):
+    """The update-suite oracle: an updated owner vs a from-scratch build.
+
+    Rebuilds the owner's *current* dataset from scratch -- same config,
+    same keypair, same epoch -- and asserts the live (incrementally
+    maintained) ADS is bit-identical: owner-side hashes and signatures,
+    then the full query surface through fresh server/client pairs.
+    """
+    fresh = DataOwner(
+        owner.dataset,
+        owner.template,
+        config=owner.config,
+        keypair=owner.keypair,
+        epoch=owner.epoch,
+    )
+    assert_ads_state_identical(fresh.ads, owner.ads)
+    assert_queries_bit_identical(
+        (Server(fresh.outsource()), Client(fresh.public_parameters())),
+        (Server(owner.outsource()), Client(owner.public_parameters())),
+        queries,
+        require_valid=require_valid,
+    )
+    return fresh

@@ -24,6 +24,8 @@ from repro.core.server import Server
 from repro.geometry.domain import Domain
 from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
 
+from tests.helpers import assert_queries_bit_identical
+
 _ROWS = st.lists(
     st.tuples(
         st.floats(min_value=0.0, max_value=8.0, allow_nan=False).map(
@@ -88,17 +90,11 @@ def test_property_round_trip_is_bit_identical(rows, scheme):
                     warm_leaf
                 )
 
-    for query in _queries(len(rows)):
-        warm = warm_server.execute(query)
-        cold = cold_server.execute(query)
-        assert cold.result == warm.result
-        assert cold.verification_object == warm.verification_object
-        assert cold.counters.snapshot() == warm.counters.snapshot()
-        warm_report = warm_client.verify(query, warm.result, warm.verification_object)
-        cold_report = cold_client.verify(query, cold.result, cold.verification_object)
-        assert cold_report.is_valid, cold_report.failures
-        assert cold_report.summary() == warm_report.summary()
-        assert cold_report.counters.snapshot() == warm_report.counters.snapshot()
+    assert_queries_bit_identical(
+        (warm_server, warm_client),
+        (cold_server, cold_client),
+        _queries(len(rows)),
+    )
 
 
 @pytest.mark.parametrize("scheme", SCHEMES)
