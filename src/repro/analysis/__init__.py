@@ -1,0 +1,47 @@
+"""reprolint: AST-based project-invariant checks for the repro codebase.
+
+The correctness story of this reproduction rests on invariants the test
+suite can only sample:
+
+* every digest computed on behalf of a party must flow through the counting
+  :class:`repro.crypto.hashing.HashFunction` wrappers (or the paper's
+  Fig. 5a/7a logical counters silently drift),
+* every signed message from epoch >= 1 must be built via
+  :func:`repro.crypto.hashing.epoch_bound_combine` (or a freshness hole
+  opens),
+* the tolerance-replay and geometry paths must stay bit-deterministic
+  (no unseeded randomness, no wall-clock influence, no approximate float
+  predicates, no mutation of frozen config/package dataclasses),
+* shared mutable server state must stay lock-guarded, and
+* every fast-path toggle must keep its slow reference branch reachable.
+
+This package turns those prose invariants into machine-checked rules: a
+single-pass AST walker (:mod:`repro.analysis.engine`) runs a small rule
+suite (:mod:`repro.analysis.rules`) over every file, applies
+``# reprolint: disable=RULE -- reason`` suppressions (a rationale is
+mandatory; see :mod:`repro.analysis.suppressions`) and reports findings as
+text or JSON.  Run it as ``python -m repro.analysis [--format json]
+[--strict] [paths]``; CI gates on a clean run over ``src`` and ``tests``.
+
+See ``docs/static-analysis.md`` for the rule catalogue and the
+suppression policy.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import LintResult, lint_paths, lint_sources
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import all_rules
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "all_rules",
+    "lint_paths",
+    "lint_sources",
+    "render_json",
+    "render_text",
+]

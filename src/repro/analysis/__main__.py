@@ -1,0 +1,108 @@
+"""CLI entry point: ``python -m repro.analysis [options] [paths...]``.
+
+Exit-code contract (stable; CI depends on it):
+
+* ``0`` -- every linted file is clean (all findings suppressed with a
+  rationale, or none at all);
+* ``1`` -- at least one unsuppressed finding;
+* ``2`` -- usage or configuration error (bad flag, malformed
+  ``[tool.reprolint]`` table).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.config import LintConfig, LintConfigError, load_config
+from repro.analysis.engine import lint_paths
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import all_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: AST-based project-invariant checks",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the report to FILE (always written, even on findings)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="additionally report stale suppressions (directives matching no finding)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.reprolint] from (default: ./pyproject.toml)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject.toml and run with built-in defaults",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+
+    if arguments.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.scopes) if rule.scopes else "all modules"
+            print(f"{rule.rule_id}  {rule.name}: {rule.summary}  [scope: {scope}]")
+        print(
+            "RL000  suppression-hygiene: disable comments need a '-- reason'; "
+            "stale ones are reported under --strict  [scope: all modules]"
+        )
+        return 0
+
+    try:
+        known = [rule.rule_id for rule in all_rules()]
+        config = (
+            LintConfig() if arguments.no_config else load_config(arguments.config, known)
+        )
+        config = config.with_strict(arguments.strict)
+        result = lint_paths(arguments.paths, config)
+    except LintConfigError as error:
+        print(f"reprolint: configuration error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"reprolint: {error}", file=sys.stderr)
+        return 2
+
+    report = render_json(result) if arguments.format == "json" else render_text(result)
+    print(report)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as stream:
+            stream.write(report)
+            stream.write("\n")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

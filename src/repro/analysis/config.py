@@ -1,0 +1,127 @@
+"""reprolint configuration: built-in defaults + ``pyproject.toml`` overrides.
+
+Configuration lives under ``[tool.reprolint]``::
+
+    [tool.reprolint]
+    exclude = ["tests/analysis/fixtures"]   # path prefixes never linted
+    disable = ["RL006"]                     # rules turned off project-wide
+
+    [tool.reprolint.rl001]
+    allowed-modules = ["repro.crypto"]      # per-rule options (kebab-case)
+
+Every rule documents its options in :mod:`repro.analysis.rules`; option
+keys are normalized (``-`` to ``_``) before they reach the rule.  An
+unknown rule id in ``disable`` or an unknown option key raises
+:class:`LintConfigError` -- a config typo must fail loudly, not silently
+re-enable an invariant.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+__all__ = ["LintConfig", "LintConfigError", "load_config"]
+
+_RULE_ID_PREFIX = "rl"
+
+
+class LintConfigError(ValueError):
+    """Raised for malformed ``[tool.reprolint]`` sections."""
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved linter configuration."""
+
+    #: Repo-relative path prefixes (POSIX style) excluded from linting.
+    exclude: Tuple[str, ...] = ()
+    #: Rule ids disabled project-wide (upper-case, e.g. ``"RL006"``).
+    disabled_rules: Tuple[str, ...] = ()
+    #: Per-rule option overrides: rule id -> {option: value}.
+    rule_options: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    #: Report stale suppressions (``--strict``).
+    strict: bool = False
+
+    def is_excluded(self, relpath: str) -> bool:
+        posix = relpath.replace("\\", "/")
+        return any(
+            posix == prefix or posix.startswith(prefix.rstrip("/") + "/")
+            for prefix in self.exclude
+        )
+
+    def options_for(self, rule_id: str) -> Mapping[str, Any]:
+        return self.rule_options.get(rule_id, {})
+
+    def with_strict(self, strict: bool) -> "LintConfig":
+        return LintConfig(
+            exclude=self.exclude,
+            disabled_rules=self.disabled_rules,
+            rule_options=self.rule_options,
+            strict=strict,
+        )
+
+
+def _string_tuple(value: Any, context: str) -> Tuple[str, ...]:
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise LintConfigError(f"{context} must be a list of strings, got {value!r}")
+    return tuple(value)
+
+
+def load_config(
+    pyproject: "Path | str | None" = None,
+    known_rules: Sequence[str] = (),
+) -> LintConfig:
+    """Build a :class:`LintConfig` from a ``pyproject.toml``, if present.
+
+    ``pyproject=None`` looks for ``pyproject.toml`` in the current working
+    directory; a missing file (or a file without a ``[tool.reprolint]``
+    table) yields the defaults.
+    """
+    path = Path(pyproject) if pyproject is not None else Path("pyproject.toml")
+    if not path.is_file():
+        return LintConfig()
+    with open(path, "rb") as stream:
+        try:
+            payload = tomllib.load(stream)
+        except tomllib.TOMLDecodeError as error:
+            raise LintConfigError(f"cannot parse {path}: {error}") from None
+    table = payload.get("tool", {}).get("reprolint")
+    if table is None:
+        return LintConfig()
+    if not isinstance(table, dict):
+        raise LintConfigError("[tool.reprolint] must be a table")
+
+    known = {rule.upper() for rule in known_rules}
+    exclude: Tuple[str, ...] = ()
+    disabled: Tuple[str, ...] = ()
+    rule_options: Dict[str, Dict[str, Any]] = {}
+    for key, value in table.items():
+        if key == "exclude":
+            exclude = _string_tuple(value, "[tool.reprolint].exclude")
+        elif key == "disable":
+            disabled = tuple(
+                rule.upper() for rule in _string_tuple(value, "[tool.reprolint].disable")
+            )
+            unknown = sorted(set(disabled) - known) if known else []
+            if unknown:
+                raise LintConfigError(
+                    f"[tool.reprolint].disable names unknown rules: {unknown}"
+                )
+        elif key.lower().startswith(_RULE_ID_PREFIX) and isinstance(value, dict):
+            rule_id = key.upper()
+            if known and rule_id not in known:
+                raise LintConfigError(f"[tool.reprolint.{key}] configures unknown rule")
+            rule_options[rule_id] = {
+                option.replace("-", "_"): option_value
+                for option, option_value in value.items()
+            }
+        else:
+            raise LintConfigError(f"unknown [tool.reprolint] key {key!r}")
+    return LintConfig(
+        exclude=exclude, disabled_rules=disabled, rule_options=rule_options
+    )

@@ -1,0 +1,119 @@
+"""The reprolint engine: walk files once, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import PARSE_RULE, Finding
+from repro.analysis.rules import Rule, all_rules
+from repro.analysis.source import parse_module
+from repro.analysis.suppressions import apply_suppressions, collect_suppressions
+
+__all__ = ["LintResult", "lint_paths", "lint_sources"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one linter run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    strict: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def merge(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.files_checked += other.files_checked
+        self.suppressed += other.suppressed
+
+
+def _configured_rules(config: LintConfig) -> List[Rule]:
+    rules: List[Rule] = []
+    disabled = set(config.disabled_rules)
+    for rule in all_rules():
+        if rule.rule_id in disabled:
+            continue
+        rule.configure(config.options_for(rule.rule_id))
+        rules.append(rule)
+    return rules
+
+
+def lint_sources(
+    sources: Mapping[str, str], config: Optional[LintConfig] = None
+) -> LintResult:
+    """Lint in-memory sources (``relpath -> text``).  The test-facing API."""
+    config = config or LintConfig()
+    rules = _configured_rules(config)
+    result = LintResult(strict=config.strict)
+    for relpath in sorted(sources):
+        if config.is_excluded(relpath):
+            continue
+        source = sources[relpath]
+        result.files_checked += 1
+        file_findings: List[Finding] = []
+        try:
+            info = parse_module(relpath, source)
+        except (SyntaxError, ValueError) as error:
+            result.findings.append(
+                Finding(
+                    path=relpath,
+                    line=getattr(error, "lineno", 1) or 1,
+                    column=(getattr(error, "offset", 0) or 1) - 1,
+                    rule=PARSE_RULE,
+                    message=f"file does not parse: {error.msg if isinstance(error, SyntaxError) else error}",
+                )
+            )
+            continue
+        for rule in rules:
+            if not rule.applies_to(info.module):
+                continue
+            file_findings.extend(rule.check(info))
+        suppressions, directive_findings = collect_suppressions(relpath, source)
+        file_findings, suppressed = apply_suppressions(
+            relpath, file_findings, suppressions, strict=config.strict
+        )
+        file_findings.extend(directive_findings)
+        result.suppressed += suppressed
+        result.findings.extend(file_findings)
+    result.findings.sort()
+    return result
+
+
+def iter_python_files(paths: Sequence[str], config: LintConfig) -> Iterable[Path]:
+    """Expand files/directories into the ``.py`` files to lint."""
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Tuple[Path, ...] = tuple(sorted(path.rglob("*.py")))
+        else:
+            candidates = (path,)
+        for candidate in candidates:
+            relpath = _relative(candidate)
+            if config.is_excluded(relpath) or relpath in seen:
+                continue
+            seen.add(relpath)
+            yield candidate
+
+
+def _relative(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(paths: Sequence[str], config: Optional[LintConfig] = None) -> LintResult:
+    """Lint files and directory trees on disk."""
+    config = config or LintConfig()
+    sources = {}
+    for path in iter_python_files(paths, config):
+        sources[_relative(path)] = path.read_text(encoding="utf-8")
+    return lint_sources(sources, config)

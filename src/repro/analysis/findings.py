@@ -1,0 +1,43 @@
+"""The finding record every reprolint rule emits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Finding", "PARSE_RULE", "SUPPRESSION_RULE"]
+
+#: Pseudo-rule id used for files the engine cannot parse.  Not suppressible.
+PARSE_RULE = "RL900"
+
+#: Pseudo-rule id for suppression-hygiene findings (a ``disable`` comment
+#: without a rationale, or -- under ``--strict`` -- a stale suppression).
+#: Not suppressible, by design: the escape hatch cannot silence itself.
+SUPPRESSION_RULE = "RL000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordered by ``(path, line, column, rule)`` so reports are stable across
+    runs and rule-execution order.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"

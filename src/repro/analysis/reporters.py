@@ -1,0 +1,44 @@
+"""Text and JSON reporters for reprolint results."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict
+
+from repro.analysis.engine import LintResult
+
+__all__ = ["render_text", "render_json"]
+
+#: Bumped on any incompatible change to the JSON report layout.
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    lines = [finding.render() for finding in result.findings]
+    if result.findings:
+        by_rule = Counter(finding.rule for finding in result.findings)
+        breakdown = ", ".join(f"{rule}: {count}" for rule, count in sorted(by_rule.items()))
+        lines.append("")
+        lines.append(
+            f"{len(result.findings)} finding(s) in {result.files_checked} file(s) "
+            f"({breakdown}); {result.suppressed} suppressed"
+        )
+    else:
+        lines.append(
+            f"clean: {result.files_checked} file(s), 0 findings, "
+            f"{result.suppressed} suppressed"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload: Dict[str, Any] = {
+        "tool": "reprolint",
+        "report_version": REPORT_VERSION,
+        "strict": result.strict,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,143 @@
+"""RL004: digest- and replay-producing modules stay bit-deterministic.
+
+Construction, updates and verification are proven *bit-identical* across
+fast paths, artifact round trips and incremental updates.  That property
+dies the moment a digest-producing code path consults an unseeded RNG or
+the wall clock.  In the deterministic modules this rule therefore bans
+
+* unseeded entropy: ``random.Random()`` with no seed, the module-level
+  ``random.*`` functions (global Mersenne Twister state), any use of the
+  legacy ``numpy.random.*`` global generator, and ``numpy.random
+  .default_rng()`` without a seed;
+* wall-clock reads: ``time.time``/``time.time_ns``, ``datetime.now`` /
+  ``utcnow`` / ``today`` -- anything whose value depends on *when* the
+  code runs.
+
+Monotonic duration measurement (``time.perf_counter``, ``time.monotonic``,
+``time.process_time``) is explicitly allowed: the paper's timing figures
+need it, and a duration can only end up in a report, never in a digest.
+Seeded generators (``random.Random(seed)``, injected ``rng`` parameters)
+are likewise fine -- determinism, not abstinence, is the invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import ModuleInfo, call_args
+
+__all__ = ["UnseededEntropyRule"]
+
+#: Module-level functions backed by the global (unseeded) Mersenne Twister.
+_GLOBAL_RANDOM = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.uniform",
+        "random.choice",
+        "random.choices",
+        "random.sample",
+        "random.shuffle",
+        "random.getrandbits",
+        "random.gauss",
+        "random.normalvariate",
+        "random.betavariate",
+        "random.expovariate",
+        "random.seed",
+    }
+)
+
+#: Wall-clock reads (value depends on when the code runs).
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Constructors that are unseeded when called with no arguments.
+_SEEDABLE = frozenset({"random.Random", "random.SystemRandom", "numpy.random.default_rng"})
+
+
+class UnseededEntropyRule(Rule):
+    rule_id = "RL004"
+    name = "determinism"
+    summary = (
+        "no unseeded randomness or wall-clock influence in digest/replay modules"
+    )
+    scopes = (
+        "repro.ifmh",
+        "repro.merkle",
+        "repro.itree",
+        "repro.geometry",
+        "repro.mesh",
+        "repro.core",
+    )
+    option_names = ("scopes",)
+
+    def check(self, info: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in info.nodes(ast.Call):
+            resolved = info.resolve(node.func)
+            if resolved is None:
+                continue
+            positional, keywords = call_args(node)
+            if resolved in _SEEDABLE and not positional and not keywords:
+                findings.append(
+                    self.finding(
+                        info,
+                        node,
+                        f"unseeded {resolved}() in a deterministic module; "
+                        "seed it or accept an injected rng",
+                    )
+                )
+        for node in info.nodes(ast.Attribute, ast.Name):
+            if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Load):
+                continue
+            resolved = info.resolve(node)
+            if resolved is None:
+                continue
+            if resolved in _GLOBAL_RANDOM:
+                findings.append(
+                    self.finding(
+                        info,
+                        node,
+                        f"{resolved} uses the global unseeded RNG; replays "
+                        "through this path are not reproducible",
+                    )
+                )
+            elif resolved in _WALL_CLOCK:
+                findings.append(
+                    self.finding(
+                        info,
+                        node,
+                        f"{resolved} reads the wall clock in a deterministic "
+                        "module; use time.perf_counter for durations, or move "
+                        "timestamping out of the digest/replay path",
+                    )
+                )
+            elif (
+                resolved.startswith("numpy.random.")
+                and resolved != "numpy.random.default_rng"
+                and not isinstance(info.parent(node), ast.Attribute)
+            ):
+                findings.append(
+                    self.finding(
+                        info,
+                        node,
+                        f"{resolved} touches numpy's legacy global generator; "
+                        "pass an explicit seeded Generator instead",
+                    )
+                )
+        return findings

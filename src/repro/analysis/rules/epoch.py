@@ -1,0 +1,118 @@
+"""RL002: signed messages are epoch-bound.
+
+From epoch 1 on, every message a :class:`repro.crypto.signer.Signer` signs
+(and a verifier checks) must carry the epoch token, or a server serving a
+stale pre-update ADS presents signatures that still verify -- a freshness
+hole.  The single place encoding the "epoch 0 keeps the legacy message"
+rule is :func:`repro.crypto.hashing.epoch_bound_combine`; this rule checks
+that every ``.sign(message)`` / ``.verify(message, signature)`` call in the
+signing layers builds its message through it (directly, via an allowlisted
+message-builder helper, or via a local variable assigned from one).
+
+Only calls with the signer/verifier arity are considered (``sign`` with one
+argument, ``verify`` with two), so unrelated methods that share the names
+-- ``Client.verify(query, result, vo)``, ``np.sign(x)`` -- are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import ModuleInfo, call_args
+
+__all__ = ["EpochBindingRule"]
+
+
+class EpochBindingRule(Rule):
+    rule_id = "RL002"
+    name = "epoch-binding"
+    summary = (
+        "Signer.sign / Verifier.verify messages must be built via "
+        "epoch_bound_combine or an allowlisted message builder"
+    )
+    scopes = ("repro.mesh", "repro.core", "repro.ifmh")
+    option_names = ("scopes", "message_builders")
+
+    def __init__(self) -> None:
+        #: Call names (last dotted segment) trusted to produce epoch-bound
+        #: messages.  The helpers themselves call ``epoch_bound_combine``;
+        #: the linter's own fixture tests pin that they stay allowlisted.
+        self.message_builders: Tuple[str, ...] = (
+            "epoch_bound_combine",
+            "signed_root_message",
+            "subdomain_digest",
+            "_pair_digest",
+        )
+
+    # ------------------------------------------------------------ helpers
+    def _is_builder_call(self, node: ast.AST) -> bool:
+        # A conditional between the genesis message and a bound one
+        # (``root if epoch == 0 else epoch_bound_combine(...)``) counts as
+        # bound: epoch 0 is the one sanctioned unbound epoch.
+        if isinstance(node, ast.IfExp):
+            return self._is_builder_call(node.body) or self._is_builder_call(node.orelse)
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in self.message_builders
+        if isinstance(func, ast.Attribute):
+            return func.attr in self.message_builders
+        return False
+
+    def _bound_names(self, function: Optional[ast.AST]) -> Set[str]:
+        """Local names assigned from a builder call in the enclosing scope."""
+        names: Set[str] = set()
+        if function is None:
+            return names
+        for statement in ast.walk(function):
+            if isinstance(statement, ast.Assign) and self._is_builder_call(
+                statement.value
+            ):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif (
+                isinstance(statement, ast.AnnAssign)
+                and self._is_builder_call(statement.value)
+                and isinstance(statement.target, ast.Name)
+            ):
+                names.add(statement.target.id)
+        return names
+
+    # -------------------------------------------------------------- check
+    def check(self, info: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in info.nodes(ast.Call):
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in ("sign", "verify"):
+                continue
+            # Module-level functions named sign/verify (np.sign, ...) are
+            # not Signer/Verifier methods.
+            if info.is_module_receiver(func.value):
+                continue
+            positional, keywords = call_args(node)
+            expected = 1 if func.attr == "sign" else 2
+            if len(positional) != expected or keywords:
+                continue  # different API surface (e.g. Client.verify)
+            message = positional[0]
+            if self._is_builder_call(message):
+                continue
+            if isinstance(message, ast.Name):
+                enclosing = info.enclosing_function(node)
+                if message.id in self._bound_names(enclosing):
+                    continue
+            builders = ", ".join(self.message_builders)
+            findings.append(
+                self.finding(
+                    info,
+                    node,
+                    f"message passed to .{func.attr}() is not built via an "
+                    f"epoch-binding helper ({builders}); signatures that skip "
+                    "epoch_bound_combine stay valid on stale epochs",
+                )
+            )
+        return findings

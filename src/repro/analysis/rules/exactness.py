@@ -1,0 +1,78 @@
+"""RL005: geometry replay predicates compare exactly.
+
+The incremental-update path replays the order-dependent tolerance
+resolution with *exactly* the float comparisons the fresh build performs
+-- bit-identity depends on it (see ``repro/ifmh/updates.py`` and the
+differential property harness).  Approximate predicates
+(``math.isclose``, ``numpy.isclose``/``allclose``) and value-rewriting
+rounding (``round``, ``numpy.round``) inside the geometry layer would make
+"equal" depend on call-site configuration instead of IEEE-754 semantics,
+so they are banned there.  Tolerances are legal -- but only as explicit,
+ordered comparisons against an engine tolerance (``a + tol < b``), never
+as a symmetric closeness helper.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import ModuleInfo
+
+__all__ = ["ExactPredicateRule"]
+
+_BANNED = frozenset(
+    {
+        "math.isclose",
+        "numpy.isclose",
+        "numpy.allclose",
+        "numpy.round",
+        "numpy.around",
+        "numpy.round_",
+    }
+)
+
+
+class ExactPredicateRule(Rule):
+    rule_id = "RL005"
+    name = "exact-predicates"
+    summary = "geometry replay predicates must use exact comparisons, not isclose/round"
+    scopes = ("repro.geometry",)
+    option_names = ("scopes",)
+
+    def check(self, info: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in info.nodes(ast.Attribute, ast.Name):
+            if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Load):
+                continue
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Attribute):
+                continue
+            resolved = info.resolve(node)
+            if resolved in _BANNED:
+                findings.append(
+                    self.finding(
+                        info,
+                        node,
+                        f"{resolved} is an approximate predicate; geometry "
+                        "replays must use the exact ordered comparisons the "
+                        "fresh build performs",
+                    )
+                )
+        for node in info.nodes(ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "round"
+                and info.resolve(func) == "round"
+            ):
+                findings.append(
+                    self.finding(
+                        info,
+                        node,
+                        "round() rewrites float values; geometry paths must "
+                        "keep IEEE-754 results bit-exact",
+                    )
+                )
+        return findings

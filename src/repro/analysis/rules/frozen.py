@@ -1,0 +1,190 @@
+"""RL003: frozen config/package dataclasses are never mutated.
+
+:class:`~repro.core.config.SystemConfig`,
+:class:`~repro.core.owner.ServerPackage` and
+:class:`~repro.core.owner.PublicParameters` are frozen by design: a server
+package or build config that mutates after construction invalidates the
+artifact checksums and the bit-identity guarantees built on them.  The
+dataclass machinery already rejects plain attribute assignment at runtime
+-- but only when the code path runs, and ``object.__setattr__`` bypasses
+it entirely.  This rule makes the discipline static:
+
+* ``instance.attr = value`` (or ``+=``) where ``instance`` is inferred to
+  be one of the frozen classes is a finding;
+* ``setattr(instance, ...)`` / ``object.__setattr__(instance, ...)`` on
+  such an instance is a finding;
+* ``object.__setattr__(self, ...)`` *inside* a frozen class is allowed
+  only in ``__post_init__`` / ``__init__`` / ``__new__`` (the standard
+  frozen-dataclass construction idiom) -- anywhere else it is a finding.
+
+Instance inference is deliberately simple and local: parameter
+annotations, ``x: Cls`` annotations and ``x = Cls(...)`` /
+``x = Cls.from_*(...)`` assignments within the enclosing function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import ModuleInfo, call_args
+
+__all__ = ["FrozenMutationRule"]
+
+_CONSTRUCTION_METHODS = frozenset({"__post_init__", "__init__", "__new__"})
+
+
+class FrozenMutationRule(Rule):
+    rule_id = "RL003"
+    name = "frozen-mutation"
+    summary = "frozen config/package dataclasses must never be written after construction"
+    scopes = ("repro",)
+    option_names = ("scopes", "frozen_classes")
+
+    def __init__(self) -> None:
+        self.frozen_classes: Tuple[str, ...] = (
+            "SystemConfig",
+            "ServerPackage",
+            "PublicParameters",
+        )
+
+    # ---------------------------------------------------------- inference
+    def _annotation_class(self, annotation: Optional[ast.AST]) -> Optional[str]:
+        """Frozen class named anywhere in an annotation (Optional[...] etc.)."""
+        if annotation is None:
+            return None
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Name) and node.id in self.frozen_classes:
+                return node.id
+            if isinstance(node, ast.Attribute) and node.attr in self.frozen_classes:
+                return node.attr
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value in self.frozen_classes
+            ):
+                return node.value
+        return None
+
+    def _value_class(self, value: Optional[ast.AST]) -> Optional[str]:
+        """Frozen class constructed by ``Cls(...)`` or ``Cls.method(...)``."""
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        if isinstance(func, ast.Name) and func.id in self.frozen_classes:
+            return func.id
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.frozen_classes
+        ):
+            return func.value.id
+        return None
+
+    def _inferred(self, function: Optional[ast.AST]) -> Dict[str, str]:
+        """Local name -> frozen class, inferred within one function."""
+        inferred: Dict[str, str] = {}
+        if function is None or not isinstance(
+            function, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return inferred
+        arguments = function.args
+        for arg in (
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+        ):
+            cls = self._annotation_class(arg.annotation)
+            if cls is not None:
+                inferred[arg.arg] = cls
+        for statement in ast.walk(function):
+            if isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                cls = self._annotation_class(statement.annotation) or self._value_class(
+                    statement.value
+                )
+                if cls is not None:
+                    inferred[statement.target.id] = cls
+            elif isinstance(statement, ast.Assign):
+                cls = self._value_class(statement.value)
+                if cls is not None:
+                    for target in statement.targets:
+                        if isinstance(target, ast.Name):
+                            inferred[target.id] = cls
+        return inferred
+
+    def _target_class(self, info: ModuleInfo, node: ast.AST) -> Optional[str]:
+        if not isinstance(node, ast.Name):
+            return None
+        return self._inferred(info.enclosing_function(node)).get(node.id)
+
+    # -------------------------------------------------------------- check
+    def check(self, info: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        # Plain attribute writes: x.attr = ... / x.attr += ...
+        for node in info.nodes(ast.Assign, ast.AugAssign):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                cls = self._target_class(info, target.value)
+                if cls is not None:
+                    findings.append(
+                        self.finding(
+                            info,
+                            node,
+                            f"attribute write to frozen dataclass {cls}; "
+                            "construct a new instance (dataclasses.replace) "
+                            "instead of mutating",
+                        )
+                    )
+        # setattr escapes.
+        for node in info.nodes(ast.Call):
+            func = node.func
+            resolved = info.resolve(func)
+            if resolved not in ("setattr", "object.__setattr__"):
+                continue
+            positional, _ = call_args(node)
+            if not positional:
+                continue
+            target = positional[0]
+            cls = self._target_class(info, target)
+            if cls is not None:
+                findings.append(
+                    self.finding(
+                        info,
+                        node,
+                        f"{resolved} on frozen dataclass {cls} bypasses its "
+                        "immutability; frozen instances must never be written",
+                    )
+                )
+                continue
+            if (
+                resolved == "object.__setattr__"
+                and isinstance(target, ast.Name)
+                and target.id == "self"
+            ):
+                enclosing_class = info.enclosing_class(node)
+                function = info.enclosing_function(node)
+                if (
+                    enclosing_class is not None
+                    and enclosing_class.name in self.frozen_classes
+                    and (
+                        function is None
+                        or function.name not in _CONSTRUCTION_METHODS
+                    )
+                ):
+                    findings.append(
+                        self.finding(
+                            info,
+                            node,
+                            f"object.__setattr__(self, ...) in frozen dataclass "
+                            f"{enclosing_class.name} outside "
+                            "__post_init__/__init__/__new__ mutates a frozen "
+                            "instance after construction",
+                        )
+                    )
+        return findings

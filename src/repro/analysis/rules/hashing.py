@@ -1,0 +1,90 @@
+"""RL001: every digest flows through the counting wrappers.
+
+The paper's Fig. 5a/7a report *numbers of hashing operations*; the
+benchmark harness reproduces those figures from the logical counters kept
+by :class:`repro.crypto.hashing.HashFunction` (and the bulk primitives next
+to it).  A raw :func:`hashlib.sha256` call anywhere else computes a digest
+the counters never see, so the reproduced figures silently drift.  This
+rule bans direct ``hashlib``/``hmac`` digest construction outside the
+crypto layer -- route the digest through
+:class:`~repro.crypto.hashing.HashFunction`, ``sha256``/``sha256_many``,
+or annotate the site with a rationale if the digest is genuinely not a
+paper-counted hash (e.g. file-integrity checksums).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import ModuleInfo
+
+__all__ = ["CountedDigestRule"]
+
+#: Digest constructors whose direct use bypasses the counting wrappers.
+_BANNED = frozenset(
+    {
+        "hashlib.new",
+        "hashlib.md5",
+        "hashlib.sha1",
+        "hashlib.sha224",
+        "hashlib.sha256",
+        "hashlib.sha384",
+        "hashlib.sha512",
+        "hashlib.sha3_224",
+        "hashlib.sha3_256",
+        "hashlib.sha3_384",
+        "hashlib.sha3_512",
+        "hashlib.blake2b",
+        "hashlib.blake2s",
+        "hashlib.shake_128",
+        "hashlib.shake_256",
+        "hmac.new",
+        "hmac.digest",
+    }
+)
+
+
+class CountedDigestRule(Rule):
+    rule_id = "RL001"
+    name = "counted-digest"
+    summary = (
+        "digests outside the crypto layer must go through the counting "
+        "HashFunction/sha256_many wrappers"
+    )
+    scopes = ("repro",)
+    option_names = ("scopes", "allowed_modules")
+
+    def __init__(self) -> None:
+        #: Module prefixes where raw constructors are the implementation.
+        self.allowed_modules: Tuple[str, ...] = ("repro.crypto",)
+
+    def check(self, info: ModuleInfo) -> List[Finding]:
+        if any(
+            info.module == prefix or info.module.startswith(prefix + ".")
+            for prefix in self.allowed_modules
+        ):
+            return []
+        findings: List[Finding] = []
+        for node in info.nodes(ast.Attribute, ast.Name):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Attribute):
+                # Only flag the outermost chain once (hashlib.sha256 is
+                # flagged at the 2-segment Attribute, not again inside a
+                # longer chain like hashlib.sha256(x).digest).
+                continue
+            if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Load):
+                continue
+            resolved = info.resolve(node)
+            if resolved in _BANNED:
+                findings.append(
+                    self.finding(
+                        info,
+                        node,
+                        f"direct {resolved} bypasses the counting hash wrappers; "
+                        "use repro.crypto.hashing (HashFunction / sha256 / "
+                        "sha256_many) so Fig. 5a/7a counters stay exact",
+                    )
+                )
+        return findings

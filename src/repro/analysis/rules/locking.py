@@ -1,0 +1,165 @@
+"""RL006: shared mutable state in concurrent classes stays lock-guarded.
+
+``Server.execute`` / ``Server.execute_batch`` (and ``Client.verify``) are
+documented thread-safe: cumulative counters and the score cache are only
+ever mutated under an internal lock.  The ROADMAP's multi-worker serving
+tier builds directly on that discipline, so this rule pins it statically.
+
+The check is deliberately conservative and self-calibrating: in any class
+that creates a ``threading.Lock``/``RLock`` in ``__init__``, every
+``self.<attr>`` the class ever writes *inside* a ``with self.<lock>:``
+block is considered lock-guarded shared state.  Any other write to the
+same attribute (assignment, augmented assignment, ``self.attr[k] = v``, or
+a mutating method call such as ``.merge(...)``/``.pop(...)``) outside a
+lock block -- anywhere but ``__init__`` -- is a finding.  Attributes never
+written under a lock are untracked: the rule never guesses which state is
+shared, it only enforces consistency with what the class itself declared
+by locking once.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import ModuleInfo
+
+__all__ = ["LockGuardRule"]
+
+#: Method names treated as in-place mutation of the receiver.
+_MUTATORS = frozenset(
+    {
+        "merge",
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "setdefault",
+        "move_to_end",
+    }
+)
+
+_LOCK_TYPES = frozenset({"threading.Lock", "threading.RLock"})
+
+
+class LockGuardRule(Rule):
+    rule_id = "RL006"
+    name = "lock-guard"
+    summary = (
+        "attributes a class mutates under its lock must never be mutated "
+        "outside it"
+    )
+    scopes = ("repro",)
+    option_names = ("scopes",)
+
+    # ------------------------------------------------------------ helpers
+    @staticmethod
+    def _self_attr(node: ast.AST) -> "str | None":
+        """``X`` when ``node`` is exactly ``self.X``."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _lock_attrs(self, info: ModuleInfo, cls: ast.ClassDef) -> Set[str]:
+        locks: Set[str] = set()
+        for statement in ast.walk(cls):
+            if not isinstance(statement, ast.Assign):
+                continue
+            if not isinstance(statement.value, ast.Call):
+                continue
+            if info.resolve(statement.value.func) not in _LOCK_TYPES:
+                continue
+            for target in statement.targets:
+                attr = self._self_attr(target)
+                if attr is not None:
+                    locks.add(attr)
+        return locks
+
+    def _under_lock(self, info: ModuleInfo, node: ast.AST, locks: Set[str]) -> bool:
+        for ancestor in info.ancestors(node):
+            if isinstance(ancestor, ast.With):
+                for item in ancestor.items:
+                    attr = self._self_attr(item.context_expr)
+                    if attr is not None and attr in locks:
+                        return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+        return False
+
+    def _write_events(
+        self, info: ModuleInfo, cls: ast.ClassDef, locks: Set[str]
+    ) -> List[Tuple[str, ast.AST, bool]]:
+        """(attr, node, under_lock) for every ``self.<attr>`` mutation."""
+        events: List[Tuple[str, ast.AST, bool]] = []
+
+        def add(attr: "str | None", node: ast.AST) -> None:
+            if attr is None or attr in locks:
+                return
+            function = info.enclosing_function(node)
+            if function is None or function.name == "__init__":
+                return
+            if info.enclosing_class(node) is not cls:
+                return
+            events.append((attr, node, self._under_lock(info, node, locks)))
+
+        for statement in ast.walk(cls):
+            if isinstance(statement, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    statement.targets
+                    if isinstance(statement, ast.Assign)
+                    else [statement.target]
+                )
+                for target in targets:
+                    add(self._self_attr(target), statement)
+                    if isinstance(target, ast.Subscript):
+                        add(self._self_attr(target.value), statement)
+            elif isinstance(statement, ast.Call):
+                func = statement.func
+                if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                    add(self._self_attr(func.value), statement)
+            elif isinstance(statement, ast.Delete):
+                for target in statement.targets:
+                    add(self._self_attr(target), statement)
+                    if isinstance(target, ast.Subscript):
+                        add(self._self_attr(target.value), statement)
+        return events
+
+    # -------------------------------------------------------------- check
+    def check(self, info: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for cls in info.nodes(ast.ClassDef):
+            locks = self._lock_attrs(info, cls)
+            if not locks:
+                continue
+            events = self._write_events(info, cls, locks)
+            guarded = {attr for attr, _node, under in events if under}
+            reported: Dict[Tuple[str, int], bool] = {}
+            for attr, node, under in events:
+                if under or attr not in guarded:
+                    continue
+                key = (attr, getattr(node, "lineno", 0))
+                if reported.get(key):
+                    continue
+                reported[key] = True
+                findings.append(
+                    self.finding(
+                        info,
+                        node,
+                        f"self.{attr} is lock-guarded elsewhere in "
+                        f"{cls.name} but mutated here outside a 'with "
+                        "self.<lock>:' block; concurrent callers can race",
+                    )
+                )
+        return findings

@@ -1,0 +1,108 @@
+"""RL007: fast-path toggles keep their slow reference branch alive.
+
+Every optimization in this codebase ships behind a toggle
+(``hash_consing``, ``batch_hashing``, ``builder``/``build_mode``) whose
+slow branch is the *reference implementation* the bit-identity property
+harnesses differentiate against.  A fast path whose slow twin is dead --
+short-circuited by a constant, or replaced by ``raise
+NotImplementedError`` -- silently degrades those differential tests into
+self-comparisons.  This rule flags, for any ``if``/ternary whose condition
+mentions a configured toggle:
+
+* a boolean operand that is literally ``True``/``False`` (constant
+  short-circuit: the toggle no longer decides the branch), and
+* a branch whose entire body is ``raise NotImplementedError`` (the slow
+  path was removed rather than kept callable).
+
+Raising :class:`ConstructionError` (or any other exception) for *invalid*
+toggle values remains legal -- only ``NotImplementedError`` marks a
+removed implementation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import ModuleInfo
+
+__all__ = ["LiveSlowPathRule"]
+
+
+class LiveSlowPathRule(Rule):
+    rule_id = "RL007"
+    name = "live-slow-path"
+    summary = "fast-path toggles must keep their slow reference branch reachable"
+    scopes = ("repro",)
+    option_names = ("scopes", "toggles", "banned_raises")
+
+    def __init__(self) -> None:
+        self.toggles: Tuple[str, ...] = (
+            "hash_consing",
+            "batch_hashing",
+            "builder",
+            "build_mode",
+        )
+        self.banned_raises: Tuple[str, ...] = ("NotImplementedError",)
+
+    # ------------------------------------------------------------ helpers
+    def _mentions_toggle(self, test: ast.AST) -> bool:
+        for node in ast.walk(test):
+            if isinstance(node, ast.Name) and node.id in self.toggles:
+                return True
+            if isinstance(node, ast.Attribute) and node.attr in self.toggles:
+                return True
+        return False
+
+    @staticmethod
+    def _constant_bool_operand(test: ast.AST) -> "ast.AST | None":
+        for node in ast.walk(test):
+            if isinstance(node, ast.BoolOp):
+                for operand in node.values:
+                    if isinstance(operand, ast.Constant) and isinstance(
+                        operand.value, bool
+                    ):
+                        return operand
+        return None
+
+    def _is_removed_branch(self, body: List[ast.stmt]) -> bool:
+        if len(body) != 1 or not isinstance(body[0], ast.Raise):
+            return False
+        exc = body[0].exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        return isinstance(exc, ast.Name) and exc.id in self.banned_raises
+
+    # -------------------------------------------------------------- check
+    def check(self, info: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in info.nodes(ast.If, ast.IfExp):
+            if not self._mentions_toggle(node.test):
+                continue
+            constant = self._constant_bool_operand(node.test)
+            if constant is not None:
+                findings.append(
+                    self.finding(
+                        info,
+                        node,
+                        f"constant {constant.value!r} in a toggle condition "
+                        "short-circuits the branch; the toggle no longer "
+                        "selects between fast and slow paths",
+                    )
+                )
+            if isinstance(node, ast.IfExp):
+                continue
+            for branch_name, branch in (("if", node.body), ("else", node.orelse)):
+                if self._is_removed_branch(branch):
+                    findings.append(
+                        self.finding(
+                            info,
+                            branch[0],
+                            f"the {branch_name}-branch of this toggle raises "
+                            f"{self.banned_raises[0]}: the slow reference path "
+                            "must stay callable for the bit-identity harnesses",
+                        )
+                    )
+        return findings

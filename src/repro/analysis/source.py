@@ -1,0 +1,168 @@
+"""Parsed-module model shared by every reprolint rule.
+
+The engine parses each file exactly once and walks the AST exactly once,
+building the indexes rules need: nodes grouped by type, a child-to-parent
+map, and the import-alias table that lets a rule resolve ``sha(...)`` back
+to ``hashlib.sha256`` when the module did ``from hashlib import sha256 as
+sha``.  Rules then *consume* these indexes instead of re-walking the tree,
+which keeps the whole run a single pass per file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+__all__ = ["ModuleInfo", "module_name_for", "parse_module"]
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/ifmh/updates.py`` maps to ``repro.ifmh.updates`` (anything
+    up to and including a ``src`` component is the import root);
+    ``tests/core/test_config.py`` maps to ``tests.core.test_config``.
+    """
+    parts = list(relpath.replace("\\", "/").split("/"))
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus the single-pass indexes rules share."""
+
+    relpath: str
+    module: str
+    source: str
+    tree: ast.Module
+    #: Nodes grouped by AST class, in source (walk) order.
+    nodes_by_type: Dict[Type[ast.AST], List[ast.AST]] = field(default_factory=dict)
+    #: Child node -> parent node (keyed by identity).
+    parent_of: Dict[int, ast.AST] = field(default_factory=dict)
+    #: Local name -> fully dotted origin, from import statements:
+    #: ``import numpy as np`` yields ``np -> numpy``; ``from hashlib import
+    #: sha256 as sha`` yields ``sha -> hashlib.sha256``.
+    import_aliases: Dict[str, str] = field(default_factory=dict)
+    #: Local names bound by plain ``import x`` / ``import x as y`` -- i.e.
+    #: names that are module objects, not functions or classes.
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- indexes
+    def nodes(self, *types: Type[ast.AST]) -> Iterator[ast.AST]:
+        for node_type in types:
+            yield from self.nodes_by_type.get(node_type, ())
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parent_of.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional["ast.FunctionDef | ast.AsyncFunctionDef"]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    # ---------------------------------------------------------- resolution
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """The literal dotted path of a Name/Attribute chain, unresolved."""
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully qualified origin of a Name/Attribute chain, through imports.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand``; a bare
+        ``sha256`` imported from :mod:`hashlib` resolves to
+        ``hashlib.sha256``.  Names with no import origin resolve to their
+        literal dotted path (so locally defined helpers keep their name).
+        """
+        dotted = self.dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        origin = self.import_aliases.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+    def is_module_receiver(self, node: ast.AST) -> bool:
+        """True when ``node`` is a bare name bound by a plain module import.
+
+        Used to tell ``np.sign(x)`` (a module-level function) apart from
+        ``signer.sign(message)`` (a method on an object).
+        """
+        return isinstance(node, ast.Name) and node.id in self.module_aliases
+
+
+def _index(info: ModuleInfo) -> None:
+    stack: List[ast.AST] = [info.tree]
+    nodes_by_type = info.nodes_by_type
+    parent_of = info.parent_of
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            parent_of[id(child)] = node
+            nodes_by_type.setdefault(type(child), []).append(child)
+            stack.append(child)
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                target = alias.name if alias.asname else alias.name.partition(".")[0]
+                info.import_aliases[local] = target
+                info.module_aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                info.import_aliases[local] = f"{node.module}.{alias.name}"
+    # Walk order above is DFS-with-a-stack (reversed within levels); rules
+    # that care about source order sort by position.
+    for nodes in nodes_by_type.values():
+        nodes.sort(key=lambda n: (getattr(n, "lineno", 0), getattr(n, "col_offset", 0)))
+
+
+def parse_module(relpath: str, source: str) -> ModuleInfo:
+    """Parse ``source`` and build the shared single-pass indexes."""
+    tree = ast.parse(source, filename=relpath)
+    info = ModuleInfo(
+        relpath=relpath,
+        module=module_name_for(relpath),
+        source=source,
+        tree=tree,
+    )
+    _index(info)
+    return info
+
+
+def call_args(node: ast.Call) -> Tuple[Sequence[ast.expr], Sequence[ast.keyword]]:
+    """Positional and keyword arguments of a call (starred args excluded)."""
+    positional = [arg for arg in node.args if not isinstance(arg, ast.Starred)]
+    return positional, node.keywords

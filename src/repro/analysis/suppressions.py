@@ -1,0 +1,189 @@
+"""Suppression comments: ``# reprolint: disable=RL001 -- reason``.
+
+Policy
+------
+* A suppression silences findings of the named rule(s) **on its own
+  physical line** (the line the flagged AST node starts on).
+* The ``-- reason`` rationale is mandatory.  A disable comment without one
+  does not suppress anything and is itself reported (as
+  :data:`~repro.analysis.findings.SUPPRESSION_RULE`), so an invariant can
+  never be waved away silently.
+* Under ``--strict``, a suppression that matched no finding is *stale* and
+  reported too -- fixed code must shed its annotations.
+* :data:`~repro.analysis.findings.SUPPRESSION_RULE` and
+  :data:`~repro.analysis.findings.PARSE_RULE` findings cannot be
+  suppressed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.findings import PARSE_RULE, SUPPRESSION_RULE, Finding
+
+__all__ = ["Suppression", "collect_suppressions", "apply_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+#: A comment is treated as a reprolint directive (and audited as such) only
+#: when it starts with ``# reprolint:`` -- prose that merely mentions the
+#: tool is left alone.
+_TRIGGER = re.compile(r"#\s*reprolint\s*:")
+
+#: Findings that the suppression machinery itself emits are exempt from
+#: suppression -- the escape hatch must not be able to silence its own audit.
+_UNSUPPRESSIBLE = frozenset({SUPPRESSION_RULE, PARSE_RULE})
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``disable`` directive."""
+
+    line: int
+    column: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+def collect_suppressions(
+    relpath: str, source: str
+) -> Tuple[List[Suppression], List[Finding]]:
+    """Parse every reprolint directive in ``source``.
+
+    Returns the usable (reasoned) suppressions plus immediate findings for
+    malformed ones: a directive without a rationale is a finding, not a
+    suppression.
+    """
+    suppressions: List[Suppression] = []
+    findings: List[Finding] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            token for token in tokens if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The engine reports unparsable files separately; nothing to do here.
+        return [], []
+    for token in comments:
+        if _TRIGGER.match(token.string.strip()) is None:
+            continue
+        match = _DIRECTIVE.match(token.string.strip())
+        line, column = token.start
+        if match is None:
+            findings.append(
+                Finding(
+                    path=relpath,
+                    line=line,
+                    column=column,
+                    rule=SUPPRESSION_RULE,
+                    message=(
+                        "malformed reprolint directive; expected "
+                        "'# reprolint: disable=RULE[,RULE...] -- reason'"
+                    ),
+                )
+            )
+            continue
+        rules = tuple(
+            rule.strip().upper() for rule in match.group("rules").split(",") if rule.strip()
+        )
+        reason = match.group("reason")
+        if not rules:
+            findings.append(
+                Finding(
+                    path=relpath,
+                    line=line,
+                    column=column,
+                    rule=SUPPRESSION_RULE,
+                    message="reprolint directive names no rules",
+                )
+            )
+            continue
+        if not reason:
+            findings.append(
+                Finding(
+                    path=relpath,
+                    line=line,
+                    column=column,
+                    rule=SUPPRESSION_RULE,
+                    message=(
+                        f"suppression of {', '.join(rules)} carries no rationale; "
+                        "write '-- <why this violation is intentional>' "
+                        "(a reasonless disable suppresses nothing)"
+                    ),
+                )
+            )
+            continue
+        if any(rule in _UNSUPPRESSIBLE for rule in rules):
+            findings.append(
+                Finding(
+                    path=relpath,
+                    line=line,
+                    column=column,
+                    rule=SUPPRESSION_RULE,
+                    message=(
+                        f"rules {sorted(_UNSUPPRESSIBLE)} cannot be suppressed"
+                    ),
+                )
+            )
+            continue
+        suppressions.append(
+            Suppression(line=line, column=column, rules=rules, reason=reason)
+        )
+    return suppressions, findings
+
+
+def apply_suppressions(
+    relpath: str,
+    findings: List[Finding],
+    suppressions: List[Suppression],
+    *,
+    strict: bool,
+) -> Tuple[List[Finding], int]:
+    """Drop suppressed findings; under ``strict``, report stale directives.
+
+    Returns the surviving findings and the number suppressed.
+    """
+    by_key: Dict[Tuple[int, str], List[Suppression]] = {}
+    for suppression in suppressions:
+        for rule in suppression.rules:
+            by_key.setdefault((suppression.line, rule), []).append(suppression)
+
+    used: Set[Tuple[int, Tuple[str, ...], str]] = set()
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if finding.rule in _UNSUPPRESSIBLE:
+            kept.append(finding)
+            continue
+        matches = by_key.get((finding.line, finding.rule))
+        if matches:
+            suppressed += 1
+            for suppression in matches:
+                used.add((suppression.line, (finding.rule,), suppression.reason))
+        else:
+            kept.append(finding)
+
+    if strict:
+        for suppression in suppressions:
+            for rule in suppression.rules:
+                if (suppression.line, (rule,), suppression.reason) not in used:
+                    kept.append(
+                        Finding(
+                            path=relpath,
+                            line=suppression.line,
+                            column=suppression.column,
+                            rule=SUPPRESSION_RULE,
+                            message=(
+                                f"stale suppression: no {rule} finding on this "
+                                "line; remove the directive"
+                            ),
+                        )
+                    )
+    return kept, suppressed

@@ -266,7 +266,7 @@ class DataOwner:
         loaded = load_artifact(path, base=base)
         parameters = loaded.public_parameters
         probe = b"repro:owner:keypair-probe"
-        if not parameters.verifier.verify(probe, keypair.signer.sign(probe)):
+        if not parameters.verifier.verify(probe, keypair.signer.sign(probe)):  # reprolint: disable=RL002 -- key-possession probe with a fixed local tag, never an ADS message; epoch binding does not apply
             raise ConstructionError(
                 "the supplied keypair does not match the artifact's published "
                 "verification key"
@@ -393,28 +393,17 @@ class DataOwner:
             attribute_names=self.dataset.attribute_names,
             records=self._final_records(records, deletes, inserts),
         )
-        if self.config.is_ifmh:
-            self.ads = IFMHTree(
-                dataset,
-                self.template,
-                config=self.config,
-                signer=self.keypair.signer,
-                hash_function=self.hash_function,
-                engine=self._engine,
-                counters=self.counters,
-                epoch=epoch,
-            )
-        else:
-            self.ads = SignatureMesh(
-                dataset,
-                self.template,
-                config=self.config,
-                signer=self.keypair.signer,
-                hash_function=self.hash_function,
-                engine=self._engine,
-                counters=self.counters,
-                epoch=epoch,
-            )
+        ads_class = IFMHTree if self.config.is_ifmh else SignatureMesh
+        self.ads = ads_class(
+            dataset,
+            self.template,
+            config=self.config,
+            signer=self.keypair.signer,
+            hash_function=self.hash_function,
+            engine=self._engine,
+            counters=self.counters,
+            epoch=epoch,
+        )
         self.dataset = dataset
         return UpdateReport(
             inserted=len(inserts), deleted=len(deletes), epoch=epoch, strategy="rebuild"
@@ -461,12 +450,11 @@ class DataOwner:
         current_records = list(records)
         for position, (record, record_id) in enumerate(steps):
             last = position == len(steps) - 1
-            if record_id is not None:
-                current_records = [
-                    r for r in current_records if r.record_id != record_id
-                ]
-            else:
-                current_records = current_records + [record]
+            current_records = (
+                [r for r in current_records if r.record_id != record_id]
+                if record_id is not None
+                else current_records + [record]
+            )
             dataset = Dataset(
                 attribute_names=self.dataset.attribute_names, records=current_records
             )

@@ -68,13 +68,12 @@ def recheck_query(
 
     left_score = boundary_score(left, template, attribute_names, weights)
     right_score = boundary_score(right, template, attribute_names, weights)
-    if scores:
-        brackets = (
-            left_score <= scores[0] + SCORE_TOLERANCE
-            and scores[-1] <= right_score + SCORE_TOLERANCE
-        )
-    else:
-        brackets = left_score <= right_score + SCORE_TOLERANCE
+    brackets = (
+        left_score <= scores[0] + SCORE_TOLERANCE
+        and scores[-1] <= right_score + SCORE_TOLERANCE
+        if scores
+        else left_score <= right_score + SCORE_TOLERANCE
+    )
     report.record(
         "boundaries-bracket-result",
         brackets,

@@ -130,10 +130,10 @@ class Server:
         """
         query.validate(self.template.dimension)
         per_query = counters if counters is not None else Counters()
-        if self.scheme == SIGNATURE_MESH:
-            result, vo = self._execute_mesh(query, per_query)
-        else:
-            result, vo = self._execute_ifmh(query, per_query)
+        execute = (
+            self._execute_mesh if self.scheme == SIGNATURE_MESH else self._execute_ifmh
+        )
+        result, vo = execute(query, per_query)
         with self._counters_lock:
             self.counters.merge(per_query)
         return QueryExecution(
@@ -151,10 +151,11 @@ class Server:
         """
         for query in queries:
             query.validate(self.template.dimension)
-        if self.scheme == SIGNATURE_MESH:
-            executions = [self._execute_one_mesh(query) for query in queries]
-        else:
-            executions = self._execute_batch_ifmh(queries)
+        executions = (
+            [self._execute_one_mesh(query) for query in queries]
+            if self.scheme == SIGNATURE_MESH
+            else self._execute_batch_ifmh(queries)
+        )
         batch_total = Counters()
         for execution in executions:
             batch_total.merge(execution.counters)

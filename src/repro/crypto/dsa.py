@@ -172,7 +172,7 @@ def generate_dsa_parameters(
         raise ValueError(f"q must be at least 64 bits, got {q_bits}")
     if p_bits <= q_bits + 16:
         raise ValueError("p must be substantially larger than q")
-    rng = rng or random.Random()
+    rng = rng or random.SystemRandom()
     q = generate_prime(q_bits, rng)
     while True:
         m = rng.getrandbits(p_bits) | (1 << (p_bits - 1))
@@ -197,7 +197,7 @@ def generate_dsa_keypair(
     parameters: Optional[DSAParameters] = None,
 ) -> DSAKeyPair:
     """Generate a DSA key pair (optionally reusing existing parameters)."""
-    rng = rng or random.Random()
+    rng = rng or random.SystemRandom()
     params = parameters or generate_dsa_parameters(p_bits, q_bits, rng)
     x = rng.randrange(1, params.q)
     private = DSAPrivateKey(parameters=params, x=x)

@@ -80,8 +80,9 @@ def generate_prime(
     bits:
         Bit length of the prime; must be at least 8.
     rng:
-        Pseudo-random source.  A fresh unseeded :class:`random.Random` is
-        used when omitted.
+        Pseudo-random source.  The OS-backed :class:`random.SystemRandom`
+        is used when omitted; pass a seeded :class:`random.Random` for
+        reproducible generation.
     congruent_to:
         Optional ``(remainder, modulus)`` pair: only candidates ``p`` with
         ``p % modulus == remainder`` are considered.  DSA parameter
@@ -89,7 +90,7 @@ def generate_prime(
     """
     if bits < 8:
         raise ValueError(f"prime bit length must be >= 8, got {bits}")
-    rng = rng or random.Random()
+    rng = rng or random.SystemRandom()
     while True:
         candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
         if congruent_to is not None:
@@ -107,7 +108,7 @@ def generate_safe_prime(bits: int, rng: Optional[random.Random] = None) -> int:
     Not needed by RSA/DSA but exposed because several downstream experiments
     (e.g. alternative signature schemes) want it; kept small and tested.
     """
-    rng = rng or random.Random()
+    rng = rng or random.SystemRandom()
     while True:
         q = generate_prime(bits - 1, rng)
         p = 2 * q + 1

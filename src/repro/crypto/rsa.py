@@ -150,7 +150,7 @@ def generate_rsa_keypair(bits: int = 2048, rng: Optional[random.Random] = None) 
     """
     if bits < 384:
         raise ValueError(f"RSA modulus must be at least 384 bits, got {bits}")
-    rng = rng or random.Random()
+    rng = rng or random.SystemRandom()
     e = _PUBLIC_EXPONENT
     half = bits // 2
     while True:

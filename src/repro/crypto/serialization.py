@@ -60,7 +60,7 @@ def encode_float(value: float) -> bytes:
 
 def encode_str(value: str) -> bytes:
     """Encode a unicode string as UTF-8."""
-    return _with_length(_TAG_STR, value.encode("utf-8"))
+    return _with_length(_TAG_STR, value.encode())
 
 
 def encode_bytes(value: bytes) -> bytes:

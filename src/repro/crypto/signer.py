@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 import random
+import secrets
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Protocol, runtime_checkable
 
@@ -229,8 +230,12 @@ def _dsa_factory(rng: Optional[random.Random] = None, key_bits: Optional[int] = 
 
 
 def _hmac_factory(rng: Optional[random.Random] = None, key_bits: Optional[int] = None) -> KeyPair:
-    rng = rng or random.Random()
-    key = rng.getrandbits(256).to_bytes(32, "big")
+    # Key material must come from the OS CSPRNG by default: a Mersenne
+    # Twister key is recoverable from outputs.  The seeded ``rng`` injection
+    # path stays available for deterministic tests.
+    key = (
+        secrets.token_bytes(32) if rng is None else rng.getrandbits(256).to_bytes(32, "big")
+    )
     return KeyPair(scheme="hmac", signer=_HMACSigner(key), verifier=_HMACVerifier(key))
 
 

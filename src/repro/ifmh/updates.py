@@ -60,7 +60,6 @@ behind the same :meth:`repro.core.owner.DataOwner.apply_updates` API.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -68,7 +67,7 @@ import numpy as np
 
 from repro.core.errors import ConstructionError
 from repro.core.records import Dataset, Record
-from repro.crypto.hashing import DIGEST_SIZE
+from repro.crypto.hashing import DIGEST_SIZE, sha256
 from repro.geometry.arrangement import univariate_breakpoints
 from repro.geometry.engine import IntervalEngine
 from repro.geometry.functions import COEFFICIENT_TOLERANCE, Hyperplane
@@ -500,12 +499,12 @@ def _derive_state(tree) -> Optional[IncrementalState]:
             digest_of[arena.digests[index].tobytes()] = index
         leaf_map = {}
         for record in tree.dataset.records:
-            index = digest_of.get(hashlib.sha256(record.to_bytes()).digest())
+            index = digest_of.get(sha256(record.to_bytes()))
             if index is None:  # pragma: no cover - arena always holds them
                 return None
             leaf_map[record.record_id] = index
-        min_index = digest_of.get(hashlib.sha256(MIN_TOKEN).digest())
-        max_index = digest_of.get(hashlib.sha256(MAX_TOKEN).digest())
+        min_index = digest_of.get(sha256(MIN_TOKEN))
+        max_index = digest_of.get(sha256(MAX_TOKEN))
         if min_index is None or max_index is None:  # pragma: no cover
             return None
     else:
@@ -591,10 +590,11 @@ def apply_incremental_update(
 
     builder = _UpdateBuilder(tree, new_dataset, final_functions, state, new_plan,
                              domain_low, domain_high)
-    if inserted is not None:
-        result = builder.build_insert(inserted)
-    else:
-        result = builder.build_delete(deleted_id)
+    result = (
+        builder.build_insert(inserted)
+        if inserted is not None
+        else builder.build_delete(deleted_id)
+    )
     arrays, root_hash, new_state = result
 
     updated = IFMHTree.from_update(
@@ -953,7 +953,7 @@ class _UpdateBuilder:
         for ordinal, node in enumerate(skeleton.leaf_node.tolist()):
             start = ordinal * DIGEST_SIZE
             digests[node] = leaf_blob[start : start + DIGEST_SIZE]
-        sha = hashlib.sha256
+        sha = sha256
         internal_nodes = skeleton.internal_node.tolist()
         above = skeleton.above_node.tolist()
         below = skeleton.below_node.tolist()
@@ -974,7 +974,7 @@ class _UpdateBuilder:
                 )
             else:
                 preimage = prefix + above_digest + prefix + below_digest
-            digests[internal_nodes[cursor]] = sha(preimage).digest()
+            digests[internal_nodes[cursor]] = sha(preimage)
         count = len(internal_nodes)
         if count:
             self.tree.counters.add_hash(count)

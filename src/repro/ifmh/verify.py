@@ -110,19 +110,19 @@ def verify_result(
             taken, sibling = root_hash, step.sibling_hash
             above = taken if step.took_above else sibling
             below = sibling if step.took_above else taken
-            if bind_intersections:
-                root_hash = hash_function.combine(step.hyperplane.to_bytes(), above, below)
-            else:
-                root_hash = hash_function.combine(above, below)
+            root_hash = (
+                hash_function.combine(step.hyperplane.to_bytes(), above, below)
+                if bind_intersections
+                else hash_function.combine(above, below)
+            )
         report.record(
             "search-path-directions",
             directions_consistent,
             "the IMH search path does not follow the query's weight vector",
         )
-        if epoch == 0:
-            message = root_hash
-        else:
-            message = epoch_bound_combine(hash_function, epoch, root_hash)
+        message = (
+            root_hash if epoch == 0 else epoch_bound_combine(hash_function, epoch, root_hash)
+        )
         signature_ok = verifier.verify(message, vo.root_signature)
         counters.add_signature_verified()
         report.record(

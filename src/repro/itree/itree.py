@@ -355,10 +355,9 @@ class ITree:
             # The child covering the smaller interval side holds the smaller
             # breakpoints: ``above`` is right of the breakpoint for positive
             # slopes and left of it for negative ones.
-            if hyperplane.normal[0] > 0:
-                left_child, right_child = below, above
-            else:
-                left_child, right_child = above, below
+            left_child, right_child = (
+                (below, above) if hyperplane.normal[0] > 0 else (above, below)
+            )
             stack.append((left_child, low, mid))
             stack.append((right_child, mid + 1, high))
         self._finalize_leaves_bulk([leaf for leaf in leaves if leaf is not None])

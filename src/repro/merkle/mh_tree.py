@@ -239,10 +239,11 @@ class MerkleTree:
                 raise ValueError(
                     f"membership proof is missing the sibling at level {level}, index {sibling}"
                 ) from None
-            if index % 2 == 0:
-                current = hashes.combine(current, sibling_hash)
-            else:
-                current = hashes.combine(sibling_hash, current)
+            current = (
+                hashes.combine(current, sibling_hash)
+                if index % 2 == 0
+                else hashes.combine(sibling_hash, current)
+            )
             index //= 2
         return current
 

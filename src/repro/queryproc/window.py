@@ -33,11 +33,12 @@ class ResultWindow:
     def __post_init__(self) -> None:
         if self.size < 0:
             raise ValueError("list size cannot be negative")
-        if not self.is_empty:
-            if not (0 <= self.start < self.size and 0 <= self.end < self.size):
-                raise ValueError(
-                    f"window [{self.start}, {self.end}] out of bounds for size {self.size}"
-                )
+        if not self.is_empty and not (
+            0 <= self.start < self.size and 0 <= self.end < self.size
+        ):
+            raise ValueError(
+                f"window [{self.start}, {self.end}] out of bounds for size {self.size}"
+            )
 
     @property
     def is_empty(self) -> bool:

@@ -1,0 +1,20 @@
+"""RL003 fixture: mutating frozen configuration dataclasses."""
+
+from repro.core.config import SystemConfig
+
+
+def tweak(config: SystemConfig) -> None:
+    config.fanout = 4  # line 7: attribute assignment on frozen dataclass
+
+
+def escape_hatch(config: SystemConfig) -> None:
+    object.__setattr__(config, "fanout", 4)  # line 11: __setattr__ escape
+
+
+def builtin_setattr(config: SystemConfig) -> None:
+    setattr(config, "fanout", 4)  # line 15: setattr escape
+
+
+def from_constructor() -> None:
+    config = SystemConfig()
+    config.batch_hashing = False  # line 20: inferred from construction

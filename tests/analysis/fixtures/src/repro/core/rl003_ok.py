@@ -1,0 +1,26 @@
+"""RL003 fixture: frozen dataclasses are replaced, never mutated."""
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import SystemConfig
+
+
+def tweak(config: SystemConfig) -> SystemConfig:
+    return replace(config, fanout=4)
+
+
+@dataclass(frozen=True)
+class SystemConfig:  # shadows the import for the __post_init__ case below
+    fanout: int = 2
+
+    def __post_init__(self) -> None:
+        # Construction-time normalisation is the sanctioned escape hatch.
+        object.__setattr__(self, "fanout", max(2, self.fanout))
+
+
+class Mutable:
+    def __init__(self) -> None:
+        self.fanout = 2
+
+    def tweak(self) -> None:
+        self.fanout = 4  # plain mutable class: not in the frozen set

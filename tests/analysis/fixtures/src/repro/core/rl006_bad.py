@@ -1,0 +1,24 @@
+"""RL006 fixture: lock-guarded state written without the lock."""
+
+import threading
+
+
+class Server:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending: dict = {}
+        self._results: list = []
+
+    def execute_batch(self, batch) -> None:
+        with self._lock:
+            self._pending.update(batch)
+            self._results.append(len(batch))
+
+    def sneak_in(self, key, value) -> None:
+        self._pending[key] = value  # line 18: guarded attr written lock-free
+
+    def reset(self) -> None:
+        self._results = []  # line 21: guarded attr rebound lock-free
+
+    def drop(self, key) -> None:
+        self._pending.pop(key, None)  # line 24: mutator call lock-free

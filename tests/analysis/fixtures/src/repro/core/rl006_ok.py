@@ -1,0 +1,24 @@
+"""RL006 fixture: every write to guarded state holds the lock."""
+
+import threading
+
+
+class Server:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending: dict = {}
+        self._results: list = []
+        self._scratch: list = []  # never written under the lock: unguarded
+
+    def execute_batch(self, batch) -> None:
+        with self._lock:
+            self._pending.update(batch)
+            self._results.append(len(batch))
+
+    def drop(self, key) -> None:
+        with self._lock:
+            self._pending.pop(key, None)
+
+    def note(self, item) -> None:
+        # _scratch is not lock-guarded anywhere, so lock-free writes are fine.
+        self._scratch.append(item)

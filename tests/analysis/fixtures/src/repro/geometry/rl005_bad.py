@@ -1,0 +1,17 @@
+"""RL005 fixture: tolerance-based predicates in exact geometry code."""
+
+import math
+
+import numpy as np
+
+
+def same_point(a: float, b: float) -> bool:
+    return math.isclose(a, b)  # line 9: math.isclose
+
+
+def same_array(xs, ys) -> bool:
+    return np.allclose(xs, ys)  # line 13: numpy.allclose
+
+
+def snapped(x: float) -> float:
+    return round(x, 6)  # line 17: builtin round

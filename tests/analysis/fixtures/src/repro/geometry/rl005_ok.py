@@ -1,0 +1,20 @@
+"""RL005 fixture: exact integer comparisons only."""
+
+from fractions import Fraction
+
+
+def same_point(a: int, b: int) -> bool:
+    return a == b
+
+
+def orientation(ax: int, ay: int, bx: int, by: int, cx: int, cy: int) -> int:
+    cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    if cross > 0:
+        return 1
+    if cross < 0:
+        return -1
+    return 0
+
+
+def exact_midpoint(a: int, b: int) -> Fraction:
+    return Fraction(a + b, 2)

@@ -1,0 +1,7 @@
+"""Suppression fixture: a reasonless disable suppresses nothing."""
+
+import math
+
+
+def same_point(a: float, b: float) -> bool:
+    return math.isclose(a, b)  # reprolint: disable=RL005

@@ -1,0 +1,7 @@
+"""Suppression fixture: a reasoned disable silences the finding."""
+
+import math
+
+
+def same_point(a: float, b: float) -> bool:
+    return math.isclose(a, b)  # reprolint: disable=RL005 -- fixture demonstrating a sanctioned tolerance

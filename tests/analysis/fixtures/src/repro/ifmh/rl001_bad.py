@@ -1,0 +1,17 @@
+"""RL001 fixture: direct hashlib/hmac use outside repro.crypto."""
+
+import hashlib
+import hmac
+from hashlib import sha256 as raw_sha256
+
+
+def leaf_digest(payload: bytes) -> bytes:
+    return hashlib.sha256(payload).digest()  # line 9: hashlib.sha256
+
+
+def tagged_digest(key: bytes, payload: bytes) -> bytes:
+    return hmac.new(key, payload, "sha256").digest()  # line 13: hmac.new
+
+
+def aliased_digest(payload: bytes) -> bytes:
+    return raw_sha256(payload).digest()  # line 17: aliased hashlib.sha256

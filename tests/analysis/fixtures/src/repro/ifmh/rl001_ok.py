@@ -1,0 +1,15 @@
+"""RL001 fixture: digests routed through the counted wrappers."""
+
+from repro.crypto.hashing import HashFunction, sha256, sha256_many
+
+
+def leaf_digest(payload: bytes) -> bytes:
+    return sha256(payload)
+
+
+def many_digest(parts: list) -> bytes:
+    return sha256_many(*parts)
+
+
+def counted_digest(hash_function: HashFunction, payload: bytes) -> bytes:
+    return hash_function(payload)

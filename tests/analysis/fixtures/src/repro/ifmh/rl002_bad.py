@@ -1,0 +1,10 @@
+"""RL002 fixture: signing a message not built by an epoch-binding helper."""
+
+
+def sign_root(signer, root: bytes, epoch: int) -> bytes:
+    message = root + epoch.to_bytes(8, "big")
+    return signer.sign(message)  # line 6: message not epoch-bound
+
+
+def verify_root(verifier, root: bytes, signature: bytes) -> bool:
+    return verifier.verify(root, signature)  # line 10: raw root verified

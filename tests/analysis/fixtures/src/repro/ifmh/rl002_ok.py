@@ -1,0 +1,25 @@
+"""RL002 fixture: every signed message flows through an allowlisted builder."""
+
+import numpy as np
+
+from repro.crypto.hashing import HashFunction
+from repro.mesh.binding import epoch_bound_combine
+
+
+def sign_root(signer, hash_function: HashFunction, root: bytes, epoch: int) -> bytes:
+    message = epoch_bound_combine(hash_function, epoch, root)
+    return signer.sign(message)
+
+
+def verify_root(verifier, hash_function: HashFunction, root: bytes, epoch: int, signature: bytes) -> bool:
+    return verifier.verify(epoch_bound_combine(hash_function, epoch, root), signature)
+
+
+def unrelated_arity(client, query, result, vo) -> bool:
+    # Three positional args: not a Verifier.verify(message, signature) call.
+    return client.verify(query, result, vo)
+
+
+def unrelated_module_function(x):
+    # Module receiver: numpy's sign, not a Signer.
+    return np.sign(x)

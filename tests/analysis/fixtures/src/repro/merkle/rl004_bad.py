@@ -1,0 +1,23 @@
+"""RL004 fixture: unseeded entropy and wall-clock reads in digest code."""
+
+import random
+import time
+
+import numpy as np
+
+
+def shuffle_leaves(leaves: list) -> list:
+    rng = random.Random()  # line 10: unseeded Random
+    rng.shuffle(leaves)
+    return leaves
+
+
+def jitter() -> float:
+    return random.random()  # line 16: global random
+
+def numpy_noise(n: int):
+    return np.random.rand(n)  # line 19: legacy numpy global RNG
+
+
+def stamp() -> float:
+    return time.time()  # line 23: wall clock

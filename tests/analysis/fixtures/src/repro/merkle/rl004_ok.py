@@ -1,0 +1,21 @@
+"""RL004 fixture: seeded RNGs and monotonic clocks only."""
+
+import random
+import time
+
+import numpy as np
+
+
+def shuffle_leaves(leaves: list, seed: int) -> list:
+    rng = random.Random(seed)
+    rng.shuffle(leaves)
+    return leaves
+
+
+def numpy_noise(n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)
+
+
+def elapsed(start: float) -> float:
+    return time.perf_counter() - start

@@ -1,0 +1,26 @@
+"""RL007 fixture: dead slow branches behind fast-path toggles."""
+
+
+def build_tree(leaves, hash_consing: bool):
+    if hash_consing or True:  # line 5: constant short-circuit
+        return _build_fast(leaves)
+    return _build_slow(leaves)
+
+
+def hash_level(nodes, batch_hashing: bool):
+    if batch_hashing:
+        return _hash_batched(nodes)
+    else:
+        raise NotImplementedError("slow path removed")  # line 14: dead branch
+
+
+def _build_fast(leaves):
+    return leaves
+
+
+def _build_slow(leaves):
+    return leaves
+
+
+def _hash_batched(nodes):
+    return nodes

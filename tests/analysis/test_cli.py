@@ -1,0 +1,86 @@
+"""End-to-end CLI tests: exit codes, JSON format, --output, --list-rules,
+and the acceptance gate that the real tree lints clean."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path("tests/analysis/fixtures/src/repro")
+
+
+def run_cli(*argv: str, cwd: Path = REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_clean_tree_exits_zero():
+    proc = run_cli("src", "tests")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
+
+
+def test_findings_exit_one_with_text_report():
+    proc = run_cli("--no-config", str(FIXTURES / "geometry" / "rl005_bad.py"))
+    assert proc.returncode == 1
+    assert "RL005" in proc.stdout
+    assert "rl005_bad.py:9:" in proc.stdout
+
+
+def test_json_report_shape():
+    proc = run_cli(
+        "--no-config", "--format", "json", str(FIXTURES / "ifmh" / "rl001_bad.py")
+    )
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["tool"] == "reprolint"
+    assert payload["report_version"] == 1
+    assert payload["files_checked"] == 1
+    rules = [finding["rule"] for finding in payload["findings"]]
+    assert rules == ["RL001", "RL001", "RL001"]
+    first = payload["findings"][0]
+    assert set(first) == {"path", "line", "column", "rule", "message"}
+
+
+def test_output_file_written_even_on_findings(tmp_path):
+    report = tmp_path / "reprolint.json"
+    proc = run_cli(
+        "--no-config",
+        "--format",
+        "json",
+        "--output",
+        str(report),
+        str(FIXTURES / "geometry" / "rl005_bad.py"),
+    )
+    assert proc.returncode == 1
+    payload = json.loads(report.read_text())
+    assert payload["findings"]
+
+
+def test_config_error_exits_two(tmp_path):
+    bad = tmp_path / "pyproject.toml"
+    bad.write_text("[tool.reprolint]\nno_such_key = true\n")
+    proc = run_cli("--config", str(bad), "src")
+    assert proc.returncode == 2
+    assert "configuration error" in proc.stderr
+
+
+def test_list_rules_catalogue():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in [f"RL{n:03d}" for n in range(1, 8)] + ["RL000"]:
+        assert rule_id in proc.stdout
+
+
+def test_strict_mode_clean_on_real_tree():
+    proc = run_cli("--strict", "src", "tests")
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,93 @@
+"""[tool.reprolint] configuration: defaults, excludes, per-rule options,
+and loud failure on typos."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, all_rules, lint_paths
+from repro.analysis.config import LintConfigError, load_config
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "src" / "repro"
+KNOWN = [rule.rule_id for rule in all_rules()]
+
+
+def write_pyproject(tmp_path, body: str) -> Path:
+    path = tmp_path / "pyproject.toml"
+    path.write_text(body)
+    return path
+
+
+def test_missing_file_and_missing_table_yield_defaults(tmp_path):
+    assert load_config(tmp_path / "nope.toml", KNOWN) == LintConfig()
+    empty = write_pyproject(tmp_path, "[tool.other]\nx = 1\n")
+    assert load_config(empty, KNOWN) == LintConfig()
+
+
+def test_exclude_and_disable_parsed(tmp_path):
+    path = write_pyproject(
+        tmp_path,
+        '[tool.reprolint]\nexclude = ["tests/analysis/fixtures"]\ndisable = ["rl006"]\n',
+    )
+    config = load_config(path, KNOWN)
+    assert config.exclude == ("tests/analysis/fixtures",)
+    assert config.disabled_rules == ("RL006",)
+    assert config.is_excluded("tests/analysis/fixtures/src/repro/core/rl006_bad.py")
+    assert not config.is_excluded("tests/analysis/test_config.py")
+
+
+def test_unknown_key_raises(tmp_path):
+    path = write_pyproject(tmp_path, "[tool.reprolint]\nexcludes = []\n")
+    with pytest.raises(LintConfigError, match="unknown"):
+        load_config(path, KNOWN)
+
+
+def test_unknown_rule_in_disable_raises(tmp_path):
+    path = write_pyproject(tmp_path, '[tool.reprolint]\ndisable = ["RL999"]\n')
+    with pytest.raises(LintConfigError, match="RL999"):
+        load_config(path, KNOWN)
+
+
+def test_unknown_rule_section_raises(tmp_path):
+    path = write_pyproject(tmp_path, "[tool.reprolint.rl999]\nscopes = []\n")
+    with pytest.raises(LintConfigError, match="unknown rule"):
+        load_config(path, KNOWN)
+
+
+def test_rule_options_normalize_kebab_case(tmp_path):
+    path = write_pyproject(
+        tmp_path, '[tool.reprolint.rl001]\nallowed-modules = ["repro.crypto"]\n'
+    )
+    config = load_config(path, KNOWN)
+    assert config.options_for("RL001") == {"allowed_modules": ("repro.crypto",)} or (
+        config.options_for("RL001") == {"allowed_modules": ["repro.crypto"]}
+    )
+
+
+def test_unknown_rule_option_fails_at_lint_time():
+    config = LintConfig(rule_options={"RL001": {"allowed_module": ["x"]}})
+    with pytest.raises(LintConfigError, match="no option"):
+        lint_paths([str(FIXTURES / "ifmh" / "rl001_ok.py")], config)
+
+
+def test_disabled_rule_does_not_fire():
+    config = LintConfig(disabled_rules=("RL005",))
+    result = lint_paths([str(FIXTURES / "geometry" / "rl005_bad.py")], config)
+    assert result.findings == []
+
+
+def test_rule_option_override_changes_behaviour():
+    # Widening RL001's allowlist to cover repro.ifmh silences the bad fixture.
+    config = LintConfig(
+        rule_options={"RL001": {"allowed_modules": ["repro.crypto", "repro.ifmh"]}}
+    )
+    result = lint_paths([str(FIXTURES / "ifmh" / "rl001_bad.py")], config)
+    assert result.findings == []
+
+
+def test_exclude_skips_files():
+    target = FIXTURES / "geometry" / "rl005_bad.py"
+    config = LintConfig(exclude=("tests/analysis/fixtures",))
+    result = lint_paths([str(target)], config)
+    assert result.files_checked == 0
+    assert result.findings == []

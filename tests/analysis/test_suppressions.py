@@ -1,0 +1,88 @@
+"""Suppression-directive semantics: rationale is mandatory, stale
+directives surface under --strict, and the audit rules are unsuppressible."""
+
+from pathlib import Path
+
+from repro.analysis import LintConfig, lint_paths, lint_sources
+from repro.analysis.findings import PARSE_RULE, SUPPRESSION_RULE
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "src" / "repro" / "geometry"
+
+
+def lint_fixture(name: str, *, strict: bool = False):
+    return lint_paths([str(FIXTURES / name)], LintConfig(strict=strict))
+
+
+def test_reasoned_disable_suppresses_the_finding():
+    result = lint_fixture("suppress_with_reason.py")
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_reasonless_disable_suppresses_nothing_and_is_a_finding():
+    result = lint_fixture("suppress_no_reason.py")
+    rules = [finding.rule for finding in result.findings]
+    assert rules == ["RL005", SUPPRESSION_RULE]
+    assert result.suppressed == 0
+    audit = result.findings[1]
+    assert "no rationale" in audit.message
+
+
+def test_stale_suppression_silent_by_default_reported_under_strict():
+    relaxed = lint_fixture("suppress_stale.py")
+    assert relaxed.findings == []
+
+    strict = lint_fixture("suppress_stale.py", strict=True)
+    assert [finding.rule for finding in strict.findings] == [SUPPRESSION_RULE]
+    assert "stale suppression" in strict.findings[0].message
+
+
+def test_reasoned_suppression_not_stale_under_strict():
+    result = lint_fixture("suppress_with_reason.py", strict=True)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_audit_rules_cannot_be_suppressed():
+    source = (
+        "import math\n"
+        "\n"
+        "def f(a, b):\n"
+        "    # reprolint: disable=RL000 -- trying to silence the audit\n"
+        "    return math.isclose(a, b)  # reprolint: disable=RL005\n"
+    )
+    result = lint_sources({"src/repro/geometry/evil.py": source})
+    rules = sorted(finding.rule for finding in result.findings)
+    # RL005 survives (its disable has no reason), plus two RL000 audits:
+    # one for the unsuppressible target, one for the missing rationale.
+    assert rules == [SUPPRESSION_RULE, SUPPRESSION_RULE, "RL005"]
+
+
+def test_multi_rule_directive_suppresses_each_named_rule():
+    source = (
+        "import math\n"
+        "import time\n"
+        "\n"
+        "def f(a, b):\n"
+        "    return math.isclose(a + time.time(), b)  # reprolint: disable=RL004,RL005 -- fixture covering a multi-rule line\n"
+    )
+    # geometry is in RL005 scope but not RL004's; use a module inside both.
+    result = lint_sources({"src/repro/geometry/multi.py": source})
+    assert result.findings == []
+    assert result.suppressed >= 1
+
+
+def test_unparsable_file_reports_parse_rule():
+    result = lint_sources({"src/repro/core/broken.py": "def f(:\n"})
+    assert [finding.rule for finding in result.findings] == [PARSE_RULE]
+
+
+def test_parse_rule_cannot_be_suppressed():
+    result = lint_sources(
+        {
+            "src/repro/core/broken.py": (
+                "# reprolint: disable=RL900 -- nope\n" "def f(:\n"
+            )
+        }
+    )
+    assert PARSE_RULE in [finding.rule for finding in result.findings]

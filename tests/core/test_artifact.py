@@ -44,13 +44,12 @@ QUERIES_1D = [
 def _published_system(scheme, n_records=24, dimension=1, seed=9, **config_kwargs):
     workload = WorkloadConfig(n_records=n_records, dimension=dimension, seed=seed)
     dataset, template = make_dataset(workload), make_template(workload)
-    system = OutsourcedSystem.setup(
+    return OutsourcedSystem.setup(
         dataset,
         template,
         config=SystemConfig(scheme=scheme, signature_algorithm="hmac", **config_kwargs),
         rng=random.Random(seed),
     )
-    return system
 
 
 def _publish(system, tmp_path, name="ads.npz"):
@@ -269,7 +268,7 @@ def test_tampered_meta_rejected(tmp_path):
     with np.load(path) as bundle:
         meta = json.loads(bundle["meta"].tobytes().decode("utf-8"))
     meta["config"]["bind_intersections"] = False
-    blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+    blob = json.dumps(meta, sort_keys=True).encode()
     _rezip_with(path, {"meta.npy": _npy_bytes(np.frombuffer(blob, dtype=np.uint8))})
     with pytest.raises(ConstructionError, match="integrity"):
         Client.from_artifact(path)
@@ -286,7 +285,7 @@ def test_future_format_version_rejected(tmp_path):
             if name not in ("meta", "checksum")
         }
         meta["format_version"] = ARTIFACT_FORMAT_VERSION + 1
-        blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+        blob = json.dumps(meta, sort_keys=True).encode()
         from repro.core.artifact import _payload_checksum
 
         checksum = np.frombuffer(_payload_checksum(blob, arrays), dtype=np.uint8)
@@ -313,7 +312,7 @@ def test_root_of_roots_mismatch_rejected(tmp_path):
             if name not in ("meta", "checksum")
         }
     meta["roots_digest"] = "00" * 32
-    blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+    blob = json.dumps(meta, sort_keys=True).encode()
     from repro.core.artifact import _payload_checksum
 
     checksum = np.frombuffer(_payload_checksum(blob, arrays), dtype=np.uint8)

@@ -62,3 +62,21 @@ def test_signer_scheme_attribute_matches():
     pair = make_signer("hmac", rng=random.Random(5))
     assert pair.signer.scheme == "hmac"
     assert pair.verifier.scheme == "hmac"
+
+
+def test_hmac_default_key_comes_from_os_entropy():
+    # Without an injected rng the key must come from ``secrets`` -- two
+    # fresh pairs therefore never share a key (cross-verification fails),
+    # while each pair still roundtrips on its own.
+    a = make_signer("hmac")
+    b = make_signer("hmac")
+    signature = a.signer.sign(b"msg")
+    assert a.verifier.verify(b"msg", signature)
+    assert not b.verifier.verify(b"msg", signature)
+
+
+def test_hmac_seeded_rng_path_stays_deterministic():
+    a = make_signer("hmac", rng=random.Random(42))
+    b = make_signer("hmac", rng=random.Random(42))
+    signature = a.signer.sign(b"msg")
+    assert b.verifier.verify(b"msg", signature)

@@ -1,5 +1,6 @@
 """Tests for the timing helpers."""
 
+import contextlib
 import time
 
 from repro.metrics.timing import Stopwatch, timed
@@ -34,9 +35,6 @@ def test_timed_records_elapsed_time():
 
 
 def test_timed_records_even_on_exception():
-    try:
-        with timed() as elapsed:
-            raise RuntimeError("boom")
-    except RuntimeError:
-        pass
+    with contextlib.suppress(RuntimeError), timed() as elapsed:
+        raise RuntimeError("boom")
     assert elapsed[0] >= 0.0
