@@ -15,6 +15,11 @@ applicant table:
 4. the owner **publishes the ADS to disk** and a second server cold-starts
    from the artifact -- no rebuild, no re-hashing, identical answers.
 
+Where to go next: ``examples/resilient_serving.py`` turns step 3's
+detection into a serving strategy -- a pool of replicas cold-started from
+one artifact, with failover and quarantine around tampering and crashing
+replicas.
+
 Run with::
 
     python examples/quickstart.py
@@ -127,6 +132,11 @@ def main() -> None:
         print("   cold-start server answers verified, bit-identical to the build")
     finally:
         os.unlink(artifact_path)
+
+    print(
+        "\nNext: examples/resilient_serving.py runs a replica pool with"
+        "\ntampering and crashing replicas -- failover keeps every answer verified."
+    )
 
 
 if __name__ == "__main__":

@@ -68,6 +68,22 @@ servers fail verification) and stays bit-identical to a from-scratch
 build of the final dataset (``python -m repro.bench --update`` gates
 single-record updates >= 10x faster than a rebuild at n = 1000); see
 ``docs/updates.md``.
+
+Byzantine-resilient serving
+---------------------------
+Because every answer is client-verified, replica faults -- crashes, stale
+epochs, outright tampering -- reduce to "try another replica".  The
+:mod:`repro.resilience` package serves from a pool of N replicas
+cold-started from one artifact, with bounded retries, deterministic
+backoff and quarantine of repeat offenders:
+
+>>> rc = OutsourcedSystem.resilient_from_artifact("ads.npz", replicas=3)  # doctest: +SKIP
+>>> outcome = rc.execute(TopKQuery(weights=(0.6, 0.4), k=2))              # doctest: +SKIP
+>>> outcome.accepted, outcome.flags()                                     # doctest: +SKIP
+
+The seeded :class:`FaultInjector` drives the adversarial benchmark
+``python -m repro.bench --faults`` (zero tampered answers accepted, all
+accepted answers verified, goodput floor); see ``docs/resilience.md``.
 """
 
 from repro.core import (
@@ -99,6 +115,16 @@ from repro.core import (
 )
 from repro.geometry.domain import Domain
 from repro.ifmh.ifmh_tree import MULTI_SIGNATURE, ONE_SIGNATURE
+from repro.resilience import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    ReplicaPool,
+    ResilientClient,
+    ResilientExecution,
+    RetryPolicy,
+    VirtualClock,
+)
 
 __version__ = "1.0.0"
 
@@ -110,11 +136,19 @@ __all__ = [
     "DataOwner",
     "Dataset",
     "Domain",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "InvalidQueryError",
     "KNNQuery",
     "MULTI_SIGNATURE",
     "ONE_SIGNATURE",
     "OutsourcedSystem",
+    "ReplicaPool",
+    "ResilientClient",
+    "ResilientExecution",
+    "RetryPolicy",
+    "VirtualClock",
     "PublicParameters",
     "QueryExecution",
     "QueryProcessingError",

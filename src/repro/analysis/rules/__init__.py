@@ -76,6 +76,7 @@ def all_rules() -> Sequence[Rule]:
     from repro.analysis.rules.frozen import FrozenMutationRule
     from repro.analysis.rules.hashing import CountedDigestRule
     from repro.analysis.rules.locking import LockGuardRule
+    from repro.analysis.rules.robustness import SwallowedBroadExceptRule
     from repro.analysis.rules.toggles import LiveSlowPathRule
 
     return (
@@ -86,4 +87,5 @@ def all_rules() -> Sequence[Rule]:
         ExactPredicateRule(),
         LockGuardRule(),
         LiveSlowPathRule(),
+        SwallowedBroadExceptRule(),
     )

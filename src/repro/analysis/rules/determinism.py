@@ -83,6 +83,7 @@ class UnseededEntropyRule(Rule):
         "repro.geometry",
         "repro.mesh",
         "repro.core",
+        "repro.resilience",
     )
     option_names = ("scopes",)
 

@@ -1,0 +1,89 @@
+"""RL008: no silently swallowed broad exception handlers.
+
+The resilience layer's whole contract is that faults are *classified and
+reported*: a replica error becomes a recorded attempt, feeds the quarantine
+bookkeeping and surfaces in the :class:`ResilientExecution` trail.  A
+``except Exception: pass`` anywhere in that path (or in the rest of the
+project) silently converts a hard failure into wrong bookkeeping -- a retry
+loop that looks healthy while eating crashes is worse than one that fails.
+
+The rule flags every handler that is **broad** -- a bare ``except:``, or one
+catching ``Exception`` / ``BaseException`` (alone or inside a tuple) -- and
+does **not** re-raise anywhere in its body.  Narrow handlers
+(``except QueryProcessingError:``) may swallow: catching a specific type is
+itself the classification.  Broad handlers that re-raise (e.g. annotate-
+then-``raise``) are fine; nested function definitions inside the handler do
+not count as re-raising.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import ModuleInfo
+
+__all__ = ["SwallowedBroadExceptRule"]
+
+_BROAD = frozenset({"Exception", "BaseException", "builtins.Exception", "builtins.BaseException"})
+
+
+class SwallowedBroadExceptRule(Rule):
+    rule_id = "RL008"
+    name = "swallowed-except"
+    summary = "broad exception handlers (bare / Exception / BaseException) must re-raise"
+    scopes = ("repro",)
+    option_names = ("scopes",)
+
+    # ------------------------------------------------------------ helpers
+    def _broad_via(self, info: ModuleInfo, handler: ast.ExceptHandler) -> Optional[str]:
+        """How the handler is broad (``"bare except"`` / the caught name), or None."""
+        if handler.type is None:
+            return "bare except:"
+        caught = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for expression in caught:
+            resolved = info.resolve(expression)
+            if resolved in _BROAD:
+                return resolved.rsplit(".", 1)[-1]
+        return None
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        """True when some statement of the handler body raises.
+
+        Raises inside nested function/class definitions run later (if at
+        all) and do not stop the swallow, so those subtrees are skipped.
+        """
+        stack: List[ast.AST] = list(handler.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+        return False
+
+    # -------------------------------------------------------------- check
+    def check(self, info: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for handler in info.nodes(ast.ExceptHandler):
+            broad = self._broad_via(info, handler)
+            if broad is None or self._reraises(handler):
+                continue
+            findings.append(
+                self.finding(
+                    info,
+                    handler,
+                    f"{broad} swallows every failure here; catch the specific "
+                    "exception types this block can classify, or re-raise "
+                    "after recording",
+                )
+            )
+        return findings

@@ -15,8 +15,10 @@ verification step:
 
 from repro.attacks.tamper import (
     Attack,
+    AttackApplicability,
     ATTACK_REGISTRY,
     all_attacks,
+    apply_attack,
     drop_record,
     truncate_result,
     forge_attribute,
@@ -29,8 +31,10 @@ from repro.attacks.tamper import (
 
 __all__ = [
     "Attack",
+    "AttackApplicability",
     "ATTACK_REGISTRY",
     "all_attacks",
+    "apply_attack",
     "drop_record",
     "truncate_result",
     "forge_attribute",

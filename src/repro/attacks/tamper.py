@@ -18,7 +18,7 @@ from __future__ import annotations
 import dataclasses
 import random
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, Optional, Sequence, Union
 
 from repro.core.records import Record
 from repro.core.results import QueryResult
@@ -28,8 +28,10 @@ from repro.mesh.structures import MeshVerificationObject
 
 __all__ = [
     "Attack",
+    "AttackApplicability",
     "ATTACK_REGISTRY",
     "all_attacks",
+    "apply_attack",
     "drop_record",
     "truncate_result",
     "forge_attribute",
@@ -187,3 +189,81 @@ ATTACK_REGISTRY: Dict[str, Attack] = {
 def all_attacks() -> list[Attack]:
     """Every registered attack, in a stable order."""
     return [ATTACK_REGISTRY[name] for name in sorted(ATTACK_REGISTRY)]
+
+
+# ------------------------------------------------------------ applicability
+@dataclass
+class AttackApplicability:
+    """Applicability bookkeeping for a tamper-attack sweep.
+
+    An attack that returns ``None`` is *inapplicable* to that particular
+    result shape (e.g. dropping a record from an empty result).  Skips are
+    legitimate per query -- but an attack that was inapplicable for *every*
+    tested scheme and query shape exercised nothing, and the suite that ran
+    it is silently vacuous.  Recording every attempt here makes that
+    failure mode detectable: tests and the fault-injection bench call
+    :meth:`assert_not_vacuous` after a sweep.
+    """
+
+    applied: Dict[str, int] = dataclasses.field(default_factory=dict)
+    skipped: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def record(self, name: str, applicable: bool) -> None:
+        """Record one attempt of attack ``name``."""
+        bucket = self.applied if applicable else self.skipped
+        bucket[name] = bucket.get(name, 0) + 1
+
+    def attempts(self, name: str) -> int:
+        """Total attempts (applied + skipped) of attack ``name``."""
+        return self.applied.get(name, 0) + self.skipped.get(name, 0)
+
+    def attempted(self) -> tuple[str, ...]:
+        """Names of every attack attempted at least once, sorted."""
+        return tuple(sorted(set(self.applied) | set(self.skipped)))
+
+    def vacuous(self) -> tuple[str, ...]:
+        """Attacks that were attempted but never once applicable."""
+        return tuple(
+            name for name in self.attempted() if self.applied.get(name, 0) == 0
+        )
+
+    def merge(self, other: "AttackApplicability") -> None:
+        """Fold another sweep's counts into this one."""
+        for name, count in other.applied.items():
+            self.applied[name] = self.applied.get(name, 0) + count
+        for name, count in other.skipped.items():
+            self.skipped[name] = self.skipped.get(name, 0) + count
+
+    def assert_not_vacuous(self, expected: Optional[Sequence[str]] = None) -> None:
+        """Fail if any attack never applied (optionally: or never attempted).
+
+        ``expected`` names attacks that must have been *attempted* at least
+        once -- pass ``ATTACK_REGISTRY`` keys to catch a sweep that silently
+        stopped running an attack altogether.
+        """
+        if expected is not None:
+            missing = sorted(set(expected) - set(self.attempted()))
+            if missing:
+                raise AssertionError(
+                    f"attacks never attempted by the sweep: {', '.join(missing)}"
+                )
+        vacuous = self.vacuous()
+        if vacuous:
+            raise AssertionError(
+                "attacks inapplicable for every tested scheme/query shape "
+                f"(the suite is vacuous for them): {', '.join(vacuous)}"
+            )
+
+
+def apply_attack(
+    attack: Attack,
+    result: QueryResult,
+    vo: AnyVO,
+    rng: random.Random,
+    stats: Optional[AttackApplicability] = None,
+) -> TamperedPair:
+    """Apply ``attack`` and record its applicability on ``stats``."""
+    tampered = attack(result, vo, rng)
+    if stats is not None:
+        stats.record(attack.name, tampered is not None)
+    return tampered

@@ -18,6 +18,9 @@ Usage::
     python -m repro.bench --update        # single-record update vs full rebuild
                                           # (n = 1000, writes BENCH_update.json)
     python -m repro.bench --update --smoke     # reduced-n update gate (CI)
+    python -m repro.bench --faults        # byzantine replica-pool gate
+                                          # (writes BENCH_faults.json)
+    python -m repro.bench --faults --smoke     # reduced fault-injection gate (CI)
 """
 
 from __future__ import annotations
@@ -31,6 +34,12 @@ from repro.bench.coldstart import (
     SMOKE_COLDSTART_REPORT_FILENAME,
     run_coldstart,
     run_coldstart_smoke,
+)
+from repro.bench.faults import (
+    FAULTS_REPORT_FILENAME,
+    SMOKE_FAULTS_REPORT_FILENAME,
+    run_faults,
+    run_faults_smoke,
 )
 from repro.bench.fastpath import (
     CONSTRUCTION_REPORT_FILENAME,
@@ -123,6 +132,16 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         "either update is not >= 10x faster than rebuilding; combine with --smoke "
         f"for the reduced-n CI gate (writes {SMOKE_UPDATE_REPORT_FILENAME})",
     )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the byzantine fault-injection benchmark (replica pool with "
+        "tampering, crashing, stale-epoch and lagging replicas behind the "
+        f"resilient client) and write {FAULTS_REPORT_FILENAME}; exit 1 if any "
+        "tampered answer is accepted, an accepted answer is unverified, goodput "
+        "misses its floor or a same-seed replay diverges; combine with --smoke "
+        f"for the reduced CI gate (writes {SMOKE_FAULTS_REPORT_FILENAME})",
+    )
     return parser.parse_args(argv)
 
 
@@ -161,6 +180,7 @@ def main(argv: list[str] | None = None) -> int:
             ("--scale", args.scale),
             ("--coldstart", args.coldstart),
             ("--update", args.update),
+            ("--faults", args.faults),
         )
         if given
     ]
@@ -168,8 +188,9 @@ def main(argv: list[str] | None = None) -> int:
         ["--smoke", "--scale"],
         ["--smoke", "--coldstart"],
         ["--smoke", "--update"],
+        ["--smoke", "--faults"],
     ):
-        # --smoke combines only with --scale / --coldstart / --update gates.
+        # --smoke combines only with the --scale/--coldstart/--update/--faults gates.
         print(f"error: {' and '.join(exclusive)} are mutually exclusive")
         return 2
     if (
@@ -179,6 +200,7 @@ def main(argv: list[str] | None = None) -> int:
         or args.scale
         or args.coldstart
         or args.update
+        or args.faults
     ):
         ignored = [
             flag
@@ -199,6 +221,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {mode} runs a fixed workload; {', '.join(ignored)} would be ignored")
             return 2
     started = time.perf_counter()
+    if args.faults:
+        if args.smoke:
+            results, failures = run_faults_smoke(seed=args.seed)
+            report = SMOKE_FAULTS_REPORT_FILENAME
+        else:
+            results, failures = run_faults(seed=args.seed)
+            report = FAULTS_REPORT_FILENAME
+        print(render_results(results))
+        elapsed = time.perf_counter() - started
+        for failure in failures:
+            print(f"FAULTS REGRESSION: {failure}")
+        print(f"wrote fault-injection outcome to {report}")
+        print(f"\ncompleted fault-injection benchmark in {elapsed:.1f}s")
+        return 1 if failures else 0
     if args.update:
         if args.smoke:
             results, failures = run_update_smoke(seed=args.seed)

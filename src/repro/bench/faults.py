@@ -1,0 +1,363 @@
+"""Byzantine fault-injection benchmark (``--faults``): resilient serving gate.
+
+A pool of replicas is cold-started from one published artifact and a
+seeded :class:`~repro.resilience.faults.FaultPlan` makes some of them
+misbehave: one tampers with results, one crashes, one serves a stale
+pre-update epoch, one lags past the per-attempt timeout.  The
+:class:`~repro.resilience.pool.ResilientClient` then runs a mixed query
+workload against the pool, verifying every answer and failing over under
+its :class:`~repro.resilience.policy.RetryPolicy`.
+
+The acceptance gates are the security and availability claims of the
+resilient front-end:
+
+* **zero** tampered answers accepted -- every accepted answer is
+  cross-checked against an out-of-band honest oracle server;
+* 100% of accepted answers carry a passing client verification report;
+* goodput (accepted / issued queries) clears its floor despite the
+  adversarial pool;
+* every required fault kind (tamper, crash, stale-epoch) actually fired,
+  and no attempted tamper attack was vacuous (inapplicable on every
+  query it was tried on);
+* the whole run is **deterministic**: a second run with the same seed
+  must reproduce the outcome fields bit for bit (all timing is virtual,
+  all randomness comes from injected seeded rngs).
+
+``python -m repro.bench --faults`` runs the full workload and writes
+``BENCH_faults.json``; ``--faults --smoke`` is the reduced CI gate
+(writes ``BENCH_faults_smoke.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from repro.attacks.tamper import AttackApplicability
+from repro.bench.harness import ExperimentResult
+from repro.core.client import Client
+from repro.core.config import SystemConfig
+from repro.core.owner import DataOwner
+from repro.core.records import Record
+from repro.core.server import Server
+from repro.crypto.signer import make_signer
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.policy import RetryPolicy, VirtualClock
+from repro.resilience.pool import ReplicaPool, ResilientClient
+from repro.workloads.generator import (
+    WorkloadConfig,
+    make_dataset,
+    make_queries,
+    make_template,
+)
+
+__all__ = [
+    "FAULTS_POOL_SIZE",
+    "FAULTS_GOODPUT_FLOOR",
+    "FAULTS_N_RECORDS",
+    "FAULTS_QUERY_COUNT",
+    "FAULTS_REPORT_FILENAME",
+    "SMOKE_FAULTS_N_RECORDS",
+    "SMOKE_FAULTS_QUERY_COUNT",
+    "SMOKE_FAULTS_REPORT_FILENAME",
+    "run_faults",
+    "run_faults_smoke",
+]
+
+#: Replica count of the adversarial pool (>= 4 so the byzantine plan fits
+#: one tampering, one crashing and one stale-epoch replica plus an honest
+#: slot; the fifth slot is the high-latency replica).
+FAULTS_POOL_SIZE = 5
+#: Fraction of issued queries that must end with an accepted (verified)
+#: answer despite the adversarial pool.
+FAULTS_GOODPUT_FLOOR = 0.95
+#: Fault kinds that must each have fired at least once for the run to be a
+#: meaningful adversarial test.
+REQUIRED_FAULT_KINDS = ("tamper", "crash", "stale-epoch")
+
+#: Full-run workload: database size and issued queries.
+FAULTS_N_RECORDS = 240
+FAULTS_QUERY_COUNT = 150
+#: Where ``python -m repro.bench --faults`` records its outcome.
+FAULTS_REPORT_FILENAME = "BENCH_faults.json"
+
+#: Reduced workload used by ``--faults --smoke`` (CI).
+SMOKE_FAULTS_N_RECORDS = 96
+SMOKE_FAULTS_QUERY_COUNT = 45
+SMOKE_FAULTS_REPORT_FILENAME = "BENCH_faults_smoke.json"
+
+#: Simulated honest per-query service time (virtual seconds) and the
+#: injected latency of the lagging replica -- chosen to straddle the retry
+#: policy's 1s per-attempt timeout.
+SERVICE_TIME = 0.01
+LATENCY_DELAY = 5.0
+
+
+def _build_artifacts(n_records: int, seed: int, directory: str) -> Dict[str, object]:
+    """Owner-side setup: publish a stale epoch-0 and a current epoch-1 artifact.
+
+    The insert between the two publishes bumps the ADS epoch, so the
+    epoch-0 artifact is exactly what a stale (not yet updated) replica
+    would serve -- genuine signatures, wrong epoch.
+    """
+    workload = WorkloadConfig(n_records=n_records, dimension=1, seed=seed)
+    dataset = make_dataset(workload)
+    template = make_template(workload)
+    config = SystemConfig(scheme="one-signature", signature_algorithm="hmac")
+    keypair = make_signer("hmac", rng=random.Random(seed + 99))
+    owner = DataOwner(dataset, template, config=config, keypair=keypair)
+
+    stale_path = os.path.join(directory, "ads-epoch0.npz")
+    owner.publish(stale_path)
+
+    rng = random.Random(seed + 7)
+    low, high = workload.value_range
+    owner.insert(
+        Record(
+            record_id=n_records,
+            values=(rng.uniform(low, high), rng.uniform(low, high)),
+            label="post-publish-insert",
+        )
+    )
+    current_path = os.path.join(directory, "ads-epoch1.npz")
+    owner.publish(current_path)
+
+    return {
+        "dataset": owner.dataset,
+        "template": template,
+        "stale_path": stale_path,
+        "current_path": current_path,
+        "epoch": owner.epoch,
+    }
+
+
+def _serve(
+    setup: Dict[str, object],
+    queries,
+    seed: int,
+    oracle: Server,
+) -> Dict[str, object]:
+    """One complete serving run against a freshly assembled adversarial pool.
+
+    Everything stateful (servers, injectors, pool, clock, retry rng) is
+    rebuilt from the artifacts and the seed, so calling this twice with the
+    same inputs must produce identical outcome fields -- the determinism
+    gate diffs the returned dict directly.
+    """
+    clock = VirtualClock()
+    plan = FaultPlan.byzantine(
+        FAULTS_POOL_SIZE, latency_delay=LATENCY_DELAY, latency_rate=0.5
+    )
+    stale_server = Server.from_artifact(setup["stale_path"])
+    applicability = AttackApplicability()
+    replicas = []
+    for index in range(FAULTS_POOL_SIZE):
+        faults = plan.faults_for(index)
+        replicas.append(
+            FaultInjector(
+                Server.from_artifact(setup["current_path"]),
+                faults,
+                seed=seed + 1000 + index,
+                clock=clock,
+                service_time=SERVICE_TIME,
+                stale_server=(
+                    stale_server
+                    if any(spec.kind == "stale-epoch" for spec in faults)
+                    else None
+                ),
+                replica_id=index,
+                applicability=applicability,
+            )
+        )
+    pool = ReplicaPool(replicas, clock=clock, quarantine_threshold=2, quarantine_period=5.0)
+    client = Client.from_artifact(setup["current_path"])
+    resilient = ResilientClient(pool, client, RetryPolicy(), seed=seed)
+
+    accepted = degraded = exhausted = 0
+    tampered_accepted = accepted_unverified = 0
+    total_attempts = 0
+    attempt_outcomes: Dict[str, int] = {}
+    replica_trace: List[Optional[int]] = []
+    for query in queries:
+        outcome = resilient.execute(query)
+        total_attempts += len(outcome.attempts)
+        for attempt in outcome.attempts:
+            attempt_outcomes[attempt.outcome] = (
+                attempt_outcomes.get(attempt.outcome, 0) + 1
+            )
+        replica_trace.append(outcome.replica_id)
+        if outcome.accepted:
+            accepted += 1
+            if outcome.degraded:
+                degraded += 1
+            if outcome.report is None or not outcome.report.is_valid:
+                accepted_unverified += 1
+            # Out-of-band ground truth: an accepted answer must be exactly
+            # what an honest replica would have served.
+            honest = oracle.execute(query)
+            if (
+                outcome.execution.result != honest.result
+                or outcome.execution.verification_object != honest.verification_object
+            ):
+                tampered_accepted += 1
+        else:
+            exhausted += 1
+
+    injected: Dict[str, int] = {}
+    for replica in replicas:
+        for kind, count in replica.injected_counts().items():
+            injected[kind] = injected.get(kind, 0) + count
+    return {
+        "queries": len(queries),
+        "accepted": accepted,
+        "degraded": degraded,
+        "exhausted": exhausted,
+        "goodput": accepted / len(queries),
+        "tampered_accepted": tampered_accepted,
+        "accepted_unverified": accepted_unverified,
+        "total_attempts": total_attempts,
+        "attempt_outcomes": dict(sorted(attempt_outcomes.items())),
+        "injected": dict(sorted(injected.items())),
+        "replica_trace": replica_trace,
+        "virtual_seconds": clock.now(),
+        "pool_status": pool.status(),
+        "attacks_applied": dict(sorted(applicability.applied.items())),
+        "attacks_skipped": dict(sorted(applicability.skipped.items())),
+        "attacks_vacuous": list(applicability.vacuous()),
+    }
+
+
+def run_faults(
+    n_records: int = FAULTS_N_RECORDS,
+    query_count: int = FAULTS_QUERY_COUNT,
+    seed: int = 0,
+    goodput_floor: float = FAULTS_GOODPUT_FLOOR,
+    output_path: Optional[str] = FAULTS_REPORT_FILENAME,
+) -> Tuple[List[ExperimentResult], List[str]]:
+    """Run the adversarial-pool benchmark and gate its claims.
+
+    Returns ``(results, failures)``; an empty failure list means zero
+    tampered answers were accepted, every accepted answer was verified,
+    goodput cleared ``goodput_floor``, every required fault kind fired, no
+    attempted tamper attack was vacuous, and a same-seed re-run reproduced
+    the outcome exactly.  When ``output_path`` is set the outcome is
+    written there as JSON.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-faults-") as directory:
+        setup = _build_artifacts(n_records, seed, directory)
+        queries = make_queries(
+            setup["dataset"], setup["template"], count=query_count, seed=seed + 3
+        )
+        oracle = Server.from_artifact(setup["current_path"])
+        outcome = _serve(setup, queries, seed, oracle)
+        replay = _serve(setup, queries, seed, oracle)
+
+    deterministic = outcome == replay
+    failures: List[str] = []
+    if outcome["tampered_accepted"]:
+        failures.append(
+            f"{outcome['tampered_accepted']} tampered answers were accepted; "
+            "the resilient client must accept only oracle-identical results"
+        )
+    if outcome["accepted_unverified"]:
+        failures.append(
+            f"{outcome['accepted_unverified']} accepted answers lack a passing "
+            "verification report; acceptance must imply client verification"
+        )
+    if outcome["goodput"] < goodput_floor:
+        failures.append(
+            f"goodput {outcome['goodput']:.3f} is below the floor "
+            f"{goodput_floor:.2f} despite an available honest replica"
+        )
+    for kind in REQUIRED_FAULT_KINDS:
+        if not outcome["injected"].get(kind):
+            failures.append(
+                f"fault kind {kind!r} never fired; the adversarial pool "
+                "exercised less than the plan promises"
+            )
+    if outcome["attacks_vacuous"]:
+        failures.append(
+            "tamper attacks attempted but never applicable (vacuous): "
+            + ", ".join(outcome["attacks_vacuous"])
+        )
+    if not deterministic:
+        diff = [
+            key
+            for key in outcome
+            if outcome[key] != replay[key]
+        ]
+        failures.append(
+            "same-seed replay diverged on outcome fields "
+            f"({', '.join(sorted(diff))}); the harness must be free of "
+            "wall-clock randomness"
+        )
+
+    result = ExperimentResult(
+        experiment_id="byzantine-faults",
+        title="Resilient serving under an adversarial replica pool",
+        parameters={
+            "seed": seed,
+            "n": n_records,
+            "pool": FAULTS_POOL_SIZE,
+            "floor": goodput_floor,
+        },
+        columns=(
+            "queries",
+            "accepted",
+            "degraded",
+            "exhausted",
+            "goodput",
+            "tampered_accepted",
+            "attempts",
+            "inj_tamper",
+            "inj_crash",
+            "inj_stale",
+            "inj_latency",
+        ),
+    )
+    result.add_row(
+        queries=outcome["queries"],
+        accepted=outcome["accepted"],
+        degraded=outcome["degraded"],
+        exhausted=outcome["exhausted"],
+        goodput=outcome["goodput"],
+        tampered_accepted=outcome["tampered_accepted"],
+        attempts=outcome["total_attempts"],
+        inj_tamper=outcome["injected"].get("tamper", 0),
+        inj_crash=outcome["injected"].get("crash", 0),
+        inj_stale=outcome["injected"].get("stale-epoch", 0),
+        inj_latency=outcome["injected"].get("latency", 0),
+    )
+
+    if output_path is not None:
+        payload = {
+            "benchmark": "byzantine-fault-injection",
+            "seed": seed,
+            "n": n_records,
+            "pool_size": FAULTS_POOL_SIZE,
+            "plan": f"byzantine-{FAULTS_POOL_SIZE}",
+            "goodput_floor": goodput_floor,
+            "deterministic": deterministic,
+            "epoch": setup["epoch"],
+            "outcome": outcome,
+        }
+        with open(output_path, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+    return [result], failures
+
+
+def run_faults_smoke(
+    seed: int = 0, output_path: Optional[str] = SMOKE_FAULTS_REPORT_FILENAME
+) -> Tuple[List[ExperimentResult], List[str]]:
+    """Reduced fault-injection gate for CI (same code path and gates)."""
+    return run_faults(
+        n_records=SMOKE_FAULTS_N_RECORDS,
+        query_count=SMOKE_FAULTS_QUERY_COUNT,
+        seed=seed,
+        goodput_floor=FAULTS_GOODPUT_FLOOR,
+        output_path=output_path,
+    )

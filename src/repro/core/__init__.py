@@ -2,6 +2,7 @@
 
 from repro.core.errors import (
     ConstructionError,
+    ContextualReproError,
     InvalidQueryError,
     QueryProcessingError,
     ReproError,
@@ -25,6 +26,7 @@ from repro.core.protocol import OutsourcedSystem
 
 __all__ = [
     "ReproError",
+    "ContextualReproError",
     "InvalidQueryError",
     "ConstructionError",
     "QueryProcessingError",

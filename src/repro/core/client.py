@@ -122,7 +122,15 @@ class Client:
         result: QueryResult,
         verification_object: Union[VerificationObject, MeshVerificationObject],
     ) -> VerificationReport:
-        """Like :meth:`verify` but raises :class:`VerificationError` on failure."""
+        """Like :meth:`verify` but raises :class:`VerificationError` on failure.
+
+        The raised error names the failing checks (``err.failed_checks``)
+        and carries the query kind, scheme and epoch as structured context.
+        """
         report = self.verify(query, result, verification_object)
-        report.raise_if_invalid()
+        report.raise_if_invalid(
+            query_kind=query.kind,
+            scheme=self.parameters.scheme,
+            epoch=self.parameters.epoch,
+        )
         return report

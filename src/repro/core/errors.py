@@ -4,12 +4,24 @@ Every error raised by the public API derives from :class:`ReproError` so
 applications can catch library failures with a single ``except`` clause
 while still distinguishing configuration mistakes from verification
 failures.
+
+Protocol-level failures (:class:`QueryProcessingError`,
+:class:`VerificationError`) carry **structured context** -- the query kind,
+scheme, ADS epoch and, when routed through a replica pool, the replica id
+-- so failover decisions and logs never have to parse message strings.
+Context fields are filled at the layer that knows them (the server stamps
+query kind / scheme / epoch, the pool stamps the replica id) via
+:meth:`ContextualReproError.annotate`; once set, a field is never
+overwritten.
 """
 
 from __future__ import annotations
 
+from typing import Dict, Optional, Tuple, Union
+
 __all__ = [
     "ReproError",
+    "ContextualReproError",
     "InvalidQueryError",
     "ConstructionError",
     "QueryProcessingError",
@@ -21,6 +33,67 @@ class ReproError(Exception):
     """Base class for all library errors."""
 
 
+class ContextualReproError(ReproError):
+    """A protocol error carrying structured, machine-readable context.
+
+    ``query_kind``, ``scheme``, ``epoch`` and ``replica_id`` are optional
+    and filled incrementally as the error propagates outward (server ->
+    pool -> caller).  :attr:`context` exposes the populated fields as a
+    plain dict; ``str(err)`` appends them in a stable ``[key=value ...]``
+    suffix so human-readable logs stay informative without anyone parsing
+    them back.
+    """
+
+    def __init__(
+        self,
+        message: object = "",
+        *,
+        query_kind: Optional[str] = None,
+        scheme: Optional[str] = None,
+        epoch: Optional[int] = None,
+        replica_id: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.message = str(message)
+        self.query_kind = query_kind
+        self.scheme = scheme
+        self.epoch = epoch
+        self.replica_id = replica_id
+
+    #: Context attributes, in the order they render.
+    _CONTEXT_FIELDS: Tuple[str, ...] = ("query_kind", "scheme", "epoch", "replica_id")
+
+    @property
+    def context(self) -> Dict[str, Union[str, int]]:
+        """The populated context fields as a plain dict (stable order)."""
+        return {
+            name: value
+            for name in self._CONTEXT_FIELDS
+            if (value := getattr(self, name)) is not None
+        }
+
+    def annotate(self, **fields: Union[str, int, None]) -> "ContextualReproError":
+        """Fill in missing context fields in place; first writer wins.
+
+        Returns ``self`` so callers can ``raise err.annotate(...)`` -- but
+        the idiomatic pattern inside an ``except`` block is to annotate and
+        then bare-``raise`` to preserve the traceback.
+        """
+        for name, value in fields.items():
+            if name not in self._CONTEXT_FIELDS:
+                raise TypeError(f"unknown error-context field {name!r}")
+            if value is not None and getattr(self, name) is None:
+                setattr(self, name, value)
+        return self
+
+    def __str__(self) -> str:
+        context = self.context
+        if not context:
+            return self.message
+        rendered = " ".join(f"{key}={value}" for key, value in context.items())
+        return f"{self.message} [{rendered}]"
+
+
 class InvalidQueryError(ReproError, ValueError):
     """A query object is malformed (bad k, inverted range, wrong dimension)."""
 
@@ -29,13 +102,39 @@ class ConstructionError(ReproError):
     """The authenticated data structure could not be built."""
 
 
-class QueryProcessingError(ReproError):
-    """The server failed to process a query (e.g. X outside the domain)."""
+class QueryProcessingError(ContextualReproError):
+    """The server failed to process a query (e.g. X outside the domain).
+
+    Carries the structured context of :class:`ContextualReproError`; the
+    replica pool treats any ``QueryProcessingError`` from a replica as a
+    replica fault and fails over.
+    """
 
 
-class VerificationError(ReproError):
+class VerificationError(ContextualReproError):
     """Raised by strict verification entry points when a check fails.
 
     The default client API returns a :class:`VerificationReport` instead of
     raising; this exception backs the ``verify_or_raise`` convenience path.
+    ``failed_checks`` names the individual checks that failed, so callers
+    branch on check names instead of message substrings.
     """
+
+    def __init__(
+        self,
+        message: object = "",
+        *,
+        failed_checks: Tuple[str, ...] = (),
+        query_kind: Optional[str] = None,
+        scheme: Optional[str] = None,
+        epoch: Optional[int] = None,
+        replica_id: Optional[int] = None,
+    ):
+        super().__init__(
+            message,
+            query_kind=query_kind,
+            scheme=scheme,
+            epoch=epoch,
+            replica_id=replica_id,
+        )
+        self.failed_checks = tuple(failed_checks)

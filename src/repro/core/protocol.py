@@ -129,6 +129,67 @@ class OutsourcedSystem:
         reports = self.client.verify_batch(executions)
         return list(zip(executions, reports))
 
+    # ----------------------------------------------------------- resilience
+    def resilient_client(
+        self,
+        replicas: Optional[Sequence[object]] = None,
+        *,
+        policy=None,
+        seed: int = 0,
+        clock=None,
+        quarantine_threshold: int = 2,
+        quarantine_period: float = 5.0,
+    ):
+        """A retry/failover front-end over this system's verifying client.
+
+        ``replicas`` defaults to just this system's server; pass several
+        servers (or :class:`~repro.resilience.faults.FaultInjector`
+        wrappers) to serve from a pool.  See :mod:`repro.resilience`.
+        """
+        from repro.resilience.pool import ReplicaPool, ResilientClient
+
+        pool = ReplicaPool(
+            list(replicas) if replicas is not None else [self.server],
+            clock=clock,
+            quarantine_threshold=quarantine_threshold,
+            quarantine_period=quarantine_period,
+        )
+        return ResilientClient(pool, self.client, policy, seed=seed)
+
+    @classmethod
+    def resilient_from_artifact(
+        cls,
+        path,
+        replicas: int = 3,
+        *,
+        base=None,
+        expected_epoch: Optional[int] = None,
+        policy=None,
+        seed: int = 0,
+        clock=None,
+        quarantine_threshold: int = 2,
+        quarantine_period: float = 5.0,
+    ):
+        """Cold-start a resilient serving stack from one published artifact.
+
+        Loads ``replicas`` independent servers plus one verifying client
+        from the same artifact and returns the wired
+        :class:`~repro.resilience.pool.ResilientClient`.
+        """
+        from repro.core.client import Client as _Client
+        from repro.resilience.pool import ResilientClient, pool_from_artifact
+
+        pool = pool_from_artifact(
+            path,
+            replicas,
+            base=base,
+            expected_epoch=expected_epoch,
+            clock=clock,
+            quarantine_threshold=quarantine_threshold,
+            quarantine_period=quarantine_period,
+        )
+        return ResilientClient(pool, _Client.from_artifact(path), policy, seed=seed)
+
     @property
     def scheme(self) -> str:
         return self.server.scheme

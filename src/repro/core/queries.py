@@ -20,6 +20,10 @@ __all__ = ["AnalyticQuery", "TopKQuery", "RangeQuery", "KNNQuery"]
 class AnalyticQuery:
     """Base class: any query carrying a weight vector ``X``."""
 
+    #: Stable machine-readable query-kind tag (``"topk"``/``"range"``/
+    #: ``"knn"``); carried into structured error context and fault logs.
+    kind = "analytic"
+
     weights: tuple[float, ...]
 
     def __post_init__(self) -> None:
@@ -47,6 +51,8 @@ class AnalyticQuery:
 class TopKQuery(AnalyticQuery):
     """``q = (X, k)``: the k records with the highest scores under ``X``."""
 
+    kind = "topk"
+
     k: int = 1
 
     def __post_init__(self) -> None:
@@ -61,6 +67,8 @@ class TopKQuery(AnalyticQuery):
 @dataclass(frozen=True)
 class RangeQuery(AnalyticQuery):
     """``q = (X, l, u)``: the records whose score lies in ``[l, u]``."""
+
+    kind = "range"
 
     low: float = 0.0
     high: float = 0.0
@@ -81,6 +89,8 @@ class RangeQuery(AnalyticQuery):
 @dataclass(frozen=True)
 class KNNQuery(AnalyticQuery):
     """``q = (X, k, y)``: the k records whose scores are nearest to ``y``."""
+
+    kind = "knn"
 
     k: int = 1
     target: float = 0.0

@@ -80,10 +80,34 @@ class VerificationReport:
             self.is_valid = False
             self.failures.append(detail or f"check {check!r} failed")
 
-    def raise_if_invalid(self) -> None:
-        """Raise :class:`VerificationError` when any check failed."""
+    def failed_checks(self) -> tuple[str, ...]:
+        """Names of the checks that failed, in recording order."""
+        return tuple(name for name, passed in self.checks.items() if not passed)
+
+    def raise_if_invalid(
+        self,
+        *,
+        query_kind: Optional[str] = None,
+        scheme: Optional[str] = None,
+        epoch: Optional[int] = None,
+        replica_id: Optional[int] = None,
+    ) -> None:
+        """Raise :class:`VerificationError` when any check failed.
+
+        The raised error carries the failing check names plus whatever
+        structured context the caller supplies (see
+        :class:`~repro.core.errors.ContextualReproError`), so handlers and
+        failover logic branch on fields, not message substrings.
+        """
         if not self.is_valid:
-            raise VerificationError("; ".join(self.failures) or "verification failed")
+            raise VerificationError(
+                "; ".join(self.failures) or "verification failed",
+                failed_checks=self.failed_checks(),
+                query_kind=query_kind,
+                scheme=scheme,
+                epoch=epoch,
+                replica_id=replica_id,
+            )
 
     @property
     def total_time(self) -> float:

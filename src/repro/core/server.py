@@ -133,7 +133,11 @@ class Server:
         execute = (
             self._execute_mesh if self.scheme == SIGNATURE_MESH else self._execute_ifmh
         )
-        result, vo = execute(query, per_query)
+        try:
+            result, vo = execute(query, per_query)
+        except QueryProcessingError as err:
+            err.annotate(query_kind=query.kind, scheme=self.scheme, epoch=self.epoch)
+            raise
         with self._counters_lock:
             self.counters.merge(per_query)
         return QueryExecution(
@@ -151,11 +155,15 @@ class Server:
         """
         for query in queries:
             query.validate(self.template.dimension)
-        executions = (
-            [self._execute_one_mesh(query) for query in queries]
-            if self.scheme == SIGNATURE_MESH
-            else self._execute_batch_ifmh(queries)
-        )
+        try:
+            executions = (
+                [self._execute_one_mesh(query) for query in queries]
+                if self.scheme == SIGNATURE_MESH
+                else self._execute_batch_ifmh(queries)
+            )
+        except QueryProcessingError as err:
+            err.annotate(scheme=self.scheme, epoch=self.epoch)
+            raise
         batch_total = Counters()
         for execution in executions:
             batch_total.merge(execution.counters)
@@ -258,6 +266,11 @@ class Server:
         return mesh.process_query(query, counters=counters)
 
     # ------------------------------------------------------------ metadata
+    @property
+    def epoch(self) -> int:
+        """The ADS epoch this server is serving (bound into signatures)."""
+        return self.package.public_parameters.epoch
+
     @property
     def supported_schemes(self) -> tuple[str, ...]:
         return (ONE_SIGNATURE, MULTI_SIGNATURE, SIGNATURE_MESH)

@@ -1,0 +1,57 @@
+"""Byzantine-resilient serving: fault injection, retry policy, replica pool.
+
+The three-party protocol makes the server untrusted but gives the client a
+sound acceptance test (the verification object).  This package turns that
+into an availability story: run N replicas from one published artifact,
+verify every answer, and treat verification failure exactly like a crash --
+fail over, back off, quarantine repeat offenders.
+
+* :mod:`repro.resilience.policy` -- :class:`VirtualClock` and
+  :class:`RetryPolicy` (bounded retries, exponential backoff with
+  deterministic jitter, per-attempt timeout, per-query deadline);
+* :mod:`repro.resilience.faults` -- :class:`FaultInjector`, a seeded
+  wrapper that makes a replica crash, lag, serve a stale epoch or tamper
+  with results, plus named :class:`FaultPlan` mixes;
+* :mod:`repro.resilience.pool` -- :class:`ReplicaPool` (round-robin with
+  quarantine and half-open probing) and :class:`ResilientClient` (the
+  verify-failover-retry front-end returning :class:`ResilientExecution`).
+
+Everything is deterministic under a fixed seed: timing runs on the virtual
+clock, every random choice comes from an injected seeded rng.  See
+``docs/resilience.md`` and ``python -m repro.bench --faults``.
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FAULT_PLANS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.resilience.policy import RetryPolicy, VirtualClock
+from repro.resilience.pool import (
+    Attempt,
+    ReplicaHandle,
+    ReplicaPool,
+    ResilientClient,
+    ResilientExecution,
+    pool_from_artifact,
+    pool_from_artifacts,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLANS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "VirtualClock",
+    "ReplicaHandle",
+    "ReplicaPool",
+    "Attempt",
+    "ResilientExecution",
+    "ResilientClient",
+    "pool_from_artifact",
+    "pool_from_artifacts",
+]

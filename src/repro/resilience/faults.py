@@ -1,0 +1,369 @@
+"""Deterministic, seeded fault injection for replica servers.
+
+:class:`FaultInjector` wraps any :class:`~repro.core.server.Server` (or
+anything with its ``execute``/``execute_batch`` surface) and misbehaves the
+way a faulty or Byzantine replica would:
+
+* ``crash``    -- raise :class:`~repro.core.errors.QueryProcessingError`
+  instead of answering;
+* ``latency``  -- answer, but only after ``delay`` extra *virtual* seconds
+  (the retry layer's per-attempt timeout then treats it as a fault);
+* ``stale-epoch`` -- answer from a pre-update ADS (a server loaded from an
+  old artifact): the signatures were genuine once, so only the client-side
+  epoch binding catches it;
+* ``tamper``   -- apply one of the registered adversary transforms from
+  :mod:`repro.attacks.tamper` to the honest ``(result, VO)`` pair.
+
+Every decision -- whether a fault fires this query, which tamper transform
+runs -- comes from one seeded ``random.Random``; time comes from the shared
+:class:`~repro.resilience.policy.VirtualClock`.  Two runs with the same
+seeds misbehave identically, which is what lets the fault bench gate on
+bit-identical outcomes.
+
+Faults compose: the specs of one replica are evaluated in declaration
+order, latency accumulates, ``stale-epoch`` reroutes, ``tamper`` rewrites
+the output and ``crash`` preempts the answer (after any injected delay, as
+a real hung-then-killed replica would).  Named mixes are
+:class:`FaultPlan` objects; :meth:`FaultPlan.byzantine` builds the
+standard adversarial pool used by ``python -m repro.bench --faults``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks.tamper import (
+    ATTACK_REGISTRY,
+    AttackApplicability,
+    apply_attack,
+)
+from repro.core.errors import QueryProcessingError
+from repro.core.queries import AnalyticQuery
+from repro.core.server import QueryExecution
+from repro.metrics.counters import Counters
+from repro.resilience.policy import VirtualClock
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLANS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+#: Recognized fault kinds, in the order an injector evaluates them.
+FAULT_KINDS = ("latency", "stale-epoch", "tamper", "crash")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One failure behavior of a replica.
+
+    ``rate`` is the per-query probability the fault fires (drawn from the
+    injector's seeded rng); ``delay`` is the extra virtual-seconds latency
+    of a ``latency`` fault; ``attack`` optionally pins a ``tamper`` fault
+    to one named transform (default: a seeded choice over the registry).
+    """
+
+    kind: str
+    rate: float = 1.0
+    delay: float = 0.0
+    attack: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.kind == "latency" and self.delay <= 0:
+            raise ValueError("a latency fault needs delay > 0")
+        if self.kind != "latency" and self.delay:
+            raise ValueError(f"delay only applies to latency faults, not {self.kind!r}")
+        if self.attack is not None:
+            if self.kind != "tamper":
+                raise ValueError(f"attack only applies to tamper faults, not {self.kind!r}")
+            if self.attack not in ATTACK_REGISTRY:
+                raise ValueError(f"unknown attack {self.attack!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named assignment of fault behaviors to replica slots.
+
+    ``replica_faults[i]`` holds the specs for replica ``i``; replicas past
+    the end of the tuple are honest.  Plans are static data -- wiring them
+    onto live servers (and the stale server a ``stale-epoch`` slot needs)
+    happens where the pool is assembled.
+    """
+
+    name: str
+    replica_faults: Tuple[Tuple[FaultSpec, ...], ...] = ()
+
+    def faults_for(self, replica_index: int) -> Tuple[FaultSpec, ...]:
+        """The fault specs of one replica slot (empty = honest)."""
+        if 0 <= replica_index < len(self.replica_faults):
+            return self.replica_faults[replica_index]
+        return ()
+
+    @property
+    def faulty_replicas(self) -> Tuple[int, ...]:
+        """Indices of slots with at least one fault spec."""
+        return tuple(
+            index for index, faults in enumerate(self.replica_faults) if faults
+        )
+
+    def kinds(self) -> Tuple[str, ...]:
+        """Every fault kind the plan injects somewhere, sorted."""
+        return tuple(
+            sorted({spec.kind for faults in self.replica_faults for spec in faults})
+        )
+
+    def needs_stale_server(self) -> bool:
+        """True when some slot serves a stale-epoch ADS."""
+        return any(
+            spec.kind == "stale-epoch"
+            for faults in self.replica_faults
+            for spec in faults
+        )
+
+    @classmethod
+    def byzantine(
+        cls,
+        replicas: int = 5,
+        *,
+        tamper_rate: float = 1.0,
+        crash_rate: float = 1.0,
+        stale_rate: float = 1.0,
+        latency_rate: float = 0.5,
+        latency_delay: float = 5.0,
+    ) -> "FaultPlan":
+        """The standard adversarial pool: replica 0 honest, then one
+        tampering, one crashing, one stale-epoch and (from 5 replicas up)
+        one high-latency slot; any further slots are honest."""
+        if replicas < 4:
+            raise ValueError(
+                f"a byzantine plan needs a pool of >= 4 replicas, got {replicas}"
+            )
+        slots: List[Tuple[FaultSpec, ...]] = [() for _ in range(replicas)]
+        slots[1] = (FaultSpec(kind="tamper", rate=tamper_rate),)
+        slots[2] = (FaultSpec(kind="crash", rate=crash_rate),)
+        slots[3] = (FaultSpec(kind="stale-epoch", rate=stale_rate),)
+        if replicas >= 5:
+            slots[4] = (
+                FaultSpec(kind="latency", rate=latency_rate, delay=latency_delay),
+            )
+        return cls(name=f"byzantine-{replicas}", replica_faults=tuple(slots))
+
+
+#: Named plans usable off the shelf (examples, tests, the fault bench).
+FAULT_PLANS: Dict[str, FaultPlan] = {
+    "all-honest": FaultPlan(name="all-honest"),
+    "byzantine-mix": FaultPlan.byzantine(5),
+}
+
+
+class FaultInjector:
+    """A replica front that misbehaves deterministically.
+
+    Wraps ``server`` and exposes the same ``execute`` / ``execute_batch``
+    surface, so a :class:`~repro.resilience.pool.ReplicaPool` (or a test)
+    cannot tell it from a real replica.  All shared mutable state (the
+    seeded rng, injection counts, applicability stats) is lock-guarded, so
+    concurrent callers are as safe as against a real ``Server``.
+
+    Parameters
+    ----------
+    server:
+        The honest replica underneath.
+    faults:
+        The :class:`FaultSpec` mix this replica exhibits.
+    seed:
+        Seed of the injector's private ``random.Random``.
+    clock:
+        Shared :class:`VirtualClock`; every execution advances it by
+        ``service_time`` plus any injected latency.
+    service_time:
+        Simulated honest service time per execution, in virtual seconds.
+    stale_server:
+        The pre-update replica a ``stale-epoch`` fault answers from
+        (required iff such a fault is configured).
+    replica_id:
+        Optional id stamped into the structured context of injected
+        crash errors.
+    applicability:
+        Optional shared :class:`AttackApplicability` recorder; defaults to
+        a private one exposed as :attr:`applicability`.
+    """
+
+    def __init__(
+        self,
+        server,
+        faults: Sequence[FaultSpec] = (),
+        *,
+        seed: int = 0,
+        clock: Optional[VirtualClock] = None,
+        service_time: float = 0.01,
+        stale_server=None,
+        replica_id: Optional[int] = None,
+        applicability: Optional[AttackApplicability] = None,
+    ):
+        self.server = server
+        self.faults = tuple(faults)
+        self.clock = clock if clock is not None else VirtualClock()
+        self.service_time = float(service_time)
+        self.stale_server = stale_server
+        self.replica_id = replica_id
+        self.applicability = (
+            applicability if applicability is not None else AttackApplicability()
+        )
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+        self._injected: Dict[str, int] = {}
+        if any(spec.kind == "stale-epoch" for spec in self.faults) and (
+            stale_server is None
+        ):
+            raise ValueError("a stale-epoch fault needs a stale_server to answer from")
+        if self.service_time < 0:
+            raise ValueError("service_time must be non-negative")
+
+    # ------------------------------------------------------------- metadata
+    @property
+    def scheme(self) -> str:
+        return self.server.scheme
+
+    @property
+    def epoch(self) -> int:
+        return self.server.epoch
+
+    @property
+    def counters(self) -> Counters:
+        """The wrapped server's cumulative counters (honest executions only)."""
+        return self.server.counters
+
+    def injected_counts(self) -> Dict[str, int]:
+        """How often each fault kind actually fired, as a plain dict."""
+        with self._lock:
+            return dict(self._injected)
+
+    # ------------------------------------------------------------ execution
+    def _draw_faults(self) -> Tuple[Tuple[FaultSpec, ...], random.Random]:
+        """Decide this interaction's faults; one rng draw per spec, in order.
+
+        Returns the active specs plus a child rng (seeded from the main
+        stream) for any per-interaction choices a fault still has to make
+        -- keeping the number of main-stream draws fixed per call, so one
+        replica's behavior never depends on how many choices another fault
+        consumed.
+        """
+        with self._lock:
+            active = tuple(
+                spec for spec in self.faults if self._rng.random() < spec.rate
+            )
+            child = random.Random(self._rng.getrandbits(64))
+            return active, child
+
+    def _note(self, kind: str) -> None:
+        with self._lock:
+            self._injected[kind] = self._injected.get(kind, 0) + 1
+
+    def _tamper(
+        self, execution: QueryExecution, spec: FaultSpec, rng: random.Random
+    ) -> QueryExecution:
+        """Rewrite one execution through a tamper transform.
+
+        A pinned attack that is inapplicable to this result shape falls
+        back to the honest answer (recorded as skipped); an unpinned
+        tamper tries registry attacks in a seeded rotation until one
+        applies.
+        """
+        attacks = (
+            [ATTACK_REGISTRY[spec.attack]]
+            if spec.attack is not None
+            else sorted(ATTACK_REGISTRY.values(), key=lambda attack: attack.name)
+        )
+        if spec.attack is None:
+            start = rng.randrange(len(attacks))
+            attacks = attacks[start:] + attacks[:start]
+        with self._lock:
+            for attack in attacks:
+                tampered = apply_attack(
+                    attack,
+                    execution.result,
+                    execution.verification_object,
+                    rng,
+                    self.applicability,
+                )
+                if tampered is not None:
+                    self._injected["tamper"] = self._injected.get("tamper", 0) + 1
+                    return QueryExecution(
+                        query=execution.query,
+                        result=tampered[0],
+                        verification_object=tampered[1],
+                        counters=execution.counters,
+                    )
+        return execution
+
+    def _apply(self, active: Sequence[FaultSpec], rng: random.Random, query_kind):
+        """Common pre-answer phase: latency, rerouting, crash.
+
+        Returns the target server to answer from and the tamper specs to
+        apply to its output.
+        """
+        delay = 0.0
+        target = self.server
+        tampers: List[FaultSpec] = []
+        crash = False
+        for spec in active:
+            if spec.kind == "latency":
+                delay += spec.delay
+            elif spec.kind == "stale-epoch":
+                target = self.stale_server
+            elif spec.kind == "tamper":
+                tampers.append(spec)
+            elif spec.kind == "crash":
+                crash = True
+        self.clock.advance(self.service_time + delay)
+        if delay:
+            self._note("latency")
+        if target is not self.server:
+            self._note("stale-epoch")
+        if crash:
+            self._note("crash")
+            raise QueryProcessingError(
+                "injected replica crash",
+                query_kind=query_kind,
+                scheme=self.scheme,
+                epoch=self.epoch,
+                replica_id=self.replica_id,
+            )
+        return target, tampers
+
+    def execute(
+        self, query: AnalyticQuery, counters: Optional[Counters] = None
+    ) -> QueryExecution:
+        """Process one query, subject to this replica's fault mix."""
+        active, rng = self._draw_faults()
+        target, tampers = self._apply(active, rng, query.kind)
+        execution = target.execute(query, counters=counters)
+        for spec in tampers:
+            execution = self._tamper(execution, spec, rng)
+        return execution
+
+    def execute_batch(self, queries: Sequence[AnalyticQuery]) -> List[QueryExecution]:
+        """Process a batch as one service interaction.
+
+        Faults are drawn once for the whole batch (a crashed replica drops
+        the entire batch, exactly like a real one); tampering rewrites
+        every execution of the batch.
+        """
+        active, rng = self._draw_faults()
+        target, tampers = self._apply(active, rng, None)
+        executions = target.execute_batch(queries)
+        for spec in tampers:
+            executions = [self._tamper(execution, spec, rng) for execution in executions]
+        return executions

@@ -1,0 +1,111 @@
+"""Deterministic retry policy and the virtual clock behind it.
+
+Everything in the resilience layer makes its timing decisions against a
+:class:`VirtualClock`, never the wall clock: simulated service time, injected
+latency, backoff sleeps and per-query deadlines all advance the same virtual
+timeline.  Two runs with the same seeds therefore make *identical* retry,
+failover and quarantine decisions -- the property the fault-injection bench
+gates on -- and no test ever actually sleeps.
+
+:class:`RetryPolicy` is the bounded-retry schedule: exponential backoff with
+deterministic jitter drawn from an **injected** ``random.Random`` (no global
+RNG state), a per-attempt replica timeout and a per-query deadline.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+__all__ = ["VirtualClock", "RetryPolicy"]
+
+
+class VirtualClock:
+    """A monotonically advancing virtual time source (thread-safe).
+
+    Time only moves when someone calls :meth:`advance` -- replicas advance
+    it by their simulated service time (plus any injected latency), the
+    retry loop advances it by its backoff sleeps.  Deadlines measured
+    against this clock are exact and reproducible.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._lock = threading.Lock()
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new current time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by {seconds!r} seconds")
+        with self._lock:
+            self._now += float(seconds)
+            return self._now
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    Attributes
+    ----------
+    max_attempts:
+        Hard cap on replica attempts per query (first try included).
+    base_backoff / backoff_multiplier / max_backoff:
+        Backoff before retry ``i`` (1-based failure count) is
+        ``min(max_backoff, base_backoff * multiplier**(i-1))`` plus jitter.
+    jitter_fraction:
+        Jitter is ``backoff * jitter_fraction * rng.random()`` with the
+        caller-injected rng -- deterministic under a fixed seed, yet
+        desynchronizing replicas under distinct seeds.
+    attempt_timeout:
+        Per-attempt replica budget in virtual seconds; an attempt whose
+        (simulated) service time exceeds it is a replica fault even if an
+        answer was produced.
+    deadline:
+        Per-query budget in virtual seconds; once the next backoff would
+        overrun it the query is abandoned.
+    """
+
+    max_attempts: int = 6
+    base_backoff: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff: float = 1.0
+    jitter_fraction: float = 0.5
+    attempt_timeout: float = 1.0
+    deadline: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff durations must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1], got {self.jitter_fraction}"
+            )
+        if self.attempt_timeout <= 0 or self.deadline <= 0:
+            raise ValueError("attempt_timeout and deadline must be positive")
+
+    def backoff(self, failures: int, rng: random.Random) -> float:
+        """Backoff before the next attempt after ``failures`` faults (>= 1).
+
+        Pure function of ``(failures, rng state)`` -- no wall-clock
+        randomness, so replaying a seeded run reproduces every sleep.
+        """
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        base = min(
+            self.max_backoff,
+            self.base_backoff * self.backoff_multiplier ** (failures - 1),
+        )
+        return base + base * self.jitter_fraction * rng.random()

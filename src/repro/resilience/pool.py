@@ -1,0 +1,461 @@
+"""Replica pool with retry, failover and quarantine over verifying clients.
+
+The trust model makes resilience unusually clean: a client never has to
+*guess* whether a replica misbehaved, because every answer carries a
+verification object and the client-side check is sound.  A replica answer
+is therefore one of exactly four things -- accepted (verified), rejected
+(verification failed), a replica error (the query raised
+:class:`~repro.core.errors.QueryProcessingError`) or a timeout -- and the
+last three are all just "replica fault, try another one".
+
+:class:`ReplicaPool` tracks N replicas cold-started from one shared
+artifact (or handed in live), selects them round-robin and quarantines
+repeat offenders with half-open probing.  :class:`ResilientClient` drives
+the retry/failover loop under a :class:`~repro.resilience.policy.RetryPolicy`
+and returns a :class:`ResilientExecution` recording every attempt, which
+replica finally answered and whether the answer is degraded (accepted, but
+only after failovers).
+
+All timing runs on the pool's :class:`VirtualClock` and all jitter comes
+from a seeded rng, so a fault-injected run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.client import Client
+from repro.core.errors import ConstructionError, QueryProcessingError
+from repro.core.queries import AnalyticQuery
+from repro.core.results import VerificationReport
+from repro.core.server import QueryExecution, Server
+from repro.resilience.policy import RetryPolicy, VirtualClock
+
+__all__ = [
+    "ReplicaHandle",
+    "ReplicaPool",
+    "Attempt",
+    "ResilientExecution",
+    "ResilientClient",
+    "pool_from_artifact",
+    "pool_from_artifacts",
+]
+
+#: Outcomes an attempt against one replica can have.
+ATTEMPT_OUTCOMES = ("accepted", "rejected", "replica-error", "timeout")
+
+
+@dataclass
+class ReplicaHandle:
+    """One replica slot of the pool, with its health bookkeeping.
+
+    Mutable state is only ever touched under the owning pool's lock.
+    ``quarantined_until`` is ``None`` while healthy; once set, the replica
+    is skipped until that virtual time, then offered again as a *half-open
+    probe* (a single failure re-quarantines it, a success clears it).
+    """
+
+    replica_id: int
+    server: object
+    consecutive_failures: int = 0
+    quarantined_until: Optional[float] = None
+    served: int = 0
+    faults: int = 0
+    quarantines: int = 0
+
+
+class ReplicaPool:
+    """Round-robin replica selection with quarantine and half-open probing.
+
+    ``replicas`` can be real :class:`~repro.core.server.Server` objects,
+    :class:`~repro.resilience.faults.FaultInjector` wrappers or anything
+    else with the server's ``execute`` surface.  A replica that fails
+    ``quarantine_threshold`` consecutive times is quarantined for
+    ``quarantine_period`` virtual seconds; after that it is offered again
+    as a probe, and only a verified success restores it fully.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[object],
+        *,
+        clock: Optional[VirtualClock] = None,
+        quarantine_threshold: int = 2,
+        quarantine_period: float = 5.0,
+    ):
+        if not replicas:
+            raise ValueError("a replica pool needs at least one replica")
+        if quarantine_threshold < 1:
+            raise ValueError(
+                f"quarantine_threshold must be >= 1, got {quarantine_threshold}"
+            )
+        if quarantine_period <= 0:
+            raise ValueError(
+                f"quarantine_period must be positive, got {quarantine_period}"
+            )
+        self.clock = clock if clock is not None else VirtualClock()
+        self.quarantine_threshold = quarantine_threshold
+        self.quarantine_period = quarantine_period
+        self.handles = tuple(
+            ReplicaHandle(replica_id=index, server=server)
+            for index, server in enumerate(replicas)
+        )
+        self._lock = threading.Lock()
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+    # ------------------------------------------------------------ selection
+    def select(self, exclude: Optional[Set[int]] = None) -> Optional[ReplicaHandle]:
+        """Pick the next replica to try, or ``None`` if none is eligible.
+
+        Healthy replicas are served round-robin (deterministic: ordered by
+        distance from the cursor).  When every healthy replica is excluded
+        or quarantined, replicas whose quarantine has expired are offered
+        as half-open probes, lowest id first.  Still-quarantined and
+        excluded replicas are never returned.
+        """
+        excluded = exclude or set()
+        with self._lock:
+            now = self.clock.now()
+            count = len(self.handles)
+            healthy = [
+                handle
+                for handle in self.handles
+                if handle.quarantined_until is None
+                and handle.replica_id not in excluded
+            ]
+            if healthy:
+                chosen = min(
+                    healthy,
+                    key=lambda handle: (handle.replica_id - self._cursor) % count,
+                )
+                self._cursor = (chosen.replica_id + 1) % count
+                return chosen
+            probes = [
+                handle
+                for handle in self.handles
+                if handle.quarantined_until is not None
+                and handle.quarantined_until <= now
+                and handle.replica_id not in excluded
+            ]
+            if probes:
+                return min(probes, key=lambda handle: handle.replica_id)
+            return None
+
+    # ------------------------------------------------------------ reporting
+    def report_success(self, handle: ReplicaHandle) -> None:
+        """A verified answer: reset failure state, clear any quarantine."""
+        with self._lock:
+            handle.consecutive_failures = 0
+            handle.quarantined_until = None
+            handle.served += 1
+
+    def report_failure(self, handle: ReplicaHandle) -> None:
+        """A fault (error / rejection / timeout): maybe quarantine.
+
+        A replica reaching ``quarantine_threshold`` consecutive failures --
+        which includes a failed half-open probe, since a probe's failure
+        count was never reset -- is quarantined until
+        ``now + quarantine_period``.
+        """
+        with self._lock:
+            handle.faults += 1
+            handle.consecutive_failures += 1
+            if handle.consecutive_failures >= self.quarantine_threshold:
+                handle.quarantined_until = self.clock.now() + self.quarantine_period
+                handle.quarantines += 1
+
+    # ------------------------------------------------------------ inspection
+    def status(self) -> List[Dict[str, object]]:
+        """Per-replica health snapshot (for benches and debugging)."""
+        with self._lock:
+            now = self.clock.now()
+            return [
+                {
+                    "replica_id": handle.replica_id,
+                    "served": handle.served,
+                    "faults": handle.faults,
+                    "quarantines": handle.quarantines,
+                    "quarantined": (
+                        handle.quarantined_until is not None
+                        and handle.quarantined_until > now
+                    ),
+                }
+                for handle in self.handles
+            ]
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One attempt of one query against one replica."""
+
+    replica_id: int
+    outcome: str  # one of ATTEMPT_OUTCOMES
+    detail: str
+    started: float
+    elapsed: float
+    backoff: float  # virtual seconds slept after this attempt (0.0 if none)
+
+
+@dataclass(frozen=True)
+class ResilientExecution:
+    """The outcome of running one query through the resilient front-end.
+
+    ``execution``/``report`` are the accepted answer and its verification
+    report (``None`` when every attempt failed); ``attempts`` records the
+    full trail, including the accepting attempt.
+    """
+
+    query: AnalyticQuery
+    execution: Optional[QueryExecution]
+    report: Optional[VerificationReport]
+    attempts: Tuple[Attempt, ...]
+    replica_id: Optional[int]
+    started: float
+    finished: float
+
+    @property
+    def accepted(self) -> bool:
+        """True when some replica's answer passed client verification."""
+        return self.report is not None and self.report.is_valid
+
+    @property
+    def degraded(self) -> bool:
+        """Accepted, but only after at least one failed attempt."""
+        return self.accepted and len(self.attempts) > 1
+
+    @property
+    def exhausted(self) -> bool:
+        """No replica produced a verifiable answer within the budget."""
+        return not self.accepted
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual seconds from first attempt to final outcome."""
+        return self.finished - self.started
+
+    def flags(self) -> Dict[str, object]:
+        """The degradation flags as a plain dict (bench/report friendly)."""
+        return {
+            "accepted": self.accepted,
+            "degraded": self.degraded,
+            "exhausted": self.exhausted,
+            "attempts": len(self.attempts),
+            "replica_id": self.replica_id,
+        }
+
+
+class ResilientClient:
+    """Verifying front-end that retries and fails over across a pool.
+
+    Every replica answer is client-verified before acceptance; rejected,
+    erroring and timed-out attempts all count as replica faults and move on
+    to the next replica under the :class:`RetryPolicy`'s backoff schedule.
+    One instance is meant to serve one logical caller (its retry rng is a
+    single seeded stream); concurrent callers should each hold their own.
+    """
+
+    def __init__(
+        self,
+        pool: ReplicaPool,
+        client: Client,
+        policy: Optional[RetryPolicy] = None,
+        *,
+        seed: int = 0,
+    ):
+        self.pool = pool
+        self.client = client
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.clock = pool.clock
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------ execution
+    def execute(self, query: AnalyticQuery) -> ResilientExecution:
+        """Run one query to an accepted (verified) answer or exhaustion."""
+        policy = self.policy
+        started = self.clock.now()
+        attempts: List[Attempt] = []
+        tried: Set[int] = set()
+        while len(attempts) < policy.max_attempts:
+            if attempts and self.clock.now() - started >= policy.deadline:
+                break
+            handle = self.pool.select(tried)
+            if handle is None and tried:
+                # Every replica was already tried this query; allow second
+                # chances rather than failing with attempts to spare.
+                tried.clear()
+                handle = self.pool.select(tried)
+            if handle is None:
+                break
+            attempt_start = self.clock.now()
+            execution: Optional[QueryExecution] = None
+            report: Optional[VerificationReport] = None
+            try:
+                execution = handle.server.execute(query)
+            except QueryProcessingError as err:
+                err.annotate(replica_id=handle.replica_id)
+                outcome, detail = "replica-error", str(err)
+            else:
+                elapsed = self.clock.now() - attempt_start
+                if elapsed > policy.attempt_timeout:
+                    # The answer arrived after the per-attempt budget: a
+                    # real caller would have hung up, so discard it.
+                    outcome = "timeout"
+                    detail = (
+                        f"attempt took {elapsed:.3f}s"
+                        f" > attempt_timeout {policy.attempt_timeout:.3f}s"
+                    )
+                    execution = None
+                else:
+                    report = self.client.verify(
+                        query, execution.result, execution.verification_object
+                    )
+                    if report.is_valid:
+                        self.pool.report_success(handle)
+                        attempts.append(
+                            Attempt(
+                                replica_id=handle.replica_id,
+                                outcome="accepted",
+                                detail="verified",
+                                started=attempt_start,
+                                elapsed=elapsed,
+                                backoff=0.0,
+                            )
+                        )
+                        return ResilientExecution(
+                            query=query,
+                            execution=execution,
+                            report=report,
+                            attempts=tuple(attempts),
+                            replica_id=handle.replica_id,
+                            started=started,
+                            finished=self.clock.now(),
+                        )
+                    outcome = "rejected"
+                    detail = ",".join(report.failed_checks()) or "verification failed"
+                    execution = None
+                    report = None
+            elapsed = self.clock.now() - attempt_start
+            self.pool.report_failure(handle)
+            tried.add(handle.replica_id)
+            failures = len(attempts) + 1
+            backoff = 0.0
+            out_of_budget = failures >= policy.max_attempts
+            if not out_of_budget:
+                pause = policy.backoff(failures, self._rng)
+                if self.clock.now() - started + pause >= policy.deadline:
+                    # The next backoff alone would overrun the deadline:
+                    # abandon instead of hammering replicas without pause.
+                    out_of_budget = True
+                else:
+                    backoff = pause
+            attempts.append(
+                Attempt(
+                    replica_id=handle.replica_id,
+                    outcome=outcome,
+                    detail=detail,
+                    started=attempt_start,
+                    elapsed=elapsed,
+                    backoff=backoff,
+                )
+            )
+            if backoff:
+                self.clock.advance(backoff)
+            if out_of_budget:
+                break
+        return ResilientExecution(
+            query=query,
+            execution=None,
+            report=None,
+            attempts=tuple(attempts),
+            replica_id=None,
+            started=started,
+            finished=self.clock.now(),
+        )
+
+    def execute_batch(
+        self, queries: Sequence[AnalyticQuery]
+    ) -> List[ResilientExecution]:
+        """Run queries one at a time, each with full retry/failover.
+
+        Per-query (rather than batched) dispatch keeps failover granular: a
+        replica crashing halfway through does not void the already-verified
+        answers of earlier queries.
+        """
+        return [self.execute(query) for query in queries]
+
+
+# ---------------------------------------------------------------- factories
+def pool_from_artifact(
+    path,
+    replicas: int = 3,
+    *,
+    base=None,
+    expected_epoch: Optional[int] = None,
+    clock: Optional[VirtualClock] = None,
+    quarantine_threshold: int = 2,
+    quarantine_period: float = 5.0,
+) -> ReplicaPool:
+    """Cold-start ``replicas`` servers from one shared published artifact.
+
+    Every replica is an independent :meth:`Server.from_artifact` load (own
+    score cache, own counters) of the same file, exactly how a fleet would
+    bootstrap from one published ADS.  Errors propagate: if the shared
+    artifact is truncated or tampered, no usable pool exists.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    servers = [
+        Server.from_artifact(path, base=base, expected_epoch=expected_epoch)
+        for _ in range(replicas)
+    ]
+    return ReplicaPool(
+        servers,
+        clock=clock,
+        quarantine_threshold=quarantine_threshold,
+        quarantine_period=quarantine_period,
+    )
+
+
+def pool_from_artifacts(
+    paths: Sequence,
+    *,
+    base=None,
+    expected_epoch: Optional[int] = None,
+    clock: Optional[VirtualClock] = None,
+    quarantine_threshold: int = 2,
+    quarantine_period: float = 5.0,
+) -> Tuple[ReplicaPool, List[str]]:
+    """Build a pool from per-replica artifacts, skipping unloadable ones.
+
+    A truncated, tampered or stale (``expected_epoch``-mismatched) artifact
+    raises :class:`~repro.core.errors.ConstructionError` at load time; that
+    replica is skipped and the pool falls back to the remaining last-good
+    replicas.  Returns the pool plus one message per skipped artifact;
+    raises :class:`ConstructionError` when *no* artifact loads.
+    """
+    servers: List[Server] = []
+    skipped: List[str] = []
+    for path in paths:
+        try:
+            servers.append(
+                Server.from_artifact(path, base=base, expected_epoch=expected_epoch)
+            )
+        except ConstructionError as err:
+            skipped.append(f"{path}: {err}")
+    if not servers:
+        raise ConstructionError(
+            "no replica artifact was loadable: " + "; ".join(skipped)
+        )
+    pool = ReplicaPool(
+        servers,
+        clock=clock,
+        quarantine_threshold=quarantine_threshold,
+        quarantine_period=quarantine_period,
+    )
+    return pool, skipped

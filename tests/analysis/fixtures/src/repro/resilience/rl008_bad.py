@@ -1,0 +1,24 @@
+"""RL008 fixture: broad exception handlers that swallow failures."""
+
+
+def retry_loop(pool, query):
+    for replica in pool:
+        try:
+            return replica.execute(query)
+        except Exception:  # line 8: swallowed broad except in a retry loop
+            continue
+    return None
+
+
+def probe(replica):
+    try:
+        replica.execute(None)
+    except:  # noqa: E722  # line 16: bare except, swallowed
+        pass
+
+
+def classify(replica, query):
+    try:
+        return replica.execute(query)
+    except (ValueError, BaseException):  # line 23: BaseException in a tuple
+        return None

@@ -1,0 +1,22 @@
+"""RL008 fixture (compliant): narrow handlers classify, broad ones re-raise."""
+
+
+class ReplicaFault(Exception):
+    pass
+
+
+def retry_loop(pool, query):
+    for replica in pool:
+        try:
+            return replica.execute(query)
+        except ReplicaFault:  # narrow: catching the type IS the classification
+            continue
+    return None
+
+
+def annotate_and_reraise(replica, query, log):
+    try:
+        return replica.execute(query)
+    except Exception as err:  # broad, but every failure is re-raised
+        log.append(str(err))
+        raise

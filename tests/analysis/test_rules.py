@@ -22,6 +22,7 @@ BAD_FIXTURES = {
     "geometry/rl005_bad.py": [("RL005", 9), ("RL005", 13), ("RL005", 17)],
     "core/rl006_bad.py": [("RL006", 18), ("RL006", 21), ("RL006", 24)],
     "merkle/rl007_bad.py": [("RL007", 5), ("RL007", 14)],
+    "resilience/rl008_bad.py": [("RL008", 8), ("RL008", 16), ("RL008", 23)],
 }
 
 OK_FIXTURES = [
@@ -32,6 +33,7 @@ OK_FIXTURES = [
     "geometry/rl005_ok.py",
     "core/rl006_ok.py",
     "merkle/rl007_ok.py",
+    "resilience/rl008_ok.py",
 ]
 
 
@@ -53,7 +55,7 @@ def test_no_rule_fires_on_compliant_fixture(relpath):
 def test_whole_fixture_tree_exercises_every_rule():
     result = lint_paths([str(FIXTURES)], LintConfig())
     fired = {finding.rule for finding in result.findings}
-    assert {f"RL{n:03d}" for n in range(1, 8)} <= fired
+    assert {f"RL{n:03d}" for n in range(1, 9)} <= fired
 
 
 def test_findings_carry_messages_and_render():

@@ -7,7 +7,12 @@ import random
 
 import pytest
 
-from repro.attacks.tamper import ATTACK_REGISTRY, all_attacks
+from repro.attacks.tamper import (
+    ATTACK_REGISTRY,
+    AttackApplicability,
+    all_attacks,
+    apply_attack,
+)
 from repro.core.client import Client
 from repro.core.errors import ConstructionError
 from repro.core.owner import DataOwner
@@ -251,6 +256,13 @@ def test_replayed_delta_epoch_is_rejected(
         Server.from_artifact(delta, base=future)
 
 
+#: Applicability of every attack attempt made by the detection sweep below,
+#: accumulated across all scheme parametrizations so the suite can prove it
+#: was not vacuous (an attack skipped on *every* scheme and query shape
+#: would otherwise pass silently, testing nothing).
+SWEEP_APPLICABILITY = AttackApplicability()
+
+
 @pytest.mark.parametrize("scheme", ["one-signature", "multi-signature", "signature-mesh"])
 def test_every_attack_detected_under_every_scheme(univariate_dataset, univariate_template, scheme):
     system = OutsourcedSystem.setup(
@@ -266,8 +278,31 @@ def test_every_attack_detected_under_every_scheme(univariate_dataset, univariate
         honest = system.client.verify(query, execution.result, execution.verification_object)
         assert honest.is_valid
         for attack in all_attacks():
-            tampered = attack(execution.result, execution.verification_object, rng)
+            tampered = apply_attack(
+                attack,
+                execution.result,
+                execution.verification_object,
+                rng,
+                SWEEP_APPLICABILITY,
+            )
             if tampered is None:
                 continue
             report = system.client.verify(query, tampered[0], tampered[1])
             assert not report.is_valid, f"{attack.name} went undetected under {scheme}"
+
+
+def test_detection_sweep_is_not_vacuous():
+    """Every registered attack must have been attempted by the sweep above
+    and must have actually applied (produced a tampered pair) for at least
+    one scheme/query shape -- otherwise "`X` went undetected" was never at
+    risk of failing for X and the suite is vacuous for that attack."""
+    if not SWEEP_APPLICABILITY.attempted():
+        pytest.skip("detection sweep did not run in this test selection")
+    SWEEP_APPLICABILITY.assert_not_vacuous(expected=sorted(ATTACK_REGISTRY))
+    # Stronger than non-vacuity: on this workload every attack applies on
+    # every scheme (2 queries x 3 schemes = 6 attempts each).
+    for name in ATTACK_REGISTRY:
+        assert SWEEP_APPLICABILITY.applied.get(name, 0) >= 3, (
+            f"{name} applied only {SWEEP_APPLICABILITY.applied.get(name, 0)} "
+            "times across the sweep; the workload no longer exercises it"
+        )

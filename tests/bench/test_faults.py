@@ -1,0 +1,68 @@
+"""Gates for the byzantine fault-injection benchmark.
+
+The acceptance run (``python -m repro.bench --faults``) gates the
+resilient-serving claims: zero tampered answers accepted, all accepted
+answers verified, goodput above its floor despite an adversarial pool, all
+required fault kinds exercised, and a bit-identical same-seed replay.
+These tests run the same code path at a CI-friendly scale and check the
+JSON outcome report plus the failure modes.
+"""
+
+import json
+
+from repro.bench.faults import REQUIRED_FAULT_KINDS, run_faults, run_faults_smoke
+
+
+def test_run_faults_passes_all_gates_at_small_scale(tmp_path):
+    output = tmp_path / "BENCH_faults.json"
+    results, failures = run_faults(
+        n_records=48,
+        query_count=24,
+        seed=0,
+        output_path=str(output),
+    )
+    assert failures == []
+    (result,) = results
+    (row,) = result.rows
+    assert row["queries"] == 24
+    assert row["accepted"] == row["queries"] - row["exhausted"]
+    assert row["tampered_accepted"] == 0
+    assert row["goodput"] >= 0.95
+    assert row["attempts"] >= row["queries"]
+
+    payload = json.loads(output.read_text())
+    assert payload["benchmark"] == "byzantine-fault-injection"
+    assert payload["deterministic"] is True
+    assert payload["epoch"] == 1
+    outcome = payload["outcome"]
+    for kind in REQUIRED_FAULT_KINDS:
+        assert outcome["injected"].get(kind, 0) >= 1, f"{kind} never fired"
+    assert outcome["accepted_unverified"] == 0
+    assert outcome["attacks_vacuous"] == []
+    # Every accepted query names its answering replica in the trace.
+    assert len(outcome["replica_trace"]) == 24
+    assert outcome["virtual_seconds"] > 0
+    # The honest replica exists and the pool bookkeeping saw real faults.
+    status = {entry["replica_id"]: entry for entry in outcome["pool_status"]}
+    assert status[0]["faults"] == 0
+    assert sum(entry["faults"] for entry in status.values()) > 0
+
+
+def test_run_faults_detects_goodput_regression(tmp_path):
+    _results, failures = run_faults(
+        n_records=48,
+        query_count=12,
+        seed=0,
+        goodput_floor=1.01,  # unreachable on purpose
+        output_path=str(tmp_path / "out.json"),
+    )
+    assert any("goodput" in failure for failure in failures)
+
+
+def test_run_faults_smoke_uses_reduced_scale(tmp_path):
+    output = tmp_path / "BENCH_faults_smoke.json"
+    results, failures = run_faults_smoke(seed=0, output_path=str(output))
+    assert failures == []
+    (result,) = results
+    assert result.rows[0]["queries"] == 45
+    assert json.loads(output.read_text())["n"] == 96

@@ -1,0 +1,70 @@
+"""VirtualClock and RetryPolicy: deterministic timing primitives."""
+
+import random
+
+import pytest
+
+from repro.resilience.policy import RetryPolicy, VirtualClock
+
+
+def test_clock_starts_at_zero_and_advances():
+    clock = VirtualClock()
+    assert clock.now() == 0.0
+    assert clock.advance(1.5) == 1.5
+    assert clock.advance(0.25) == 1.75
+    assert clock.now() == 1.75
+
+
+def test_clock_rejects_negative_advance():
+    clock = VirtualClock(start=3.0)
+    with pytest.raises(ValueError, match="cannot advance"):
+        clock.advance(-0.1)
+    assert clock.now() == 3.0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_attempts": 0},
+        {"base_backoff": -0.1},
+        {"backoff_multiplier": 0.5},
+        {"jitter_fraction": 1.5},
+        {"attempt_timeout": 0.0},
+        {"deadline": -1.0},
+    ],
+)
+def test_policy_validates_fields(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(
+        base_backoff=0.1,
+        backoff_multiplier=2.0,
+        max_backoff=0.5,
+        jitter_fraction=0.0,
+    )
+    rng = random.Random(0)
+    assert policy.backoff(1, rng) == pytest.approx(0.1)
+    assert policy.backoff(2, rng) == pytest.approx(0.2)
+    assert policy.backoff(3, rng) == pytest.approx(0.4)
+    assert policy.backoff(4, rng) == pytest.approx(0.5)  # capped
+    assert policy.backoff(9, rng) == pytest.approx(0.5)
+
+
+def test_backoff_jitter_is_deterministic_under_a_seed():
+    policy = RetryPolicy(jitter_fraction=0.5)
+    first = [policy.backoff(i, random.Random(42)) for i in range(1, 6)]
+    second = [policy.backoff(i, random.Random(42)) for i in range(1, 6)]
+    assert first == second
+    # Jitter only ever adds on top of the deterministic base.
+    bare = RetryPolicy(jitter_fraction=0.0)
+    rng = random.Random(7)
+    for failures in range(1, 6):
+        assert policy.backoff(failures, rng) >= bare.backoff(failures, rng)
+
+
+def test_backoff_requires_at_least_one_failure():
+    with pytest.raises(ValueError, match="failures"):
+        RetryPolicy().backoff(0, random.Random(0))
