@@ -76,6 +76,7 @@ def all_rules() -> Sequence[Rule]:
     from repro.analysis.rules.frozen import FrozenMutationRule
     from repro.analysis.rules.hashing import CountedDigestRule
     from repro.analysis.rules.locking import LockGuardRule
+    from repro.analysis.rules.persistence import AtomicPersistenceRule
     from repro.analysis.rules.robustness import SwallowedBroadExceptRule
     from repro.analysis.rules.toggles import LiveSlowPathRule
 
@@ -88,4 +89,5 @@ def all_rules() -> Sequence[Rule]:
         LockGuardRule(),
         LiveSlowPathRule(),
         SwallowedBroadExceptRule(),
+        AtomicPersistenceRule(),
     )

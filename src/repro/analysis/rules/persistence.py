@@ -1,0 +1,111 @@
+"""RL009: persistence paths publish through the atomic-write helper.
+
+Crash safety of the update pipeline rests on one invariant: every
+*truncating* write to a persisted artifact or journal goes through
+:func:`repro.core.artifact.atomic_write_bytes` (temp file + fsync +
+``os.replace``), so a crash mid-write can never leave a half-written file
+where a valid one used to be.  A bare ``np.savez(path, ...)`` or
+``open(path, "wb")`` in those modules silently reintroduces the torn-write
+window the whole recovery story assumes away.
+
+The rule flags, inside the persistence scopes, any ``numpy.savez`` /
+``numpy.savez_compressed`` / ``numpy.save`` call and any
+``open``/``io.open``/``os.fdopen`` call whose literal mode truncates or
+creates (``"w"``/``"x"``) -- unless the call sits lexically inside one of
+the ``allowed_functions`` that *implement* the atomic discipline
+(``atomic_write_bytes`` itself and the in-memory ``_encode_npz``).
+Append mode (``"ab"``) is deliberately legal: the journal's append-only
+frames are crash-safe by construction (checksummed framing, torn tails
+discarded on scan), and forcing appends through a rewrite would destroy
+exactly the property the journal exists for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import ModuleInfo, call_args
+
+__all__ = ["AtomicPersistenceRule"]
+
+#: numpy writers that persist straight to a path when handed one.
+_NUMPY_WRITERS = frozenset({"numpy.save", "numpy.savez", "numpy.savez_compressed"})
+
+#: file-opening callables whose mode argument decides crash safety.
+_OPENERS = frozenset({"open", "builtins.open", "io.open", "os.fdopen"})
+
+
+class AtomicPersistenceRule(Rule):
+    rule_id = "RL009"
+    name = "atomic-persistence"
+    summary = (
+        "persistence modules must truncate-write only through "
+        "atomic_write_bytes (temp + fsync + os.replace)"
+    )
+    scopes = ("repro.core.artifact", "repro.resilience.journal")
+    option_names = ("scopes", "allowed_functions")
+
+    def __init__(self) -> None:
+        #: Functions that implement (or feed) the atomic write path.
+        self.allowed_functions: Tuple[str, ...] = (
+            "atomic_write_bytes",
+            "_encode_npz",
+        )
+
+    # ------------------------------------------------------------ helpers
+    def _in_allowed_function(self, info: ModuleInfo, node: ast.AST) -> bool:
+        function = info.enclosing_function(node)
+        while function is not None:
+            if function.name in self.allowed_functions:
+                return True
+            function = info.enclosing_function(function)
+        return False
+
+    @staticmethod
+    def _literal_mode(call: ast.Call) -> Optional[str]:
+        """The literal mode string of an open-style call, if statically known."""
+        positional, keywords = call_args(call)
+        mode_node: Optional[ast.expr] = None
+        for keyword in keywords:
+            if keyword.arg == "mode":
+                mode_node = keyword.value
+        if mode_node is None and len(positional) >= 2:
+            mode_node = positional[1]
+        if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+            return mode_node.value
+        return None
+
+    # -------------------------------------------------------------- check
+    def check(self, info: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for call in info.nodes(ast.Call):
+            resolved = info.resolve(call.func)
+            if resolved is None or self._in_allowed_function(info, call):
+                continue
+            if resolved in _NUMPY_WRITERS:
+                findings.append(
+                    self.finding(
+                        info,
+                        call,
+                        f"bare {resolved} in a persistence module can tear "
+                        "on crash; serialize via _encode_npz and publish "
+                        "through atomic_write_bytes",
+                    )
+                )
+            elif resolved in _OPENERS:
+                mode = self._literal_mode(call)
+                if mode is not None and ("w" in mode or "x" in mode):
+                    findings.append(
+                        self.finding(
+                            info,
+                            call,
+                            f"{resolved}(..., {mode!r}) truncates in place; a "
+                            "crash mid-write leaves a torn file -- publish "
+                            "through atomic_write_bytes (append mode stays "
+                            "legal: journal frames are crash-safe by design)",
+                        )
+                    )
+        return findings

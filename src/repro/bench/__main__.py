@@ -21,6 +21,9 @@ Usage::
     python -m repro.bench --faults        # byzantine replica-pool gate
                                           # (writes BENCH_faults.json)
     python -m repro.bench --faults --smoke     # reduced fault-injection gate (CI)
+    python -m repro.bench --churn         # crash-recovery + rolling-swap gate
+                                          # (writes BENCH_churn.json)
+    python -m repro.bench --churn --smoke      # reduced churn/recovery gate (CI)
 """
 
 from __future__ import annotations
@@ -29,6 +32,12 @@ import argparse
 import sys
 import time
 
+from repro.bench.churn import (
+    CHURN_REPORT_FILENAME,
+    SMOKE_CHURN_REPORT_FILENAME,
+    run_churn,
+    run_churn_smoke,
+)
 from repro.bench.coldstart import (
     COLDSTART_REPORT_FILENAME,
     SMOKE_COLDSTART_REPORT_FILENAME,
@@ -142,6 +151,18 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         "misses its floor or a same-seed replay diverges; combine with --smoke "
         f"for the reduced CI gate (writes {SMOKE_FAULTS_REPORT_FILENAME})",
     )
+    parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="run the churn/recovery benchmark (crash the update pipeline at "
+        "every journal/apply/publish step and prove recovery bit-identical, "
+        "then serve a 95/5 read/update workload through rolling epoch "
+        f"hot-swaps with a stale laggard) and write {CHURN_REPORT_FILENAME}; "
+        "exit 1 if recovery diverges, a stale answer is accepted post-swap, "
+        "an in-flight query is dropped, the resynced replica never serves "
+        "again, goodput misses its floor or a same-seed replay diverges; "
+        f"combine with --smoke for the reduced CI gate (writes {SMOKE_CHURN_REPORT_FILENAME})",
+    )
     return parser.parse_args(argv)
 
 
@@ -181,6 +202,7 @@ def main(argv: list[str] | None = None) -> int:
             ("--coldstart", args.coldstart),
             ("--update", args.update),
             ("--faults", args.faults),
+            ("--churn", args.churn),
         )
         if given
     ]
@@ -189,8 +211,9 @@ def main(argv: list[str] | None = None) -> int:
         ["--smoke", "--coldstart"],
         ["--smoke", "--update"],
         ["--smoke", "--faults"],
+        ["--smoke", "--churn"],
     ):
-        # --smoke combines only with the --scale/--coldstart/--update/--faults gates.
+        # --smoke combines only with the --scale/--coldstart/--update/--faults/--churn gates.
         print(f"error: {' and '.join(exclusive)} are mutually exclusive")
         return 2
     if (
@@ -201,6 +224,7 @@ def main(argv: list[str] | None = None) -> int:
         or args.coldstart
         or args.update
         or args.faults
+        or args.churn
     ):
         ignored = [
             flag
@@ -221,6 +245,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {mode} runs a fixed workload; {', '.join(ignored)} would be ignored")
             return 2
     started = time.perf_counter()
+    if args.churn:
+        if args.smoke:
+            results, failures = run_churn_smoke(seed=args.seed)
+            report = SMOKE_CHURN_REPORT_FILENAME
+        else:
+            results, failures = run_churn(seed=args.seed)
+            report = CHURN_REPORT_FILENAME
+        print(render_results(results))
+        elapsed = time.perf_counter() - started
+        for failure in failures:
+            print(f"CHURN REGRESSION: {failure}")
+        print(f"wrote churn/recovery outcome to {report}")
+        print(f"\ncompleted churn benchmark in {elapsed:.1f}s")
+        return 1 if failures else 0
     if args.faults:
         if args.smoke:
             results, failures = run_faults_smoke(seed=args.seed)

@@ -1,0 +1,590 @@
+"""Churn/recovery benchmark (``--churn``): the crash-safe update pipeline gate.
+
+Three phases, one per durability claim:
+
+1. **Crash recovery** -- the differential harness
+   (:mod:`repro.resilience.recovery`) crashes the owner's update pipeline
+   at *every* step (mid journal append, post-append, post-apply, during
+   publish), recovers with :meth:`repro.core.owner.DataOwner.recover`, and
+   requires the recovered owner bit-identical (roots, verification
+   objects, both hash counters) to an uninterrupted reference run at every
+   single crash point.
+
+2. **Serving churn** -- a replica pool serves a ~95/5 read/update workload
+   while the owner journals, applies and delta-publishes update batches
+   and the pool performs **rolling hot-swaps** to each new epoch.  One
+   replica "crashes during upgrade" and keeps serving a stale epoch; the
+   verifying front-end must reject every one of its answers once clients
+   hold the new parameters (zero stale answers accepted post-swap), the
+   pool must self-heal it via :meth:`~repro.resilience.pool.ReplicaPool.resync`
+   (it must serve verified answers again after half-open probation), and
+   goodput must clear its floor through all of it.  The phase runs on the
+   virtual clock with seeded rngs and is replayed to prove determinism.
+
+3. **In-flight safety** -- reader threads hammer one live
+   :class:`~repro.core.server.Server` while the main thread hot-swaps it
+   through every published epoch.  Zero queries may be dropped and every
+   answer must verify against the epoch it was served at: a swap is never
+   allowed to tear a query in flight.
+
+``python -m repro.bench --churn`` runs the full workload and writes
+``BENCH_churn.json``; ``--churn --smoke`` is the reduced CI gate (writes
+``BENCH_churn_smoke.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import tempfile
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.harness import ExperimentResult
+from repro.core.client import Client
+from repro.core.config import SystemConfig
+from repro.core.owner import DataOwner
+from repro.core.records import Record
+from repro.core.server import Server
+from repro.crypto.signer import make_signer
+from repro.resilience.policy import RetryPolicy, VirtualClock
+from repro.resilience.pool import ReplicaPool, ResilientClient
+from repro.resilience.recovery import UpdateBatch, run_crash_matrix
+from repro.workloads.generator import (
+    WorkloadConfig,
+    make_dataset,
+    make_queries,
+    make_template,
+)
+
+__all__ = [
+    "CHURN_POOL_SIZE",
+    "CHURN_GOODPUT_FLOOR",
+    "CHURN_N_RECORDS",
+    "CHURN_SWAP_ROUNDS",
+    "CHURN_REPORT_FILENAME",
+    "SMOKE_CHURN_N_RECORDS",
+    "SMOKE_CHURN_SWAP_ROUNDS",
+    "SMOKE_CHURN_REPORT_FILENAME",
+    "run_churn",
+    "run_churn_smoke",
+]
+
+#: Replica count of the serving pool.
+CHURN_POOL_SIZE = 5
+#: Fraction of issued queries that must end with an accepted (verified)
+#: answer despite rolling swaps and the stale laggard.
+CHURN_GOODPUT_FLOOR = 0.9
+
+#: Full-run shape: database size, swap rounds and reads per segment.
+CHURN_N_RECORDS = 180
+CHURN_SWAP_ROUNDS = 6
+CHURN_READS_PER_ROUND = 16
+#: Where ``python -m repro.bench --churn`` records its outcome.
+CHURN_REPORT_FILENAME = "BENCH_churn.json"
+
+#: Reduced shape used by ``--churn --smoke`` (CI).
+SMOKE_CHURN_N_RECORDS = 72
+SMOKE_CHURN_SWAP_ROUNDS = 3
+SMOKE_CHURN_READS_PER_ROUND = 8
+SMOKE_CHURN_REPORT_FILENAME = "BENCH_churn_smoke.json"
+
+#: Reads interleaved between consecutive replica swaps of one rolling swap.
+INTERLEAVE_READS = 2
+#: Threaded phase: reader threads and queries per thread (full / smoke).
+THREAD_READERS = 4
+THREAD_QUERIES = 30
+SMOKE_THREAD_READERS = 2
+SMOKE_THREAD_QUERIES = 12
+
+
+def _build_setup(n_records: int, seed: int, directory: str) -> Dict[str, object]:
+    """Owner-side setup: build the epoch-0 ADS and publish its artifact."""
+    workload = WorkloadConfig(n_records=n_records, dimension=1, seed=seed)
+    dataset = make_dataset(workload)
+    template = make_template(workload)
+    config = SystemConfig(scheme="one-signature", signature_algorithm="hmac")
+    keypair = make_signer("hmac", rng=random.Random(seed + 99))
+    owner = DataOwner(dataset, template, config=config, keypair=keypair)
+    base_path = os.path.join(directory, "ads-epoch0.npz")
+    owner.publish(base_path)
+    return {
+        "dataset": dataset,
+        "template": template,
+        "keypair": keypair,
+        "base_path": base_path,
+        "value_range": workload.value_range,
+    }
+
+
+def _make_batches(
+    n_records: int, rounds: int, seed: int, value_range: Tuple[float, float]
+) -> List[UpdateBatch]:
+    """One deterministic update batch per swap round.
+
+    Round ``r`` inserts a fresh record and (from round 1 on) deletes the
+    record inserted in round ``r - 1``, so every batch is valid no matter
+    where a crash-recovery replay restarts.
+    """
+    rng = random.Random(seed + 17)
+    low, high = value_range
+    batches: List[UpdateBatch] = []
+    for index in range(rounds):
+        record = Record(
+            record_id=n_records + index,
+            values=(rng.uniform(low, high), rng.uniform(low, high)),
+            label=f"churn-{index}",
+        )
+        deletes = (n_records + index - 1,) if index else ()
+        batches.append(UpdateBatch(inserts=(record,), deletes=deletes))
+    return batches
+
+
+# --------------------------------------------------------------- phase 1
+def _crash_phase(
+    setup: Dict[str, object],
+    batches: List[UpdateBatch],
+    queries,
+    directory: str,
+) -> Dict[str, object]:
+    """Differential crash matrix over the full update pipeline."""
+    reference, outcomes = run_crash_matrix(
+        setup["base_path"],
+        keypair=setup["keypair"],
+        batches=batches,
+        queries=queries,
+        workdir=os.path.join(directory, "crash-matrix"),
+    )
+    return {
+        "crash_points": len(outcomes),
+        "identical": sum(1 for outcome in outcomes if outcome.identical),
+        "mismatched": {
+            outcome.crash.label: list(outcome.mismatched_fields)
+            for outcome in outcomes
+            if not outcome.identical
+        },
+        "torn_tails_discarded": sum(
+            1 for outcome in outcomes if outcome.torn_tail_discarded
+        ),
+        "replayed_batches": [outcome.replayed_batches for outcome in outcomes],
+        "reference_epoch": reference["epoch"],
+    }
+
+
+# --------------------------------------------------------------- phase 2
+def _serve_segment(resilient, pool, queries, stats, *, post_swap_epoch=None):
+    """Run one read segment, folding per-query outcomes into ``stats``.
+
+    With ``post_swap_epoch`` set, the serving clients hold that epoch's
+    parameters: an accepted answer from a replica at any *other* epoch is
+    a stale answer slipping through verification and increments the
+    ``stale_accepted`` gate counter.
+    """
+    for query in queries:
+        outcome = resilient.execute(query)
+        stats["issued"] += 1
+        stats["attempts"] += len(outcome.attempts)
+        if outcome.accepted:
+            stats["accepted"] += 1
+            if outcome.degraded:
+                stats["degraded"] += 1
+            if post_swap_epoch is not None:
+                replica_epoch = pool.handle(outcome.replica_id).epoch
+                if replica_epoch != post_swap_epoch:
+                    stats["stale_accepted"] += 1
+                stats["served_post_swap"][outcome.replica_id] = (
+                    stats["served_post_swap"].get(outcome.replica_id, 0) + 1
+                )
+        else:
+            stats["exhausted"] += 1
+
+
+def _churn_serve(
+    setup: Dict[str, object],
+    batches: List[UpdateBatch],
+    queries,
+    reads_per_round: int,
+    seed: int,
+    directory: str,
+) -> Dict[str, object]:
+    """The rolling-swap serving phase (virtual-clocked, fully seeded).
+
+    Rebuilds everything -- owner, journal, pool, clients -- from the
+    epoch-0 artifact, so a same-seed re-run must reproduce the returned
+    outcome dict bit for bit.
+    """
+    base_path = setup["base_path"]
+    clock = VirtualClock()
+    pool = ReplicaPool(
+        [Server.from_artifact(base_path) for _ in range(CHURN_POOL_SIZE)],
+        clock=clock,
+        quarantine_threshold=2,
+        quarantine_period=0.5,
+    )
+    laggard_id = CHURN_POOL_SIZE - 1
+    owner = DataOwner.from_artifact(base_path, keypair=setup["keypair"])
+    owner.enable_journal(os.path.join(directory, "updates.journal"))
+
+    stats: Dict[str, object] = {
+        "issued": 0,
+        "accepted": 0,
+        "degraded": 0,
+        "exhausted": 0,
+        "attempts": 0,
+        "stale_accepted": 0,
+        "served_post_swap": {},
+        "updates": 0,
+        "publishes": [],
+        "resync_modes": [],
+        "laggard_rejections": 0,
+        "laggard_served_after_resync": 0,
+    }
+    query_cursor = 0
+
+    def take(count):
+        nonlocal query_cursor
+        taken = [queries[(query_cursor + i) % len(queries)] for i in range(count)]
+        query_cursor += count
+        return taken
+
+    def fresh_client(path, round_seed):
+        return ResilientClient(
+            pool, Client.from_artifact(path), RetryPolicy(), seed=round_seed
+        )
+
+    resilient = fresh_client(base_path, seed)
+    latest_path = base_path
+    for round_index, batch in enumerate(batches):
+        final_round = round_index == len(batches) - 1
+        # Steady-state reads at the current epoch.
+        _serve_segment(
+            resilient, pool, take(reads_per_round), stats,
+            post_swap_epoch=owner.epoch,
+        )
+        # The 5% side of the workload: journal + apply + delta-publish.
+        owner.apply_updates(inserts=batch.inserts, deletes=batch.deletes)
+        stats["updates"] += 1
+        latest_path = os.path.join(directory, f"ads-epoch{owner.epoch}.npz")
+        publish = owner.publish(latest_path, base=base_path)
+        stats["publishes"].append(publish.mode)
+        # Rolling swap: replicas move one at a time while clients still
+        # holding the old parameters keep being served by the laggards.
+        swap_ids = [
+            replica_id
+            for replica_id in pool.stale_replicas(owner.epoch)
+            if not (final_round and replica_id == laggard_id)
+        ]
+        for position, replica_id in enumerate(swap_ids):
+            report = pool.resync(
+                replica_id, latest_path, base=base_path, expected_epoch=owner.epoch
+            )
+            stats["resync_modes"].append(report.mode)
+            if position < len(swap_ids) - 1:
+                _serve_segment(resilient, pool, take(INTERLEAVE_READS), stats)
+        # Clients learn the new parameters; replicas quarantined by
+        # old-parameter traffic mid-swap resync (mode "refresh") and rejoin
+        # through half-open probation.
+        resilient = fresh_client(latest_path, seed + 100 + round_index)
+        for entry in pool.status():
+            if (
+                entry["quarantined"]
+                and pool.handle(entry["replica_id"]).epoch == owner.epoch
+            ):
+                report = pool.resync(
+                    entry["replica_id"],
+                    latest_path,
+                    base=base_path,
+                    expected_epoch=owner.epoch,
+                )
+                stats["resync_modes"].append(report.mode)
+        faults_before = pool.handle(laggard_id).faults
+        _serve_segment(
+            resilient, pool, take(reads_per_round), stats,
+            post_swap_epoch=owner.epoch,
+        )
+        stats["laggard_rejections"] += pool.handle(laggard_id).faults - faults_before
+
+    # Self-healing: the laggard (it "crashed during upgrade" and still
+    # serves the previous epoch) resyncs from the newest artifact and must
+    # serve verified answers again after its half-open probation.
+    heal = pool.resync(
+        laggard_id, latest_path, base=base_path, expected_epoch=owner.epoch
+    )
+    stats["resync_modes"].append(heal.mode)
+    stats["laggard_rejoined_as_probe"] = heal.rejoined_as_probe
+    served_before = pool.handle(laggard_id).served
+    _serve_segment(
+        resilient, pool, take(3 * CHURN_POOL_SIZE), stats,
+        post_swap_epoch=owner.epoch,
+    )
+    stats["laggard_served_after_resync"] = (
+        pool.handle(laggard_id).served - served_before
+    )
+
+    # The journal end-to-end: recovering from the epoch-0 artifact must
+    # land exactly on the live owner's state.
+    recovered = DataOwner.recover(owner.journal, base_path, keypair=setup["keypair"])
+    stats["journal_recovery_matches"] = bool(
+        recovered.epoch == owner.epoch
+        and recovered.ads.root_hash == owner.ads.root_hash
+        and recovered.ads.root_signature == owner.ads.root_signature
+    )
+    stats["goodput"] = stats["accepted"] / stats["issued"]
+    stats["read_fraction"] = stats["issued"] / (stats["issued"] + stats["updates"])
+    stats["final_epoch"] = owner.epoch
+    stats["virtual_seconds"] = clock.now()
+    stats["pool_status"] = pool.status()
+    return stats
+
+
+# --------------------------------------------------------------- phase 3
+def _threaded_swap_phase(
+    setup: Dict[str, object],
+    epoch_paths: List[Tuple[int, str]],
+    queries,
+    readers: int,
+    queries_per_reader: int,
+) -> Dict[str, object]:
+    """Reader threads race a live hot-swapping server.
+
+    Every issued query must complete and verify against the epoch that
+    served it; the swap itself must never produce an exception, a dropped
+    query or an answer that verifies against no published epoch.
+    """
+    base_path = setup["base_path"]
+    server = Server.from_artifact(base_path)
+    clients = {0: Client.from_artifact(base_path)}
+    for epoch, path in epoch_paths:
+        clients[epoch] = Client.from_artifact(path)
+
+    results: List[List[Tuple[object, object]]] = [[] for _ in range(readers)]
+    errors: List[str] = []
+    start = threading.Barrier(readers + 1)
+
+    def reader(slot: int) -> None:
+        rng = random.Random(9000 + slot)
+        start.wait()
+        for _ in range(queries_per_reader):
+            query = queries[rng.randrange(len(queries))]
+            try:
+                results[slot].append((query, server.execute(query)))
+            except Exception as error:  # reprolint: disable=RL008 -- the gate is "no exceptions at all": every error is recorded and fails the bench
+                errors.append(f"reader {slot}: {type(error).__name__}: {error}")
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,)) for slot in range(readers)
+    ]
+    for thread in threads:
+        thread.start()
+    start.wait()
+    swapped = []
+    for epoch, path in epoch_paths:
+        swapped.append(
+            server.swap_epoch_from_artifact(
+                path, base=base_path, expected_epoch=epoch
+            ).new_epoch
+        )
+    for thread in threads:
+        thread.join()
+
+    issued = readers * queries_per_reader
+    completed = sum(len(slot_results) for slot_results in results)
+    unverified = 0
+    for slot_results in results:
+        for query, execution in slot_results:
+            # Epoch binding makes the check sharp: the answer verifies
+            # against exactly the epoch that served it, so "valid under
+            # some published epoch" means the query was never torn.
+            if not any(
+                client.verify(
+                    query, execution.result, execution.verification_object
+                ).is_valid
+                for client in clients.values()
+            ):
+                unverified += 1
+    return {
+        "readers": readers,
+        "issued": issued,
+        "completed": completed,
+        "dropped": issued - completed,
+        "errors": errors,
+        "unverified": unverified,
+        "epochs_swapped": swapped,
+        "epochs_served": server.epochs_served,
+    }
+
+
+# ----------------------------------------------------------------- driver
+def run_churn(
+    n_records: int = CHURN_N_RECORDS,
+    swap_rounds: int = CHURN_SWAP_ROUNDS,
+    reads_per_round: int = CHURN_READS_PER_ROUND,
+    seed: int = 0,
+    goodput_floor: float = CHURN_GOODPUT_FLOOR,
+    output_path: Optional[str] = CHURN_REPORT_FILENAME,
+    readers: int = THREAD_READERS,
+    queries_per_reader: int = THREAD_QUERIES,
+) -> Tuple[List[ExperimentResult], List[str]]:
+    """Run the churn/recovery benchmark and gate the durability claims.
+
+    Returns ``(results, failures)``; an empty failure list means crash
+    recovery was bit-identical at every pipeline crash point, zero stale
+    answers were accepted once clients held post-swap parameters, the
+    resynced laggard served verified answers again, the threaded hot-swap
+    dropped zero in-flight queries, goodput cleared ``goodput_floor`` and
+    the serving phase replayed deterministically under the same seed.
+    When ``output_path`` is set the outcome is written there as JSON.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-churn-") as directory:
+        setup = _build_setup(n_records, seed, directory)
+        batches = _make_batches(n_records, swap_rounds, seed, setup["value_range"])
+        queries = make_queries(
+            setup["dataset"], setup["template"], count=24, seed=seed + 3
+        )
+        crash = _crash_phase(setup, batches, queries[:6], directory)
+        churn_dir = os.path.join(directory, "churn")
+        replay_dir = os.path.join(directory, "churn-replay")
+        os.makedirs(churn_dir)
+        os.makedirs(replay_dir)
+        churn = _churn_serve(
+            setup, batches, queries, reads_per_round, seed, churn_dir
+        )
+        replay = _churn_serve(
+            setup, batches, queries, reads_per_round, seed, replay_dir
+        )
+        epoch_paths = [
+            (epoch, os.path.join(churn_dir, f"ads-epoch{epoch}.npz"))
+            for epoch in range(1, swap_rounds + 1)
+        ]
+        threaded = _threaded_swap_phase(
+            setup, epoch_paths, queries, readers, queries_per_reader
+        )
+
+        deterministic = churn == replay
+        failures: List[str] = []
+        if crash["identical"] != crash["crash_points"]:
+            failures.append(
+                "crash recovery diverged from the uninterrupted reference at "
+                + ", ".join(sorted(crash["mismatched"]))
+                + "; recovery must be bit-identical at every crash point"
+            )
+        if not crash["torn_tails_discarded"]:
+            failures.append(
+                "no torn journal tail was exercised; the crash matrix must "
+                "cover mid-append crashes"
+            )
+        if churn["stale_accepted"]:
+            failures.append(
+                f"{churn['stale_accepted']} answers from stale-epoch replicas "
+                "were accepted after a completed swap; epoch binding must "
+                "reject every one"
+            )
+        if not churn["laggard_rejections"]:
+            failures.append(
+                "the stale laggard was never even tried post-swap; the churn "
+                "phase did not exercise stale rejection"
+            )
+        if not churn["laggard_served_after_resync"]:
+            failures.append(
+                "the resynced laggard never served a verified answer; pool "
+                "self-healing through half-open probation failed"
+            )
+        if not churn["journal_recovery_matches"]:
+            failures.append(
+                "recovering the serving phase's journal from the epoch-0 "
+                "artifact did not reproduce the live owner's state"
+            )
+        if churn["goodput"] < goodput_floor:
+            failures.append(
+                f"goodput {churn['goodput']:.3f} is below the floor "
+                f"{goodput_floor:.2f}; rolling swaps must not starve readers"
+            )
+        if threaded["dropped"] or threaded["errors"]:
+            failures.append(
+                f"{threaded['dropped']} in-flight queries dropped and "
+                f"{len(threaded['errors'])} raised during live hot-swap; "
+                "a swap must never tear a query"
+            )
+        if threaded["unverified"]:
+            failures.append(
+                f"{threaded['unverified']} answers produced during live "
+                "hot-swap verify against no published epoch"
+            )
+        if not deterministic:
+            diff = [key for key in churn if churn[key] != replay[key]]
+            failures.append(
+                "same-seed replay of the serving phase diverged on "
+                f"({', '.join(sorted(diff))}); the harness must be free of "
+                "wall-clock randomness"
+            )
+
+    result = ExperimentResult(
+        experiment_id="churn-recovery",
+        title="Crash-safe updates under serving churn and rolling swaps",
+        parameters={
+            "seed": seed,
+            "n": n_records,
+            "pool": CHURN_POOL_SIZE,
+            "rounds": swap_rounds,
+            "floor": goodput_floor,
+        },
+        columns=(
+            "crash_points",
+            "crash_identical",
+            "issued",
+            "accepted",
+            "goodput",
+            "stale_accepted",
+            "resyncs",
+            "laggard_served",
+            "thread_issued",
+            "thread_dropped",
+        ),
+    )
+    result.add_row(
+        crash_points=crash["crash_points"],
+        crash_identical=crash["identical"],
+        issued=churn["issued"],
+        accepted=churn["accepted"],
+        goodput=churn["goodput"],
+        stale_accepted=churn["stale_accepted"],
+        resyncs=len(churn["resync_modes"]),
+        laggard_served=churn["laggard_served_after_resync"],
+        thread_issued=threaded["issued"],
+        thread_dropped=threaded["dropped"],
+    )
+
+    if output_path is not None:
+        payload = {
+            "benchmark": "churn-recovery",
+            "seed": seed,
+            "n": n_records,
+            "pool_size": CHURN_POOL_SIZE,
+            "swap_rounds": swap_rounds,
+            "goodput_floor": goodput_floor,
+            "deterministic": deterministic,
+            "crash_phase": crash,
+            "churn_phase": churn,
+            "threaded_phase": threaded,
+        }
+        with open(output_path, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+    return [result], failures
+
+
+def run_churn_smoke(
+    seed: int = 0, output_path: Optional[str] = SMOKE_CHURN_REPORT_FILENAME
+) -> Tuple[List[ExperimentResult], List[str]]:
+    """Reduced churn/recovery gate for CI (same code path and gates)."""
+    return run_churn(
+        n_records=SMOKE_CHURN_N_RECORDS,
+        swap_rounds=SMOKE_CHURN_SWAP_ROUNDS,
+        reads_per_round=SMOKE_CHURN_READS_PER_ROUND,
+        seed=seed,
+        goodput_floor=CHURN_GOODPUT_FLOOR,
+        output_path=output_path,
+        readers=SMOKE_THREAD_READERS,
+        queries_per_reader=SMOKE_THREAD_QUERIES,
+    )

@@ -58,7 +58,8 @@ import json
 import os
 import zipfile
 from dataclasses import dataclass
-from typing import Any, Dict, Union
+import tempfile
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
@@ -74,6 +75,8 @@ __all__ = [
     "ARTIFACT_MAGIC",
     "ARTIFACT_FORMAT_VERSION",
     "LoadedArtifact",
+    "PublishReport",
+    "atomic_write_bytes",
     "save_artifact",
     "load_artifact",
     "load_public_parameters",
@@ -101,6 +104,22 @@ _APPEND_ONLY = ("ads_arena_digests", "ads_arena_left", "ads_arena_right")
 #: Suffix marking a delta entry holding the appended rows of an
 #: append-only array.
 _TAIL_SUFFIX = "__tail"
+
+
+@dataclass(frozen=True)
+class PublishReport:
+    """What :func:`save_artifact` actually wrote.
+
+    ``mode`` is ``"full"`` or ``"delta"``.  When a delta was requested but
+    its base artifact turned out to be missing or corrupt, the publish
+    *repairs the chain* by writing a full artifact instead and records why
+    in ``fallback_reason`` (``None`` for a publish that went as requested).
+    """
+
+    path: str
+    mode: str
+    epoch: int
+    fallback_reason: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -158,6 +177,62 @@ def _mesh_roots_digest(signature_matrix: np.ndarray) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Atomic persistence
+# ---------------------------------------------------------------------------
+def atomic_write_bytes(path: Union[str, "os.PathLike[str]"], payload: bytes) -> None:
+    """Crash-safe file publish: temp file + fsync + ``os.replace``.
+
+    The payload is written to a temporary file in the *same directory*,
+    flushed and fsynced, and only then renamed over ``path`` -- an atomic
+    operation on POSIX filesystems.  A crash at any point therefore leaves
+    either the complete old file or the complete new file at ``path``,
+    never a truncated hybrid; a half-written temp file can never shadow a
+    good artifact.  The directory entry is fsynced afterwards (best
+    effort) so the rename itself survives a power cut.
+
+    This is the single choke point every artifact/journal persistence path
+    must write through (enforced by reprolint RL009).
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as stream:
+            stream.write(payload)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_path, target)
+    except BaseException:
+        # The publish failed before the rename: remove the temp file so a
+        # crash-looking failure never litters half-written bundles next to
+        # good artifacts.
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        directory_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory semantics
+        return
+    try:
+        os.fsync(directory_fd)
+    except OSError:  # pragma: no cover - filesystems without dir fsync
+        pass
+    finally:
+        os.close(directory_fd)
+
+
+def _encode_npz(entries: Dict[str, np.ndarray]) -> bytes:
+    """Serialize the artifact entries to ``.npz`` bytes in memory."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **entries)
+    return buffer.getvalue()
+
+
+# ---------------------------------------------------------------------------
 # Save
 # ---------------------------------------------------------------------------
 def _dataset_arrays(dataset: Dataset) -> Dict[str, np.ndarray]:
@@ -179,19 +254,27 @@ def save_artifact(
     path: Union[str, "os.PathLike[str]"],
     *,
     base: Union[str, "os.PathLike[str]", None] = None,
-) -> None:
+) -> PublishReport:
     """Write the owner's finished ADS to ``path`` as a versioned artifact.
 
     The private signing key never leaves the owner: only signatures and the
     public verification key are written.  Prefer calling this through
     :meth:`repro.core.owner.DataOwner.publish`.
 
+    The write is **atomic**: the bundle is serialized in memory, written to
+    a same-directory temp file, fsynced and renamed over ``path``
+    (:func:`atomic_write_bytes`), so a crash mid-publish can never tear an
+    existing good artifact or leave a truncated file at the target path.
+
     With ``base`` (a previously published *full* artifact of this lineage)
     a **delta artifact** is written: arrays identical to the base are
     inherited by name, the append-only Merkle arena ships only its new
     tail, and the header pins the base's payload checksum and epoch --
     loading the delta against any other base (or replaying it) raises
-    :class:`~repro.core.errors.ConstructionError`.
+    :class:`~repro.core.errors.ConstructionError`.  If the base file is
+    missing or corrupt, the delta chain is *repaired* instead of broken:
+    a full artifact is written and the returned :class:`PublishReport`
+    carries the fallback reason.
     """
     ads = owner.ads
     arrays = _dataset_arrays(owner.dataset)
@@ -224,9 +307,19 @@ def save_artifact(
         meta["counts"]["cells"] = ads.cell_count
         meta["counts"]["signatures"] = ads.signature_count
 
+    mode = "full"
+    fallback_reason: Optional[str] = None
     if base is not None:
-        arrays, delta_info = _delta_arrays(arrays, base)
-        meta["delta"] = delta_info
+        try:
+            arrays, delta_info = _delta_arrays(arrays, base)
+        except (FileNotFoundError, ConstructionError) as error:
+            # Delta-chain repair: a missing or corrupt base must not leave
+            # the lineage unpublishable -- fall back to a self-contained
+            # full artifact and report why.
+            fallback_reason = f"delta base {_path_text(base)!r} unusable: {error}"
+        else:
+            meta["delta"] = delta_info
+            mode = "delta"
 
     meta_bytes = json.dumps(meta, sort_keys=True).encode()
     checksum = np.frombuffer(_payload_checksum(meta_bytes, arrays), dtype=np.uint8)
@@ -235,13 +328,22 @@ def save_artifact(
         _CHECKSUM_KEY: checksum,
         **arrays,
     }
+    payload = _encode_npz(entries)
     if hasattr(path, "write"):
-        np.savez(path, **entries)
-        return
-    # np.savez appends ".npz" to bare string paths; writing through an open
-    # handle keeps the caller's path verbatim.
-    with open(path, "wb") as stream:
-        np.savez(stream, **entries)
+        path.write(payload)
+        return PublishReport(
+            path="<buffer>", mode=mode, epoch=int(owner.epoch), fallback_reason=fallback_reason
+        )
+    # Serializing to memory first keeps the caller's path verbatim (np.savez
+    # appends ".npz" to bare string paths) and lets the on-disk write be one
+    # atomic temp-file + fsync + rename publish.
+    atomic_write_bytes(path, payload)
+    return PublishReport(
+        path=os.fspath(path),
+        mode=mode,
+        epoch=int(owner.epoch),
+        fallback_reason=fallback_reason,
+    )
 
 
 def _delta_arrays(

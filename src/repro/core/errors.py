@@ -26,6 +26,7 @@ __all__ = [
     "ConstructionError",
     "QueryProcessingError",
     "VerificationError",
+    "JournalError",
 ]
 
 
@@ -109,6 +110,45 @@ class QueryProcessingError(ContextualReproError):
     replica pool treats any ``QueryProcessingError`` from a replica as a
     replica fault and fails over.
     """
+
+
+class JournalError(ContextualReproError):
+    """The write-ahead update journal is unusable or inconsistent.
+
+    Raised for checksum-corrupted records, broken epoch chains and journals
+    that do not belong to the artifact lineage they are replayed against.
+    ``record_index`` names the offending journal record (0-based position
+    in the file) when one is identifiable; a *torn tail* -- a partial final
+    record from a crash mid-append -- is **not** an error and is discarded
+    by the reader instead of raising.
+    """
+
+    def __init__(
+        self,
+        message: object = "",
+        *,
+        record_index: Optional[int] = None,
+        query_kind: Optional[str] = None,
+        scheme: Optional[str] = None,
+        epoch: Optional[int] = None,
+        replica_id: Optional[int] = None,
+    ):
+        super().__init__(
+            message,
+            query_kind=query_kind,
+            scheme=scheme,
+            epoch=epoch,
+            replica_id=replica_id,
+        )
+        self.record_index = record_index
+
+    _CONTEXT_FIELDS: Tuple[str, ...] = (
+        "record_index",
+        "query_kind",
+        "scheme",
+        "epoch",
+        "replica_id",
+    )
 
 
 class VerificationError(ContextualReproError):

@@ -17,12 +17,13 @@ rebuilding or re-hashing anything.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.core.config import SCHEMES, SIGNATURE_MESH, SystemConfig, resolve_config
-from repro.core.errors import ConstructionError
+from repro.core.errors import ConstructionError, JournalError
 from repro.core.records import Dataset, Record, UtilityTemplate
 from repro.crypto.hashing import HashFunction
 from repro.crypto.serialization import verifier_from_payload, verifier_to_payload
@@ -40,6 +41,7 @@ __all__ = [
     "PublicParameters",
     "ServerPackage",
     "UpdateReport",
+    "RecoveryReport",
     "DataOwner",
 ]
 
@@ -122,6 +124,21 @@ class UpdateReport:
     deleted: int
     epoch: int
     strategy: str
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Summary of one :meth:`DataOwner.recover` run.
+
+    ``replayed_batches`` counts the journaled batches applied on top of
+    the base artifact; ``torn_tail_discarded`` is true when the journal
+    ended in a partial record (crash mid-append) that the reader dropped.
+    """
+
+    base_epoch: int
+    final_epoch: int
+    replayed_batches: int
+    torn_tail_discarded: bool
 
 
 @dataclass(frozen=True)
@@ -225,6 +242,8 @@ class DataOwner:
             config.signature_algorithm, rng=rng, key_bits=config.key_bits
         )
         self.hash_function = HashFunction(self.counters)
+        self.journal = None
+        self.last_recovery: Optional[RecoveryReport] = None
         self._engine = engine
         # engine=None lets the ADS constructor derive one from the config
         # (honouring config.tolerance); an explicit engine takes precedence.
@@ -280,6 +299,8 @@ class DataOwner:
         self.counters = loaded.ads.counters
         self.keypair = keypair
         self.hash_function = loaded.ads.hash_function
+        self.journal = None
+        self.last_recovery = None
         self._engine = None
         self.ads = loaded.ads
         self.ads.signer = keypair.signer
@@ -363,6 +384,12 @@ class DataOwner:
             )
 
         new_epoch = self.epoch + 1
+        if self.journal is not None:
+            # Write-ahead: the batch is durable before the ADS changes, so a
+            # crash anywhere past this line replays it on recovery.
+            self.journal.append_batch(
+                epoch=new_epoch, inserts=inserts, deletes=deletes, strategy=strategy
+            )
         if strategy == "rebuild":
             report = self._rebuild_update(records, deletes, inserts, new_epoch)
         else:
@@ -477,6 +504,100 @@ class DataOwner:
             strategy="incremental",
         )
 
+    # ------------------------------------------------------------ durability
+    def lineage(self) -> str:
+        """Fingerprint of the published verification key (journal binding)."""
+        from repro.resilience.journal import lineage_fingerprint
+
+        return lineage_fingerprint(verifier_to_payload(self.keypair.verifier))
+
+    def attach_journal(self, journal) -> None:
+        """Route subsequent update batches through a write-ahead journal.
+
+        The journal must belong to this owner's lineage and be exactly
+        caught up (its newest batch epoch equals the owner's epoch):
+        attaching a stale or foreign journal would either re-log applied
+        batches or chain epochs onto the wrong history.
+        """
+        scan = journal.scan()
+        lineage = scan.header.get("lineage")
+        if lineage != self.lineage():
+            raise JournalError(
+                f"journal {journal.path!r} belongs to a different ADS lineage "
+                f"({lineage!r}); refusing to attach it to this owner"
+            )
+        if scan.last_epoch != self.epoch:
+            raise JournalError(
+                f"journal {journal.path!r} ends at epoch {scan.last_epoch} but "
+                f"the owner is at epoch {self.epoch}; recover from the journal "
+                "(or prune it) before attaching",
+                epoch=self.epoch,
+            )
+        self.journal = journal
+
+    def enable_journal(self, path, *, fsync: bool = True):
+        """Create (or reopen) the write-ahead journal at ``path`` and attach it.
+
+        Returns the attached :class:`repro.resilience.journal.UpdateJournal`.
+        """
+        from repro.resilience.journal import UpdateJournal
+
+        if os.path.exists(os.fspath(path)):
+            journal = UpdateJournal(path, fsync=fsync)
+        else:
+            journal = UpdateJournal.create(
+                path, lineage=self.lineage(), base_epoch=self.epoch, fsync=fsync
+            )
+        self.attach_journal(journal)
+        return journal
+
+    @classmethod
+    def recover(cls, journal, base_artifact, *, keypair: KeyPair, base=None) -> "DataOwner":
+        """Rebuild the owner after a crash: load the artifact, replay the journal.
+
+        Loads the newest published artifact (``base_artifact``, with
+        ``base`` when it is a delta) and replays every committed journal
+        batch past the artifact's epoch, in order.  The result is
+        **bit-identical** -- roots, verification objects, logical and
+        physical hash counters -- to an owner that applied the same batches
+        without ever crashing, because replay runs the exact same
+        ``apply_updates`` code over the exact same starting state.  A torn
+        journal tail (crash mid-append) is discarded: that batch was never
+        acknowledged as durable.  The journal is re-attached to the
+        recovered owner, and :attr:`last_recovery` summarizes the replay.
+        """
+        owner = cls.from_artifact(base_artifact, keypair=keypair, base=base)
+        scan = journal.scan()
+        lineage = scan.header.get("lineage")
+        if lineage != owner.lineage():
+            raise JournalError(
+                f"journal {journal.path!r} belongs to a different ADS lineage "
+                f"({lineage!r}); it cannot recover this artifact"
+            )
+        base_epoch = owner.epoch
+        replay = journal.replay_batches(base_epoch)
+        for batch in replay:
+            report = owner.apply_updates(
+                inserts=batch.inserts, deletes=batch.deletes, strategy=batch.strategy
+            )
+            if report.epoch != batch.epoch:
+                raise JournalError(
+                    f"replaying journal record {batch.index} advanced the owner "
+                    f"to epoch {report.epoch}, expected {batch.epoch}",
+                    record_index=batch.index,
+                    epoch=batch.epoch,
+                )
+        if scan.torn_tail:
+            journal.truncate_torn_tail()
+        owner.journal = journal
+        owner.last_recovery = RecoveryReport(
+            base_epoch=base_epoch,
+            final_epoch=owner.epoch,
+            replayed_batches=len(replay),
+            torn_tail_discarded=scan.torn_tail,
+        )
+        return owner
+
     # ------------------------------------------------------------ publishing
     def public_parameters(self) -> PublicParameters:
         """The public verification parameters handed to data users."""
@@ -498,7 +619,7 @@ class DataOwner:
             public_parameters=self.public_parameters(),
         )
 
-    def publish(self, path, *, base=None) -> None:
+    def publish(self, path, *, base=None):
         """Write the finished ADS to ``path`` as a versioned artifact.
 
         The artifact is everything a cold-starting server (and any client)
@@ -506,17 +627,29 @@ class DataOwner:
         array, signatures and public parameters -- see
         :mod:`repro.core.artifact` for the format.  Loading it back with
         :meth:`repro.core.server.Server.from_artifact` re-hashes nothing.
+        The write is atomic (temp file + fsync + rename), so a crash
+        mid-publish never tears an already-published artifact.
 
         With ``base`` (the path of a previously published artifact of this
         ADS lineage) a **delta artifact** is written instead: unchanged
         arrays are inherited from the base by checksum reference, and the
         append-only Merkle arena ships only its new tail.  Loading a delta
         requires the matching base file; splicing it onto any other base
-        raises :class:`~repro.core.errors.ConstructionError`.
+        raises :class:`~repro.core.errors.ConstructionError`.  A missing
+        or corrupt base falls back to a full publish (chain repair) --
+        the returned :class:`~repro.core.artifact.PublishReport` says
+        which mode was written and why.
+
+        A publish also marks every journaled batch up to the current
+        epoch as durable in the attached write-ahead journal (if any), so
+        recovery replays only batches newer than the newest artifact.
         """
         from repro.core.artifact import save_artifact
 
-        save_artifact(self, path, base=base)
+        report = save_artifact(self, path, base=base)
+        if self.journal is not None:
+            self.journal.note_published(self.epoch)
+        return report
 
     # --------------------------------------------------------------- metrics
     @property

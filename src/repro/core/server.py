@@ -22,6 +22,20 @@ a Python loop) plus a bounded LRU score cache keyed on ``(subdomain,
 weights)``.  :meth:`Server.execute_batch` additionally groups queries that
 share a weight vector so the subdomain search and the scoring run once per
 distinct weight vector instead of once per query.
+
+Live epoch hot-swap
+-------------------
+Everything epoch-specific -- package, dataset, ADS, scheme, template and
+the score cache -- lives on one internal :class:`_EpochState` object, and
+every query captures a reference to the current state **once** on entry.
+:meth:`Server.swap_epoch` builds a complete replacement state and installs
+it with a single attribute assignment: queries in flight at swap time
+finish on the old epoch's state (their results still verify against the
+old public parameters), queries arriving after the swap see only the new
+one, and no query is ever dropped or served a half-swapped mixture.  The
+score cache is part of the state, so stale scores can never leak across
+epochs.  Cumulative counters and cache statistics are server-lifetime and
+survive swaps.
 """
 
 from __future__ import annotations
@@ -42,11 +56,55 @@ from repro.mesh.structures import MeshVerificationObject
 from repro.metrics.counters import Counters
 from repro.queryproc.window import select_window
 
-__all__ = ["Server", "QueryExecution"]
+__all__ = ["Server", "QueryExecution", "SwapReport"]
 
 #: Default number of ``(subdomain, weights) -> scores`` entries kept by the
 #: server-side score cache.
 DEFAULT_SCORE_CACHE_SIZE = 1024
+
+
+class _EpochState:
+    """One epoch's complete serving state.
+
+    Queries capture a reference on entry and never look back at the
+    server, so :meth:`Server.swap_epoch` can replace the whole state
+    atomically while they run.  The score cache lives here (not on the
+    server) because cached scores are only valid for this epoch's ADS.
+    """
+
+    __slots__ = (
+        "package",
+        "dataset",
+        "ads",
+        "scheme",
+        "template",
+        "score_cache",
+        "score_cache_size",
+        "cache_lock",
+    )
+
+    def __init__(self, package: ServerPackage, score_cache_size: int):
+        self.package = package
+        self.dataset = package.dataset
+        self.ads = package.ads
+        self.scheme = package.public_parameters.scheme
+        self.template = package.public_parameters.template
+        self.score_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.score_cache_size = score_cache_size
+        self.cache_lock = threading.Lock()
+
+    @property
+    def epoch(self) -> int:
+        return self.package.public_parameters.epoch
+
+
+@dataclass(frozen=True)
+class SwapReport:
+    """Outcome of one :meth:`Server.swap_epoch` call."""
+
+    old_epoch: int
+    new_epoch: int
+    scheme: str
 
 
 @dataclass
@@ -68,18 +126,45 @@ class Server:
     """The cloud server of the three-party outsourcing model."""
 
     def __init__(self, package: ServerPackage, score_cache_size: int = DEFAULT_SCORE_CACHE_SIZE):
-        self.package = package
-        self.dataset = package.dataset
-        self.ads = package.ads
-        self.scheme = package.public_parameters.scheme
-        self.template = package.public_parameters.template
+        self._state = _EpochState(package, score_cache_size)
+        self._swap_lock = threading.Lock()
         self.counters = Counters()
         self._counters_lock = threading.Lock()
-        self._score_cache_lock = threading.Lock()
-        self._score_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
-        self._score_cache_size = score_cache_size
+        self._cache_stats_lock = threading.Lock()
         self.score_cache_hits = 0
         self.score_cache_misses = 0
+        self.epochs_served = 1
+
+    # The epoch-specific attributes read through the *current* state; code
+    # that must stay on one epoch for a whole query captures ``self._state``
+    # once instead of using these.
+    @property
+    def package(self) -> ServerPackage:
+        return self._state.package
+
+    @property
+    def dataset(self):
+        return self._state.dataset
+
+    @property
+    def ads(self) -> Union[IFMHTree, SignatureMesh]:
+        return self._state.ads
+
+    @property
+    def scheme(self) -> str:
+        return self._state.scheme
+
+    @property
+    def template(self):
+        return self._state.template
+
+    @property
+    def _score_cache(self) -> "OrderedDict[tuple, tuple]":
+        return self._state.score_cache
+
+    @property
+    def _score_cache_size(self) -> int:
+        return self._state.score_cache_size
 
     @classmethod
     def from_artifact(
@@ -128,15 +213,16 @@ class Server:
         The returned execution carries an isolated per-query counter; the
         server's cumulative :attr:`counters` are updated under a lock.
         """
-        query.validate(self.template.dimension)
+        state = self._state  # one atomic capture; swaps cannot split this query
+        query.validate(state.template.dimension)
         per_query = counters if counters is not None else Counters()
         execute = (
-            self._execute_mesh if self.scheme == SIGNATURE_MESH else self._execute_ifmh
+            self._execute_mesh if state.scheme == SIGNATURE_MESH else self._execute_ifmh
         )
         try:
-            result, vo = execute(query, per_query)
+            result, vo = execute(state, query, per_query)
         except QueryProcessingError as err:
-            err.annotate(query_kind=query.kind, scheme=self.scheme, epoch=self.epoch)
+            err.annotate(query_kind=query.kind, scheme=state.scheme, epoch=state.epoch)
             raise
         with self._counters_lock:
             self.counters.merge(per_query)
@@ -153,16 +239,17 @@ class Server:
         executed alone); the cumulative :attr:`counters` are merged once for
         the whole batch, under the lock.
         """
+        state = self._state  # the whole batch runs on one epoch
         for query in queries:
-            query.validate(self.template.dimension)
+            query.validate(state.template.dimension)
         try:
             executions = (
-                [self._execute_one_mesh(query) for query in queries]
-                if self.scheme == SIGNATURE_MESH
-                else self._execute_batch_ifmh(queries)
+                [self._execute_one_mesh(state, query) for query in queries]
+                if state.scheme == SIGNATURE_MESH
+                else self._execute_batch_ifmh(state, queries)
             )
         except QueryProcessingError as err:
-            err.annotate(scheme=self.scheme, epoch=self.epoch)
+            err.annotate(scheme=state.scheme, epoch=state.epoch)
             raise
         batch_total = Counters()
         for execution in executions:
@@ -172,27 +259,34 @@ class Server:
         return executions
 
     # ---------------------------------------------------------------- IFMH
-    def _ifmh_tree(self) -> IFMHTree:
-        tree = self.ads
+    @staticmethod
+    def _ifmh_tree(state: _EpochState) -> IFMHTree:
+        tree = state.ads
         if not isinstance(tree, IFMHTree):  # pragma: no cover - defensive
             raise QueryProcessingError("server package scheme does not match its ADS")
         return tree
 
-    def _cached_scores(self, tree: IFMHTree, leaf, weights: tuple) -> Sequence[float]:
-        """Leaf scores via the bounded LRU cache keyed on (subdomain, weights)."""
+    def _cached_scores(
+        self, state: _EpochState, tree: IFMHTree, leaf, weights: tuple
+    ) -> Sequence[float]:
+        """Leaf scores via the state's bounded LRU cache keyed on (subdomain, weights)."""
         key = (leaf.subdomain_id, weights)
-        with self._score_cache_lock:
-            cached = self._score_cache.get(key)
+        with state.cache_lock:
+            cached = state.score_cache.get(key)
             if cached is not None:
-                self._score_cache.move_to_end(key)
+                state.score_cache.move_to_end(key)
+        with self._cache_stats_lock:
+            if cached is not None:
                 self.score_cache_hits += 1
-                return cached
-            self.score_cache_misses += 1
+            else:
+                self.score_cache_misses += 1
+        if cached is not None:
+            return cached
         scores = tuple(tree.leaf_scores(leaf, weights).tolist())
-        with self._score_cache_lock:
-            self._score_cache[key] = scores
-            while len(self._score_cache) > self._score_cache_size:
-                self._score_cache.popitem(last=False)
+        with state.cache_lock:
+            state.score_cache[key] = scores
+            while len(state.score_cache) > state.score_cache_size:
+                state.score_cache.popitem(last=False)
         return scores
 
     @staticmethod
@@ -216,15 +310,17 @@ class Server:
         return QueryResult(records=tuple(records)), vo
 
     def _execute_ifmh(
-        self, query: AnalyticQuery, counters: Counters
+        self, state: _EpochState, query: AnalyticQuery, counters: Counters
     ) -> tuple[QueryResult, VerificationObject]:
-        tree = self._ifmh_tree()
+        tree = self._ifmh_tree(state)
         trace = tree.search(query.weights, counters=counters)
-        scores = self._cached_scores(tree, trace.leaf, tuple(query.weights))
+        scores = self._cached_scores(state, tree, trace.leaf, tuple(query.weights))
         return self._finish_ifmh_query(tree, trace, scores, query, counters)
 
-    def _execute_batch_ifmh(self, queries: Sequence[AnalyticQuery]) -> List[QueryExecution]:
-        tree = self._ifmh_tree()
+    def _execute_batch_ifmh(
+        self, state: _EpochState, queries: Sequence[AnalyticQuery]
+    ) -> List[QueryExecution]:
+        tree = self._ifmh_tree(state)
         # One search + one score computation per distinct weight vector.
         shared: Dict[tuple, tuple] = {}
         executions: List[QueryExecution] = []
@@ -233,7 +329,7 @@ class Server:
             if weights not in shared:
                 search_counters = Counters()
                 trace = tree.search(weights, counters=search_counters)
-                scores = self._cached_scores(tree, trace.leaf, weights)
+                scores = self._cached_scores(state, tree, trace.leaf, weights)
                 shared[weights] = (trace, scores, search_counters)
             trace, scores, search_counters = shared[weights]
             # Charge each query the search cost it would have paid alone.
@@ -250,26 +346,105 @@ class Server:
         return executions
 
     # ---------------------------------------------------------------- mesh
-    def _execute_one_mesh(self, query: AnalyticQuery) -> QueryExecution:
+    def _execute_one_mesh(self, state: _EpochState, query: AnalyticQuery) -> QueryExecution:
         per_query = Counters()
-        result, vo = self._execute_mesh(query, per_query)
+        result, vo = self._execute_mesh(state, query, per_query)
         return QueryExecution(
             query=query, result=result, verification_object=vo, counters=per_query
         )
 
     def _execute_mesh(
-        self, query: AnalyticQuery, counters: Counters
+        self, state: _EpochState, query: AnalyticQuery, counters: Counters
     ) -> tuple[QueryResult, MeshVerificationObject]:
-        mesh = self.ads
+        mesh = state.ads
         if not isinstance(mesh, SignatureMesh):  # pragma: no cover - defensive
             raise QueryProcessingError("server package scheme does not match its ADS")
         return mesh.process_query(query, counters=counters)
+
+    # ------------------------------------------------------------- hot swap
+    def swap_epoch(
+        self,
+        package: ServerPackage,
+        *,
+        score_cache_size: Optional[int] = None,
+    ) -> SwapReport:
+        """Switch to a newer epoch's package without stopping service.
+
+        Builds a complete replacement serving state (package, dataset, ADS,
+        template and a **fresh** score cache) and installs it atomically.
+        Queries already executing keep the state they captured on entry and
+        finish on the old epoch -- their results still verify against the
+        old public parameters -- while every later query runs entirely on
+        the new epoch.  No query is dropped and none sees a half-swapped
+        mixture.
+
+        The replacement must be the same scheme and a **strictly newer**
+        epoch; swapping sideways or backwards raises
+        :class:`~repro.core.errors.ConstructionError` (an operator pushing
+        a stale artifact must never silently regress a live server).
+        """
+        from repro.core.errors import ConstructionError
+
+        parameters = package.public_parameters
+        with self._swap_lock:
+            current = self._state
+            if parameters.scheme != current.scheme:
+                raise ConstructionError(
+                    f"cannot hot-swap a {current.scheme!r} server to scheme "
+                    f"{parameters.scheme!r}; replace the server instead"
+                )
+            if parameters.epoch <= current.epoch:
+                raise ConstructionError(
+                    f"cannot hot-swap from epoch {current.epoch} to epoch "
+                    f"{parameters.epoch}; the replacement must be strictly newer"
+                )
+            size = (
+                score_cache_size
+                if score_cache_size is not None
+                else current.score_cache_size
+            )
+            report = SwapReport(
+                old_epoch=current.epoch,
+                new_epoch=parameters.epoch,
+                scheme=parameters.scheme,
+            )
+            self._state = _EpochState(package, size)
+            self.epochs_served += 1
+        return report
+
+    def swap_epoch_from_artifact(
+        self,
+        path,
+        *,
+        base=None,
+        expected_epoch: Optional[int] = None,
+        score_cache_size: Optional[int] = None,
+    ) -> SwapReport:
+        """Hot-swap to the epoch published in an artifact on disk.
+
+        The artifact loads and integrity-checks **before** the swap lock is
+        taken, so a corrupt or stale file never disturbs live serving; the
+        same ``base`` / ``expected_epoch`` rules as
+        :meth:`from_artifact` apply.
+        """
+        from repro.core.artifact import load_artifact
+        from repro.core.errors import ConstructionError
+
+        loaded = load_artifact(path, base=base)
+        if expected_epoch is not None:
+            epoch = int(loaded.meta.get("epoch", 0))
+            if epoch != expected_epoch:
+                raise ConstructionError(
+                    f"ADS artifact {path!r} carries epoch {epoch}, but this swap "
+                    f"expects epoch {expected_epoch}; stale or replayed artifact"
+                )
+        return self.swap_epoch(loaded.package, score_cache_size=score_cache_size)
 
     # ------------------------------------------------------------ metadata
     @property
     def epoch(self) -> int:
         """The ADS epoch this server is serving (bound into signatures)."""
-        return self.package.public_parameters.epoch
+        return self._state.epoch
 
     @property
     def supported_schemes(self) -> tuple[str, ...]:

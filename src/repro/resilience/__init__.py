@@ -13,12 +13,19 @@ fail over, back off, quarantine repeat offenders.
   wrapper that makes a replica crash, lag, serve a stale epoch or tamper
   with results, plus named :class:`FaultPlan` mixes;
 * :mod:`repro.resilience.pool` -- :class:`ReplicaPool` (round-robin with
-  quarantine and half-open probing) and :class:`ResilientClient` (the
-  verify-failover-retry front-end returning :class:`ResilientExecution`).
+  quarantine, half-open probing and :meth:`~repro.resilience.pool.ReplicaPool.resync`
+  self-healing) and :class:`ResilientClient` (the verify-failover-retry
+  front-end returning :class:`ResilientExecution`);
+* :mod:`repro.resilience.journal` -- :class:`UpdateJournal`, the owner's
+  checksummed, fsynced write-ahead journal backing
+  :meth:`repro.core.owner.DataOwner.recover`;
+* :mod:`repro.resilience.recovery` -- the differential crash harness that
+  proves recovery bit-identical at every pipeline crash point.
 
 Everything is deterministic under a fixed seed: timing runs on the virtual
 clock, every random choice comes from an injected seeded rng.  See
-``docs/resilience.md`` and ``python -m repro.bench --faults``.
+``docs/resilience.md``, ``docs/updates.md`` and
+``python -m repro.bench --faults`` / ``--churn``.
 """
 
 from repro.resilience.faults import (
@@ -28,6 +35,12 @@ from repro.resilience.faults import (
     FaultPlan,
     FaultSpec,
 )
+from repro.resilience.journal import (
+    JournalBatch,
+    JournalScan,
+    UpdateJournal,
+    lineage_fingerprint,
+)
 from repro.resilience.policy import RetryPolicy, VirtualClock
 from repro.resilience.pool import (
     Attempt,
@@ -35,8 +48,18 @@ from repro.resilience.pool import (
     ReplicaPool,
     ResilientClient,
     ResilientExecution,
+    ResyncReport,
     pool_from_artifact,
     pool_from_artifacts,
+)
+from repro.resilience.recovery import (
+    CrashPoint,
+    DifferentialOutcome,
+    UpdateBatch,
+    crash_points,
+    run_crash_matrix,
+    run_pipeline,
+    state_fingerprint,
 )
 
 __all__ = [
@@ -49,9 +72,21 @@ __all__ = [
     "VirtualClock",
     "ReplicaHandle",
     "ReplicaPool",
+    "ResyncReport",
     "Attempt",
     "ResilientExecution",
     "ResilientClient",
     "pool_from_artifact",
     "pool_from_artifacts",
+    "JournalBatch",
+    "JournalScan",
+    "UpdateJournal",
+    "lineage_fingerprint",
+    "CrashPoint",
+    "DifferentialOutcome",
+    "UpdateBatch",
+    "crash_points",
+    "run_crash_matrix",
+    "run_pipeline",
+    "state_fingerprint",
 ]

@@ -1,0 +1,451 @@
+"""Append-only, checksummed write-ahead journal for owner update batches.
+
+The epoch machinery (PR 5) makes stale answers *detectable*; this module
+makes the owner's update pipeline *durable*.  Before
+:meth:`repro.core.owner.DataOwner.apply_updates` touches the live ADS it
+appends the whole batch to an :class:`UpdateJournal` -- one framed,
+SHA-256-checksummed, fsynced record per batch -- so a crash at any point
+between two publishes loses nothing:
+:meth:`repro.core.owner.DataOwner.recover` reloads the newest published
+artifact and replays every journaled batch past its epoch, and the
+recovered owner is **bit-identical** (roots, verification objects, both
+hash counters) to one that was never interrupted.
+
+On-disk format
+--------------
+A journal is a flat sequence of framed records::
+
+    +--------+----------------+------------------+---------------+
+    | RJRN   | payload length | SHA-256(payload) | payload bytes |
+    | 4 B    | 4 B LE uint32  | 32 B             | length B      |
+    +--------+----------------+------------------+---------------+
+
+Payloads are UTF-8 JSON objects.  Record 0 is the **header** (journal
+format version, the epoch the journal starts after, and the lineage
+fingerprint of the owner's public verification key); subsequent records
+are **batch** records (epoch, strategy, inserts, deletes) and **publish
+markers** (the epoch covered by a completed artifact publish, used by
+:meth:`UpdateJournal.prune`).
+
+Crash semantics
+---------------
+Appends write the full frame in one ``write`` call, flush and ``fsync``
+before returning, so a batch is durable before the ADS apply starts.  A
+crash mid-append leaves a *torn tail*: a partial final record.  The reader
+discards a torn tail cleanly (the batch was never acknowledged) but treats
+any damaged record **before** intact data as corruption and raises
+:class:`~repro.core.errors.JournalError` naming the record index --
+silently skipping a mid-journal record would replay a wrong history.
+
+Rewrites (:meth:`prune`) go through the atomic-publish helper
+(:func:`repro.core.artifact.atomic_write_bytes`), never a bare truncating
+write -- enforced by reprolint RL009.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.artifact import atomic_write_bytes
+from repro.core.errors import JournalError
+from repro.core.records import Record
+
+__all__ = [
+    "JOURNAL_MAGIC",
+    "JOURNAL_FORMAT_VERSION",
+    "JournalBatch",
+    "JournalScan",
+    "UpdateJournal",
+    "lineage_fingerprint",
+]
+
+#: First bytes of every framed journal record.
+JOURNAL_MAGIC = b"RJRN"
+
+#: Bumped on any incompatible record-payload change.
+JOURNAL_FORMAT_VERSION = 1
+
+#: Frame layout: magic, uint32 LE payload length, 32-byte SHA-256.
+_FRAME_HEADER = struct.Struct("<4sI32s")
+
+
+def lineage_fingerprint(verifier_payload: Dict[str, Any]) -> str:
+    """Stable fingerprint of a published verification key.
+
+    Binds a journal to one ADS lineage: recovering a journal against an
+    artifact of a different owner fails up front instead of replaying
+    batches onto the wrong dataset.
+    """
+    canonical = json.dumps(verifier_payload, sort_keys=True).encode()
+    return hashlib.sha256(canonical).hexdigest()  # reprolint: disable=RL001 -- lineage identity checksum, not a paper-counted hash
+
+
+@dataclass(frozen=True)
+class JournalBatch:
+    """One durably logged update batch."""
+
+    index: int  #: 0-based record position in the journal file.
+    epoch: int  #: The epoch this batch advances the ADS *to*.
+    strategy: str  #: The strategy string handed to ``apply_updates``.
+    inserts: Tuple[Record, ...]
+    deletes: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class JournalScan:
+    """Everything a full journal read yields.
+
+    ``torn_tail`` is true when a partial final record (crash mid-append)
+    was discarded; ``valid_bytes`` is the offset where the intact prefix
+    ends (the torn bytes start there).
+    """
+
+    header: Dict[str, Any]
+    batches: Tuple[JournalBatch, ...]
+    published_epoch: int
+    torn_tail: bool
+    valid_bytes: int
+
+    @property
+    def base_epoch(self) -> int:
+        """The epoch the journal's batch chain starts after."""
+        return int(self.header["base_epoch"])
+
+    @property
+    def last_epoch(self) -> int:
+        """The epoch of the newest journaled batch (base epoch if none)."""
+        return self.batches[-1].epoch if self.batches else self.base_epoch
+
+
+def _encode_record(payload: Dict[str, Any]) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode()
+    digest = hashlib.sha256(body).digest()  # reprolint: disable=RL001 -- journal frame checksum, not a paper-counted hash
+    return _FRAME_HEADER.pack(JOURNAL_MAGIC, len(body), digest) + body
+
+
+def _record_to_batch(index: int, payload: Dict[str, Any]) -> JournalBatch:
+    inserts = tuple(
+        Record(record_id=int(record_id), values=tuple(values), label=str(label))
+        for record_id, values, label in payload["inserts"]
+    )
+    return JournalBatch(
+        index=index,
+        epoch=int(payload["epoch"]),
+        strategy=str(payload["strategy"]),
+        inserts=inserts,
+        deletes=tuple(int(record_id) for record_id in payload["deletes"]),
+    )
+
+
+class UpdateJournal:
+    """The owner-side write-ahead journal (one file, one ADS lineage).
+
+    Create a fresh journal with :meth:`create`, reopen an existing one
+    with the constructor.  Appends are durable before they return
+    (``fsync=True``, the default); a test may disable fsync for speed,
+    the format is identical.
+    """
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"], *, fsync: bool = True):
+        self.path = os.fspath(path)
+        self.fsync = bool(fsync)
+
+    # ------------------------------------------------------------- creation
+    @classmethod
+    def create(
+        cls,
+        path: Union[str, "os.PathLike[str]"],
+        *,
+        lineage: str,
+        base_epoch: int,
+        fsync: bool = True,
+    ) -> "UpdateJournal":
+        """Write a fresh journal holding only its header record.
+
+        ``lineage`` is the owner's :func:`lineage_fingerprint`;
+        ``base_epoch`` is the owner's current epoch -- the first journaled
+        batch must advance to ``base_epoch + 1``.  Refuses to clobber an
+        existing journal file.
+        """
+        target = os.fspath(path)
+        if os.path.exists(target):
+            raise JournalError(
+                f"journal {target!r} already exists; reopen it instead of recreating"
+            )
+        header = {
+            "type": "header",
+            "magic": JOURNAL_MAGIC.decode(),
+            "journal_version": JOURNAL_FORMAT_VERSION,
+            "lineage": lineage,
+            "base_epoch": int(base_epoch),
+        }
+        atomic_write_bytes(target, _encode_record(header))
+        return cls(target, fsync=fsync)
+
+    # -------------------------------------------------------------- appends
+    def _append(self, payload: Dict[str, Any], *, scan: Optional[JournalScan] = None) -> None:
+        """Append one framed record, repairing a torn tail first.
+
+        Appending blindly after a crash would bury the torn bytes in the
+        middle of the file, turning a recoverable tail into hard
+        corruption -- so every append validates the existing file and
+        truncates a torn tail (atomically) before writing.
+        """
+        if scan is None:
+            scan = self.scan()
+        if scan.torn_tail:
+            self.truncate_torn_tail(scan=scan)
+        frame = _encode_record(payload)
+        with open(self.path, "ab") as stream:
+            stream.write(frame)
+            stream.flush()
+            if self.fsync:
+                os.fsync(stream.fileno())
+
+    def append_batch(
+        self,
+        *,
+        epoch: int,
+        inserts: Sequence[Record] = (),
+        deletes: Sequence[int] = (),
+        strategy: str = "auto",
+    ) -> int:
+        """Durably log one update batch *before* it is applied.
+
+        Returns the journal record index of the appended batch.  The
+        append is the batch's commit point: once this returns, a crash at
+        any later pipeline step replays the batch on recovery.
+        """
+        scan = self.scan()
+        expected = scan.last_epoch + 1
+        if int(epoch) != expected:
+            raise JournalError(
+                f"journal {self.path!r} expects the next batch at epoch "
+                f"{expected}, got {epoch}; batches must chain contiguously",
+                epoch=int(epoch),
+            )
+        self._append(
+            {
+                "type": "batch",
+                "epoch": int(epoch),
+                "strategy": str(strategy),
+                "inserts": [
+                    [record.record_id, list(record.values), record.label]
+                    for record in inserts
+                ],
+                "deletes": [int(record_id) for record_id in deletes],
+            },
+            scan=scan,
+        )
+        return self.scan().batches[-1].index
+
+    def note_published(self, epoch: int) -> None:
+        """Record that an artifact covering ``epoch`` was fully published.
+
+        Publish markers never affect recovery (recovery trusts the actual
+        artifact's epoch); they bound :meth:`prune`, which refuses to drop
+        batches newer than the newest marker.
+        """
+        self._append({"type": "published", "epoch": int(epoch)})
+
+    # -------------------------------------------------------------- reading
+    def scan(self) -> JournalScan:
+        """Read and validate the whole journal.
+
+        Discards a torn tail (partial final record) cleanly; raises
+        :class:`~repro.core.errors.JournalError` -- naming the record
+        index -- for a damaged record that sits *before* intact data, a
+        bad header, or a broken epoch chain.
+        """
+        try:
+            with open(self.path, "rb") as stream:
+                data = stream.read()
+        except FileNotFoundError:
+            raise JournalError(f"journal {self.path!r} does not exist") from None
+        payloads, torn, valid_bytes = self._parse_frames(data)
+        if not payloads:
+            raise JournalError(
+                f"journal {self.path!r} has no intact header record; "
+                "the file is not a journal or lost its first record"
+            )
+        header = payloads[0]
+        if header.get("type") != "header" or header.get("magic") != JOURNAL_MAGIC.decode():
+            raise JournalError(
+                f"journal {self.path!r} record 0 is not a journal header",
+                record_index=0,
+            )
+        version = header.get("journal_version")
+        if version != JOURNAL_FORMAT_VERSION:
+            raise JournalError(
+                f"journal {self.path!r} uses format version {version!r}; "
+                f"this build reads version {JOURNAL_FORMAT_VERSION}",
+                record_index=0,
+            )
+        batches: List[JournalBatch] = []
+        published = int(header["base_epoch"])
+        expected_epoch = int(header["base_epoch"]) + 1
+        for index, payload in enumerate(payloads[1:], start=1):
+            kind = payload.get("type")
+            if kind == "batch":
+                if int(payload["epoch"]) != expected_epoch:
+                    raise JournalError(
+                        f"journal {self.path!r} record {index} carries epoch "
+                        f"{payload['epoch']}, expected {expected_epoch}; the "
+                        "batch chain is broken",
+                        record_index=index,
+                        epoch=int(payload["epoch"]),
+                    )
+                batches.append(_record_to_batch(index, payload))
+                expected_epoch += 1
+            elif kind == "published":
+                published = max(published, int(payload["epoch"]))
+            else:
+                raise JournalError(
+                    f"journal {self.path!r} record {index} has unknown type {kind!r}",
+                    record_index=index,
+                )
+        return JournalScan(
+            header=header,
+            batches=tuple(batches),
+            published_epoch=published,
+            torn_tail=torn,
+            valid_bytes=valid_bytes,
+        )
+
+    def _parse_frames(self, data: bytes) -> Tuple[List[Dict[str, Any]], bool, int]:
+        """Split the raw file into validated payloads.
+
+        Returns ``(payloads, torn_tail, valid_bytes)``.  Any anomaly in
+        the final record region (short frame, short payload, checksum
+        mismatch at EOF) is a torn tail; the same anomaly with intact data
+        after it is corruption and raises.
+        """
+        payloads: List[Dict[str, Any]] = []
+        offset = 0
+        index = 0
+        size = len(data)
+        while offset < size:
+            remaining = size - offset
+            if remaining < _FRAME_HEADER.size:
+                return payloads, True, offset
+            magic, length, digest = _FRAME_HEADER.unpack_from(data, offset)
+            if magic != JOURNAL_MAGIC:
+                raise JournalError(
+                    f"journal {self.path!r} record {index} does not start with "
+                    "the record magic; the journal is corrupt",
+                    record_index=index,
+                )
+            body_start = offset + _FRAME_HEADER.size
+            body_end = body_start + length
+            if body_end > size:
+                return payloads, True, offset
+            body = data[body_start:body_end]
+            checksum = hashlib.sha256(body).digest()  # reprolint: disable=RL001 -- journal frame checksum, not a paper-counted hash
+            if checksum != digest:
+                if body_end == size:
+                    # The damaged record is the very tail of the file: a
+                    # crash mid-append that got the length down but not the
+                    # whole payload.  Discard it; the batch was never
+                    # acknowledged as durable.
+                    return payloads, True, offset
+                raise JournalError(
+                    f"journal {self.path!r} record {index} fails its checksum "
+                    "but intact records follow; refusing to replay a damaged "
+                    "history",
+                    record_index=index,
+                )
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise JournalError(
+                    f"journal {self.path!r} record {index} carries an intact "
+                    f"checksum but undecodable payload ({error})",
+                    record_index=index,
+                ) from None
+            payloads.append(payload)
+            offset = body_end
+            index += 1
+        return payloads, False, size
+
+    def replay_batches(self, after_epoch: int) -> Tuple[JournalBatch, ...]:
+        """The committed batches a recovery from ``after_epoch`` must replay.
+
+        Raises :class:`~repro.core.errors.JournalError` when the journal
+        does not reach back far enough (its batch chain starts after
+        ``after_epoch + 1`` -- e.g. it was pruned past the artifact being
+        recovered from).
+        """
+        scan = self.scan()
+        if after_epoch < scan.base_epoch:
+            raise JournalError(
+                f"journal {self.path!r} starts after epoch {scan.base_epoch} "
+                f"but recovery needs batches from epoch {after_epoch + 1}; "
+                "the journal was pruned past the recovery base"
+            )
+        return tuple(batch for batch in scan.batches if batch.epoch > after_epoch)
+
+    # ------------------------------------------------------------- repairs
+    def truncate_torn_tail(self, *, scan: Optional[JournalScan] = None) -> bool:
+        """Chop a torn tail off the file; returns True when bytes were cut.
+
+        The rewrite is atomic (temp + fsync + rename), so a crash during
+        the repair leaves either the torn file or the repaired one.
+        """
+        if scan is None:
+            scan = self.scan()
+        if not scan.torn_tail:
+            return False
+        with open(self.path, "rb") as stream:
+            data = stream.read(scan.valid_bytes)
+        atomic_write_bytes(self.path, data)
+        return True
+
+    def prune(self, through_epoch: Optional[int] = None) -> int:
+        """Drop batches already covered by a published artifact.
+
+        ``through_epoch`` defaults to the newest publish marker.  Batches
+        newer than the newest marker are **not** durable anywhere else,
+        so pruning past it raises.  Returns the number of dropped batch
+        records.  The rewrite is atomic and also discards any torn tail
+        and stale publish markers.
+        """
+        scan = self.scan()
+        if through_epoch is None:
+            through_epoch = scan.published_epoch
+        if through_epoch > scan.published_epoch:
+            raise JournalError(
+                f"cannot prune journal {self.path!r} through epoch "
+                f"{through_epoch}: newest published epoch is "
+                f"{scan.published_epoch}; batches past it exist only here",
+                epoch=int(through_epoch),
+            )
+        kept = [batch for batch in scan.batches if batch.epoch > through_epoch]
+        header = dict(scan.header)
+        header["base_epoch"] = max(int(scan.header["base_epoch"]), int(through_epoch))
+        frames = [_encode_record(header)]
+        for batch in kept:
+            frames.append(
+                _encode_record(
+                    {
+                        "type": "batch",
+                        "epoch": batch.epoch,
+                        "strategy": batch.strategy,
+                        "inserts": [
+                            [record.record_id, list(record.values), record.label]
+                            for record in batch.inserts
+                        ],
+                        "deletes": list(batch.deletes),
+                    }
+                )
+            )
+        if scan.published_epoch > header["base_epoch"]:
+            frames.append(
+                _encode_record({"type": "published", "epoch": scan.published_epoch})
+            )
+        atomic_write_bytes(self.path, b"".join(frames))
+        return len(scan.batches) - len(kept)

@@ -37,6 +37,7 @@ from repro.resilience.policy import RetryPolicy, VirtualClock
 __all__ = [
     "ReplicaHandle",
     "ReplicaPool",
+    "ResyncReport",
     "Attempt",
     "ResilientExecution",
     "ResilientClient",
@@ -65,6 +66,32 @@ class ReplicaHandle:
     served: int = 0
     faults: int = 0
     quarantines: int = 0
+    resyncs: int = 0
+
+    @property
+    def epoch(self) -> Optional[int]:
+        """The ADS epoch this replica serves (``None`` if it has no notion)."""
+        return getattr(self.server, "epoch", None)
+
+
+@dataclass(frozen=True)
+class ResyncReport:
+    """Outcome of one :meth:`ReplicaPool.resync` call.
+
+    ``mode`` is ``"hot-swap"`` when the replica's live server swapped
+    epochs in place (no dropped in-flight queries), ``"replace"`` when
+    the server had no hot-swap surface and was cold-started anew from the
+    artifact, and ``"refresh"`` when the replica already served the
+    artifact's epoch and only its health bookkeeping was reset.
+    ``rejoined_as_probe`` is true when the replica was quarantined and now
+    re-enters service through half-open probation.
+    """
+
+    replica_id: int
+    mode: str
+    old_epoch: Optional[int]
+    new_epoch: int
+    rejoined_as_probe: bool
 
 
 class ReplicaPool:
@@ -113,39 +140,36 @@ class ReplicaPool:
     def select(self, exclude: Optional[Set[int]] = None) -> Optional[ReplicaHandle]:
         """Pick the next replica to try, or ``None`` if none is eligible.
 
-        Healthy replicas are served round-robin (deterministic: ordered by
-        distance from the cursor).  When every healthy replica is excluded
-        or quarantined, replicas whose quarantine has expired are offered
-        as half-open probes, lowest id first.  Still-quarantined and
-        excluded replicas are never returned.
+        Healthy replicas and *expired-quarantine probes* share one
+        deterministic round-robin rotation (ordered by distance from the
+        cursor).  Folding probes into the rotation is what makes half-open
+        probation terminate: a recovered replica gets trial traffic even
+        while healthier peers exist, instead of waiting for every healthy
+        replica to fail first -- one verified success restores it fully,
+        one failure re-quarantines it.  Still-quarantined and excluded
+        replicas are never returned.
         """
         excluded = exclude or set()
         with self._lock:
             now = self.clock.now()
             count = len(self.handles)
-            healthy = [
+            eligible = [
                 handle
                 for handle in self.handles
-                if handle.quarantined_until is None
-                and handle.replica_id not in excluded
-            ]
-            if healthy:
-                chosen = min(
-                    healthy,
-                    key=lambda handle: (handle.replica_id - self._cursor) % count,
+                if handle.replica_id not in excluded
+                and (
+                    handle.quarantined_until is None
+                    or handle.quarantined_until <= now
                 )
-                self._cursor = (chosen.replica_id + 1) % count
-                return chosen
-            probes = [
-                handle
-                for handle in self.handles
-                if handle.quarantined_until is not None
-                and handle.quarantined_until <= now
-                and handle.replica_id not in excluded
             ]
-            if probes:
-                return min(probes, key=lambda handle: handle.replica_id)
-            return None
+            if not eligible:
+                return None
+            chosen = min(
+                eligible,
+                key=lambda handle: (handle.replica_id - self._cursor) % count,
+            )
+            self._cursor = (chosen.replica_id + 1) % count
+            return chosen
 
     # ------------------------------------------------------------ reporting
     def report_success(self, handle: ReplicaHandle) -> None:
@@ -170,6 +194,113 @@ class ReplicaPool:
                 handle.quarantined_until = self.clock.now() + self.quarantine_period
                 handle.quarantines += 1
 
+    # ---------------------------------------------------------- self-healing
+    def handle(self, replica_id: int) -> ReplicaHandle:
+        """The handle with the given id (raises ``KeyError`` if absent)."""
+        for candidate in self.handles:
+            if candidate.replica_id == replica_id:
+                return candidate
+        raise KeyError(f"no replica with id {replica_id} in this pool")
+
+    def stale_replicas(self, epoch: int) -> List[int]:
+        """Ids of replicas serving an epoch older than ``epoch``."""
+        with self._lock:
+            return [
+                handle.replica_id
+                for handle in self.handles
+                if handle.epoch is not None and handle.epoch < epoch
+            ]
+
+    def resync(
+        self,
+        replica_id: int,
+        path,
+        *,
+        base=None,
+        expected_epoch: Optional[int] = None,
+    ) -> ResyncReport:
+        """Bring one replica back in step with the newest published artifact.
+
+        Hot-swaps the replica's live server to the artifact's epoch when it
+        supports :meth:`~repro.core.server.Server.swap_epoch_from_artifact`
+        (in-flight queries finish on the old epoch); otherwise cold-starts
+        a fresh server from the artifact and replaces the handle's server.
+        Either way the handle's failure counter resets and, if the replica
+        was quarantined, its quarantine expires **now** -- it re-enters the
+        rotation as a half-open probe, where one verified success restores
+        it fully and one failure re-quarantines it.  This is the pool's
+        self-healing exit from the quarantine dead-end: without a resync, a
+        replica stuck on a stale epoch fails every probe forever.
+
+        Artifact loading errors propagate *before* any state changes, so a
+        corrupt or stale file never resets a replica's health bookkeeping.
+        """
+        handle = self.handle(replica_id)
+        old_epoch = handle.epoch
+        server = handle.server
+        replacement = None
+        if expected_epoch is None:
+            from repro.core.artifact import load_public_parameters
+
+            expected_epoch = load_public_parameters(path).epoch
+        if old_epoch == expected_epoch:
+            # Already serving the artifact's epoch: a quarantined replica
+            # that recovered out of band, or one that never was stale --
+            # only its health bookkeeping needs resetting.
+            mode, new_epoch = "refresh", expected_epoch
+        elif hasattr(server, "swap_epoch_from_artifact"):
+            swap = server.swap_epoch_from_artifact(
+                path, base=base, expected_epoch=expected_epoch
+            )
+            mode, new_epoch = "hot-swap", swap.new_epoch
+        else:
+            replacement = Server.from_artifact(
+                path, base=base, expected_epoch=expected_epoch
+            )
+            mode, new_epoch = "replace", replacement.epoch
+        with self._lock:
+            if replacement is not None:
+                handle.server = replacement
+            handle.consecutive_failures = 0
+            rejoined_as_probe = handle.quarantined_until is not None
+            if rejoined_as_probe:
+                handle.quarantined_until = self.clock.now()
+            handle.resyncs += 1
+        return ResyncReport(
+            replica_id=replica_id,
+            mode=mode,
+            old_epoch=old_epoch,
+            new_epoch=new_epoch,
+            rejoined_as_probe=rejoined_as_probe,
+        )
+
+    def rolling_swap(
+        self,
+        path,
+        *,
+        base=None,
+        expected_epoch: Optional[int] = None,
+    ) -> List[ResyncReport]:
+        """Resync every stale replica to the artifact's epoch, one at a time.
+
+        The swap is *rolling*: replicas move one by one (lowest id first),
+        so at every instant the rest of the pool keeps serving -- clients
+        holding the old parameters are answered by not-yet-swapped
+        replicas, clients holding the new parameters by already-swapped
+        ones, and the verifying front-end routes around the mismatches.
+        Replicas already at (or past) the target epoch are left alone.
+        """
+        if expected_epoch is None:
+            from repro.core.artifact import load_public_parameters
+
+            expected_epoch = load_public_parameters(path).epoch
+        return [
+            self.resync(
+                replica_id, path, base=base, expected_epoch=expected_epoch
+            )
+            for replica_id in self.stale_replicas(expected_epoch)
+        ]
+
     # ------------------------------------------------------------ inspection
     def status(self) -> List[Dict[str, object]]:
         """Per-replica health snapshot (for benches and debugging)."""
@@ -178,9 +309,11 @@ class ReplicaPool:
             return [
                 {
                     "replica_id": handle.replica_id,
+                    "epoch": handle.epoch,
                     "served": handle.served,
                     "faults": handle.faults,
                     "quarantines": handle.quarantines,
+                    "resyncs": handle.resyncs,
                     "quarantined": (
                         handle.quarantined_until is not None
                         and handle.quarantined_until > now

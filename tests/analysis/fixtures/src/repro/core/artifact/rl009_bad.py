@@ -1,0 +1,18 @@
+"""RL009 violations: bare truncating writes in a persistence module."""
+
+import numpy as np
+
+
+def publish(path, entries):
+    np.savez(path, **entries)
+
+
+def overwrite(path, payload):
+    with open(path, "wb") as stream:
+        stream.write(payload)
+
+
+def exclusive_create(path, payload):
+    stream = open(path, mode="xb")
+    stream.write(payload)
+    stream.close()

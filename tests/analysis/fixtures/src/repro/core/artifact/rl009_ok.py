@@ -1,0 +1,31 @@
+"""RL009 compliant: truncating writes live inside the atomic helpers;
+appends and reads are legal anywhere."""
+
+import io
+import os
+
+import numpy as np
+
+
+def atomic_write_bytes(path, payload):
+    temp = str(path) + ".tmp"
+    descriptor = os.open(temp, os.O_WRONLY | os.O_CREAT)
+    with os.fdopen(descriptor, "wb") as stream:
+        stream.write(payload)
+    os.replace(temp, path)
+
+
+def _encode_npz(entries):
+    buffer = io.BytesIO()
+    np.savez(buffer, **entries)
+    return buffer.getvalue()
+
+
+def append_frame(path, frame):
+    with open(path, "ab") as stream:
+        stream.write(frame)
+
+
+def read_back(path):
+    with open(path, "rb") as stream:
+        return stream.read()

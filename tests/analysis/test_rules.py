@@ -23,6 +23,7 @@ BAD_FIXTURES = {
     "core/rl006_bad.py": [("RL006", 18), ("RL006", 21), ("RL006", 24)],
     "merkle/rl007_bad.py": [("RL007", 5), ("RL007", 14)],
     "resilience/rl008_bad.py": [("RL008", 8), ("RL008", 16), ("RL008", 23)],
+    "core/artifact/rl009_bad.py": [("RL009", 7), ("RL009", 11), ("RL009", 16)],
 }
 
 OK_FIXTURES = [
@@ -34,6 +35,7 @@ OK_FIXTURES = [
     "core/rl006_ok.py",
     "merkle/rl007_ok.py",
     "resilience/rl008_ok.py",
+    "core/artifact/rl009_ok.py",
 ]
 
 
@@ -55,7 +57,7 @@ def test_no_rule_fires_on_compliant_fixture(relpath):
 def test_whole_fixture_tree_exercises_every_rule():
     result = lint_paths([str(FIXTURES)], LintConfig())
     fired = {finding.rule for finding in result.findings}
-    assert {f"RL{n:03d}" for n in range(1, 9)} <= fired
+    assert {f"RL{n:03d}" for n in range(1, 10)} <= fired
 
 
 def test_findings_carry_messages_and_render():

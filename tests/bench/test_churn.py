@@ -1,0 +1,76 @@
+"""Gates for the churn/recovery benchmark.
+
+The acceptance run (``python -m repro.bench --churn``) gates the
+crash-safe update pipeline end to end: bit-identical recovery at every
+injected crash point, zero stale answers accepted after a completed
+rolling swap, a quarantined laggard healed through resync + half-open
+probation, zero queries dropped during live hot-swaps, and a
+bit-identical same-seed replay.  These tests run the same code path at
+the CI smoke scale and check the JSON outcome report and failure modes.
+"""
+
+import json
+
+from repro.bench.churn import run_churn, run_churn_smoke
+
+
+def test_run_churn_smoke_passes_all_gates(tmp_path):
+    output = tmp_path / "BENCH_churn_smoke.json"
+    results, failures = run_churn_smoke(seed=0, output_path=str(output))
+    assert failures == []
+    (result,) = results
+    (row,) = result.rows
+    assert row["crash_identical"] == row["crash_points"]
+    assert row["crash_points"] >= 7  # 3 steps per batch + the publish crash
+    assert row["stale_accepted"] == 0
+    assert row["thread_dropped"] == 0
+    assert row["accepted"] == row["issued"]
+    assert row["goodput"] >= 0.9
+    assert row["laggard_served"] > 0
+
+    payload = json.loads(output.read_text())
+    assert payload["benchmark"] == "churn-recovery"
+    assert payload["deterministic"] is True
+    crash = payload["crash_phase"]
+    assert crash["torn_tails_discarded"] > 0
+    assert not crash["mismatched"]
+    churn = payload["churn_phase"]
+    assert churn["journal_recovery_matches"] is True
+    assert churn["laggard_rejections"] > 0
+    assert churn["laggard_served_after_resync"] > 0
+    # Rolling swaps publish deltas against the epoch-0 base after round 1.
+    assert churn["publishes"].count("delta") >= 1
+    assert set(churn["resync_modes"]) <= {"hot-swap", "replace", "refresh"}
+    threaded = payload["threaded_phase"]
+    assert threaded["issued"] == threaded["completed"]
+    assert threaded["errors"] == []
+    assert threaded["unverified"] == 0
+    # Every replica ends the run healthy and on the final epoch.
+    final_epoch = payload["swap_rounds"]
+    for entry in churn["pool_status"]:
+        assert entry["epoch"] == final_epoch
+        assert entry["quarantined"] is False
+
+
+def test_run_churn_detects_goodput_regression(tmp_path):
+    _results, failures = run_churn(
+        n_records=72,
+        swap_rounds=2,
+        reads_per_round=6,
+        seed=0,
+        goodput_floor=1.01,  # unreachable on purpose
+        output_path=str(tmp_path / "out.json"),
+        readers=2,
+        queries_per_reader=6,
+    )
+    assert any("goodput" in failure for failure in failures)
+
+
+def test_run_churn_is_seed_sensitive_but_replay_stable(tmp_path):
+    first, failures_a = run_churn_smoke(seed=0, output_path=str(tmp_path / "a.json"))
+    again, failures_b = run_churn_smoke(seed=0, output_path=str(tmp_path / "b.json"))
+    assert failures_a == failures_b == []
+    assert first[0].rows == again[0].rows
+    assert json.loads((tmp_path / "a.json").read_text()) == json.loads(
+        (tmp_path / "b.json").read_text()
+    )

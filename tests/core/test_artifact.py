@@ -11,6 +11,7 @@ wrong answers.
 import dataclasses
 import io
 import json
+import os
 import random
 import zipfile
 
@@ -30,6 +31,7 @@ from repro.core.errors import ConstructionError
 from repro.core.owner import PublicParameters, ServerPackage
 from repro.core.protocol import OutsourcedSystem
 from repro.core.queries import KNNQuery, RangeQuery, TopKQuery
+from repro.core.records import Record
 from repro.core.server import Server
 from repro.workloads.generator import WorkloadConfig, make_dataset, make_template
 
@@ -348,3 +350,69 @@ def test_server_package_is_frozen():
     assert isinstance(package, ServerPackage)
     with pytest.raises(dataclasses.FrozenInstanceError):
         package.dataset = None
+
+
+# --------------------------------------------------------- atomic publish
+def test_failed_publish_never_tears_the_old_artifact(tmp_path, monkeypatch):
+    """Torn-write regression: a publish that dies mid-write must leave the
+    previously published artifact byte-identical and no temp litter."""
+    system = _published_system("one-signature", n_records=8)
+    path = _publish(system, tmp_path)
+    good_bytes = path.read_bytes()
+    system.owner.insert(Record(record_id=8, values=(5.0, 1.0)))
+
+    real_replace = os.replace
+
+    def torn_replace(src, dst):
+        if str(dst) == str(path):
+            raise OSError("simulated crash at the publish rename")
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", torn_replace)
+    with pytest.raises(OSError, match="simulated crash"):
+        system.owner.publish(path)
+    monkeypatch.undo()
+    assert path.read_bytes() == good_bytes  # old artifact intact, bit for bit
+    assert [entry.name for entry in tmp_path.iterdir()] == [path.name]
+    # The surviving artifact still cold-starts a working replica.
+    server = Server.from_artifact(path)
+    assert server.epoch == 0
+
+
+def test_publish_report_modes(tmp_path):
+    system = _published_system("one-signature", n_records=8)
+    full = system.owner.publish(tmp_path / "epoch0.npz")
+    assert (full.mode, full.epoch, full.fallback_reason) == ("full", 0, None)
+    assert full.path == str(tmp_path / "epoch0.npz")
+    system.owner.insert(Record(record_id=8, values=(5.0, 1.0)))
+    delta = system.owner.publish(tmp_path / "epoch1.npz", base=tmp_path / "epoch0.npz")
+    assert (delta.mode, delta.epoch, delta.fallback_reason) == ("delta", 1, None)
+    server = Server.from_artifact(tmp_path / "epoch1.npz", base=tmp_path / "epoch0.npz")
+    assert server.epoch == 1
+
+
+def test_delta_publish_falls_back_to_full_when_base_missing(tmp_path):
+    system = _published_system("one-signature", n_records=8)
+    system.owner.publish(tmp_path / "epoch0.npz")
+    system.owner.insert(Record(record_id=8, values=(5.0, 1.0)))
+    report = system.owner.publish(
+        tmp_path / "epoch1.npz", base=tmp_path / "vanished.npz"
+    )
+    assert report.mode == "full"
+    assert "unusable" in report.fallback_reason
+    # Chain repair: the fallback artifact is self-contained.
+    assert Server.from_artifact(tmp_path / "epoch1.npz").epoch == 1
+
+
+def test_delta_publish_falls_back_to_full_when_base_corrupt(tmp_path):
+    system = _published_system("one-signature", n_records=8)
+    base = _publish(system, tmp_path, "epoch0.npz")
+    data = bytearray(base.read_bytes())
+    for offset in range(len(data) // 2, len(data) // 2 + 64):
+        data[offset] ^= 0x5A
+    base.write_bytes(bytes(data))
+    system.owner.insert(Record(record_id=8, values=(5.0, 1.0)))
+    report = system.owner.publish(tmp_path / "epoch1.npz", base=base)
+    assert report.mode == "full"
+    assert "unusable" in report.fallback_reason
+    assert Server.from_artifact(tmp_path / "epoch1.npz").epoch == 1

@@ -93,7 +93,7 @@ def test_server_annotates_query_processing_errors(system):
     query = TopKQuery(weights=(0.55,), k=3)
     original = system.server._execute_ifmh
 
-    def explode(query, counters):
+    def explode(state, query, counters):
         raise QueryProcessingError("synthetic mid-query failure")
 
     system.server._execute_ifmh = explode

@@ -1,0 +1,171 @@
+"""Live epoch hot-swap: double-buffered serving state on one Server.
+
+The contract: a swap installs a complete newer-epoch state atomically,
+in-flight queries finish on the epoch they started on, stale or
+cross-scheme replacements are refused, and the per-epoch score cache
+never leaks scores across a swap.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.client import Client
+from repro.core.config import SystemConfig
+from repro.core.errors import ConstructionError
+from repro.core.protocol import OutsourcedSystem
+from repro.core.queries import RangeQuery, TopKQuery
+from repro.core.records import Record
+from repro.core.server import Server, SwapReport
+from repro.workloads.generator import WorkloadConfig, make_dataset, make_template
+
+QUERY = TopKQuery(weights=(0.55,), k=3)
+
+
+def _system(n_records=12, seed=5):
+    workload = WorkloadConfig(n_records=n_records, dimension=1, seed=seed)
+    return OutsourcedSystem.setup(
+        make_dataset(workload),
+        make_template(workload),
+        config=SystemConfig(scheme="one-signature", signature_algorithm="hmac"),
+        rng=random.Random(seed),
+    )
+
+
+def _publish_epochs(system, tmp_path, updates=1):
+    """Publish epoch 0, then ``updates`` single-insert epochs; return paths."""
+    paths = [tmp_path / "epoch0.npz"]
+    system.owner.publish(paths[0])
+    n = len(system.owner.dataset)
+    for step in range(updates):
+        system.owner.insert(Record(record_id=n + step, values=(4.0 + step, 1.0)))
+        path = tmp_path / f"epoch{step + 1}.npz"
+        system.owner.publish(path)
+        paths.append(path)
+    return paths
+
+
+def test_swap_serves_the_new_epoch_bit_identically(tmp_path):
+    system = _system()
+    epoch0, epoch1 = _publish_epochs(system, tmp_path)
+    server = Server.from_artifact(epoch0)
+    assert server.epoch == 0
+    report = server.swap_epoch_from_artifact(epoch1, expected_epoch=1)
+    assert report == SwapReport(old_epoch=0, new_epoch=1, scheme="one-signature")
+    assert server.epoch == 1
+    assert server.epochs_served == 2
+    fresh = Server.from_artifact(epoch1)
+    client = Client.from_artifact(epoch1)
+    for query in (QUERY, RangeQuery(weights=(0.4,), low=1.0, high=6.0)):
+        swapped = server.execute(query)
+        cold = fresh.execute(query)
+        assert swapped.result == cold.result
+        assert swapped.verification_object == cold.verification_object
+        assert client.verify(
+            query, swapped.result, swapped.verification_object
+        ).is_valid
+
+
+def test_swap_rejects_stale_and_sideways_epochs(tmp_path):
+    system = _system()
+    epoch0, epoch1 = _publish_epochs(system, tmp_path)
+    server = Server.from_artifact(epoch1)
+    with pytest.raises(ConstructionError, match="strictly newer"):
+        server.swap_epoch_from_artifact(epoch0)  # backwards
+    with pytest.raises(ConstructionError, match="strictly newer"):
+        server.swap_epoch_from_artifact(epoch1)  # sideways
+    assert server.epoch == 1
+    assert server.epochs_served == 1
+
+
+def test_swap_rejects_scheme_change(tmp_path):
+    system = _system()
+    epoch0, _epoch1 = _publish_epochs(system, tmp_path)
+    workload = WorkloadConfig(n_records=12, dimension=1, seed=5)
+    mesh = OutsourcedSystem.setup(
+        make_dataset(workload),
+        make_template(workload),
+        config=SystemConfig(scheme="signature-mesh", signature_algorithm="hmac"),
+        rng=random.Random(5),
+    )
+    mesh.owner.insert(Record(record_id=12, values=(4.0, 1.0)))
+    server = Server.from_artifact(epoch0)
+    with pytest.raises(ConstructionError, match="replace the server instead"):
+        server.swap_epoch(mesh.owner.outsource())
+    assert server.epoch == 0
+
+
+def test_corrupt_replacement_never_disturbs_serving(tmp_path):
+    system = _system()
+    epoch0, epoch1 = _publish_epochs(system, tmp_path)
+    data = bytearray(epoch1.read_bytes())
+    for offset in range(len(data) // 2, len(data) // 2 + 64):
+        data[offset] ^= 0x5A
+    epoch1.write_bytes(bytes(data))
+    server = Server.from_artifact(epoch0)
+    before = server.execute(QUERY)
+    with pytest.raises(ConstructionError):
+        server.swap_epoch_from_artifact(epoch1)  # fails while loading, pre-lock
+    assert server.epoch == 0
+    after = server.execute(QUERY)
+    assert after.result == before.result
+
+
+def test_score_cache_is_per_epoch_but_stats_are_cumulative(tmp_path):
+    system = _system()
+    epoch0, epoch1 = _publish_epochs(system, tmp_path)
+    server = Server.from_artifact(epoch0)
+    server.execute(QUERY)
+    server.execute(QUERY)
+    assert server.score_cache_hits >= 1
+    hits_before = server.score_cache_hits
+    misses_before = server.score_cache_misses
+    server.swap_epoch_from_artifact(epoch1)
+    server.execute(QUERY)  # fresh cache: this must not hit old-epoch scores
+    assert server.score_cache_hits == hits_before
+    assert server.score_cache_misses > misses_before
+
+
+def test_inflight_queries_finish_on_their_entry_epoch(tmp_path):
+    """Readers racing a cascade of swaps: every answer verifies against
+    the epoch that served it, nothing drops, nothing mixes."""
+    system = _system(n_records=24)
+    paths = _publish_epochs(system, tmp_path, updates=3)
+    clients = {epoch: Client.from_artifact(path) for epoch, path in enumerate(paths)}
+    server = Server.from_artifact(paths[0])
+    queries = [TopKQuery(weights=(w,), k=3) for w in (0.2, 0.45, 0.7, 0.95)]
+
+    outcomes = []
+    errors = []
+    start = threading.Barrier(3)
+
+    def reader(slot):
+        rng = random.Random(slot)
+        start.wait()
+        for _ in range(25):
+            query = queries[rng.randrange(len(queries))]
+            try:
+                outcomes.append((query, server.execute(query)))
+            except Exception as error:  # pragma: no cover - the assert below
+                errors.append(error)
+
+    threads = [threading.Thread(target=reader, args=(slot,)) for slot in range(2)]
+    for thread in threads:
+        thread.start()
+    start.wait()
+    for epoch in range(1, len(paths)):
+        server.swap_epoch_from_artifact(paths[epoch], expected_epoch=epoch)
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    assert len(outcomes) == 50  # no query dropped across three swaps
+    for query, execution in outcomes:
+        assert any(
+            clients[epoch]
+            .verify(query, execution.result, execution.verification_object)
+            .is_valid
+            for epoch in clients
+        ), "an answer verified against no published epoch"
+    assert server.epoch == len(paths) - 1

@@ -1,0 +1,319 @@
+"""Write-ahead journal: framing, torn tails, recovery, crash differential.
+
+The durability contract under test: a batch is committed once
+``append_batch`` returns, recovery replays exactly the committed batches
+onto the newest artifact and lands bit-identical to an uninterrupted
+owner, a torn tail (crash mid-append) is discarded cleanly, and damage
+anywhere *before* intact data refuses to replay -- naming the record.
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import JournalError
+from repro.core.owner import DataOwner
+from repro.core.queries import RangeQuery, TopKQuery
+from repro.core.records import Dataset, Record, UtilityTemplate
+from repro.geometry.domain import Domain
+from repro.resilience.journal import (
+    JOURNAL_MAGIC,
+    UpdateJournal,
+    lineage_fingerprint,
+)
+from repro.resilience.recovery import (
+    UpdateBatch,
+    crash_points,
+    run_crash_matrix,
+    state_fingerprint,
+)
+
+_TEMPLATE = UtilityTemplate(
+    attributes=("factor",),
+    domain=Domain(lower=(0.0,), upper=(1.0,)),
+    constant_attribute="baseline",
+)
+
+_ROWS = [(3.9, 2.0), (3.5, 1.0), (3.2, 0.0), (3.8, 3.0), (2.9, 1.0), (3.6, 0.5)]
+
+QUERIES = (
+    TopKQuery(weights=(0.55,), k=3),
+    RangeQuery(weights=(0.4,), low=1.0, high=6.0),
+)
+
+_FRAME_HEADER = struct.Struct("<4sI32s")
+
+
+def _owner():
+    dataset = Dataset.from_rows(("factor", "baseline"), _ROWS)
+    return DataOwner(
+        dataset,
+        _TEMPLATE,
+        config=SystemConfig(scheme="one-signature", signature_algorithm="hmac"),
+        rng=random.Random(11),
+    )
+
+
+def _journal_for(owner, tmp_path, name="updates.journal"):
+    return UpdateJournal.create(
+        tmp_path / name, lineage=owner.lineage(), base_epoch=owner.epoch, fsync=False
+    )
+
+
+def _frame_spans(path):
+    """``(frame_start, body_start, body_end)`` per record, by direct parse."""
+    data = path.read_bytes()
+    spans = []
+    offset = 0
+    while offset < len(data):
+        _magic, length, _digest = _FRAME_HEADER.unpack_from(data, offset)
+        body_start = offset + _FRAME_HEADER.size
+        spans.append((offset, body_start, body_start + length))
+        offset = body_start + length
+    return spans
+
+
+def _corrupt_byte(path, position):
+    data = bytearray(path.read_bytes())
+    data[position] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+# ------------------------------------------------------------------ framing
+def test_create_refuses_existing_file(tmp_path):
+    owner = _owner()
+    _journal_for(owner, tmp_path)
+    with pytest.raises(JournalError, match="already exists"):
+        _journal_for(owner, tmp_path)
+
+
+def test_append_scan_roundtrip(tmp_path):
+    owner = _owner()
+    journal = _journal_for(owner, tmp_path)
+    record = Record(record_id=100, values=(3.3, 1.0), label="insert-100")
+    index = journal.append_batch(epoch=1, inserts=[record], deletes=[2])
+    assert index == 1  # record 0 is the header
+    scan = journal.scan()
+    assert scan.base_epoch == 0
+    assert scan.last_epoch == 1
+    assert not scan.torn_tail
+    (batch,) = scan.batches
+    assert batch.epoch == 1
+    assert batch.strategy == "auto"
+    assert batch.inserts == (record,)
+    assert batch.deletes == (2,)
+
+
+def test_append_requires_contiguous_epochs(tmp_path):
+    journal = _journal_for(_owner(), tmp_path)
+    with pytest.raises(JournalError, match="chain contiguously"):
+        journal.append_batch(epoch=3, deletes=[0])
+    journal.append_batch(epoch=1, deletes=[0])
+    with pytest.raises(JournalError, match="chain contiguously"):
+        journal.append_batch(epoch=1, deletes=[1])
+
+
+def test_torn_tail_discarded_and_repaired(tmp_path):
+    journal = _journal_for(_owner(), tmp_path)
+    journal.append_batch(epoch=1, deletes=[0])
+    intact = (tmp_path / "updates.journal").read_bytes()
+    # A crash mid-append: only half of the next frame reached the disk.
+    with open(tmp_path / "updates.journal", "ab") as stream:
+        stream.write(b"RJRN\x99\x00\x00\x00partial")
+    scan = journal.scan()
+    assert scan.torn_tail
+    assert scan.valid_bytes == len(intact)
+    assert [batch.epoch for batch in scan.batches] == [1]  # earlier data intact
+    assert journal.truncate_torn_tail()
+    assert (tmp_path / "updates.journal").read_bytes() == intact
+    assert not journal.scan().torn_tail
+    assert not journal.truncate_torn_tail()  # nothing left to cut
+
+
+def test_append_after_crash_repairs_tail_first(tmp_path):
+    journal = _journal_for(_owner(), tmp_path)
+    with open(tmp_path / "updates.journal", "ab") as stream:
+        stream.write(b"RJRN")  # torn: shorter than a frame header
+    journal.append_batch(epoch=1, deletes=[0])
+    scan = journal.scan()
+    assert not scan.torn_tail  # the torn bytes were not buried mid-file
+    assert [batch.epoch for batch in scan.batches] == [1]
+
+
+def test_corrupt_middle_record_raises_naming_index(tmp_path):
+    journal = _journal_for(_owner(), tmp_path)
+    journal.append_batch(epoch=1, deletes=[0])
+    journal.append_batch(epoch=2, deletes=[1])
+    spans = _frame_spans(tmp_path / "updates.journal")
+    assert len(spans) == 3
+    _start, body_start, _end = spans[1]  # the first batch, with intact data after
+    _corrupt_byte(tmp_path / "updates.journal", body_start)
+    with pytest.raises(JournalError, match="record 1 fails its checksum") as excinfo:
+        journal.scan()
+    assert excinfo.value.context["record_index"] == 1
+
+
+def test_checksum_mismatch_at_eof_is_a_torn_tail(tmp_path):
+    journal = _journal_for(_owner(), tmp_path)
+    journal.append_batch(epoch=1, deletes=[0])
+    spans = _frame_spans(tmp_path / "updates.journal")
+    _start, body_start, _end = spans[-1]
+    _corrupt_byte(tmp_path / "updates.journal", body_start)
+    scan = journal.scan()  # damaged *final* record: discard, don't raise
+    assert scan.torn_tail
+    assert scan.batches == ()
+
+
+def test_scan_rejects_foreign_file(tmp_path):
+    (tmp_path / "notes.txt").write_bytes(b"not a journal at all, too long to be torn")
+    with pytest.raises(JournalError, match="does not start with the record magic"):
+        UpdateJournal(tmp_path / "notes.txt").scan()
+    assert JOURNAL_MAGIC == b"RJRN"
+
+
+# ----------------------------------------------------------------- owner WAL
+def test_owner_logs_batches_and_publish_markers(tmp_path):
+    owner = _owner()
+    journal = owner.enable_journal(tmp_path / "wal.journal", fsync=False)
+    owner.insert(Record(record_id=100, values=(3.3, 1.0)))
+    owner.delete(0)
+    owner.publish(tmp_path / "ads.npz")
+    scan = journal.scan()
+    assert [batch.epoch for batch in scan.batches] == [1, 2]
+    assert scan.published_epoch == 2
+    # Reopening the same path attaches without re-writing the header.
+    reopened = owner.enable_journal(tmp_path / "wal.journal", fsync=False)
+    assert [batch.epoch for batch in reopened.scan().batches] == [1, 2]
+
+
+def test_attach_rejects_foreign_lineage(tmp_path):
+    owner = _owner()
+    journal = UpdateJournal.create(
+        tmp_path / "foreign.journal",
+        lineage=lineage_fingerprint({"scheme": "other"}),
+        base_epoch=0,
+        fsync=False,
+    )
+    with pytest.raises(JournalError, match="different ADS lineage"):
+        owner.attach_journal(journal)
+
+
+def test_attach_rejects_stale_journal(tmp_path):
+    owner = _owner()
+    journal = _journal_for(owner, tmp_path)
+    journal.append_batch(epoch=1, deletes=[0])
+    with pytest.raises(JournalError, match="recover from the journal"):
+        owner.attach_journal(journal)  # owner is still at epoch 0
+
+
+# ------------------------------------------------------------------ recovery
+def test_recover_is_bit_identical_to_uninterrupted_owner(tmp_path):
+    owner = _owner()
+    owner.publish(tmp_path / "base.npz")
+    journal = owner.enable_journal(tmp_path / "wal.journal", fsync=False)
+    owner.insert(Record(record_id=100, values=(3.3, 1.0)))
+    owner.apply_updates(
+        inserts=[Record(record_id=101, values=(2.2, 0.5))], deletes=[1]
+    )
+    # Crash here: the artifact still holds epoch 0, the journal holds both
+    # batches.  The reference owner replays the same history uninterrupted.
+    recovered = DataOwner.recover(
+        journal, tmp_path / "base.npz", keypair=owner.keypair
+    )
+    reference = DataOwner.from_artifact(tmp_path / "base.npz", keypair=owner.keypair)
+    reference.insert(Record(record_id=100, values=(3.3, 1.0)))
+    reference.apply_updates(
+        inserts=[Record(record_id=101, values=(2.2, 0.5))], deletes=[1]
+    )
+    assert recovered.epoch == 2
+    assert state_fingerprint(recovered, QUERIES) == state_fingerprint(
+        reference, QUERIES
+    )
+    report = recovered.last_recovery
+    assert (report.base_epoch, report.final_epoch) == (0, 2)
+    assert report.replayed_batches == 2
+    assert not report.torn_tail_discarded
+    # The journal is live again: the next batch chains onto epoch 3.
+    recovered.delete(2)
+    assert journal.scan().last_epoch == 3
+
+
+def test_recover_discards_torn_tail(tmp_path):
+    owner = _owner()
+    owner.publish(tmp_path / "base.npz")
+    journal = owner.enable_journal(tmp_path / "wal.journal", fsync=False)
+    owner.delete(0)
+    with open(tmp_path / "wal.journal", "ab") as stream:
+        stream.write(b"RJRN\x10")  # crash mid-append of a second batch
+    recovered = DataOwner.recover(
+        journal, tmp_path / "base.npz", keypair=owner.keypair
+    )
+    assert recovered.epoch == 1
+    assert recovered.last_recovery.replayed_batches == 1
+    assert recovered.last_recovery.torn_tail_discarded
+    assert not journal.scan().torn_tail  # the tail was cut during recovery
+
+
+def test_recover_rejects_foreign_lineage(tmp_path):
+    owner = _owner()
+    owner.publish(tmp_path / "base.npz")
+    journal = UpdateJournal.create(
+        tmp_path / "foreign.journal",
+        lineage=lineage_fingerprint({"scheme": "other"}),
+        base_epoch=0,
+        fsync=False,
+    )
+    with pytest.raises(JournalError, match="different ADS lineage"):
+        DataOwner.recover(journal, tmp_path / "base.npz", keypair=owner.keypair)
+
+
+# ------------------------------------------------------------------- pruning
+def test_prune_respects_publish_markers(tmp_path):
+    owner = _owner()
+    owner.publish(tmp_path / "base.npz")
+    journal = owner.enable_journal(tmp_path / "wal.journal", fsync=False)
+    owner.delete(0)
+    owner.delete(1)
+    owner.publish(tmp_path / "epoch2.npz")  # marks epochs <= 2 durable
+    owner.delete(2)
+    with pytest.raises(JournalError, match="batches past it exist only here"):
+        journal.prune(through_epoch=3)
+    assert journal.prune() == 2  # drops the two published batches
+    scan = journal.scan()
+    assert scan.base_epoch == 2
+    assert [batch.epoch for batch in scan.batches] == [3]
+    # The pruned journal can no longer recover the epoch-0 artifact...
+    with pytest.raises(JournalError, match="pruned past the recovery base"):
+        journal.replay_batches(0)
+    # ...but recovers the epoch-2 artifact it was pruned against.
+    recovered = DataOwner.recover(
+        journal, tmp_path / "epoch2.npz", keypair=owner.keypair
+    )
+    assert recovered.epoch == 3
+
+
+# ----------------------------------------------------------- crash matrix
+def test_crash_matrix_recovers_bit_identical_everywhere(tmp_path):
+    owner = _owner()
+    owner.publish(tmp_path / "base.npz")
+    batches = (
+        UpdateBatch(inserts=(Record(record_id=100, values=(3.3, 1.0)),)),
+        UpdateBatch(deletes=(0,)),
+    )
+    reference, outcomes = run_crash_matrix(
+        tmp_path / "base.npz",
+        keypair=owner.keypair,
+        batches=batches,
+        queries=QUERIES,
+        workdir=tmp_path / "matrix",
+    )
+    assert len(outcomes) == len(crash_points(len(batches))) == 7
+    assert reference["epoch"] == len(batches)
+    for outcome in outcomes:
+        assert outcome.identical, (
+            f"crash at {outcome.crash.label} diverged: {outcome.mismatched_fields}"
+        )
+    torn = [outcome for outcome in outcomes if outcome.torn_tail_discarded]
+    assert torn, "the matrix must exercise at least one torn-tail crash"

@@ -89,9 +89,11 @@ def test_pool_status_snapshot(system):
     status = pool.status()
     assert status[0] == {
         "replica_id": 0,
+        "epoch": 0,
         "served": 0,
         "faults": 0,
         "quarantines": 0,
+        "resyncs": 0,
         "quarantined": False,
     }
     assert status[1]["faults"] == 1
@@ -318,3 +320,124 @@ def test_outsourced_system_resilient_from_artifact(system, tmp_path):
     resilient = OutsourcedSystem.resilient_from_artifact(path, replicas=2)
     outcome = resilient.execute(QUERY)
     assert outcome.accepted and len(resilient.pool) == 2
+
+
+# ------------------------------------------------------- resync self-healing
+def _publish_epoch_pair(system, tmp_path):
+    """Publish epoch 0, apply one insert, publish epoch 1; return both paths."""
+    from repro.core.records import Record
+
+    epoch0 = tmp_path / "epoch0.npz"
+    system.owner.publish(epoch0)
+    system.owner.insert(Record(record_id=99, values=(4.2, 1.7)))
+    epoch1 = tmp_path / "epoch1.npz"
+    system.owner.publish(epoch1)
+    return epoch0, epoch1
+
+
+def test_expired_probe_shares_rotation_with_healthy_replicas(system):
+    """The quarantine dead-end fix: a recovered replica gets probe traffic
+    even while healthy peers exist, instead of starving behind them."""
+    clock = VirtualClock()
+    pool = ReplicaPool(
+        [system.server] * 3,
+        clock=clock,
+        quarantine_threshold=1,
+        quarantine_period=5.0,
+    )
+    pool.report_failure(pool.handles[0])
+    assert {pool.select().replica_id for _ in range(4)} == {1, 2}
+    clock.advance(5.0)
+    picked = {pool.select().replica_id for _ in range(6)}
+    assert 0 in picked  # the probe joins the normal rotation
+    assert picked == {0, 1, 2}
+
+
+def test_stale_replicas_and_rolling_swap(system, tmp_path):
+    epoch0, epoch1 = _publish_epoch_pair(system, tmp_path)
+    pool = pool_from_artifact(epoch0, replicas=3)
+    assert pool.stale_replicas(1) == [0, 1, 2]
+    report = pool.resync(0, epoch1)
+    assert (report.mode, report.old_epoch, report.new_epoch) == ("hot-swap", 0, 1)
+    assert not report.rejoined_as_probe
+    assert pool.handle(0).epoch == 1
+    assert pool.stale_replicas(1) == [1, 2]
+    reports = pool.rolling_swap(epoch1)
+    assert [r.replica_id for r in reports] == [1, 2]
+    assert all(r.mode == "hot-swap" for r in reports)
+    assert pool.stale_replicas(1) == []
+    assert [entry["resyncs"] for entry in pool.status()] == [1, 1, 1]
+
+
+def test_resync_refresh_resets_health_without_swapping(system, tmp_path):
+    epoch0, _epoch1 = _publish_epoch_pair(system, tmp_path)
+    clock = VirtualClock()
+    pool = ReplicaPool(
+        [Server.from_artifact(epoch0)],
+        clock=clock,
+        quarantine_threshold=1,
+        quarantine_period=30.0,
+    )
+    pool.report_failure(pool.handles[0])
+    assert pool.select() is None  # quarantined, far from expiry
+    report = pool.resync(0, epoch0)
+    assert report.mode == "refresh"
+    assert report.rejoined_as_probe
+    assert pool.handle(0).consecutive_failures == 0
+    # The quarantine now expires immediately: the replica is a live probe.
+    assert pool.select().replica_id == 0
+
+
+def test_resync_load_error_leaves_health_untouched(system, tmp_path):
+    epoch0, epoch1 = _publish_epoch_pair(system, tmp_path)
+    data = bytearray(epoch1.read_bytes())
+    for offset in range(len(data) // 2, len(data) // 2 + 64):
+        data[offset] ^= 0x5A
+    epoch1.write_bytes(bytes(data))
+    clock = VirtualClock()
+    pool = ReplicaPool(
+        [Server.from_artifact(epoch0)],
+        clock=clock,
+        quarantine_threshold=1,
+        quarantine_period=30.0,
+    )
+    pool.report_failure(pool.handles[0])
+    quarantined_until = pool.handles[0].quarantined_until
+    with pytest.raises(ConstructionError):
+        pool.resync(0, epoch1)
+    handle = pool.handle(0)
+    assert handle.quarantined_until == quarantined_until  # no half-applied reset
+    assert handle.resyncs == 0
+    assert handle.consecutive_failures == 1
+
+
+def test_recovered_replica_serves_again_after_resync(system, tmp_path):
+    """End-to-end self-healing: a stale replica is quarantined by verifying
+    clients, resynced to the new artifact, probed, and serves again."""
+    epoch0, epoch1 = _publish_epoch_pair(system, tmp_path)
+    clock = VirtualClock()
+    pool = ReplicaPool(
+        [Server.from_artifact(epoch1), Server.from_artifact(epoch0)],
+        clock=clock,
+        quarantine_threshold=1,
+        quarantine_period=5.0,
+    )
+    resilient = ResilientClient(pool, Client.from_artifact(epoch1))
+    stale = pool.handle(1)
+    # Drive queries until the stale replica is quarantined: its answers
+    # carry epoch-0 parameters and fail verification at the new client.
+    for _ in range(4):
+        assert resilient.execute(QUERY).accepted
+        if stale.quarantined_until is not None:
+            break
+    assert stale.quarantined_until is not None
+    assert stale.epoch == 0
+    report = pool.resync(1, epoch1)
+    assert (report.mode, report.new_epoch) == ("hot-swap", 1)
+    assert report.rejoined_as_probe
+    served_before = stale.served
+    for _ in range(4):
+        assert resilient.execute(QUERY).accepted
+    assert stale.served > served_before  # the probe got traffic...
+    assert stale.quarantined_until is None  # ...and one success restored it
+    assert stale.epoch == 1
