@@ -18,7 +18,8 @@ applicant table:
 Where to go next: ``examples/resilient_serving.py`` turns step 3's
 detection into a serving strategy -- a pool of replicas cold-started from
 one artifact, with failover and quarantine around tampering and crashing
-replicas.
+replicas -- and ``examples/serving_demo.py`` scales step 4 out to a
+multi-process front-end under open-loop load (``docs/serving.md``).
 
 Run with::
 
@@ -136,6 +137,8 @@ def main() -> None:
     print(
         "\nNext: examples/resilient_serving.py runs a replica pool with"
         "\ntampering and crashing replicas -- failover keeps every answer verified."
+        "\nexamples/serving_demo.py drives a multi-process front-end under"
+        "\nopen-loop load from this same kind of artifact."
     )
 
 

@@ -84,6 +84,23 @@ backoff and quarantine of repeat offenders:
 The seeded :class:`FaultInjector` drives the adversarial benchmark
 ``python -m repro.bench --faults`` (zero tampered answers accepted, all
 accepted answers verified, goodput floor); see ``docs/resilience.md``.
+
+Multi-worker serving
+--------------------
+The :mod:`repro.serving` package runs N worker *processes*, each
+cold-started from the same published artifact, behind a batching dispatcher
+(same-weight queries share one ``execute_batch`` call), with an open-loop
+seeded-Poisson load harness and a latency/throughput recorder:
+
+>>> with ServingFrontEnd("ads.npz", workers=4) as frontend:      # doctest: +SKIP
+...     trace = generate_trace(dataset, template, TrafficConfig(seed=7))
+...     tickets = run_trace(frontend, trace)
+...     frontend.drain(tickets)
+
+Worker crashes respawn from the artifact with every owed query requeued,
+and ``broadcast_swap`` hot-swaps all workers to a new epoch mid-load
+without dropping a query.  Gated by ``python -m repro.bench --serve``; see
+``docs/serving.md``.
 """
 
 from repro.core import (
@@ -125,6 +142,17 @@ from repro.resilience import (
     RetryPolicy,
     VirtualClock,
 )
+from repro.serving import (
+    LatencyRecorder,
+    ServingClock,
+    ServingFrontEnd,
+    ServingTicket,
+    TrafficConfig,
+    TrafficTrace,
+    WorkerProxy,
+    generate_trace,
+    run_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -141,6 +169,15 @@ __all__ = [
     "FaultSpec",
     "InvalidQueryError",
     "KNNQuery",
+    "LatencyRecorder",
+    "ServingClock",
+    "ServingFrontEnd",
+    "ServingTicket",
+    "TrafficConfig",
+    "TrafficTrace",
+    "WorkerProxy",
+    "generate_trace",
+    "run_trace",
     "MULTI_SIGNATURE",
     "ONE_SIGNATURE",
     "OutsourcedSystem",

@@ -6,12 +6,15 @@ ever mutated under an internal lock.  The ROADMAP's multi-worker serving
 tier builds directly on that discipline, so this rule pins it statically.
 
 The check is deliberately conservative and self-calibrating: in any class
-that creates a ``threading.Lock``/``RLock`` in ``__init__``, every
-``self.<attr>`` the class ever writes *inside* a ``with self.<lock>:``
-block is considered lock-guarded shared state.  Any other write to the
+that creates a ``threading.Lock``/``RLock``/``Condition`` in ``__init__``
+(entering a ``Condition`` acquires its underlying lock, so a ``with
+self.<condition>:`` block is a lock guard too), every ``self.<attr>`` the
+class ever writes *inside* a ``with self.<lock>:`` block is considered
+lock-guarded shared state.  Any other write to the
 same attribute (assignment, augmented assignment, ``self.attr[k] = v``, or
 a mutating method call such as ``.merge(...)``/``.pop(...)``) outside a
-lock block -- anywhere but ``__init__`` -- is a finding.  Attributes never
+lock block -- anywhere but ``__init__`` or a ``*_locked`` helper (the
+naming convention for "caller already holds the lock") -- is a finding.  Attributes never
 written under a lock are untracked: the rule never guesses which state is
 shared, it only enforces consistency with what the class itself declared
 by locking once.
@@ -47,7 +50,7 @@ _MUTATORS = frozenset(
     }
 )
 
-_LOCK_TYPES = frozenset({"threading.Lock", "threading.RLock"})
+_LOCK_TYPES = frozenset({"threading.Lock", "threading.RLock", "threading.Condition"})
 
 
 class LockGuardRule(Rule):
@@ -95,7 +98,10 @@ class LockGuardRule(Rule):
                     if attr is not None and attr in locks:
                         return True
             if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                return False
+                # The ``_locked`` suffix is the project's caller-holds-the-lock
+                # contract: such helpers are only ever invoked from within a
+                # ``with self.<lock>:`` block, so their writes are guarded.
+                return ancestor.name.endswith("_locked")
         return False
 
     def _write_events(

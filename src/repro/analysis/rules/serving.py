@@ -1,0 +1,105 @@
+"""RL010: the serving tier reads the wall clock only through its clock module.
+
+The serving front-end's replay story (same seed, same trace, same batching
+and routing decisions) and its measurement story (latencies a pure function
+of dispatcher-stamped instants) both rest on concentrating wall-clock and
+entropy access in one designated module: ``repro.serving.recorder``, home
+of ``ServingClock`` and ``LatencyRecorder``.  Everywhere else in
+``repro.serving`` this rule bans
+
+* sleeping and wall-clock reads: ``time.sleep``, ``time.time`` /
+  ``time_ns`` / ``localtime`` / ``gmtime`` / ``ctime``, ``datetime.now`` /
+  ``utcnow`` / ``today`` -- pacing goes through the injected
+  ``ServingClock`` (``sleep`` / ``sleep_until``), timestamps through
+  ``clock.now()``;
+* unseeded entropy: the module-level ``random.*`` functions and unseeded
+  ``random.Random()`` / ``random.SystemRandom()`` /
+  ``numpy.random.default_rng()`` constructors -- the traffic generator
+  draws everything from one seeded ``random.Random(config.seed)``.
+
+``time.perf_counter`` (and the other monotonic duration clocks) stays
+legal everywhere, exactly as under RL004: a duration can only end up in a
+utilisation report, never in a scheduling decision or a digest.  The
+designated clock modules are configurable via ``[tool.reprolint.rl010]
+clock_modules = [...]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.rules.determinism import _GLOBAL_RANDOM, _SEEDABLE, _WALL_CLOCK
+from repro.analysis.source import ModuleInfo, call_args
+
+__all__ = ["ServingWallClockRule"]
+
+#: Wall-clock access banned in the serving tier outside the clock modules:
+#: RL004's reads plus ``time.sleep`` (pacing must go through ServingClock,
+#: which is injectable and flushes in slices).
+_SERVING_WALL_CLOCK = _WALL_CLOCK | frozenset({"time.sleep"})
+
+
+class ServingWallClockRule(Rule):
+    rule_id = "RL010"
+    name = "serving-clock"
+    summary = (
+        "serving modules sleep/read time only via ServingClock and draw "
+        "randomness only from seeded generators"
+    )
+    scopes = ("repro.serving",)
+    option_names = ("scopes", "clock_modules")
+
+    def __init__(self) -> None:
+        #: Modules allowed to touch the wall clock directly: the designated
+        #: clock/recorder implementation itself.
+        self.clock_modules: Tuple[str, ...] = ("repro.serving.recorder",)
+
+    def check(self, info: ModuleInfo) -> List[Finding]:
+        if info.module in self.clock_modules:
+            return []
+        findings: List[Finding] = []
+        for node in info.nodes(ast.Call):
+            resolved = info.resolve(node.func)
+            if resolved is None:
+                continue
+            positional, keywords = call_args(node)
+            if resolved in _SEEDABLE and not positional and not keywords:
+                findings.append(
+                    self.finding(
+                        info,
+                        node,
+                        f"unseeded {resolved}() in the serving tier; the "
+                        "traffic/runtime layers must draw from one seeded "
+                        "generator so traces replay bit-identically",
+                    )
+                )
+        for node in info.nodes(ast.Attribute, ast.Name):
+            if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Load):
+                continue
+            resolved = info.resolve(node)
+            if resolved is None:
+                continue
+            if resolved in _SERVING_WALL_CLOCK:
+                findings.append(
+                    self.finding(
+                        info,
+                        node,
+                        f"{resolved} outside the designated clock module "
+                        f"({', '.join(self.clock_modules)}); go through the "
+                        "injected ServingClock (now/sleep/sleep_until) so "
+                        "pacing and timestamps stay swappable and testable",
+                    )
+                )
+            elif resolved in _GLOBAL_RANDOM:
+                findings.append(
+                    self.finding(
+                        info,
+                        node,
+                        f"{resolved} uses the global unseeded RNG in the "
+                        "serving tier; same-seed load replays would diverge",
+                    )
+                )
+        return findings

@@ -24,6 +24,9 @@ Usage::
     python -m repro.bench --churn         # crash-recovery + rolling-swap gate
                                           # (writes BENCH_churn.json)
     python -m repro.bench --churn --smoke      # reduced churn/recovery gate (CI)
+    python -m repro.bench --serve         # multi-worker serving-tier gate
+                                          # (writes BENCH_serve.json)
+    python -m repro.bench --serve --smoke      # reduced serving gate (CI)
 """
 
 from __future__ import annotations
@@ -59,6 +62,12 @@ from repro.bench.fastpath import (
 from repro.bench.figures import all_experiments
 from repro.bench.harness import BenchConfig
 from repro.bench.reporting import render_results
+from repro.bench.serve import (
+    SERVE_REPORT_FILENAME,
+    SMOKE_SERVE_REPORT_FILENAME,
+    run_serve,
+    run_serve_smoke,
+)
 from repro.bench.scale import (
     SCALE_REPORT_FILENAME,
     SMOKE_SCALE_REPORT_FILENAME,
@@ -163,6 +172,18 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         "again, goodput misses its floor or a same-seed replay diverges; "
         f"combine with --smoke for the reduced CI gate (writes {SMOKE_CHURN_REPORT_FILENAME})",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the serving-tier benchmark (multi-worker front-end under an "
+        "open-loop seeded-Poisson load with a mid-run epoch hot-swap and a "
+        f"deterministic worker crash) and write {SERVE_REPORT_FILENAME}; exit 1 "
+        "if the workload is not seed-deterministic, N workers miss the "
+        "hardware-scaled throughput floor over one worker, p99 latency "
+        "exceeds its bound, any query drops, any sampled answer fails "
+        "client verification, or the crashed worker never serves again; "
+        f"combine with --smoke for the reduced CI gate (writes {SMOKE_SERVE_REPORT_FILENAME})",
+    )
     return parser.parse_args(argv)
 
 
@@ -203,6 +224,7 @@ def main(argv: list[str] | None = None) -> int:
             ("--update", args.update),
             ("--faults", args.faults),
             ("--churn", args.churn),
+            ("--serve", args.serve),
         )
         if given
     ]
@@ -212,8 +234,9 @@ def main(argv: list[str] | None = None) -> int:
         ["--smoke", "--update"],
         ["--smoke", "--faults"],
         ["--smoke", "--churn"],
+        ["--smoke", "--serve"],
     ):
-        # --smoke combines only with the --scale/--coldstart/--update/--faults/--churn gates.
+        # --smoke combines only with the named gates (--scale ... --serve).
         print(f"error: {' and '.join(exclusive)} are mutually exclusive")
         return 2
     if (
@@ -225,6 +248,7 @@ def main(argv: list[str] | None = None) -> int:
         or args.update
         or args.faults
         or args.churn
+        or args.serve
     ):
         ignored = [
             flag
@@ -245,6 +269,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {mode} runs a fixed workload; {', '.join(ignored)} would be ignored")
             return 2
     started = time.perf_counter()
+    if args.serve:
+        if args.smoke:
+            results, failures = run_serve_smoke(seed=args.seed)
+            report = SMOKE_SERVE_REPORT_FILENAME
+        else:
+            results, failures = run_serve(seed=args.seed)
+            report = SERVE_REPORT_FILENAME
+        print(render_results(results))
+        elapsed = time.perf_counter() - started
+        for failure in failures:
+            print(f"SERVE REGRESSION: {failure}")
+        print(f"wrote serving-tier outcome to {report}")
+        print(f"\ncompleted serving benchmark in {elapsed:.1f}s")
+        return 1 if failures else 0
     if args.churn:
         if args.smoke:
             results, failures = run_churn_smoke(seed=args.seed)

@@ -1,13 +1,19 @@
-"""Small wall-clock timing helpers used by the benchmark harness."""
+"""Wall-clock timing helpers used by the benchmark harness and serving tier.
+
+:class:`Stopwatch`/:func:`timed` accumulate named durations for the figure
+experiments; :func:`percentile` and :class:`LatencySummary` are the shared
+percentile machinery behind the serving tier's latency recorder
+(``repro.serving.recorder``) and the ``--serve`` bench gate.
+"""
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Sequence
 
-__all__ = ["Stopwatch", "timed"]
+__all__ = ["Stopwatch", "timed", "percentile", "LatencySummary"]
 
 
 @dataclass
@@ -41,6 +47,57 @@ class Stopwatch:
 
     def reset(self) -> None:
         self.durations.clear()
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100]).
+
+    Nearest-rank (rather than interpolation) keeps the reported value an
+    actually-observed latency, which is what a tail-latency gate should
+    bound; raises ``ValueError`` on an empty sample set.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample set is undefined")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile rank must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if q == 0.0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without float error
+    return ordered[int(rank) - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """p50/p95/p99/max/mean of one latency sample set (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        return cls(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            p50=percentile(samples, 50.0),
+            p95=percentile(samples, 95.0),
+            p99=percentile(samples, 99.0),
+            max=max(samples),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
 
 
 @contextmanager

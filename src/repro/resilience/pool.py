@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import random
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -538,15 +539,32 @@ def pool_from_artifact(
 
     Every replica is an independent :meth:`Server.from_artifact` load (own
     score cache, own counters) of the same file, exactly how a fleet would
-    bootstrap from one published ADS.  Errors propagate: if the shared
-    artifact is truncated or tampered, no usable pool exists.
+    bootstrap from one published ADS.  The loads run concurrently on a
+    thread pool (artifact loading alternates zlib inflation with numpy
+    array assembly, so threads overlap usefully even under the GIL) and the
+    pool order is the replica order -- loading concurrently must be
+    indistinguishable from loading serially, which
+    ``tests/resilience/test_pool.py`` pins by asserting bit-identical
+    roots, signatures and verification objects between the two.  Errors
+    propagate: if the shared artifact is truncated or tampered, no usable
+    pool exists.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be >= 1, got {replicas}")
-    servers = [
-        Server.from_artifact(path, base=base, expected_epoch=expected_epoch)
-        for _ in range(replicas)
-    ]
+    if replicas == 1:
+        servers = [Server.from_artifact(path, base=base, expected_epoch=expected_epoch)]
+    else:
+        with ThreadPoolExecutor(max_workers=min(replicas, 8)) as executor:
+            # list() preserves submission order: replica i of the concurrent
+            # pool is the same load as replica i of a serial loop.
+            servers = list(
+                executor.map(
+                    lambda _: Server.from_artifact(
+                        path, base=base, expected_epoch=expected_epoch
+                    ),
+                    range(replicas),
+                )
+            )
     return ReplicaPool(
         servers,
         clock=clock,

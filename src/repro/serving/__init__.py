@@ -1,0 +1,38 @@
+"""Multi-worker serving tier: process pool, batching dispatcher, load harness.
+
+See ``docs/serving.md`` for the architecture and the ``--serve`` bench gate.
+"""
+
+from repro.serving.dispatcher import (
+    ServingFrontEnd,
+    ServingTicket,
+    SwapBroadcast,
+    WorkerProxy,
+    wait_all,
+)
+from repro.serving.recorder import LatencyRecorder, ServingClock
+from repro.serving.traffic import (
+    Arrival,
+    TrafficConfig,
+    TrafficTrace,
+    generate_trace,
+    run_trace,
+)
+from repro.serving.worker import WorkerReply, worker_main
+
+__all__ = [
+    "Arrival",
+    "LatencyRecorder",
+    "ServingClock",
+    "ServingFrontEnd",
+    "ServingTicket",
+    "SwapBroadcast",
+    "TrafficConfig",
+    "TrafficTrace",
+    "WorkerProxy",
+    "WorkerReply",
+    "generate_trace",
+    "run_trace",
+    "wait_all",
+    "worker_main",
+]

@@ -1,0 +1,170 @@
+"""The serving tier's designated wall-clock and measurement module.
+
+Everything in ``repro.serving`` that needs real time -- pacing open-loop
+arrivals, stamping enqueue/dispatch/completion instants, sleeping at all --
+goes through this module.  reprolint rule **RL010** enforces that split
+statically: outside this module the serving tier may not call ``time.time``
+/ ``time.sleep`` / the global ``random`` functions / unseeded RNG
+constructors, so the dispatcher, worker and traffic layers stay replayable
+(their *decisions* are pure functions of the seeded trace; only the
+*measurements* ever consult the clock, and a measurement can only end up in
+a report, never in a digest or a routing decision).
+
+:class:`ServingClock` is a monotonic wall clock (``time.perf_counter``)
+with a polling ``sleep_until``; :class:`LatencyRecorder` folds completed
+tickets into the latency/throughput/utilisation summary the ``--serve``
+bench gate and ``BENCH_serve.json`` report.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional
+
+from repro.metrics.timing import LatencySummary
+
+__all__ = ["ServingClock", "LatencyRecorder"]
+
+#: Longest single sleep slice of :meth:`ServingClock.sleep_until`; short
+#: slices keep pacing responsive to the frontend being stopped mid-trace.
+_SLEEP_SLICE = 0.002
+
+
+class ServingClock:
+    """Monotonic wall clock shared by the front-end and the load harness.
+
+    One clock instance is threaded through the dispatcher and the traffic
+    driver so every timestamp of one run lives on the same time base;
+    ``perf_counter`` makes the base monotonic (latencies can never come out
+    negative because NTP stepped the clock mid-run).
+    """
+
+    def now(self) -> float:
+        """Seconds on the monotonic time base (only differences mean anything)."""
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (no-op for zero or negative durations)."""
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def sleep_until(self, deadline: float) -> None:
+        """Block until :meth:`now` reaches ``deadline``.
+
+        Sleeps in short slices rather than one long call so an open-loop
+        driver waiting for a far-future arrival stays responsive; returns
+        immediately when the deadline already passed (an open-loop harness
+        that falls behind must *not* stretch the schedule -- lateness shows
+        up as queueing delay in the recorded latencies, exactly as offered
+        load beyond capacity should).
+        """
+        while True:
+            remaining = deadline - self.now()
+            if remaining <= 0:
+                return
+            time.sleep(min(remaining, _SLEEP_SLICE))
+
+
+class LatencyRecorder:
+    """Aggregates completed serving tickets into one measurement summary.
+
+    ``observe`` is called once per finished ticket (order irrelevant);
+    ``summary`` computes enqueue-to-verified-reply percentiles, achieved
+    versus offered throughput and per-worker utilisation.  The recorder
+    never consults the clock itself -- it only arranges timestamps the
+    dispatcher already stamped -- so summaries are a pure function of the
+    observed tickets.
+    """
+
+    def __init__(self) -> None:
+        self._latencies: List[float] = []
+        self._queue_delays: List[float] = []
+        self._first_enqueue: Optional[float] = None
+        self._last_completion: Optional[float] = None
+        self._observed = 0
+        self._completed = 0
+        self._errored = 0
+        self._per_worker_served: Dict[int, int] = {}
+
+    # ------------------------------------------------------------ recording
+    def observe(self, ticket) -> None:
+        """Fold one ticket (see ``repro.serving.dispatcher.ServingTicket``) in."""
+        self._observed += 1
+        if self._first_enqueue is None or ticket.enqueued_at < self._first_enqueue:
+            self._first_enqueue = ticket.enqueued_at
+        if ticket.error is not None or ticket.completed_at is None:
+            self._errored += 1
+            return
+        self._completed += 1
+        if self._last_completion is None or ticket.completed_at > self._last_completion:
+            self._last_completion = ticket.completed_at
+        self._latencies.append(ticket.completed_at - ticket.enqueued_at)
+        if ticket.dispatched_at is not None:
+            self._queue_delays.append(ticket.dispatched_at - ticket.enqueued_at)
+        if ticket.worker_id is not None:
+            self._per_worker_served[ticket.worker_id] = (
+                self._per_worker_served.get(ticket.worker_id, 0) + 1
+            )
+
+    def observe_all(self, tickets) -> None:
+        for ticket in tickets:
+            self.observe(ticket)
+
+    # ------------------------------------------------------------- summary
+    @property
+    def wall_seconds(self) -> float:
+        """First enqueue to last completion (0.0 before any completion)."""
+        if self._first_enqueue is None or self._last_completion is None:
+            return 0.0
+        return self._last_completion - self._first_enqueue
+
+    def summary(
+        self,
+        *,
+        offered_rate: Optional[float] = None,
+        worker_stats: Optional[Mapping[int, Mapping[str, object]]] = None,
+    ) -> Dict[str, object]:
+        """The measurement dict the bench gate and reports consume.
+
+        ``offered_rate`` is the open-loop trace's arrival rate (achieved
+        versus offered is only meaningful for paced runs); ``worker_stats``
+        is :meth:`repro.serving.dispatcher.ServingFrontEnd.worker_stats`,
+        used for per-worker busy-time utilisation.
+        """
+        wall = self.wall_seconds
+        achieved = self._completed / wall if wall > 0 else 0.0
+        payload: Dict[str, object] = {
+            "observed": self._observed,
+            "completed": self._completed,
+            "errored": self._errored,
+            "dropped": self._observed - self._completed - self._errored,
+            "wall_seconds": wall,
+            "achieved_rate": achieved,
+            "offered_rate": offered_rate,
+            "achieved_over_offered": (
+                achieved / offered_rate if offered_rate else None
+            ),
+            "latency": (
+                LatencySummary.from_samples(self._latencies).as_dict()
+                if self._latencies
+                else None
+            ),
+            "queue_delay": (
+                LatencySummary.from_samples(self._queue_delays).as_dict()
+                if self._queue_delays
+                else None
+            ),
+        }
+        if worker_stats is not None:
+            per_worker: Dict[str, Dict[str, object]] = {}
+            for worker_id, stats in sorted(worker_stats.items()):
+                busy = float(stats.get("busy_seconds", 0.0))
+                per_worker[str(worker_id)] = {
+                    "served": self._per_worker_served.get(worker_id, 0),
+                    "busy_seconds": busy,
+                    "utilisation": busy / wall if wall > 0 else 0.0,
+                    "batches": stats.get("batches", 0),
+                    "respawns": stats.get("respawns", 0),
+                }
+            payload["per_worker"] = per_worker
+        return payload

@@ -1,0 +1,214 @@
+"""Open-loop traffic generation for the serving front-end.
+
+The load harness is **open-loop**: arrival instants are drawn up front from
+a seeded Poisson process (exponential inter-arrival gaps at the configured
+rate) and the driver submits each query at its scheduled instant whether or
+not earlier queries have completed.  A closed-loop driver (next request
+only after the previous reply) would let a slow server throttle its own
+measured load and hide queueing collapse; open-loop pacing keeps offered
+load an independent variable, so saturation shows up honestly as growing
+queue delay and a widening achieved-versus-offered gap.
+
+Generation is two-phase so it is deterministic end to end:
+
+1. :func:`generate_trace` builds the complete :class:`TrafficTrace` --
+   arrival offsets, query kinds drawn from the configured mix, weight
+   vectors drawn from a hot/cold pool with the configured skew, and the
+   concrete query objects (via :func:`repro.workloads.generator.make_query`)
+   -- from a single seeded :class:`random.Random`.  Same seed, same trace,
+   bit for bit, regardless of worker count or machine speed; the trace's
+   ``fingerprint()`` hashes the whole schedule so benches can assert that.
+2. :func:`run_trace` replays the trace against a front-end, pacing each
+   submission with :meth:`ServingClock.sleep_until <repro.serving.recorder.ServingClock.sleep_until>`
+   (lateness never stretches the schedule -- a driver that falls behind
+   submits immediately and the backlog appears as queueing delay).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.queries import AnalyticQuery
+from repro.core.records import Dataset, UtilityTemplate
+from repro.serving.dispatcher import ServingFrontEnd, ServingTicket
+from repro.workloads.generator import make_query, make_weight_vector
+
+__all__ = ["TrafficConfig", "Arrival", "TrafficTrace", "generate_trace", "run_trace"]
+
+#: Default query-kind mix (fractions; normalised at draw time).
+DEFAULT_MIX: Mapping[str, float] = {"topk": 0.5, "range": 0.3, "knn": 0.2}
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Shape of one open-loop workload.
+
+    ``rate`` is the offered arrival rate (queries/second of the Poisson
+    process); ``hot_fraction`` of queries draw their weight vector from a
+    small pool of ``hot_vectors`` (the skew that makes same-weight batching
+    pay off), the rest from a larger pool of ``cold_vectors``.
+    """
+
+    rate: float = 50.0
+    count: int = 200
+    mix: Mapping[str, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    hot_fraction: float = 0.8
+    hot_vectors: int = 4
+    cold_vectors: int = 32
+    result_size: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {self.rate}")
+        if self.count < 1:
+            raise ValueError(f"a trace needs at least one query, got {self.count}")
+        if not self.mix:
+            raise ValueError("the query mix cannot be empty")
+        if any(weight < 0 for weight in self.mix.values()) or not any(
+            weight > 0 for weight in self.mix.values()
+        ):
+            raise ValueError(f"query mix needs non-negative weights summing > 0: {self.mix}")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in [0, 1], got {self.hot_fraction}")
+        if self.hot_vectors < 1 or self.cold_vectors < 1:
+            raise ValueError("hot and cold pools each need at least one weight vector")
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(self.mix)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled query: when it arrives and what it asks."""
+
+    offset: float
+    query: AnalyticQuery
+    weight_id: str
+    hot: bool
+
+    @property
+    def kind(self) -> str:
+        return self.query.kind
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """A fully materialised open-loop schedule."""
+
+    config: TrafficConfig
+    arrivals: Tuple[Arrival, ...]
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def duration(self) -> float:
+        """Offset of the last arrival (the schedule's nominal length)."""
+        return self.arrivals[-1].offset if self.arrivals else 0.0
+
+    def kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for arrival in self.arrivals:
+            counts[arrival.kind] = counts.get(arrival.kind, 0) + 1
+        return counts
+
+    def hot_count(self) -> int:
+        return sum(1 for arrival in self.arrivals if arrival.hot)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical schedule encoding.
+
+        Covers arrival offsets (exact ``repr`` of the float), weight
+        assignment and the full query parameters, so two traces with equal
+        fingerprints schedule bit-identical work -- the determinism gate of
+        ``--serve`` compares fingerprints across independent generations.
+        """
+        digest = hashlib.sha256()  # reprolint: disable=RL001 -- trace identity fingerprint, not a paper-counted hash
+        for arrival in self.arrivals:
+            digest.update(
+                f"{arrival.offset!r}|{arrival.weight_id}|{arrival.query!r}\n".encode()
+            )
+        return digest.hexdigest()
+
+
+def _draw_kind(mix: Mapping[str, float], total: float, rng: random.Random) -> str:
+    point = rng.random() * total
+    cumulative = 0.0
+    for kind, weight in mix.items():
+        cumulative += weight
+        if point < cumulative:
+            return kind
+    return next(reversed(mix))  # only on floating-point edge of the last bin
+
+
+def generate_trace(
+    dataset: Dataset, template: UtilityTemplate, config: TrafficConfig
+) -> TrafficTrace:
+    """Materialise the full schedule from one seeded generator.
+
+    Draw order is fixed (pools first, then per query: inter-arrival gap,
+    kind, hot/cold, pool index, query parameters), so the same seed yields
+    the same trace no matter how it is later replayed.
+    """
+    rng = random.Random(config.seed)
+    functions = template.functions_for(dataset)
+
+    def pool(tag: str, size: int) -> List[Tuple[str, Tuple[float, ...], List[float]]]:
+        entries = []
+        for position in range(size):
+            weights = make_weight_vector(template, rng)
+            scores = sorted(function.evaluate(weights) for function in functions)
+            entries.append((f"{tag}-{position}", weights, scores))
+        return entries
+
+    hot_pool = pool("hot", config.hot_vectors)
+    cold_pool = pool("cold", config.cold_vectors)
+    mix_total = float(sum(config.mix.values()))
+
+    arrivals: List[Arrival] = []
+    offset = 0.0
+    for _ in range(config.count):
+        offset += rng.expovariate(config.rate)
+        kind = _draw_kind(config.mix, mix_total, rng)
+        hot = rng.random() < config.hot_fraction
+        source = hot_pool if hot else cold_pool
+        weight_id, weights, scores = source[rng.randrange(len(source))]
+        query = make_query(kind, weights, scores, rng, config.result_size)
+        arrivals.append(Arrival(offset=offset, query=query, weight_id=weight_id, hot=hot))
+    return TrafficTrace(config=config, arrivals=tuple(arrivals))
+
+
+def run_trace(
+    frontend: ServingFrontEnd,
+    trace: TrafficTrace,
+    *,
+    paced: bool = True,
+    actions: Optional[Mapping[int, Callable[[], None]]] = None,
+) -> List[ServingTicket]:
+    """Replay a trace against a front-end; returns one ticket per arrival.
+
+    With ``paced=True`` each query is submitted at its scheduled offset
+    (late submissions go out immediately -- the schedule is never
+    stretched); ``paced=False`` submits as fast as possible, which is the
+    saturation-throughput mode.  ``actions`` maps a submission index to a
+    callback invoked right after that query went out -- how the bench
+    injects a mid-load
+    :meth:`~repro.serving.dispatcher.ServingFrontEnd.broadcast_swap` or a
+    worker crash at a deterministic point of the schedule.
+    """
+    clock = frontend.clock
+    start = clock.now()
+    tickets: List[ServingTicket] = []
+    for position, arrival in enumerate(trace.arrivals):
+        if paced:
+            clock.sleep_until(start + arrival.offset)
+        tickets.append(frontend.submit(arrival.query))
+        if actions is not None and position in actions:
+            actions[position]()
+    frontend.flush()
+    return tickets

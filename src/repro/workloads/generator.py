@@ -27,6 +27,7 @@ __all__ = [
     "make_dataset",
     "make_template",
     "make_queries",
+    "make_query",
     "make_weight_vector",
 ]
 
@@ -150,6 +151,36 @@ def make_weight_vector(
     return tuple(weights)
 
 
+def make_query(
+    kind: str,
+    weights: tuple[float, ...],
+    scores: Sequence[float],
+    rng: random.Random,
+    result_size: int = 3,
+) -> AnalyticQuery:
+    """One query of ``kind`` over ``weights``, parameterized from ``scores``.
+
+    ``scores`` is the dataset's sorted score list under ``weights``: range
+    boundaries and KNN targets are anchored on it so the query hits a
+    populated part of the score distribution.  All randomness comes from the
+    caller's ``rng``, and the draw sequence per kind is fixed (``topk``
+    draws nothing, ``range`` and ``knn`` draw exactly once), so seeded
+    callers -- :func:`make_queries` and the serving tier's traffic
+    generator -- replay bit-identically.
+    """
+    if kind == "topk":
+        return TopKQuery(weights=weights, k=result_size)
+    if kind == "range":
+        anchor = rng.randrange(0, max(1, len(scores) - result_size))
+        low = scores[anchor]
+        high = scores[min(len(scores) - 1, anchor + result_size - 1)]
+        return RangeQuery(weights=weights, low=low, high=high)
+    if kind == "knn":
+        target = rng.choice(scores)
+        return KNNQuery(weights=weights, k=result_size, target=target)
+    raise ValueError(f"unknown query kind {kind!r}")
+
+
 def make_queries(
     dataset: Dataset,
     template: UtilityTemplate,
@@ -174,16 +205,5 @@ def make_queries(
         kind = kinds[position % len(kinds)]
         weights = make_weight_vector(template, rng)
         scores = sorted(function.evaluate(weights) for function in functions)
-        if kind == "topk":
-            queries.append(TopKQuery(weights=weights, k=result_size))
-        elif kind == "range":
-            anchor = rng.randrange(0, max(1, len(scores) - result_size))
-            low = scores[anchor]
-            high = scores[min(len(scores) - 1, anchor + result_size - 1)]
-            queries.append(RangeQuery(weights=weights, low=low, high=high))
-        elif kind == "knn":
-            target = rng.choice(scores)
-            queries.append(KNNQuery(weights=weights, k=result_size, target=target))
-        else:
-            raise ValueError(f"unknown query kind {kind!r}")
+        queries.append(make_query(kind, weights, scores, rng, result_size))
     return queries

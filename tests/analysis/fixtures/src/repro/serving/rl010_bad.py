@@ -1,0 +1,20 @@
+"""RL010 violations: wall-clock and unseeded entropy outside the clock module."""
+
+import random
+import time
+
+
+def pace(interval):
+    time.sleep(interval)
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    return random.random()
+
+
+def fresh_rng():
+    return random.Random()

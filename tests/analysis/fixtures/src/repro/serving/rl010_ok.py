@@ -1,0 +1,18 @@
+"""RL010 compliant: pacing through the injected clock, seeded draws only,
+durations from the monotonic counter (legal everywhere, as under RL004)."""
+
+import random
+import time
+
+
+def pace(clock, deadline):
+    clock.sleep_until(deadline)
+
+
+def service_time(start):
+    return time.perf_counter() - start
+
+
+def draws(seed):
+    rng = random.Random(seed)
+    return [rng.expovariate(1.0) for _ in range(3)]

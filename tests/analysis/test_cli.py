@@ -77,7 +77,7 @@ def test_config_error_exits_two(tmp_path):
 def test_list_rules_catalogue():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
-    for rule_id in [f"RL{n:03d}" for n in range(1, 8)] + ["RL000"]:
+    for rule_id in [f"RL{n:03d}" for n in range(1, 11)] + ["RL000"]:
         assert rule_id in proc.stdout
 
 

@@ -24,6 +24,12 @@ BAD_FIXTURES = {
     "merkle/rl007_bad.py": [("RL007", 5), ("RL007", 14)],
     "resilience/rl008_bad.py": [("RL008", 8), ("RL008", 16), ("RL008", 23)],
     "core/artifact/rl009_bad.py": [("RL009", 7), ("RL009", 11), ("RL009", 16)],
+    "serving/rl010_bad.py": [
+        ("RL010", 8),
+        ("RL010", 12),
+        ("RL010", 16),
+        ("RL010", 20),
+    ],
 }
 
 OK_FIXTURES = [
@@ -36,6 +42,8 @@ OK_FIXTURES = [
     "merkle/rl007_ok.py",
     "resilience/rl008_ok.py",
     "core/artifact/rl009_ok.py",
+    "serving/rl010_ok.py",
+    "serving/recorder.py",
 ]
 
 
@@ -57,7 +65,7 @@ def test_no_rule_fires_on_compliant_fixture(relpath):
 def test_whole_fixture_tree_exercises_every_rule():
     result = lint_paths([str(FIXTURES)], LintConfig())
     fired = {finding.rule for finding in result.findings}
-    assert {f"RL{n:03d}" for n in range(1, 10)} <= fired
+    assert {f"RL{n:03d}" for n in range(1, 11)} <= fired
 
 
 def test_findings_carry_messages_and_render():

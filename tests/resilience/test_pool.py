@@ -441,3 +441,32 @@ def test_recovered_replica_serves_again_after_resync(system, tmp_path):
     assert stale.served > served_before  # the probe got traffic...
     assert stale.quarantined_until is None  # ...and one success restored it
     assert stale.epoch == 1
+
+
+def test_concurrent_pool_load_bit_identical_to_serial(system, tmp_path):
+    """pool_from_artifact loads replicas on a thread pool; concurrency must
+    be unobservable -- every replica bit-identical to a serial load."""
+    import pickle
+
+    path = tmp_path / "ads.npz"
+    system.owner.publish(path)
+    serial = [Server.from_artifact(path) for _ in range(4)]
+    pool = pool_from_artifact(path, replicas=4)
+    assert len(pool) == 4
+    client = Client.from_artifact(path)
+    reference = serial[0].execute(QUERY)
+    reference_bytes = pickle.dumps(
+        (reference.result, reference.verification_object)
+    )
+    for serial_server, handle in zip(serial, pool.handles):
+        concurrent_server = handle.server
+        assert concurrent_server.ads.root_hash == serial_server.ads.root_hash
+        assert concurrent_server.epoch == serial_server.epoch
+        execution = concurrent_server.execute(QUERY)
+        assert (
+            pickle.dumps((execution.result, execution.verification_object))
+            == reference_bytes
+        )
+        assert client.verify(
+            execution.query, execution.result, execution.verification_object
+        ).is_valid

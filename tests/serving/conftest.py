@@ -1,0 +1,48 @@
+"""Shared serving-tier fixtures: one published artifact pair per module.
+
+Building and publishing an ADS dominates these tests' runtime, so the
+artifact (and its epoch-1 delta) are built once per module and shared;
+every test cold-starts its own front-end/workers from the files.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.owner import DataOwner
+from repro.core.records import Record
+from repro.crypto.signer import make_signer
+from repro.workloads.generator import WorkloadConfig, make_dataset, make_template
+
+N_RECORDS = 40
+
+
+@pytest.fixture(scope="module")
+def serving_setup(tmp_path_factory):
+    """Dataset, template and published epoch-0/epoch-1 artifact paths."""
+    directory = tmp_path_factory.mktemp("serving-ads")
+    workload = WorkloadConfig(n_records=N_RECORDS, dimension=1, seed=9)
+    dataset = make_dataset(workload)
+    template = make_template(workload)
+    owner = DataOwner(
+        dataset,
+        template,
+        config=SystemConfig(scheme="one-signature", signature_algorithm="hmac"),
+        keypair=make_signer("hmac", rng=random.Random(99)),
+    )
+    epoch0 = directory / "ads-epoch0.npz"
+    owner.publish(epoch0)
+    owner.apply_updates(
+        inserts=[Record(record_id=N_RECORDS, values=(4.0, 3.0))], deletes=[1]
+    )
+    epoch1 = directory / "ads-epoch1.npz"
+    owner.publish(epoch1, base=epoch0)
+    return {
+        "dataset": dataset,
+        "template": template,
+        "epoch0": epoch0,
+        "epoch1": epoch1,
+    }

@@ -1,0 +1,159 @@
+"""End-to-end front-end behaviour: batching, swap, crash recovery, pooling."""
+
+import pytest
+
+from repro.core.client import Client
+from repro.core.errors import ConstructionError, QueryProcessingError
+from repro.core.queries import TopKQuery
+from repro.serving.dispatcher import ServingFrontEnd
+from repro.serving.traffic import TrafficConfig, generate_trace, run_trace
+
+DRAIN_TIMEOUT = 60.0
+
+
+def _trace(setup, **overrides):
+    defaults = {
+        "rate": 500.0,
+        "count": 60,
+        "hot_fraction": 0.8,
+        "hot_vectors": 2,
+        "cold_vectors": 6,
+        "seed": 31,
+    }
+    defaults.update(overrides)
+    return generate_trace(setup["dataset"], setup["template"], TrafficConfig(**defaults))
+
+
+def test_constructor_validation(serving_setup):
+    with pytest.raises(ValueError, match="worker"):
+        ServingFrontEnd(serving_setup["epoch0"], workers=0)
+    with pytest.raises(ValueError, match="max_batch"):
+        ServingFrontEnd(serving_setup["epoch0"], workers=1, max_batch=0)
+    with pytest.raises(ValueError, match="max_linger"):
+        ServingFrontEnd(serving_setup["epoch0"], workers=1, max_linger=-0.1)
+
+
+def test_start_fails_cleanly_on_corrupt_artifact(serving_setup, tmp_path):
+    corrupt = tmp_path / "corrupt.npz"
+    corrupt.write_bytes(serving_setup["epoch0"].read_bytes()[:64])
+    with pytest.raises(ConstructionError, match="failed to start"):
+        ServingFrontEnd(corrupt, workers=2).start()
+
+
+def test_submit_requires_running_frontend(serving_setup):
+    frontend = ServingFrontEnd(serving_setup["epoch0"], workers=1)
+    with pytest.raises(RuntimeError, match="not running"):
+        frontend.submit(TopKQuery(weights=(0.5,), k=2))
+
+
+def test_two_worker_frontend_serves_verified_answers(serving_setup):
+    """Every ticket resolves with a client-verifiable reply, load is spread
+    across workers, and same-weight queries actually share batches."""
+    trace = _trace(serving_setup)
+    client = Client.from_artifact(serving_setup["epoch0"])
+    with ServingFrontEnd(serving_setup["epoch0"], workers=2) as frontend:
+        tickets = run_trace(frontend, trace, paced=False)
+        frontend.drain(tickets, timeout=DRAIN_TIMEOUT)
+        stats = frontend.worker_stats()
+    assert all(ticket.done and ticket.error is None for ticket in tickets)
+    for ticket in tickets:
+        assert ticket.reply.epoch == 0
+        report = client.verify(
+            ticket.reply.query, ticket.reply.result, ticket.reply.verification_object
+        )
+        assert report.is_valid
+        assert ticket.latency is not None and ticket.latency >= 0.0
+    total_batches = sum(stat["batches"] for stat in stats.values())
+    total_served = sum(stat["served"] for stat in stats.values())
+    assert total_served == len(tickets)
+    assert total_batches < len(tickets), "same-weight queries must batch"
+    assert all(stat["served"] > 0 for stat in stats.values()), "both workers serve"
+
+
+def test_mid_stream_swap_drops_nothing_and_moves_epochs(serving_setup):
+    trace = _trace(serving_setup, count=80, seed=32)
+    clients = {
+        0: Client.from_artifact(serving_setup["epoch0"]),
+        1: Client.from_artifact(serving_setup["epoch1"]),
+    }
+    with ServingFrontEnd(serving_setup["epoch0"], workers=2) as frontend:
+        outcome = {}
+
+        def swap():
+            outcome["broadcast"] = frontend.broadcast_swap(
+                serving_setup["epoch1"], base=serving_setup["epoch0"]
+            )
+
+        tickets = run_trace(frontend, trace, paced=False, actions={40: swap})
+        frontend.drain(tickets, timeout=DRAIN_TIMEOUT)
+        assert frontend.epochs() == {0: 1, 1: 1}
+    broadcast = outcome["broadcast"]
+    assert broadcast.complete
+    assert broadcast.new_epoch == 1
+    assert broadcast.swapped == (0, 1)
+    assert all(ticket.done and ticket.error is None for ticket in tickets)
+    epochs_seen = set()
+    for ticket in tickets:
+        epoch = ticket.reply.epoch
+        epochs_seen.add(epoch)
+        assert clients[epoch].verify(
+            ticket.reply.query, ticket.reply.result, ticket.reply.verification_object
+        ).is_valid
+    assert epochs_seen == {0, 1}, "swap must land mid-load"
+
+
+def test_worker_crash_requeues_and_respawns(serving_setup):
+    trace = _trace(serving_setup, count=80, seed=33)
+    client = Client.from_artifact(serving_setup["epoch0"])
+    with ServingFrontEnd(serving_setup["epoch0"], workers=2) as frontend:
+        tickets = run_trace(
+            frontend, trace, paced=False, actions={20: lambda: frontend.inject_crash(0)}
+        )
+        frontend.drain(tickets, timeout=DRAIN_TIMEOUT)
+        stats = frontend.worker_stats()
+        requeued = frontend.requeued
+        # The respawned worker serves again when dispatched to directly
+        # (it may still be cold-starting right after the drain).
+        assert frontend.wait_ready(0, timeout=20.0)
+        reply = frontend.execute_on(0, TopKQuery(weights=(0.5,), k=2))
+    assert stats[0]["respawns"] == 1
+    assert requeued > 0, "the dead worker owed queries and they were requeued"
+    assert all(ticket.done and ticket.error is None for ticket in tickets)
+    for ticket in tickets:
+        assert client.verify(
+            ticket.reply.query, ticket.reply.result, ticket.reply.verification_object
+        ).is_valid
+    assert client.verify(reply.query, reply.result, reply.verification_object).is_valid
+
+
+def test_execute_on_rejects_unknown_and_dead_workers(serving_setup):
+    with ServingFrontEnd(serving_setup["epoch0"], workers=1, auto_respawn=False) as frontend:
+        with pytest.raises(KeyError, match="no worker"):
+            frontend.execute_on(7, TopKQuery(weights=(0.5,), k=2))
+        frontend.inject_crash(0)
+        deadline = frontend.clock.now() + 20.0
+        while frontend.worker_stats()[0]["ready"] and frontend.clock.now() < deadline:
+            frontend.clock.sleep(0.01)
+        with pytest.raises(QueryProcessingError, match="not serving"):
+            frontend.execute_on(0, TopKQuery(weights=(0.5,), k=2))
+        frontend.respawn(0)
+        assert frontend.wait_ready(0, timeout=20.0)
+        reply = frontend.execute_on(0, TopKQuery(weights=(0.5,), k=2))
+        assert reply.epoch == 0
+
+
+def test_replica_pool_mode_with_resilient_client(serving_setup):
+    """WorkerProxy adapts worker processes to the resilience layer: pooled,
+    verified execution with failover works over the process boundary."""
+    from repro.resilience.pool import ResilientClient
+
+    client = Client.from_artifact(serving_setup["epoch0"])
+    with ServingFrontEnd(serving_setup["epoch0"], workers=2) as frontend:
+        pool = frontend.replica_pool()
+        assert len(pool) == 2
+        assert [handle.server.epoch for handle in pool.handles] == [0, 0]
+        resilient = ResilientClient(pool, client)
+        for _ in range(4):
+            outcome = resilient.execute(TopKQuery(weights=(0.5,), k=2))
+            assert outcome.accepted
+            assert outcome.report.is_valid

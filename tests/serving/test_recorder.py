@@ -1,0 +1,118 @@
+"""Percentile math, clock behaviour and recorder summaries."""
+
+import pytest
+
+from repro.metrics.timing import LatencySummary, percentile
+from repro.serving.recorder import LatencyRecorder, ServingClock
+
+
+class FakeTicket:
+    def __init__(self, enqueued_at, dispatched_at, completed_at, worker_id, error=None):
+        self.enqueued_at = enqueued_at
+        self.dispatched_at = dispatched_at
+        self.completed_at = completed_at
+        self.worker_id = worker_id
+        self.error = error
+
+
+# ---------------------------------------------------------------- percentile
+def test_percentile_nearest_rank():
+    samples = [float(value) for value in range(1, 101)]
+    assert percentile(samples, 50.0) == 50.0
+    assert percentile(samples, 95.0) == 95.0
+    assert percentile(samples, 99.0) == 99.0
+    assert percentile(samples, 100.0) == 100.0
+    assert percentile(samples, 0.0) == 1.0
+
+
+def test_percentile_is_an_observed_value():
+    samples = [0.1, 0.9, 5.0]
+    for q in (1.0, 33.0, 50.0, 90.0, 99.9):
+        assert percentile(samples, q) in samples
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError, match="empty"):
+        percentile([], 50.0)
+    with pytest.raises(ValueError, match="rank"):
+        percentile([1.0], 150.0)
+
+
+def test_latency_summary_fields():
+    summary = LatencySummary.from_samples([0.2, 0.4, 0.6, 0.8])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(0.5)
+    assert summary.p50 == 0.4
+    assert summary.max == 0.8
+    assert summary.as_dict()["p99"] == 0.8
+
+
+# --------------------------------------------------------------------- clock
+def test_clock_monotonic_and_sleep_until_past_deadline_returns():
+    clock = ServingClock()
+    first = clock.now()
+    clock.sleep(0.0)  # no-op
+    clock.sleep(-1.0)  # no-op
+    clock.sleep_until(first - 10.0)  # already passed: returns immediately
+    assert clock.now() >= first
+
+
+def test_sleep_until_reaches_deadline():
+    clock = ServingClock()
+    deadline = clock.now() + 0.02
+    clock.sleep_until(deadline)
+    assert clock.now() >= deadline
+
+
+# ------------------------------------------------------------------ recorder
+def test_recorder_summary_counts_and_percentiles():
+    recorder = LatencyRecorder()
+    recorder.observe_all(
+        [
+            FakeTicket(0.0, 0.01, 0.10, worker_id=0),
+            FakeTicket(0.1, 0.12, 0.30, worker_id=1),
+            FakeTicket(0.2, 0.21, 0.50, worker_id=0),
+            FakeTicket(0.3, None, None, worker_id=None, error="boom"),
+        ]
+    )
+    summary = recorder.summary(offered_rate=10.0)
+    assert summary["observed"] == 4
+    assert summary["completed"] == 3
+    assert summary["errored"] == 1
+    assert summary["dropped"] == 0
+    assert summary["wall_seconds"] == pytest.approx(0.5)
+    assert summary["achieved_rate"] == pytest.approx(3 / 0.5)
+    assert summary["achieved_over_offered"] == pytest.approx(0.6)
+    assert summary["latency"]["count"] == 3
+    assert summary["latency"]["max"] == pytest.approx(0.3)
+    assert summary["queue_delay"]["count"] == 3
+
+
+def test_recorder_flags_unresolved_tickets_as_errored():
+    recorder = LatencyRecorder()
+    recorder.observe(FakeTicket(0.0, None, None, worker_id=None))
+    summary = recorder.summary()
+    assert summary["errored"] == 1
+    assert summary["latency"] is None
+    assert summary["achieved_rate"] == 0.0
+
+
+def test_recorder_per_worker_utilisation():
+    recorder = LatencyRecorder()
+    recorder.observe_all(
+        [
+            FakeTicket(0.0, 0.0, 1.0, worker_id=0),
+            FakeTicket(0.0, 0.0, 1.0, worker_id=0),
+            FakeTicket(0.0, 0.0, 1.0, worker_id=1),
+        ]
+    )
+    stats = {
+        0: {"busy_seconds": 0.6, "batches": 2, "respawns": 0},
+        1: {"busy_seconds": 0.2, "batches": 1, "respawns": 1},
+    }
+    summary = recorder.summary(worker_stats=stats)
+    per_worker = summary["per_worker"]
+    assert per_worker["0"]["served"] == 2
+    assert per_worker["0"]["utilisation"] == pytest.approx(0.6)
+    assert per_worker["1"]["served"] == 1
+    assert per_worker["1"]["respawns"] == 1

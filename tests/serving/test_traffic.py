@@ -1,0 +1,106 @@
+"""Determinism and shape of the open-loop traffic generator."""
+
+import pytest
+
+from repro.serving.traffic import DEFAULT_MIX, TrafficConfig, generate_trace
+
+
+def _config(**overrides):
+    defaults = {
+        "rate": 200.0,
+        "count": 90,
+        "hot_fraction": 0.75,
+        "hot_vectors": 3,
+        "cold_vectors": 9,
+        "seed": 21,
+    }
+    defaults.update(overrides)
+    return TrafficConfig(**defaults)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="rate"):
+        TrafficConfig(rate=0.0)
+    with pytest.raises(ValueError, match="at least one query"):
+        TrafficConfig(count=0)
+    with pytest.raises(ValueError, match="mix"):
+        TrafficConfig(mix={})
+    with pytest.raises(ValueError, match="mix"):
+        TrafficConfig(mix={"topk": 0.0})
+    with pytest.raises(ValueError, match="hot_fraction"):
+        TrafficConfig(hot_fraction=1.5)
+    with pytest.raises(ValueError, match="pools"):
+        TrafficConfig(hot_vectors=0)
+
+
+def test_same_seed_reproduces_the_exact_trace(serving_setup):
+    """Same seed => identical queries, arrival times and weight assignment."""
+    first = generate_trace(serving_setup["dataset"], serving_setup["template"], _config())
+    second = generate_trace(serving_setup["dataset"], serving_setup["template"], _config())
+    assert first.fingerprint() == second.fingerprint()
+    assert [a.offset for a in first.arrivals] == [a.offset for a in second.arrivals]
+    assert [a.query for a in first.arrivals] == [a.query for a in second.arrivals]
+    assert [a.weight_id for a in first.arrivals] == [
+        a.weight_id for a in second.arrivals
+    ]
+
+
+def test_different_seed_changes_the_trace(serving_setup):
+    base = generate_trace(serving_setup["dataset"], serving_setup["template"], _config())
+    other = generate_trace(
+        serving_setup["dataset"], serving_setup["template"], _config(seed=22)
+    )
+    assert base.fingerprint() != other.fingerprint()
+
+
+def test_trace_is_independent_of_consumer_shape(serving_setup):
+    """The schedule is generation-time state: generating it repeatedly (as a
+    1-worker and an 8-worker bench would) never perturbs the draws."""
+    fingerprints = {
+        generate_trace(
+            serving_setup["dataset"], serving_setup["template"], _config()
+        ).fingerprint()
+        for _ in range(4)
+    }
+    assert len(fingerprints) == 1
+
+
+def test_arrivals_are_ordered_and_poisson_positive(serving_setup):
+    trace = generate_trace(serving_setup["dataset"], serving_setup["template"], _config())
+    offsets = [arrival.offset for arrival in trace.arrivals]
+    assert all(later > earlier for earlier, later in zip(offsets, offsets[1:]))
+    assert offsets[0] > 0.0
+    assert len(trace) == 90
+
+
+def test_mix_and_skew_are_honoured(serving_setup):
+    trace = generate_trace(
+        serving_setup["dataset"],
+        serving_setup["template"],
+        _config(count=300, mix={"topk": 1.0, "range": 1.0}),
+    )
+    counts = trace.kind_counts()
+    assert set(counts) == {"topk", "range"}
+    assert counts["topk"] + counts["range"] == 300
+    # 75% hot with 300 draws: a loose band, not a distribution test.
+    assert 0.6 * 300 <= trace.hot_count() <= 0.9 * 300
+    hot_ids = {a.weight_id for a in trace.arrivals if a.hot}
+    cold_ids = {a.weight_id for a in trace.arrivals if not a.hot}
+    assert all(weight_id.startswith("hot-") for weight_id in hot_ids)
+    assert all(weight_id.startswith("cold-") for weight_id in cold_ids)
+    assert len(hot_ids) <= 3
+
+
+def test_pure_topk_mix_draws_no_query_randomness(serving_setup):
+    """topk draws nothing per query, range/knn draw once; both replay."""
+    config = _config(mix={"topk": 1.0}, count=40)
+    first = generate_trace(serving_setup["dataset"], serving_setup["template"], config)
+    second = generate_trace(serving_setup["dataset"], serving_setup["template"], config)
+    assert first.fingerprint() == second.fingerprint()
+    assert set(first.kind_counts()) == {"topk"}
+
+
+def test_default_mix_covers_all_kinds():
+    assert set(DEFAULT_MIX) == {"topk", "range", "knn"}
+    config = TrafficConfig()
+    assert config.kinds == ("topk", "range", "knn")

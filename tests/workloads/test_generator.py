@@ -9,6 +9,7 @@ from repro.workloads.generator import (
     WorkloadConfig,
     make_dataset,
     make_queries,
+    make_query,
     make_template,
     make_weight_vector,
 )
@@ -122,3 +123,72 @@ def test_range_queries_target_populated_score_bands():
         scores = [f.evaluate(query.weights) for f in functions]
         matching = [s for s in scores if query.low <= s <= query.high]
         assert len(matching) >= 1
+
+
+def test_make_query_kinds_and_draw_budget():
+    """The factored-out single-query path: topk draws nothing from the rng,
+    range and knn draw exactly once -- the contract the serving tier's
+    trace generator relies on for bit-identical replays."""
+    scores = [1.0, 2.0, 3.0, 4.0, 5.0]
+    weights = (0.5,)
+
+    rng = random.Random(11)
+    state = rng.getstate()
+    query = make_query("topk", weights, scores, rng, result_size=2)
+    assert isinstance(query, TopKQuery) and query.k == 2
+    assert rng.getstate() == state, "topk must not consume randomness"
+
+    for kind, expected in (("range", RangeQuery), ("knn", KNNQuery)):
+        probe = random.Random(12)
+        reference = random.Random(12)
+        query = make_query(kind, weights, scores, probe, result_size=2)
+        assert isinstance(query, expected)
+        # Exactly one draw: replaying the single draw on a twin rng
+        # resynchronises the states.
+        if kind == "range":
+            reference.randrange(0, len(scores) - 2)
+        else:
+            reference.choice(scores)
+        assert probe.getstate() == reference.getstate()
+
+    with pytest.raises(ValueError, match="unknown query kind"):
+        make_query("median", weights, scores, random.Random(0))
+
+
+def test_make_query_range_bounds_come_from_scores():
+    scores = sorted([3.0, 1.0, 4.0, 1.5, 9.0, 2.6])
+    query = make_query("range", (0.7,), scores, random.Random(5), result_size=3)
+    assert query.low in scores and query.high in scores
+    assert query.low <= query.high
+
+
+def test_make_queries_unchanged_by_make_query_refactor():
+    """make_queries draws through make_query now; same seed, same queries
+    as the historical inline implementation (golden draw-order pin)."""
+    config = WorkloadConfig(n_records=12, dimension=1, seed=2)
+    dataset = make_dataset(config)
+    template = make_template(config)
+    first = make_queries(dataset, template, count=9, seed=5)
+    second = make_queries(dataset, template, count=9, seed=5)
+    assert first == second
+    rng = random.Random(5)
+    functions = template.functions_for(dataset)
+    expected = []
+    for position in range(9):
+        kind = ("topk", "range", "knn")[position % 3]
+        weights = make_weight_vector(template, rng)
+        scores = sorted(function.evaluate(weights) for function in functions)
+        if kind == "topk":
+            expected.append(TopKQuery(weights=weights, k=3))
+        elif kind == "range":
+            anchor = rng.randrange(0, max(1, len(scores) - 3))
+            expected.append(
+                RangeQuery(
+                    weights=weights,
+                    low=scores[anchor],
+                    high=scores[min(len(scores) - 1, anchor + 2)],
+                )
+            )
+        else:
+            expected.append(KNNQuery(weights=weights, k=3, target=rng.choice(scores)))
+    assert first == expected
