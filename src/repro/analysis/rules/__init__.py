@@ -78,6 +78,7 @@ def all_rules() -> Sequence[Rule]:
     from repro.analysis.rules.locking import LockGuardRule
     from repro.analysis.rules.persistence import AtomicPersistenceRule
     from repro.analysis.rules.robustness import SwallowedBroadExceptRule
+    from repro.analysis.rules.scaling import CpuCountRule
     from repro.analysis.rules.serving import ServingWallClockRule
     from repro.analysis.rules.toggles import LiveSlowPathRule
 
@@ -92,4 +93,5 @@ def all_rules() -> Sequence[Rule]:
         SwallowedBroadExceptRule(),
         AtomicPersistenceRule(),
         ServingWallClockRule(),
+        CpuCountRule(),
     )

@@ -1,0 +1,67 @@
+"""RL011: scaling decisions read CPU affinity, not the host core count.
+
+``os.cpu_count()`` (and ``multiprocessing.cpu_count()``, its alias)
+reports the cores the *host machine* has.  Under a CPU affinity mask or a
+container cpuset -- every CI runner, most production deployments -- the
+current process may be allowed far fewer, so a worker count, throughput
+floor or speedup gate derived from the host count is physically
+unreachable and fails for hardware reasons the code could have known
+about.  The serving-throughput gate did exactly this before it switched
+to affinity-derived cores.
+
+:mod:`repro.core.parallel` is the single sanctioned caller: its
+``available_cores()`` prefers ``len(os.sched_getaffinity(0))`` and falls
+back to ``os.cpu_count()`` only on platforms without affinity support.
+Everywhere else, reading the host core count for a scaling decision is a
+latent affinity bug and this rule flags it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import ModuleInfo
+
+__all__ = ["CpuCountRule"]
+
+#: Host-core-count reads that ignore the process's CPU affinity mask.
+_HOST_CORE_COUNT = frozenset({"os.cpu_count", "multiprocessing.cpu_count"})
+
+#: The one module allowed to consult ``os.cpu_count`` (as the no-affinity
+#: platform fallback inside ``available_cores``).
+_SANCTIONED_MODULE = "repro.core.parallel"
+
+
+class CpuCountRule(Rule):
+    rule_id = "RL011"
+    name = "affinity-scaling"
+    summary = (
+        "scaling decisions use repro.core.parallel.available_cores, "
+        "never os.cpu_count"
+    )
+    scopes = ("repro",)
+    option_names = ("scopes",)
+
+    def check(self, info: ModuleInfo) -> List[Finding]:
+        if info.module == _SANCTIONED_MODULE:
+            return []
+        findings: List[Finding] = []
+        for node in info.nodes(ast.Attribute, ast.Name):
+            if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Load):
+                continue
+            resolved = info.resolve(node)
+            if resolved in _HOST_CORE_COUNT:
+                findings.append(
+                    self.finding(
+                        info,
+                        node,
+                        f"{resolved} reports the host's cores, not the cores "
+                        "this process may use under an affinity mask or "
+                        "container cpuset; call "
+                        "repro.core.parallel.available_cores() instead",
+                    )
+                )
+        return findings

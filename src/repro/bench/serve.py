@@ -13,7 +13,9 @@ Four phases, one per serving claim:
    a throughput floor over one.  The floor is **hardware-scaled**: workers
    are OS processes, so the achievable speedup is bounded by physical
    cores, not by the worker count.  With ``effective = min(workers,
-   os.cpu_count())`` the floor is ``min(4.0, 0.5 * effective)`` for the
+   available_cores())`` -- the affinity-aware core count of
+   :mod:`repro.core.parallel`, so cgroup/affinity-limited CI runners get a
+   reachable floor -- the gate demands ``min(4.0, 0.5 * effective)`` for the
    full run (i.e. the issue's 4x at 8 workers on an 8-core box) and
    ``min(2.0, 0.45 * effective)`` for the smoke gate; on a single-core
    machine, where true parallel speedup is impossible, the gate instead
@@ -50,6 +52,7 @@ from repro.bench.harness import ExperimentResult
 from repro.core.client import Client
 from repro.core.config import SystemConfig
 from repro.core.owner import DataOwner
+from repro.core.parallel import available_cores
 from repro.core.queries import TopKQuery
 from repro.core.records import Record
 from repro.crypto.signer import make_signer
@@ -116,7 +119,7 @@ def throughput_floor(workers: int, *, smoke: bool, cores: Optional[int] = None) 
     (see :data:`SINGLE_CORE_OVERHEAD_FLOOR`).
     """
     if cores is None:
-        cores = os.cpu_count() or 1
+        cores = available_cores()
     effective = max(1, min(workers, cores))
     if effective == 1:
         return SINGLE_CORE_OVERHEAD_FLOOR
@@ -204,7 +207,7 @@ def _throughput_phase(
     speedup = multi_rate / single_rate if single_rate > 0 else 0.0
     return {
         "workers": workers,
-        "cores": os.cpu_count() or 1,
+        "cores": available_cores(),
         "single_rate": single_rate,
         "multi_rate": multi_rate,
         "speedup": speedup,

@@ -30,12 +30,25 @@ Format layout (one numpy ``.npz`` archive)
     mode) per-subdomain signatures; for the mesh, cells, flattened regions
     and the deduplicated pair-signature table.
 
+Sharded arenas
+--------------
+The Merkle arena dominates artifact size (for IFMH it is Theta(n^2 log n)
+digest rows).  ``save_artifact(..., arena_shards=k)`` splits the three
+arena arrays into ``k`` contiguous row ranges written as sidecar ``.npz``
+files next to the main artifact; the main bundle then omits the arena and
+its header pins each sidecar's name, row count and payload checksum.
+Because the header itself is covered by the main checksum, swapping or
+truncating any shard is caught before reconstruction.  Sharded artifacts
+use format version 3; loading transparently reassembles the arena from the
+sidecars found next to the artifact.
+
 Versioning policy
 -----------------
 ``format_version`` is bumped on any incompatible layout change; loaders
-accept exactly the versions they know (currently ``1``) and reject anything
-newer with a clear error instead of misreading it.  Unknown trailing arrays
-are ignored, so purely additive extensions may keep the version.
+accept exactly the versions they know (currently ``1``-``3``) and reject
+anything newer with a clear error instead of misreading it.  Unknown
+trailing arrays are ignored, so purely additive extensions may keep the
+version.
 
 Integrity
 ---------
@@ -73,6 +86,7 @@ from repro.metrics.counters import Counters
 
 __all__ = [
     "ARTIFACT_MAGIC",
+    "ARENA_SHARD_MAGIC",
     "ARTIFACT_FORMAT_VERSION",
     "LoadedArtifact",
     "PublishReport",
@@ -85,13 +99,21 @@ __all__ = [
 #: Identifies the file as an ADS artifact (first field of the JSON header).
 ARTIFACT_MAGIC = "repro-ads-artifact"
 
+#: Identifies a sidecar file holding one contiguous row range of the arena.
+ARENA_SHARD_MAGIC = "repro-ads-arena-shard"
+
 #: Current on-disk layout version (see the module docstring for the policy).
 #: Version 2 adds the ``epoch`` header field and delta artifacts; version 1
 #: files load unchanged (epoch defaults to 0).
 ARTIFACT_FORMAT_VERSION = 2
 
+#: Layout version stamped on artifacts whose arena lives in sidecar shards
+#: (``save_artifact(..., arena_shards=k)``).  Self-contained publishes stay
+#: at :data:`ARTIFACT_FORMAT_VERSION` so older loaders keep reading them.
+SHARDED_FORMAT_VERSION = 3
+
 #: Layout versions this loader understands.
-SUPPORTED_FORMAT_VERSIONS = (1, 2)
+SUPPORTED_FORMAT_VERSIONS = (1, 2, 3)
 
 #: npz entry names reserved for the header (everything else is data).
 _META_KEY = "meta"
@@ -254,6 +276,7 @@ def save_artifact(
     path: Union[str, "os.PathLike[str]"],
     *,
     base: Union[str, "os.PathLike[str]", None] = None,
+    arena_shards: Optional[int] = None,
 ) -> PublishReport:
     """Write the owner's finished ADS to ``path`` as a versioned artifact.
 
@@ -275,8 +298,36 @@ def save_artifact(
     missing or corrupt, the delta chain is *repaired* instead of broken:
     a full artifact is written and the returned :class:`PublishReport`
     carries the fallback reason.
+
+    With ``arena_shards=k`` (``k >= 2``, IFMH scheme, filesystem paths
+    only) the Merkle arena is written as ``k`` contiguous-row sidecar
+    files next to the artifact instead of inline -- see the module
+    docstring.  Sharded and delta publishes are mutually exclusive: a
+    delta ships the arena *tail* inline by construction.
     """
     ads = owner.ads
+    if arena_shards is not None:
+        shard_count = int(arena_shards)
+        if shard_count < 2:
+            raise ConstructionError(
+                f"arena_shards must be at least 2, got {shard_count}; publish "
+                "without arena_shards for a self-contained artifact"
+            )
+        if base is not None:
+            raise ConstructionError(
+                "a delta publish (base=...) cannot also shard the arena: the "
+                "delta ships only the arena tail, which is already one piece"
+            )
+        if not isinstance(ads, IFMHTree):
+            raise ConstructionError(
+                "arena_shards applies only to the IFMH scheme; the signature "
+                "mesh has no Merkle arena to shard"
+            )
+        if hasattr(path, "write"):
+            raise ConstructionError(
+                "a sharded publish needs a filesystem path: the shard sidecars "
+                "are written next to the artifact"
+            )
     arrays = _dataset_arrays(owner.dataset)
     for name, array in ads.to_arrays().items():
         arrays[f"ads_{name}"] = array
@@ -306,6 +357,16 @@ def save_artifact(
         meta["roots_digest"] = _mesh_roots_digest(arrays["ads_sig_bytes"])
         meta["counts"]["cells"] = ads.cell_count
         meta["counts"]["signatures"] = ads.signature_count
+
+    if arena_shards is not None:
+        # The roots digest and counts above were computed from the full
+        # arrays; only now peel the arena off into sidecars.  Sidecars are
+        # written first so a crash before the main rename leaves any
+        # existing artifact untouched (stray sidecars are harmless).
+        arrays, meta["arena_shards"] = _write_arena_shards(
+            arrays, path, int(arena_shards)
+        )
+        meta["format_version"] = SHARDED_FORMAT_VERSION
 
     mode = "full"
     fallback_reason: Optional[str] = None
@@ -357,6 +418,11 @@ def _delta_arrays(
             "delta artifacts must be written against a full base artifact, "
             "not against another delta"
         )
+    if "arena_shards" in base_meta:
+        raise ConstructionError(
+            "delta artifacts require a self-contained base; the base was "
+            "published with arena_shards and holds no inline arena to append to"
+        )
     inherited: list[str] = []
     delta: Dict[str, np.ndarray] = {}
     for name, array in arrays.items():
@@ -385,6 +451,72 @@ def _delta_arrays(
         "base_epoch": int(base_meta.get("epoch", 0)),
         "inherited": sorted(inherited),
     }
+
+
+def _shard_file_name(artifact_name: str, index: int, count: int) -> str:
+    """Sidecar name for shard ``index``: ``<stem>.shard00-of-04.npz``."""
+    stem = (
+        artifact_name[: -len(".npz")]
+        if artifact_name.endswith(".npz")
+        else artifact_name
+    )
+    return f"{stem}.shard{index:02d}-of-{count:02d}.npz"
+
+
+def _write_arena_shards(
+    arrays: Dict[str, np.ndarray],
+    path: Union[str, "os.PathLike[str]"],
+    shard_count: int,
+) -> tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Split the arena arrays into contiguous-row sidecar files.
+
+    Every sidecar is itself a checksummed mini-artifact (magic + meta +
+    payload checksum over its three array slices), written atomically; the
+    returned header info pins each sidecar's name, row count and checksum
+    so the main artifact's own checksum transitively covers the shards.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    artifact_name = os.path.basename(target)
+    rows = int(arrays[_APPEND_ONLY[0]].shape[0])
+    count = max(1, min(shard_count, rows))
+    base_rows, extra = divmod(rows, count)
+    files: list[str] = []
+    row_counts: list[int] = []
+    checksums: list[str] = []
+    start = 0
+    for index in range(count):
+        stop = start + base_rows + (1 if index < extra else 0)
+        shard_arrays = {
+            name: np.ascontiguousarray(arrays[name][start:stop])
+            for name in _APPEND_ONLY
+        }
+        shard_meta = {
+            "magic": ARENA_SHARD_MAGIC,
+            "format_version": SHARDED_FORMAT_VERSION,
+            "artifact": artifact_name,
+            "shard_index": index,
+            "shard_count": count,
+            "row_start": start,
+            "row_stop": stop,
+        }
+        meta_bytes = json.dumps(shard_meta, sort_keys=True).encode()
+        checksum = _payload_checksum(meta_bytes, shard_arrays)
+        entries = {
+            _META_KEY: np.frombuffer(meta_bytes, dtype=np.uint8),
+            _CHECKSUM_KEY: np.frombuffer(checksum, dtype=np.uint8),
+            **shard_arrays,
+        }
+        file_name = _shard_file_name(artifact_name, index, count)
+        atomic_write_bytes(os.path.join(directory, file_name), _encode_npz(entries))
+        files.append(file_name)
+        row_counts.append(stop - start)
+        checksums.append(checksum.hex())
+        start = stop
+    remaining = {
+        name: array for name, array in arrays.items() if name not in _APPEND_ONLY
+    }
+    return remaining, {"files": files, "rows": row_counts, "checksums": checksums}
 
 
 # ---------------------------------------------------------------------------
@@ -458,6 +590,95 @@ def _rebuild_dataset(
     return Dataset(attribute_names=attribute_names, records=records)
 
 
+def _parse_shard_meta(entries: Dict[str, np.ndarray], path_text: str) -> Dict[str, Any]:
+    """Header + integrity check for one arena-shard sidecar file."""
+    if _META_KEY not in entries or _CHECKSUM_KEY not in entries:
+        raise ConstructionError(
+            f"arena shard {path_text!r} is missing its header; "
+            "the file is truncated or not a shard"
+        )
+    meta_bytes = entries[_META_KEY].tobytes()
+    try:
+        meta = json.loads(meta_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ConstructionError(
+            f"arena shard {path_text!r} has a corrupt header ({error})"
+        ) from None
+    if meta.get("magic") != ARENA_SHARD_MAGIC:
+        raise ConstructionError(
+            f"{path_text!r} is not an arena shard (bad magic {meta.get('magic')!r})"
+        )
+    arrays = {
+        name: array
+        for name, array in entries.items()
+        if name not in (_META_KEY, _CHECKSUM_KEY)
+    }
+    if entries[_CHECKSUM_KEY].tobytes() != _payload_checksum(meta_bytes, arrays):
+        raise ConstructionError(
+            f"arena shard {path_text!r} failed its integrity check "
+            "(truncated or tampered); refusing to load"
+        )
+    return meta
+
+
+def _read_arena_shards(
+    meta: Dict[str, Any], path, path_text: str
+) -> Dict[str, np.ndarray]:
+    """Reassemble the arena arrays from the sidecars pinned in the header."""
+    if hasattr(path, "read"):
+        raise ConstructionError(
+            f"ADS artifact {path_text!r} stores its arena in sidecar shards "
+            "and can only load from a filesystem path"
+        )
+    info = meta["arena_shards"]
+    files = info.get("files") or []
+    rows = info.get("rows") or []
+    checksums = info.get("checksums") or []
+    if not files or not (len(files) == len(rows) == len(checksums)):
+        raise ConstructionError(
+            f"ADS artifact {path_text!r} has a corrupt arena_shards header; "
+            "refusing to load"
+        )
+    directory = os.path.dirname(os.fspath(path)) or "."
+    parts: Dict[str, list] = {name: [] for name in _APPEND_ONLY}
+    for index, (file_name, expected_rows, expected_checksum) in enumerate(
+        zip(files, rows, checksums)
+    ):
+        shard_path = os.path.join(directory, file_name)
+        try:
+            shard_entries = _read_entries(shard_path)
+        except FileNotFoundError:
+            raise ConstructionError(
+                f"ADS artifact {path_text!r}: arena shard {file_name!r} is "
+                "missing next to the artifact"
+            ) from None
+        shard_meta = _parse_shard_meta(shard_entries, file_name)
+        # The header pins each sidecar's checksum, so a valid-but-foreign
+        # shard (say, from another publish of the same lineage) is refused.
+        if shard_entries[_CHECKSUM_KEY].tobytes().hex() != expected_checksum:
+            raise ConstructionError(
+                f"ADS artifact {path_text!r}: arena shard {file_name!r} does "
+                "not match the checksum pinned in the artifact header; "
+                "refusing to load"
+            )
+        if int(shard_meta.get("shard_index", -1)) != index:
+            raise ConstructionError(
+                f"ADS artifact {path_text!r}: arena shard {file_name!r} "
+                f"reports index {shard_meta.get('shard_index')!r}, expected "
+                f"{index}; shard files were reordered or renamed"
+            )
+        for name in _APPEND_ONLY:
+            part = shard_entries.get(name)
+            if part is None or part.shape[0] != int(expected_rows):
+                raise ConstructionError(
+                    f"ADS artifact {path_text!r}: arena shard {file_name!r} "
+                    f"does not carry the expected {expected_rows} rows of "
+                    f"{name!r}; refusing to load"
+                )
+            parts[name].append(part)
+    return {name: np.concatenate(parts[name], axis=0) for name in _APPEND_ONLY}
+
+
 def _splice_delta(
     entries: Dict[str, np.ndarray],
     meta: Dict[str, Any],
@@ -473,6 +694,12 @@ def _splice_delta(
         )
     base_entries = _read_entries(base)
     base_meta = _parse_meta(base_entries, _path_text(base))
+    if "arena_shards" in base_meta:
+        raise ConstructionError(
+            f"ADS delta artifact {path_text!r} cannot be spliced onto "
+            f"{_path_text(base)!r}: a sharded artifact holds no inline arena "
+            "and is never a valid delta base"
+        )
     actual = base_entries[_CHECKSUM_KEY].tobytes().hex()
     if actual != info.get("base_checksum"):
         raise ConstructionError(
@@ -524,10 +751,16 @@ def load_artifact(
     Delta artifacts (published with ``publish(path, base=...)``) require
     the matching base file via ``base``; a wrong base or a delta whose
     epoch is not newer than the base's is refused.
+
+    Sharded artifacts (published with ``arena_shards=k``) are reassembled
+    from the sidecar files named in the header, which must sit next to the
+    artifact; a missing, tampered or swapped shard is refused.
     """
     path_text = _path_text(path)
     entries = _read_entries(path)
     meta = _parse_meta(entries, path_text)
+    if "arena_shards" in meta:
+        entries = {**entries, **_read_arena_shards(meta, path, path_text)}
     if "delta" in meta:
         arrays = _splice_delta(entries, meta, base, path_text)
         entries = {**arrays, _META_KEY: entries[_META_KEY], _CHECKSUM_KEY: entries[_CHECKSUM_KEY]}

@@ -218,6 +218,7 @@ class DataOwner:
         rng: Optional[random.Random] = None,
         counters: Optional[Counters] = None,
         keypair: Optional[KeyPair] = None,
+        construction_workers: Optional[int] = None,
         epoch: int = 0,
     ):
         config = resolve_config(
@@ -256,6 +257,7 @@ class DataOwner:
                 hash_function=self.hash_function,
                 engine=engine,
                 counters=self.counters,
+                construction_workers=construction_workers,
                 epoch=epoch,
             )
         else:
@@ -619,7 +621,7 @@ class DataOwner:
             public_parameters=self.public_parameters(),
         )
 
-    def publish(self, path, *, base=None):
+    def publish(self, path, *, base=None, arena_shards=None):
         """Write the finished ADS to ``path`` as a versioned artifact.
 
         The artifact is everything a cold-starting server (and any client)
@@ -640,13 +642,20 @@ class DataOwner:
         the returned :class:`~repro.core.artifact.PublishReport` says
         which mode was written and why.
 
+        With ``arena_shards=k`` (``k >= 2``, IFMH only) the Merkle arena
+        -- the bulk of the bundle -- is written as ``k`` contiguous-row
+        sidecar files next to the artifact instead of inline; the header
+        pins each shard's checksum and loading reassembles them
+        transparently.  Sharding composes with neither ``base`` (a delta
+        already ships only the arena tail) nor in-memory buffers.
+
         A publish also marks every journaled batch up to the current
         epoch as durable in the attached write-ahead journal (if any), so
         recovery replays only batches newer than the newest artifact.
         """
         from repro.core.artifact import save_artifact
 
-        report = save_artifact(self, path, base=base)
+        report = save_artifact(self, path, base=base, arena_shards=arena_shards)
         if self.journal is not None:
             self.journal.note_published(self.epoch)
         return report

@@ -1,0 +1,47 @@
+"""Hardware-parallelism introspection for scaling decisions.
+
+Every gate or knob that scales work to "the machine's cores" must agree on
+what that number is.  ``os.cpu_count()`` reports the cores the *host* has,
+which overstates what this process may use under CPU affinity masks or
+cgroup quotas (CI runners, containers, ``taskset``); a throughput floor
+derived from it can then be physically unreachable.  This module is the
+single sanctioned source of the parallelism actually available to the
+current process -- reprolint rule RL011 bans ``os.cpu_count()`` for
+scaling decisions everywhere else.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["available_cores", "resolve_worker_count"]
+
+
+def available_cores() -> int:
+    """CPU cores the current process may actually run on (>= 1).
+
+    ``len(os.sched_getaffinity(0))`` respects affinity masks and, on Linux,
+    the cpuset half of container limits; platforms without it (macOS,
+    Windows) fall back to ``os.cpu_count()``.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platform behaviour
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_worker_count(workers: int | None) -> int:
+    """Normalize a worker-count knob: ``None``/``0`` means all available cores.
+
+    Negative values are an error; explicit positive values are honoured
+    verbatim (oversubscription is the caller's informed choice -- the
+    parallel builders stay bit-identical at any worker count).
+    """
+    if workers is None or workers == 0:
+        return available_cores()
+    if workers < 0:
+        raise ValueError(f"worker count must be >= 0 or None, got {workers}")
+    return int(workers)

@@ -173,6 +173,24 @@ class HashFunction:
                     self._add_physical(count)
         return digests
 
+    def note_computed(self, count: int = 1) -> None:
+        """Record ``count`` hash operations physically performed elsewhere.
+
+        Both the logical and the physical counters advance, exactly as if
+        :meth:`digest` had run ``count`` times here -- but the SHA-256 work
+        happened in another process (the parallel forest build's workers
+        hash their shards with throwaway ``HashFunction`` instances and the
+        parent credits the distinct-node total through this method, keeping
+        the counters bit-identical to the single-process build).
+        """
+        if count:
+            self.call_count += count
+            self.physical_count += count
+            if self._add_hash is not None:
+                self._add_hash(count)
+                if self._add_physical is not None:
+                    self._add_physical(count)
+
     def note_cached(self, count: int = 1) -> None:
         """Record ``count`` logical hash operations served from a cache.
 

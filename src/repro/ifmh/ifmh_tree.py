@@ -28,6 +28,7 @@ from repro.core.config import (
     resolve_config,
 )
 from repro.core.errors import ConstructionError
+from repro.core.parallel import resolve_worker_count
 from repro.core.records import Dataset, Record, UtilityTemplate
 from repro.crypto.hashing import HashFunction, epoch_bound_combine
 from repro.crypto.signer import Signer
@@ -93,6 +94,13 @@ class IFMHTree:
         to the node-at-a-time engine.  Requires ``hash_consing`` (ignored
         otherwise); pass ``False`` to force the PR 2 node-at-a-time engine
         (ablations, property tests).
+    construction_workers:
+        Shard the batched forest build across this many forked worker
+        processes (``0`` means every available core, ``None``/``1`` stays
+        serial).  Roots, proofs and both hash counters are bit-identical
+        at any worker count, so this is a wall-clock knob only -- it is
+        deliberately *not* part of :class:`SystemConfig` and never affects
+        published artifacts.
     """
 
     def __init__(
@@ -110,6 +118,7 @@ class IFMHTree:
         build_mode: Optional[str] = None,
         hash_consing: Optional[bool] = None,
         batch_hashing: Optional[bool] = None,
+        construction_workers: Optional[int] = None,
         epoch: int = 0,
     ):
         if mode is not None and mode not in (ONE_SIGNATURE, MULTI_SIGNATURE):
@@ -141,7 +150,14 @@ class IFMHTree:
             counters=self.counters,
             builder=config.build_mode,
         )
-        engine = MerkleBuildEngine(batched=self.batch_hashing) if self.hash_consing else None
+        workers = (
+            1 if construction_workers is None else resolve_worker_count(construction_workers)
+        )
+        engine = (
+            MerkleBuildEngine(batched=self.batch_hashing, workers=workers)
+            if self.hash_consing
+            else None
+        )
         self._attach_fmh_trees(engine)
         self._propagate_hashes()
         #: Hit/size statistics of the construction engine's tables (``None``
@@ -285,7 +301,17 @@ class IFMHTree:
 
     # ------------------------------------------------------------- step 3
     def _propagate_hashes(self) -> None:
-        """Compute intersection-node hashes bottom-up (the paper's stack walk)."""
+        """Compute intersection-node hashes bottom-up (paper step 3).
+
+        Bulk-built trees with a batched forest take the level-wise array
+        propagation (:func:`repro.ifmh.propagation.propagate_batched`);
+        everything else falls back to the paper's per-node stack walk.
+        Digests and both hash counters are bit-identical either way.
+        """
+        from repro.ifmh.propagation import propagate_batched
+
+        if propagate_batched(self):
+            return
         stack = [self.itree.root]
         while stack:
             node = stack[-1]

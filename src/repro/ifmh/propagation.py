@@ -1,0 +1,138 @@
+"""Level-batched step-3 hash propagation for bulk-built trees.
+
+The paper's step 3 walks the I-tree bottom-up and hashes each intersection
+node from its children -- a per-node Python stack walk that becomes the
+assembly tail once steps 1-2 are vectorized.  For bulk-built trees the
+balanced shape is fully determined by the kept-breakpoint plan, so the same
+reverse-pre-order array propagation the update path uses
+(:func:`repro.ifmh.updates.balanced_preorder`) applies to fresh builds:
+leaf digests are scattered from the batched forest's arena, then each
+bottom-up frontier of intersection nodes is hashed in one
+:meth:`~repro.crypto.hashing.HashFunction.digest_batch` pass.
+
+Every digest and both hash counters are bit-identical to the stack walk:
+the preimage framing replicates ``HashFunction.combine`` byte for byte and
+``digest_batch`` counts one logical and one physical operation per node,
+exactly like the per-node ``combine`` calls it replaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ConstructionError
+from repro.crypto.hashing import DIGEST_SIZE
+from repro.ifmh.updates import _encode_hyperplanes, balanced_preorder
+
+__all__ = ["propagate_batched"]
+
+#: ``combine``'s per-digest framing: the 8-byte big-endian length prefix.
+_PREFIX = np.frombuffer(DIGEST_SIZE.to_bytes(8, "big"), dtype=np.uint8)
+
+
+def propagate_batched(tree) -> bool:
+    """Run step 3 level-wise over ``tree`` if its build supports it.
+
+    Returns ``True`` when the propagation ran (every intersection node's
+    ``hash_value`` is set); ``False`` when the tree was not bulk-built with
+    a batched forest, in which case the caller falls back to the paper's
+    stack walk.
+    """
+    bulk_state = tree.itree.bulk_state
+    forest = tree._batched_forest
+    if bulk_state is None or forest is None:
+        return False
+    count = int(bulk_state.hyper_normal.shape[0])
+    if count == 0:
+        # Single-subdomain tree: no intersection nodes, nothing to hash.
+        return False
+    arena, roots, _row_ids = forest
+
+    skeleton = balanced_preorder(bulk_state.hyper_normal)
+    nodes = skeleton.internal_node
+    above = skeleton.above_node
+    below = skeleton.below_node
+
+    # Leaf digests: ``roots`` is in leaves() order (pre-order-leaf order),
+    # which is exactly ``skeleton.leaf_node``'s emission order -- unlike the
+    # update path, whose per-interval roots need the ``leaf_interval`` remap.
+    total = int(skeleton.flags.shape[0])
+    digest_matrix = np.empty((total, DIGEST_SIZE), dtype=np.uint8)
+    digest_matrix[skeleton.leaf_node] = arena.digests[np.asarray(roots, dtype=np.int64)]
+
+    plane_of = None
+    lengths = None
+    if tree.bind_intersections:
+        hyper_bytes = _encode_hyperplanes(
+            bulk_state.hyper_i,
+            bulk_state.hyper_j,
+            bulk_state.hyper_normal,
+            bulk_state.hyper_offset,
+        )
+        plane_of = [hyper_bytes[mid] for mid in skeleton.internal_mid.tolist()]
+        lengths = np.fromiter((len(p) for p in plane_of), dtype=np.int64, count=count)
+
+    hash_function = tree.hash_function
+    done = skeleton.flags.astype(bool)
+    pending = np.arange(count, dtype=np.int64)
+    while pending.shape[0]:
+        ready_mask = done[above[pending]] & done[below[pending]]
+        ready = pending[ready_mask]
+        if ready.shape[0] == 0:  # pragma: no cover - corrupt skeleton guard
+            raise ConstructionError(
+                "hash propagation stalled: intersection nodes form a cycle"
+            )
+        pending = pending[~ready_mask]
+        if plane_of is None:
+            _hash_frontier(digest_matrix, nodes, above, below, ready, None, 0, hash_function)
+        else:
+            for length in np.unique(lengths[ready]).tolist():
+                members = ready[lengths[ready] == length]
+                planes = b"".join(plane_of[i] for i in members.tolist())
+                _hash_frontier(
+                    digest_matrix, nodes, above, below, members, planes, length, hash_function
+                )
+        done[nodes[ready]] = True
+
+    # Attach: iter_subtree pre-order visits intersection nodes in exactly
+    # ``skeleton.internal_node`` emission order.
+    internal_blob = digest_matrix[nodes].tobytes()
+    cursor = 0
+    for node in tree.itree.root.iter_subtree():
+        if not node.is_subdomain:
+            node.hash_value = internal_blob[cursor * DIGEST_SIZE : (cursor + 1) * DIGEST_SIZE]
+            cursor += 1
+    return True
+
+
+def _hash_frontier(
+    digest_matrix: np.ndarray,
+    nodes: np.ndarray,
+    above: np.ndarray,
+    below: np.ndarray,
+    members: np.ndarray,
+    planes: bytes | None,
+    plane_length: int,
+    hash_function,
+) -> None:
+    """Hash one frontier group sharing a plane byte-length in one bulk pass.
+
+    The preimage replicates ``HashFunction.combine``'s framing: an 8-byte
+    big-endian length prefix before every part, parts being ``(plane,
+    above, below)`` when binding intersections and ``(above, below)`` for
+    the paper's exact rule (``plane_length == 0`` with ``planes=None``).
+    """
+    rows = int(members.shape[0])
+    head = 8 + plane_length if planes is not None else 0
+    matrix = np.empty((rows, head + 80), dtype=np.uint8)
+    if planes is not None:
+        matrix[:, 0:8] = np.frombuffer(plane_length.to_bytes(8, "big"), dtype=np.uint8)
+        matrix[:, 8:head] = np.frombuffer(planes, dtype=np.uint8).reshape(rows, plane_length)
+    matrix[:, head : head + 8] = _PREFIX
+    matrix[:, head + 8 : head + 40] = digest_matrix[above[members]]
+    matrix[:, head + 40 : head + 48] = _PREFIX
+    matrix[:, head + 48 : head + 80] = digest_matrix[below[members]]
+    digests = hash_function.digest_batch(matrix)
+    digest_matrix[nodes[members]] = np.frombuffer(b"".join(digests), dtype=np.uint8).reshape(
+        rows, DIGEST_SIZE
+    )

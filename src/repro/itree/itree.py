@@ -56,6 +56,25 @@ BUILDERS = ("incremental", "bulk", "balanced-incremental", "auto")
 _FINALIZE_CHUNK = 2048
 
 
+def _functions_by_index(functions: Sequence[LinearFunction]) -> list[LinearFunction]:
+    """Functions in ascending ``index`` order, with duplicates rejected.
+
+    The shared permutation stores positions into this ordering; two
+    functions with the same ``index`` would make the global order ambiguous
+    and silently corrupt every leaf's sorted view (the I-tree mirror of the
+    duplicate-record-id check in :class:`repro.ifmh.ifmh_tree.IFMHTree`).
+    """
+    ordered = sorted(functions, key=lambda f: f.index)
+    for previous, current in zip(ordered, ordered[1:]):
+        if previous.index == current.index:
+            raise ConstructionError(
+                f"duplicate function index {current.index}; every function must "
+                "carry a unique index for the shared sorted order to be "
+                "well-defined"
+            )
+    return ordered
+
+
 @dataclass(frozen=True)
 class BulkPlanState:
     """The bulk builder's kept-breakpoint plan, in sorted array form.
@@ -237,11 +256,20 @@ class ITree:
             if node.is_subdomain:
                 node.witness = self.engine.witness(node.region)
                 leaves.append((node, sort_functions_at(self.functions, node.witness)))
-        ordered_functions = sorted(self.functions, key=lambda f: f.index)
-        position_of = {id(f): p for p, f in enumerate(ordered_functions)}
-        permutation = np.empty((len(leaves), len(ordered_functions)), dtype=np.int32)
-        for row, (_node, sorted_list) in enumerate(leaves):
-            permutation[row] = [position_of[id(f)] for f in sorted_list]
+        ordered_functions = _functions_by_index(self.functions)
+        count = len(ordered_functions)
+        # One vectorized position lookup for every leaf at once: with indices
+        # proven unique, searchsorted over the ascending index array maps each
+        # function's index straight to its global position.
+        sorted_indices = np.fromiter(
+            (f.index for f in ordered_functions), dtype=np.int64, count=count
+        )
+        index_matrix = np.fromiter(
+            (f.index for _node, sorted_list in leaves for f in sorted_list),
+            dtype=np.int64,
+            count=len(leaves) * count,
+        ).reshape(len(leaves), count)
+        permutation = np.searchsorted(sorted_indices, index_matrix).astype(np.int32)
         self.shared_order = SharedFunctionOrder(ordered_functions, permutation)
         for row, (node, _sorted_list) in enumerate(leaves):
             node.sorted_functions = self.shared_order.view(row)
@@ -370,8 +398,7 @@ class ITree:
         :meth:`LinearFunction.evaluate` for d = 1, and the stable argsort over
         index-ordered functions reproduces ``sort_functions_at`` exactly.
         """
-        by_index = sorted(range(len(self.functions)), key=lambda p: self.functions[p].index)
-        ordered_functions = [self.functions[p] for p in by_index]
+        ordered_functions = _functions_by_index(self.functions)
         slopes = np.array([f.coefficients[0] for f in ordered_functions], dtype=float)
         constants = np.array([f.constant for f in ordered_functions], dtype=float)
         for leaf in leaves:
@@ -483,7 +510,7 @@ class ITree:
         self.counters = counters or Counters()
         self.builder = builder
         self._insertion_checks = 0
-        ordered_functions = sorted(self.functions, key=lambda f: f.index)
+        ordered_functions = _functions_by_index(self.functions)
         permutation = _decode_permutation(arrays)
         self.shared_order = SharedFunctionOrder(ordered_functions, permutation)
         self.bulk_state = None

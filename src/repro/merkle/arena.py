@@ -292,21 +292,34 @@ class ForestHasher:
     by level across all trees at once (:meth:`build_forest`), and
     :meth:`finalize` freezes the node store into a :class:`MerkleArena`
     that the per-subdomain :class:`ArenaMerkleTree` views share.
+
+    ``workers > 1`` builds the forest's contiguous row shards in forked
+    worker processes and merges them deterministically
+    (:mod:`repro.merkle.parallel`); roots, digests and both hash counters
+    are bit-identical at any worker count, so the knob is purely a
+    wall-clock decision and never part of the system configuration.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, workers: int = 1) -> None:
         self._store = _NodeStore()
         #: ``digest -> node index`` for leaf digests, so equal-valued leaves
         #: share one node exactly like the value-keyed node cache would.
         self._digest_index: Dict[bytes, int] = {}
         #: ``(left_index << 32) | right_index -> parent index``.
         self._pair_cache: Dict[int, int] = {}
+        #: Globally distinct internal nodes (== ``len(_pair_cache)`` after
+        #: serial builds; the parallel merge counts without the dict).
+        self._distinct_pairs = 0
         #: Leaf digest requests already counted (logically and physically)
         #: by :meth:`intern_leaves` and not yet credited against a forest's
         #: per-(tree, leaf) logical accounting.
         self._uncredited_leaf_ops = 0
         self._interned_payloads = 0
         self._leaf_requests = 0
+        self._workers = max(1, int(workers))
+        #: Set after a parallel build: the pair cache no longer mirrors the
+        #: store, so further forest builds on this instance are refused.
+        self._sealed = False
         self._arena: Optional[MerkleArena] = None
 
     # ------------------------------------------------------------------ API
@@ -347,6 +360,11 @@ class ForestHasher:
         """
         if self._arena is not None:
             raise RuntimeError("the forest has been finalized; no more trees can be built")
+        if self._sealed:
+            raise RuntimeError(
+                "this forest hasher already built a forest in parallel; its pair "
+                "cache no longer mirrors the store, so build with a new instance"
+            )
         if leaf_matrix.ndim != 2:
             raise ValueError("leaf_matrix must be 2-D (trees x leaves)")
         tree_count, leaf_count = leaf_matrix.shape
@@ -359,6 +377,23 @@ class ForestHasher:
         credited = min(self._uncredited_leaf_ops, tree_count * leaf_count)
         self._uncredited_leaf_ops -= credited
         hash_function.note_cached(tree_count * leaf_count - credited)
+
+        if (
+            self._workers > 1
+            and leaf_count > 1
+            and not self._pair_cache
+            and self._distinct_pairs == 0
+        ):
+            from repro.merkle.parallel import (
+                build_forest_sharded,
+                fork_available,
+                shard_bounds,
+            )
+
+            bounds = shard_bounds(tree_count, leaf_count, self._workers)
+            if len(bounds) > 1 and fork_available():
+                self._sealed = True
+                return build_forest_sharded(self, leaf_matrix, bounds, hash_function)
 
         roots = np.empty(tree_count, dtype=np.int64)
         chunk_rows = max(1, _CHUNK_ELEMENTS // leaf_count)
@@ -394,7 +429,7 @@ class ForestHasher:
             "leaf_pool_entries": self._interned_payloads,
             "leaf_pool_hits": self._leaf_requests - self._interned_payloads,
             "leaf_pool_misses": self._interned_payloads,
-            "distinct_internal_nodes": len(self._pair_cache),
+            "distinct_internal_nodes": self._distinct_pairs,
         }
 
     # ------------------------------------------------------------ internals
@@ -445,6 +480,7 @@ class ForestHasher:
 
     def _hash_new_pairs(self, new_keys: List[int], hash_function: HashFunction) -> None:
         """Bulk-hash the level's new pairs and append them to the store."""
+        self._distinct_pairs += len(new_keys)
         key_array = np.asarray(new_keys, dtype=np.int64)
         self._store.append_pair_nodes(
             key_array >> np.int64(32), key_array & np.int64(0xFFFFFFFF), hash_function

@@ -56,13 +56,15 @@ class MerkleBuildEngine:
 
     __slots__ = ("leaf_pool", "node_cache", "forest")
 
-    def __init__(self, batched: bool = False) -> None:
+    def __init__(self, batched: bool = False, workers: int = 1) -> None:
         self.leaf_pool = LeafDigestPool()
         #: ``(left_digest, right_digest) -> parent_digest``; keys are full
         #: 32-byte SHA-256 digests, so (absent collisions) consing is exact.
         self.node_cache: Dict[Tuple[bytes, bytes], bytes] = {}
         #: Level-order batched builder (``None`` in node-at-a-time mode).
-        self.forest = ForestHasher() if batched else None
+        #: ``workers`` shards its build across forked processes; output is
+        #: bit-identical at any worker count (a runtime knob, not config).
+        self.forest = ForestHasher(workers=workers) if batched else None
 
     @property
     def batched(self) -> bool:

@@ -1,0 +1,419 @@
+"""Multiprocess sharded construction of the batched Merkle forest.
+
+:meth:`repro.merkle.arena.ForestHasher.build_forest` advances the whole
+forest level by level; the heavy per-level work (pair-key dedup, the pair
+cache probe, the bulk SHA-256 pass) touches only rows of one chunk at a
+time, so contiguous row ranges can build independently.  Each worker runs
+the *identical* serial algorithm over its shard with a private node store
+seeded with the parent's interned leaves, ships its appended nodes back
+through one shared-memory segment, and the parent merges the shards in
+shard order into the single flat arena.
+
+Determinism argument
+--------------------
+Within a shard the worker appends internal nodes in first-local-occurrence
+order -- exactly the order the serial build discovers them while scanning
+that row range.  The merge walks shards in row order and each shard's
+appended nodes in append order, assigning a fresh global index only to
+pairs no earlier shard produced; node numbering is therefore the global
+first-occurrence order of the scan with the shard boundaries as chunk
+boundaries.  When shards align with the serial chunk grid (always the case
+once the forest spans multiple chunks), that order *is* the serial build's
+order and the merged arena is byte-identical to the single-process one; in
+every case roots, per-tree digests, verification objects and both hash
+counters are bit-identical at any worker count, because digests depend
+only on values and the counters are credited from the merged totals:
+logical = one operation per pair slot of every tree, physical = one
+SHA-256 per globally distinct ``(left, right)`` pair, the exact serial
+semantics (duplicate cross-shard hashing inside workers uses throwaway
+counters and is never reported).
+
+Failure containment
+-------------------
+Workers create their shared-memory segment only when their shard is
+complete and unlink it themselves on any earlier failure; the parent
+unlinks every received segment in a ``finally`` and converts a dead or
+failing worker into a :class:`~repro.core.errors.ConstructionError` naming
+the shard, so a poisoned shard can neither hang the build nor leak
+``/dev/shm`` segments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from multiprocessing import shared_memory
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConstructionError
+from repro.crypto.hashing import DIGEST_SIZE, HashFunction
+
+__all__ = ["fork_available", "shard_bounds", "build_forest_sharded"]
+
+#: Seconds between liveness checks while draining worker results.
+_POLL_SECONDS = 0.2
+
+
+def fork_available() -> bool:
+    """Whether fork-based workers are usable on this platform.
+
+    The sharded build relies on copy-on-write inheritance of the leaf
+    matrix and the interned leaf digests (nothing is pickled); without the
+    ``fork`` start method the dispatcher stays serial.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def shard_bounds(tree_count: int, leaf_count: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous ``(start, stop)`` row ranges for ``workers`` shards.
+
+    Boundaries land on the serial builder's chunk grid whenever the forest
+    spans at least ``workers`` chunks, which makes the merged arena
+    byte-identical to the serial one (see the module determinism note);
+    smaller forests fall back to an even row split so the machinery still
+    parallelizes (and stays digest- and counter-identical).
+    """
+    from repro.merkle.arena import _CHUNK_ELEMENTS
+
+    chunk_rows = max(1, _CHUNK_ELEMENTS // leaf_count)
+    total_chunks = -(-tree_count // chunk_rows)
+    if total_chunks >= workers:
+        base, extra = divmod(total_chunks, workers)
+        bounds = []
+        start_chunk = 0
+        for shard in range(workers):
+            stop_chunk = start_chunk + base + (1 if shard < extra else 0)
+            bounds.append(
+                (start_chunk * chunk_rows, min(stop_chunk * chunk_rows, tree_count))
+            )
+            start_chunk = stop_chunk
+    else:
+        share = min(workers, tree_count)
+        base, extra = divmod(tree_count, share)
+        bounds = []
+        start = 0
+        for shard in range(share):
+            stop = start + base + (1 if shard < extra else 0)
+            bounds.append((start, stop))
+            start = stop
+    return [(start, stop) for start, stop in bounds if start < stop]
+
+
+def internal_pair_slots(leaf_count: int) -> int:
+    """Pair slots per tree above the leaf level (one logical hash each)."""
+    width = leaf_count
+    slots = 0
+    while width > 1:
+        paired = width // 2
+        slots += paired
+        width = paired + (width - 2 * paired)
+    return slots
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+def _build_shard(
+    shard_index: int,
+    leaf_rows: np.ndarray,
+    leaf_digests: np.ndarray,
+    leaf_nodes: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Run the serial level-order build over one shard's rows.
+
+    Returns ``(digests, left, right, batch_sizes, local_roots)`` for the
+    nodes appended on top of the ``leaf_nodes`` seeded leaves; child ids
+    and roots are in the worker's local numbering (< ``leaf_nodes`` means
+    a shared leaf node).  Split out from the process entry point so tests
+    can poison a shard deterministically.
+    """
+    from repro.merkle.arena import ForestHasher
+
+    local = ForestHasher()
+    local._store.reserve(leaf_nodes)
+    local._store.digests[:leaf_nodes] = leaf_digests
+    batch_sizes: List[int] = []
+    inner = local._hash_new_pairs  # bound class method
+
+    def recording(new_keys, hash_function):
+        batch_sizes.append(len(new_keys))
+        inner(new_keys, hash_function)
+
+    local._hash_new_pairs = recording  # instance attribute shadows the method
+    # Throwaway counters: the parent credits the merged totals, so the
+    # worker's (partly redundant cross-shard) hashing is never reported.
+    local_roots = local.build_forest(leaf_rows, HashFunction())
+    size = local._store.size
+    return (
+        local._store.digests[leaf_nodes:size],
+        local._store.left[leaf_nodes:size],
+        local._store.right[leaf_nodes:size],
+        np.asarray(batch_sizes, dtype=np.int64),
+        local_roots,
+    )
+
+
+def _shard_worker(
+    shard_index: int,
+    leaf_rows: np.ndarray,
+    leaf_digests: np.ndarray,
+    leaf_nodes: int,
+    results: "multiprocessing.queues.Queue",
+) -> None:
+    """Process entry point: build one shard, publish it via shared memory.
+
+    The segment is created only once the shard is fully built; on any
+    failure before hand-off the worker unlinks its own segment and reports
+    the error, so the parent never waits on a dead shard nor leaks
+    ``/dev/shm`` entries (the parent unlinks every segment it was told
+    about).
+    """
+    segment = None
+    try:
+        digests, left, right, batch_sizes, local_roots = _build_shard(
+            shard_index, leaf_rows, leaf_digests, leaf_nodes
+        )
+        parts = (digests, left, right, batch_sizes, local_roots)
+        blobs = [np.ascontiguousarray(part).tobytes() for part in parts]
+        total = max(1, sum(len(blob) for blob in blobs))
+        segment = shared_memory.SharedMemory(create=True, size=total)
+        cursor = 0
+        for blob in blobs:
+            segment.buf[cursor : cursor + len(blob)] = blob
+            cursor += len(blob)
+        results.put(
+            (
+                "ok",
+                shard_index,
+                segment.name,
+                int(digests.shape[0]),
+                int(batch_sizes.shape[0]),
+                int(local_roots.shape[0]),
+            )
+        )
+        segment.close()
+    except BaseException as exc:  # noqa: BLE001 - relayed to the parent
+        if segment is not None:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:
+                pass
+        try:
+            results.put(("error", shard_index, f"{type(exc).__name__}: {exc}"))
+        except (OSError, ValueError):
+            # The parent is gone or closed the queue; its exitcode watch
+            # will still classify this worker's death.
+            pass
+        raise SystemExit(1)
+
+
+def _unpack_shard(
+    segment: shared_memory.SharedMemory, appended: int, batches: int, roots: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Views over one shard's published arrays (copy before unlinking)."""
+    buf = segment.buf
+    cursor = 0
+
+    def take(count: int, dtype, shape) -> np.ndarray:
+        nonlocal cursor
+        size = count * np.dtype(dtype).itemsize
+        array = np.frombuffer(buf, dtype=dtype, offset=cursor, count=count).reshape(shape)
+        cursor += size
+        return array
+
+    digests = take(appended * DIGEST_SIZE, np.uint8, (appended, DIGEST_SIZE))
+    left = take(appended, np.int64, (appended,))
+    right = take(appended, np.int64, (appended,))
+    batch_sizes = take(batches, np.int64, (batches,))
+    local_roots = take(roots, np.int64, (roots,))
+    return digests, left, right, batch_sizes, local_roots
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+def build_forest_sharded(
+    hasher,
+    leaf_matrix: np.ndarray,
+    bounds: Sequence[Tuple[int, int]],
+    hash_function: HashFunction,
+) -> np.ndarray:
+    """Fork one worker per shard, merge the shards, credit the counters.
+
+    ``hasher`` is the parent :class:`~repro.merkle.arena.ForestHasher`,
+    holding only interned leaves (the dispatch guard enforces this).
+    Returns the per-tree root node indices, exactly as the serial build
+    numbers them when the bounds sit on the chunk grid.
+    """
+    context = multiprocessing.get_context("fork")
+    # Start the resource tracker *before* forking: the workers then inherit
+    # it, so their segment registrations and the parent's unlink land in
+    # one tracker and /dev/shm bookkeeping balances (otherwise every worker
+    # lazily spawns its own tracker, which warns about a "leaked" segment
+    # the parent already unlinked).
+    from multiprocessing import resource_tracker
+
+    resource_tracker.ensure_running()
+    leaf_nodes = hasher._store.size
+    leaf_digests = hasher._store.digests[:leaf_nodes]
+    results = context.Queue()
+    workers = [
+        context.Process(
+            target=_shard_worker,
+            args=(shard, leaf_matrix[start:stop], leaf_digests, leaf_nodes, results),
+            daemon=True,
+        )
+        for shard, (start, stop) in enumerate(bounds)
+    ]
+    for worker in workers:
+        worker.start()
+
+    received = {}
+    segments = {}
+    tree_count, leaf_count = leaf_matrix.shape
+    try:
+        idle_polls = 0
+        while len(received) < len(workers):
+            try:
+                message = results.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                missing = [s for s in range(len(workers)) if s not in received]
+                for shard in missing:
+                    if workers[shard].exitcode not in (None, 0):
+                        raise ConstructionError(
+                            f"forest shard {shard} worker died with exit code "
+                            f"{workers[shard].exitcode} before reporting a result"
+                        )
+                idle_polls += 1
+                if idle_polls > 150 and all(
+                    workers[shard].exitcode is not None for shard in missing
+                ):
+                    # Workers all exited "cleanly" yet never reported: a
+                    # protocol bug, not a user error -- refuse to hang.
+                    raise ConstructionError(
+                        f"forest shards {missing} exited without reporting a result"
+                    )
+                continue
+            idle_polls = 0
+            if message[0] == "error":
+                _shard, failed, reason = message[0], message[1], message[2]
+                raise ConstructionError(f"forest shard {failed} failed: {reason}")
+            _tag, shard, name, appended, batches, roots = message
+            segments[shard] = shared_memory.SharedMemory(name=name)
+            received[shard] = (appended, batches, roots)
+
+        roots_out = np.empty(tree_count, dtype=np.int64)
+        new_nodes = 0
+        table_keys = np.empty(0, dtype=np.int64)
+        table_parents = np.empty(0, dtype=np.int64)
+        for shard, (start, stop) in enumerate(bounds):
+            parts = _unpack_shard(segments[shard], *received[shard])
+            added, table_keys, table_parents = _merge_shard(
+                hasher, parts, leaf_nodes, roots_out[start:stop], table_keys, table_parents
+            )
+            new_nodes += added
+            del parts  # release the shared-memory views before unlinking
+        hasher._distinct_pairs += new_nodes
+        hash_function.note_computed(new_nodes)
+        hash_function.note_cached(tree_count * internal_pair_slots(leaf_count) - new_nodes)
+        return roots_out
+    finally:
+        for segment in segments.values():
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - exports still alive
+                pass
+            try:
+                segment.unlink()
+            except OSError:
+                pass
+        # Grace period before terminating: a SIGTERM'd worker cannot run
+        # its cleanup handler, so killing one mid-shard would orphan the
+        # segment it just created.  Letting it finish (or fail) keeps the
+        # no-leak guarantee; only a genuinely hung worker is killed.
+        deadline = time.monotonic() + 10.0
+        for worker in workers:
+            worker.join(timeout=max(0.0, deadline - time.monotonic()))
+        for worker in workers:
+            if worker.is_alive():  # pragma: no cover - pathological hang
+                worker.terminate()
+                worker.join()
+        # Workers that finished *after* a failure aborted the drain loop
+        # have "ok" messages still queued; their segments were never
+        # attached above and would outlive the build -- drain and unlink.
+        while True:
+            try:
+                message = results.get(timeout=0.1)
+            except (queue_module.Empty, OSError, ValueError):
+                break
+            if message and message[0] == "ok":
+                try:
+                    straggler = shared_memory.SharedMemory(name=message[2])
+                except FileNotFoundError:
+                    continue
+                straggler.close()
+                try:
+                    straggler.unlink()
+                except OSError:  # pragma: no cover - raced cleanup
+                    pass
+        results.close()
+
+
+def _merge_shard(
+    hasher,
+    parts: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    leaf_nodes: int,
+    roots_slice: np.ndarray,
+    table_keys: np.ndarray,
+    table_parents: np.ndarray,
+) -> Tuple[int, np.ndarray, np.ndarray]:
+    """Fold one shard's appended nodes into the parent store.
+
+    Walks the shard's append batches in order; every batch's children are
+    leaves or nodes of earlier batches, so the local-to-global map is
+    always complete when a batch is processed.  Returns the number of
+    globally new nodes plus the extended sorted pair tables.
+    """
+    digests, left, right, batch_sizes, local_roots = parts
+    store = hasher._store
+    gmap = np.empty(leaf_nodes + left.shape[0], dtype=np.int64)
+    gmap[:leaf_nodes] = np.arange(leaf_nodes, dtype=np.int64)
+    appended_before = store.size
+    offset = 0
+    for size in batch_sizes.tolist():
+        stop = offset + size
+        global_left = gmap[left[offset:stop]]
+        global_right = gmap[right[offset:stop]]
+        keys = (global_left << np.int64(32)) | global_right
+        resolved = np.empty(size, dtype=np.int64)
+        if table_keys.shape[0]:
+            at = np.searchsorted(table_keys, keys)
+            at_clipped = np.minimum(at, table_keys.shape[0] - 1)
+            hit = table_keys[at_clipped] == keys
+        else:
+            hit = np.zeros(size, dtype=bool)
+            at_clipped = np.zeros(size, dtype=np.int64)
+        resolved[hit] = table_parents[at_clipped[hit]]
+        miss = ~hit
+        miss_count = int(miss.sum())
+        if miss_count:
+            start = store.reserve(miss_count)
+            store.digests[start : start + miss_count] = digests[offset:stop][miss]
+            store.left[start : start + miss_count] = global_left[miss]
+            store.right[start : start + miss_count] = global_right[miss]
+            fresh_ids = np.arange(start, start + miss_count, dtype=np.int64)
+            resolved[miss] = fresh_ids
+            miss_keys = keys[miss]
+            order = np.argsort(miss_keys, kind="stable")
+            sorted_keys = miss_keys[order]
+            slots = np.searchsorted(table_keys, sorted_keys)
+            table_keys = np.insert(table_keys, slots, sorted_keys)
+            table_parents = np.insert(table_parents, slots, fresh_ids[order])
+        gmap[leaf_nodes + offset : leaf_nodes + stop] = resolved
+        offset = stop
+    roots_slice[:] = gmap[local_roots]
+    return store.size - appended_before, table_keys, table_parents

@@ -1,0 +1,12 @@
+"""RL011 fixture: scaling decisions derived from the host core count."""
+
+import multiprocessing
+import os
+
+
+def worker_pool_size() -> int:
+    return max(1, (os.cpu_count() or 1) - 1)  # line 8: host cores, not affinity
+
+
+def throughput_floor(per_core: float) -> float:
+    return per_core * multiprocessing.cpu_count()  # line 12: same via mp alias

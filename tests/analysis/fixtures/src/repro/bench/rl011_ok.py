@@ -1,0 +1,11 @@
+"""RL011 fixture: scaling through the sanctioned affinity helper."""
+
+from repro.core.parallel import available_cores, resolve_worker_count
+
+
+def worker_pool_size(workers: int | None) -> int:
+    return resolve_worker_count(workers)
+
+
+def throughput_floor(per_core: float) -> float:
+    return per_core * available_cores()

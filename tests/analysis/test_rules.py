@@ -30,6 +30,7 @@ BAD_FIXTURES = {
         ("RL010", 16),
         ("RL010", 20),
     ],
+    "bench/rl011_bad.py": [("RL011", 8), ("RL011", 12)],
 }
 
 OK_FIXTURES = [
@@ -44,6 +45,7 @@ OK_FIXTURES = [
     "core/artifact/rl009_ok.py",
     "serving/rl010_ok.py",
     "serving/recorder.py",
+    "bench/rl011_ok.py",
 ]
 
 
@@ -65,7 +67,7 @@ def test_no_rule_fires_on_compliant_fixture(relpath):
 def test_whole_fixture_tree_exercises_every_rule():
     result = lint_paths([str(FIXTURES)], LintConfig())
     fired = {finding.rule for finding in result.findings}
-    assert {f"RL{n:03d}" for n in range(1, 11)} <= fired
+    assert {f"RL{n:03d}" for n in range(1, 12)} <= fired
 
 
 def test_findings_carry_messages_and_render():

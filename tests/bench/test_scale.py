@@ -33,6 +33,20 @@ def test_scale_point_without_comparison_skips_node_engine():
     assert point["speedup"] is None
 
 
+_TINY_PARALLEL = {
+    # Reduced parallel points (the full run builds n = 1000 and a 10k-leaf
+    # forest) with floors at zero: the gating logic is exercised, the
+    # identity assertions inside the points still run at full strength.
+    "parallel_workers": 2,
+    "parallel_ads_n": 30,
+    "forest_leaf_count": 34,
+    "forest_tree_cap": 12,
+    "parallel_per_worker": 0.0,
+    "parallel_cap": 0.0,
+    "parallel_single_core": 0.0,
+}
+
+
 def test_run_scale_writes_trajectory_and_caps_comparison(tmp_path):
     output = tmp_path / "BENCH_scale.json"
     results, failures = run_scale(
@@ -42,19 +56,25 @@ def test_run_scale_writes_trajectory_and_caps_comparison(tmp_path):
         compare_max_n=40,
         speedup_floor=0.0,
         output_path=str(output),
+        **_TINY_PARALLEL,
     )
     assert failures == []
-    (result,) = results
+    result, parallel_result = results
     engines = [(row["n"], row["engine"]) for row in result.rows]
     assert (20, "node-at-a-time") in engines and (40, "node-at-a-time") in engines
     assert (60, "node-at-a-time") not in engines  # beyond the comparison cap
     assert (60, "batched") in engines
+    assert [row["stage"] for row in parallel_result.rows] == ["full-ads", "forest-10k"]
     payload = json.loads(output.read_text())
     assert payload["headline_n"] == 40  # largest *compared* n gates the speedup
     assert [point["n"] for point in payload["trajectory"]] == [20, 40, 60]
     assert payload["trajectory"][-1]["node_engine"] is None
     for point in payload["trajectory"][:2]:
         assert point["batched"]["physical_hashes"] == point["node_engine"]["physical_hashes"]
+    parallel = payload["parallel"]
+    assert parallel["workers"] == 2
+    assert parallel["full_ads"]["n"] == 30
+    assert parallel["forest_stage"]["leaf_count"] == 34
 
 
 def test_run_scale_reports_regression_below_floor(tmp_path):
@@ -65,18 +85,43 @@ def test_run_scale_reports_regression_below_floor(tmp_path):
         compare_max_n=20,
         speedup_floor=10_000.0,
         output_path=str(tmp_path / "out.json"),
+        **_TINY_PARALLEL,
     )
     assert len(failures) == 1
     assert "floor" in failures[0]
 
 
+def test_run_scale_reports_parallel_regression_below_floor(tmp_path):
+    knobs = dict(_TINY_PARALLEL)
+    knobs["parallel_per_worker"] = 10_000.0
+    knobs["parallel_cap"] = 10_000.0
+    knobs["parallel_single_core"] = 10_000.0
+    _results, failures = run_scale(
+        n_values=(20,),
+        seed=0,
+        repeats=1,
+        compare_max_n=20,
+        speedup_floor=0.0,
+        output_path=str(tmp_path / "out.json"),
+        **knobs,
+    )
+    assert len(failures) == 2  # both parallel stages, not the batched gate
+    assert all("affinity-scaled floor" in failure for failure in failures)
+
+
 def test_run_scale_smoke_uses_reduced_configuration(tmp_path, monkeypatch):
     monkeypatch.setattr(scale, "SMOKE_SCALE_N_VALUES", (15, 30))
     monkeypatch.setattr(scale, "SMOKE_SCALE_SPEEDUP_FLOOR", 0.0)
+    # Timing floors are not under test here (and fork is far slower inside
+    # the big-heap pytest process than in the fresh-process CI gate).
+    monkeypatch.setattr(scale, "SMOKE_PARALLEL_PER_WORKER", 0.0)
+    monkeypatch.setattr(scale, "SMOKE_PARALLEL_FLOOR_CAP", 0.0)
+    monkeypatch.setattr(scale, "SMOKE_PARALLEL_SINGLE_CORE_FLOOR", 0.0)
     output = tmp_path / "BENCH_scale_smoke.json"
     results, failures = run_scale_smoke(seed=0, output_path=str(output))
     assert failures == []
     payload = json.loads(output.read_text())
     assert [point["n"] for point in payload["trajectory"]] == [15, 30]
     assert payload["trajectory"][-1]["speedup"] is not None
-    assert len(results) == 1
+    assert len(results) == 2
+    assert payload["parallel"]["workers"] == scale.SMOKE_PARALLEL_WORKERS

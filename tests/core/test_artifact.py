@@ -20,6 +20,7 @@ import pytest
 
 from repro.core.artifact import (
     ARTIFACT_FORMAT_VERSION,
+    SUPPORTED_FORMAT_VERSIONS,
     ARTIFACT_MAGIC,
     load_artifact,
     load_public_parameters,
@@ -286,7 +287,7 @@ def test_future_format_version_rejected(tmp_path):
             for name in bundle.files
             if name not in ("meta", "checksum")
         }
-        meta["format_version"] = ARTIFACT_FORMAT_VERSION + 1
+        meta["format_version"] = max(SUPPORTED_FORMAT_VERSIONS) + 1
         blob = json.dumps(meta, sort_keys=True).encode()
         from repro.core.artifact import _payload_checksum
 

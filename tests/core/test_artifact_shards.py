@@ -1,0 +1,196 @@
+"""Sharded artifacts: the arena split into sidecar files, loaded back whole.
+
+``publish(path, arena_shards=k)`` peels the three Merkle-arena arrays (the
+bulk of an IFMH artifact) into ``k`` contiguous-row sidecar ``.npz`` files
+next to the main bundle; the header pins every sidecar's name, row count
+and payload checksum.  These tests pin the round trip (bit-identical
+serving, zero re-hashing), the refusal matrix (tampered, missing, swapped
+or reordered shards; delta/shard combinations; non-IFMH schemes; buffer
+targets) and the format-version bump that keeps old loaders honest.
+"""
+
+import io
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.artifact import (
+    ARENA_SHARD_MAGIC,
+    SHARDED_FORMAT_VERSION,
+    load_artifact,
+    load_public_parameters,
+    save_artifact,
+)
+from repro.core.client import Client
+from repro.core.config import SIGNATURE_MESH, SystemConfig
+from repro.core.errors import ConstructionError
+from repro.core.protocol import OutsourcedSystem
+from repro.core.queries import KNNQuery, RangeQuery, TopKQuery
+from repro.core.server import Server
+from repro.workloads.generator import WorkloadConfig, make_dataset, make_template
+
+QUERIES = [
+    TopKQuery(weights=(0.35,), k=4),
+    RangeQuery(weights=(0.6,), low=1.5, high=7.0),
+    KNNQuery(weights=(0.8,), k=3, target=4.0),
+]
+
+
+def _system(scheme="one-signature", n_records=24, seed=9):
+    workload = WorkloadConfig(n_records=n_records, dimension=1, seed=seed)
+    dataset, template = make_dataset(workload), make_template(workload)
+    return OutsourcedSystem.setup(
+        dataset,
+        template,
+        config=SystemConfig(scheme=scheme, signature_algorithm="hmac"),
+        rng=random.Random(seed),
+    )
+
+
+@pytest.mark.parametrize("shards", [2, 3, 5])
+def test_sharded_round_trip_is_bit_identical(tmp_path, shards):
+    system = _system()
+    full = tmp_path / "full.npz"
+    sharded = tmp_path / "sharded.npz"
+    system.owner.publish(full)
+    report = system.owner.publish(sharded, arena_shards=shards)
+    assert report.mode == "full"
+
+    reference = load_artifact(full)
+    loaded = load_artifact(sharded)
+    assert loaded.meta["format_version"] == SHARDED_FORMAT_VERSION
+    assert len(loaded.meta["arena_shards"]["files"]) == shards
+    assert loaded.ads.root_hash == reference.ads.root_hash
+    assert loaded.ads.counters.hash_operations == 0
+    assert loaded.ads.counters.physical_hash_operations == 0
+    assert np.array_equal(
+        loaded.ads.to_arrays()["arena_digests"],
+        reference.ads.to_arrays()["arena_digests"],
+    )
+
+    server = Server(loaded.package)
+    client = Client(loaded.public_parameters)
+    for query in QUERIES:
+        warm = system.server.execute(query)
+        cold = server.execute(query)
+        assert cold.result == warm.result
+        assert cold.verification_object == warm.verification_object
+        report = client.verify(query, cold.result, cold.verification_object)
+        assert report.is_valid, report.failures
+
+
+def test_shard_sidecars_carry_their_own_header(tmp_path):
+    system = _system()
+    path = tmp_path / "ads.npz"
+    system.owner.publish(path, arena_shards=2)
+    meta = load_artifact(path).meta
+    info = meta["arena_shards"]
+    assert len(info["files"]) == len(info["rows"]) == len(info["checksums"]) == 2
+    assert sum(info["rows"]) == meta["counts"]["arena_nodes"]
+    for file_name in info["files"]:
+        with np.load(tmp_path / file_name, allow_pickle=False) as bundle:
+            import json
+
+            sidecar_meta = json.loads(bundle["meta"].tobytes().decode())
+            assert sidecar_meta["magic"] == ARENA_SHARD_MAGIC
+            assert sidecar_meta["artifact"] == "ads.npz"
+
+
+def test_public_parameters_load_without_touching_shards(tmp_path):
+    system = _system()
+    path = tmp_path / "ads.npz"
+    system.owner.publish(path, arena_shards=2)
+    for file_name in load_artifact(path).meta["arena_shards"]["files"]:
+        (tmp_path / file_name).unlink()
+    parameters = load_public_parameters(path)
+    assert parameters.to_payload() == system.owner.public_parameters().to_payload()
+
+
+# ---------------------------------------------------------------- refusals
+def test_tampered_shard_is_refused(tmp_path):
+    system = _system()
+    path = tmp_path / "ads.npz"
+    system.owner.publish(path, arena_shards=3)
+    victim = tmp_path / load_artifact(path).meta["arena_shards"]["files"][1]
+    blob = bytearray(victim.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    victim.write_bytes(bytes(blob))
+    with pytest.raises(ConstructionError):
+        load_artifact(path)
+
+
+def test_missing_shard_is_refused(tmp_path):
+    system = _system()
+    path = tmp_path / "ads.npz"
+    system.owner.publish(path, arena_shards=2)
+    missing = load_artifact(path).meta["arena_shards"]["files"][0]
+    (tmp_path / missing).unlink()
+    with pytest.raises(ConstructionError, match="missing"):
+        load_artifact(path)
+
+
+def test_foreign_shard_is_refused(tmp_path):
+    """A valid sidecar from a *different* publish must not splice in."""
+    system = _system()
+    path = tmp_path / "ads.npz"
+    system.owner.publish(path, arena_shards=2)
+    other = _system(seed=10)
+    other_path = tmp_path / "other.npz"
+    other.owner.publish(other_path, arena_shards=2)
+    files = load_artifact(path).meta["arena_shards"]["files"]
+    other_files = load_artifact(other_path).meta["arena_shards"]["files"]
+    (tmp_path / other_files[0]).replace(tmp_path / files[0])
+    with pytest.raises(ConstructionError, match="pinned"):
+        load_artifact(path)
+
+
+def test_reordered_shards_are_refused(tmp_path):
+    system = _system()
+    path = tmp_path / "ads.npz"
+    system.owner.publish(path, arena_shards=2)
+    first, second = (
+        tmp_path / name for name in load_artifact(path).meta["arena_shards"]["files"]
+    )
+    spare = tmp_path / "spare.npz"
+    first.replace(spare)
+    second.replace(first)
+    spare.replace(second)
+    with pytest.raises(ConstructionError):
+        load_artifact(path)
+
+
+def test_delta_and_shards_are_mutually_exclusive(tmp_path):
+    system = _system()
+    full = tmp_path / "full.npz"
+    system.owner.publish(full)
+    with pytest.raises(ConstructionError, match="delta"):
+        system.owner.publish(tmp_path / "bad.npz", base=full, arena_shards=2)
+
+
+def test_sharded_base_is_refused_for_deltas(tmp_path):
+    system = _system()
+    sharded = tmp_path / "sharded.npz"
+    system.owner.publish(sharded, arena_shards=2)
+    report = system.owner.publish(tmp_path / "delta.npz", base=sharded)
+    # Publish-side: the unusable base triggers the chain-repair fallback.
+    assert report.mode == "full"
+    assert "self-contained" in report.fallback_reason
+
+
+def test_mesh_scheme_cannot_shard(tmp_path):
+    system = _system(scheme=SIGNATURE_MESH)
+    with pytest.raises(ConstructionError, match="mesh"):
+        system.owner.publish(tmp_path / "mesh.npz", arena_shards=2)
+
+
+def test_buffer_target_cannot_shard(tmp_path):
+    system = _system()
+    with pytest.raises(ConstructionError, match="filesystem"):
+        save_artifact(system.owner, io.BytesIO(), arena_shards=2)
+
+
+def test_single_shard_request_is_refused(tmp_path):
+    system = _system()
+    with pytest.raises(ConstructionError, match="at least 2"):
+        system.owner.publish(tmp_path / "one.npz", arena_shards=1)

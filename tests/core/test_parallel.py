@@ -1,0 +1,32 @@
+"""The affinity-aware parallelism helper every scaling decision goes through."""
+
+import os
+
+import pytest
+
+from repro.core.parallel import available_cores, resolve_worker_count
+
+
+def test_available_cores_matches_affinity_when_supported():
+    cores = available_cores()
+    assert cores >= 1
+    if hasattr(os, "sched_getaffinity"):
+        assert cores == len(os.sched_getaffinity(0))
+        # Affinity can never exceed what the host physically has (RL011
+        # does not reach test modules, so the host read is fine here).
+        assert cores <= (os.cpu_count() or cores)
+
+
+def test_resolve_worker_count_none_and_zero_mean_all_cores():
+    assert resolve_worker_count(None) == available_cores()
+    assert resolve_worker_count(0) == available_cores()
+
+
+def test_resolve_worker_count_honours_explicit_values():
+    assert resolve_worker_count(1) == 1
+    assert resolve_worker_count(7) == 7  # oversubscription is the caller's call
+
+
+def test_resolve_worker_count_rejects_negatives():
+    with pytest.raises(ValueError, match=">= 0"):
+        resolve_worker_count(-1)

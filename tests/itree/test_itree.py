@@ -128,6 +128,17 @@ def test_parallel_functions_never_split(domain):
     assert [f.index for f in tree.root.sorted_functions] == [0, 1, 2]
 
 
+@pytest.mark.parametrize("builder", ["bulk", "incremental"])
+def test_duplicate_function_index_rejected(domain, builder):
+    """Two functions sharing an ``index`` would corrupt the shared sorted
+    order (the permutation stores positions keyed on it); the build must
+    refuse and name the duplicate."""
+    functions = _univariate_functions(4, seed=5)
+    clash = LinearFunction(index=2, coefficients=(1.5,), constant=0.25)
+    with pytest.raises(ConstructionError, match="duplicate function index 2"):
+        ITree(functions + [clash], domain, builder=builder)
+
+
 def test_empty_function_set_rejected(domain):
     with pytest.raises(ConstructionError):
         ITree([], domain)

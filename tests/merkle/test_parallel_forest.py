@@ -1,0 +1,201 @@
+"""Multiprocess forest build: worker count is a wall-clock knob, nothing else.
+
+The sharded build (:mod:`repro.merkle.parallel`) splits the forest's tree
+rows across forked workers and merges their shards back into one flat
+arena.  These tests pin the two halves of its contract:
+
+* **determinism** -- subdomain root digests, arena digest rows, node
+  counts and *both* hash counters are identical to the single-process
+  build at every worker count; when the shard bounds land on the serial
+  chunk grid the whole arena (node numbering included) is byte-identical;
+
+* **failure containment** -- a worker that dies mid-build surfaces as a
+  :class:`~repro.core.errors.ConstructionError` naming the shard (never a
+  hang), and no shared-memory segment outlives the failed build.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConstructionError
+from repro.crypto.hashing import HashFunction
+from repro.merkle import arena as arena_module
+from repro.merkle import parallel as parallel_module
+from repro.merkle.arena import ForestHasher
+from repro.merkle.parallel import fork_available, internal_pair_slots, shard_bounds
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable on this platform"
+)
+
+
+def _shm_segments():
+    """Names of the live POSIX shared-memory segments (Linux)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+def _build(payloads, rows, workers):
+    """One forest build from scratch: fresh hasher, fresh counters."""
+    hashes = HashFunction()
+    hasher = ForestHasher(workers=workers)
+    indices = hasher.intern_leaves(payloads, hashes)
+    index_of = dict(zip(payloads, indices.tolist()))
+    matrix = np.array([[index_of[p] for p in row] for row in rows], dtype=np.int64)
+    roots = hasher.build_forest(matrix, hashes)
+    return roots, hasher, hashes
+
+
+def _transposition_rows(payloads, tree_count):
+    """Adjacent-transposition forest: the IFMH step-2 row relation."""
+    rows = [list(payloads)]
+    for tree in range(1, tree_count):
+        row = list(rows[-1])
+        position = (tree * 7) % (len(payloads) - 1)
+        row[position], row[position + 1] = row[position + 1], row[position]
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------- identity
+@settings(max_examples=15, deadline=None)
+@given(
+    leaf_count=st.integers(min_value=2, max_value=17),
+    tree_count=st.integers(min_value=2, max_value=6),
+    workers=st.sampled_from([2, 4]),
+    data=st.data(),
+)
+def test_property_parallel_forest_is_bit_identical(
+    leaf_count, tree_count, workers, data
+):
+    """Random forests at every odd-carry shape: parallel == serial.
+
+    Root digests, arena digest rows as values, node counts and both hash
+    counters must match the single-process build exactly; these tiny
+    forests take the row-split path, where only the node *numbering* may
+    differ (see ``docs/scaling.md``).
+    """
+    payloads = [b"record-%d" % i for i in range(leaf_count)]
+    rows = [
+        data.draw(st.permutations(payloads), label=f"row-{t}")
+        for t in range(tree_count)
+    ]
+    serial_roots, serial_hasher, serial_hashes = _build(payloads, rows, 1)
+    parallel_roots, parallel_hasher, parallel_hashes = _build(payloads, rows, workers)
+
+    serial_arena = serial_hasher.finalize()
+    parallel_arena = parallel_hasher.finalize()
+    assert np.array_equal(
+        serial_arena.digests[serial_roots], parallel_arena.digests[parallel_roots]
+    )
+    assert len(parallel_arena) == len(serial_arena)
+    assert sorted(map(bytes, parallel_arena.digests)) == sorted(
+        map(bytes, serial_arena.digests)
+    )
+    assert parallel_hashes.call_count == serial_hashes.call_count
+    assert parallel_hashes.physical_count == serial_hashes.physical_count
+    assert parallel_hasher.stats() == serial_hasher.stats()
+
+
+@pytest.mark.parametrize("workers", [2, 3, 4])
+def test_chunk_aligned_shards_are_byte_identical(monkeypatch, workers):
+    """With shard bounds on the serial chunk grid, even the node numbering
+    (hence every artifact byte) matches the single-process build."""
+    leaf_count, tree_count = 9, 24
+    monkeypatch.setattr(arena_module, "_CHUNK_ELEMENTS", leaf_count * 3)
+    payloads = [b"leaf-%d" % i for i in range(leaf_count)]
+    rows = _transposition_rows(payloads, tree_count)
+    serial_roots, serial_hasher, serial_hashes = _build(payloads, rows, 1)
+    parallel_roots, parallel_hasher, parallel_hashes = _build(payloads, rows, workers)
+
+    assert np.array_equal(parallel_roots, serial_roots)
+    serial_arena = serial_hasher.finalize()
+    parallel_arena = parallel_hasher.finalize()
+    assert np.array_equal(parallel_arena.digests, serial_arena.digests)
+    assert np.array_equal(parallel_arena.left, serial_arena.left)
+    assert np.array_equal(parallel_arena.right, serial_arena.right)
+    assert parallel_hashes.call_count == serial_hashes.call_count
+    assert parallel_hashes.physical_count == serial_hashes.physical_count
+
+
+def test_parallel_build_leaves_no_shared_memory_behind(monkeypatch):
+    monkeypatch.setattr(arena_module, "_CHUNK_ELEMENTS", 9 * 2)
+    payloads = [b"leaf-%d" % i for i in range(9)]
+    rows = _transposition_rows(payloads, 16)
+    before = _shm_segments()
+    _build(payloads, rows, 4)
+    assert _shm_segments() <= before
+
+
+def test_parallel_hasher_is_sealed_after_build():
+    """A second build on a shard-merged hasher must refuse, not corrupt:
+    the pair cache no longer mirrors the store after a parallel merge."""
+    payloads = [b"leaf-%d" % i for i in range(4)]
+    rows = _transposition_rows(payloads, 8)
+    _, hasher, hashes = _build(payloads, rows, 2)
+    matrix = np.tile(np.arange(4, dtype=np.int64), (2, 1))
+    with pytest.raises(RuntimeError, match="new instance"):
+        hasher.build_forest(matrix, hashes)
+
+
+# ------------------------------------------------------------- shard bounds
+def test_shard_bounds_cover_rows_contiguously():
+    for tree_count, leaf_count, workers in [
+        (100, 5, 4),
+        (7, 3, 16),
+        (1, 9, 4),
+        (5000, 10002, 3),
+    ]:
+        bounds = shard_bounds(tree_count, leaf_count, workers)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == tree_count
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert start == stop
+        assert all(stop > start for start, stop in bounds)
+        assert len(bounds) <= min(workers, tree_count)
+
+
+def test_shard_bounds_prefer_whole_chunks(monkeypatch):
+    """With enough chunks, every boundary sits on the serial chunk grid."""
+    monkeypatch.setattr(arena_module, "_CHUNK_ELEMENTS", 40)
+    chunk_rows = 40 // 10
+    bounds = shard_bounds(33, 10, 3)
+    for start, _ in bounds:
+        assert start % chunk_rows == 0
+
+
+def test_internal_pair_slots_matches_level_walk():
+    for leaf_count in range(2, 40):
+        width, total = leaf_count, 0
+        while width > 1:
+            total += width // 2
+            width = width // 2 + width % 2
+        assert internal_pair_slots(leaf_count) == total
+
+
+# ------------------------------------------------------ failure containment
+def test_poisoned_shard_raises_construction_error_not_hang(monkeypatch):
+    """A worker that dies mid-shard must surface as a ConstructionError
+    naming the shard, and must not leak its shared-memory segment."""
+    monkeypatch.setattr(arena_module, "_CHUNK_ELEMENTS", 9 * 2)
+    inner = parallel_module._build_shard
+
+    def poisoned(shard_index, *args, **kwargs):
+        if shard_index == 1:
+            raise RuntimeError("poisoned shard for the fault test")
+        return inner(shard_index, *args, **kwargs)
+
+    # The fork start method inherits the patched module, so the poison
+    # fires inside the worker process.
+    monkeypatch.setattr(parallel_module, "_build_shard", poisoned)
+    payloads = [b"leaf-%d" % i for i in range(9)]
+    rows = _transposition_rows(payloads, 16)
+    before = _shm_segments()
+    with pytest.raises(ConstructionError, match=r"shard 1"):
+        _build(payloads, rows, 4)
+    assert _shm_segments() <= before
